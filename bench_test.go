@@ -1,0 +1,373 @@
+// Benchmark harness: one benchmark per evaluation artifact of the
+// paper — Figures 1-8, Table 1 (one sub-benchmark per row), and the
+// §3 deployment constructors. Each benchmark exercises exactly the
+// code path that regenerates the artifact (cmd/ctt-experiments renders
+// the artifacts themselves); together they make the cost of every
+// piece of the reproduction measurable.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/citygml"
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/dataport"
+	"repro/internal/emissions"
+	"repro/internal/integrate"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+)
+
+var benchStart = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// sharedSystem is a 3-day Trondheim run reused by the read-only
+// benchmarks (building it takes seconds; per-iteration rebuilds would
+// drown the measurements).
+var (
+	sharedOnce sync.Once
+	shared     *core.System
+	sharedErr  error
+)
+
+func sharedSys(b *testing.B) *core.System {
+	b.Helper()
+	sharedOnce.Do(func() {
+		cfg := core.TrondheimConfig(7)
+		cfg.Start = benchStart
+		shared, sharedErr = core.New(cfg)
+		if sharedErr != nil {
+			return
+		}
+		_, sharedErr = shared.Run(3 * 24 * time.Hour)
+	})
+	if sharedErr != nil {
+		b.Fatal(sharedErr)
+	}
+	return shared
+}
+
+func sharedSeries(b *testing.B, metric, sensor string) integrate.TimeSeries {
+	b.Helper()
+	sys := sharedSys(b)
+	tags := map[string]string{}
+	if sensor != "" {
+		tags["sensor"] = sensor
+	}
+	res, err := sys.DB.Execute(tsdb.Query{
+		Metric: metric, Tags: tags,
+		Start: sys.Start.UnixMilli(), End: sys.Now().UnixMilli(),
+		Aggregator: tsdb.AggAvg,
+	})
+	if err != nil || len(res) == 0 {
+		b.Fatalf("no %s data: %v", metric, err)
+	}
+	ts := integrate.TimeSeries{Name: metric}
+	for _, p := range res[0].Points {
+		ts.Samples = append(ts.Samples, integrate.Sample{Time: p.Time(), Value: p.Value})
+	}
+	return ts
+}
+
+// BenchmarkFig1ArchitecturePipeline measures one full pipeline tick of
+// the Fig. 1 architecture: 12 nodes sample → LoRaWAN resolution → TTN
+// dedup/decode → TSDB + dataport ingest → traffic feed.
+func BenchmarkFig1ArchitecturePipeline(b *testing.B) {
+	cfg := core.TrondheimConfig(3)
+	cfg.Start = benchStart
+	sys, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sys.IngestCount())/float64(b.N), "uplinks/tick")
+}
+
+// BenchmarkFig2DataportProtocol measures the dataport message path of
+// Fig. 2: an uplink observation traversing the digital twins plus a
+// full status round (alarm evaluation).
+func BenchmarkFig2DataportProtocol(b *testing.B) {
+	dp, err := dataport.New(dataport.Config{DefaultInterval: 5 * time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dp.Close()
+	dp.RegisterGateway("gw1", core.TrondheimCenter)
+	for i := 0; i < 12; i++ {
+		dp.RegisterSensor(fmt.Sprintf("s%02d", i), core.TrondheimCenter, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := benchStart.Add(time.Duration(i) * 5 * time.Minute)
+		for s := 0; s < 12; s++ {
+			dp.ObserveUplink(dataport.UplinkObservation{
+				DeviceID:   fmt.Sprintf("s%02d", s),
+				GatewayIDs: []string{"gw1"},
+				Time:       ts, BatteryPct: 80, RSSI: -85,
+			})
+		}
+		if _, err := dp.Tick(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3NetworkVisualization measures snapshot collection plus
+// SVG map rendering.
+func BenchmarkFig3NetworkVisualization(b *testing.B) {
+	sys := sharedSys(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := sys.Dataport.Snapshot(sys.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		svg := viz.NetworkMapSVG(snap, 800, 600)
+		if len(svg) == 0 {
+			b.Fatal("empty svg")
+		}
+	}
+}
+
+// BenchmarkFig4BatteryAnalysis measures the battery-level analysis
+// (both panels) over 3 days of telemetry.
+func BenchmarkFig4BatteryAnalysis(b *testing.B) {
+	batt := sharedSeries(b, core.MetricBattery, "ctt-node-01")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analytics.AnalyzeBattery("ctt-node-01", batt,
+			core.TrondheimCenter.Lat, core.TrondheimCenter.Lon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deltas) == 0 {
+			b.Fatal("no deltas")
+		}
+	}
+}
+
+// BenchmarkFig5CO2Dynamics measures the CO2-vs-traffic study:
+// alignment, correlations, lagged cross-correlation, and the
+// multi-factor regression.
+func BenchmarkFig5CO2Dynamics(b *testing.B) {
+	sys := sharedSys(b)
+	co2 := sharedSeries(b, core.MetricCO2, core.ColocatedNodeID)
+	feed := integrate.NewTrafficFeed(sys.Traffic)
+	jam := feed.JamFactorSeries(sys.Start, sys.Now())
+	temp := sharedSeries(b, core.MetricTemp, core.ColocatedNodeID)
+	wind := integrate.TimeSeries{Name: "wind"}
+	for t := sys.Start; t.Before(sys.Now()); t = t.Add(time.Hour) {
+		wind.Samples = append(wind.Samples, integrate.Sample{Time: t, Value: sys.Weather.At(t).WindSpeedMS})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aligned, err := integrate.Align([]integrate.TimeSeries{co2, jam, temp, wind},
+			time.Hour, integrate.MeanInBucket)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aligned = integrate.DropNaN(aligned)
+		study, err := analytics.StudyDynamics(aligned[0], aligned[1], aligned[2], aligned[3], 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !study.NoApparentCorrelation() {
+			b.Fatalf("Fig 5 shape violated: raw r=%v", study.PearsonR)
+		}
+	}
+}
+
+// BenchmarkFig6Dashboards measures rendering one dashboard panel from
+// a live TSDB query (the Fig. 6 serving path).
+func BenchmarkFig6Dashboards(b *testing.B) {
+	sys := sharedSys(b)
+	srv := dashboard.New(sys.DB, sys.Dataport)
+	srv.SetNow(sys.Now)
+	if err := srv.AddPanel(dashboard.Panel{
+		Name: "co2", Title: "CO2 by sensor", Metric: core.MetricCO2,
+		Tags: map[string]string{"sensor": "*"}, Agg: tsdb.AggAvg,
+		Downsample: time.Hour, Window: 3 * 24 * time.Hour, YLabel: "ppm",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	url := fmt.Sprintf("http://%s/panel/co2.svg", addr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := mustGet(b, url)
+		if len(body) < 1000 {
+			b.Fatalf("panel render too small: %d bytes", len(body))
+		}
+	}
+}
+
+// BenchmarkFig7CityModel measures city generation, sensor embedding,
+// the 2.5D rendering and CityGML export.
+func BenchmarkFig7CityModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := citygml.GenerateCity("vejle", core.VejleCenter, 1200, 11)
+		m.AddSensor(citygml.MeasuringPoint{ID: "n1", Pos: core.VejleCenter, Species: "co2", Value: 420})
+		svg := viz.CityModelSVG(m, 400, 500, 900, 650)
+		gml, err := m.ExportGML()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(svg) == 0 || len(gml) == 0 {
+			b.Fatal("empty artifacts")
+		}
+	}
+}
+
+// BenchmarkFig8WallDisplay measures the combined wall view: network
+// snapshot + panels served as one page plus the map.
+func BenchmarkFig8WallDisplay(b *testing.B) {
+	sys := sharedSys(b)
+	srv := dashboard.New(sys.DB, sys.Dataport)
+	srv.SetNow(sys.Now)
+	srv.AddPanel(dashboard.Panel{
+		Name: "co2", Title: "CO2", Metric: core.MetricCO2, Agg: tsdb.AggAvg,
+		Downsample: time.Hour, Window: 3 * 24 * time.Hour,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	wallURL := fmt.Sprintf("http://%s/wall", addr)
+	netURL := fmt.Sprintf("http://%s/network.svg", addr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustGet(b, wallURL)
+		mustGet(b, netURL)
+	}
+}
+
+// BenchmarkTable1Integration has one sub-benchmark per row of the
+// paper's Table 1.
+func BenchmarkTable1Integration(b *testing.B) {
+	sys := sharedSys(b)
+
+	b.Run("OfficialAirQuality", func(b *testing.B) {
+		station := integrate.NewReferenceStation("nilu", core.TrondheimCenter, sys.Field)
+		sensor := sharedSeries(b, core.MetricCO2, core.ColocatedNodeID)
+		ref := station.Observe(emissions.CO2, sys.Start, sys.Now())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			aligned, err := integrate.Align([]integrate.TimeSeries{sensor, ref}, time.Hour, integrate.MeanInBucket)
+			if err != nil {
+				b.Fatal(err)
+			}
+			aligned = integrate.DropNaN(aligned)
+			cal, err := analytics.CalibrateAgainstReference(aligned[0], aligned[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cal.Gain == 0 {
+				b.Fatal("degenerate calibration")
+			}
+		}
+	})
+
+	b.Run("RemoteSensing", func(b *testing.B) {
+		sat := integrate.NewSatellite(sys.Field)
+		end := sys.Start.AddDate(0, 3, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts := sat.CampaignSeries(core.TrondheimCenter, sys.Start, end)
+			if len(ts.Samples) == 0 {
+				b.Fatal("no overpasses")
+			}
+		}
+	})
+
+	b.Run("TrafficFeed", func(b *testing.B) {
+		feed := integrate.NewTrafficFeed(sys.Traffic)
+		end := sys.Start.Add(24 * time.Hour)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts := feed.JamFactorSeries(sys.Start, end)
+			if len(ts.Samples) != 288 {
+				b.Fatalf("samples: %d", len(ts.Samples))
+			}
+		}
+	})
+
+	b.Run("MunicipalCounts", func(b *testing.B) {
+		mc := integrate.MunicipalCounts{Network: sys.Traffic}
+		seg := sys.Traffic.Segments[0].ID
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts, err := mc.Campaign(seg, sys.Start, 7)
+			if err != nil || len(ts.Samples) != 168 {
+				b.Fatalf("campaign: %d %v", len(ts.Samples), err)
+			}
+		}
+	})
+
+	b.Run("CityModelGML", func(b *testing.B) {
+		m := citygml.GenerateCity("vejle", core.VejleCenter, 1200, 11)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gml, err := m.ExportGML()
+			if err != nil || len(gml) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("NationalStatistics", func(b *testing.B) {
+		inv := integrate.NorwayInventory2016()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est, err := inv.Downscale("trondheim", 190000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := integrate.Total(est)
+			if total.KtCO2e <= 0 {
+				b.Fatal("bad total")
+			}
+		}
+	})
+}
+
+// BenchmarkSec3Deployments measures constructing (and tearing down)
+// the paper's two pilot systems.
+func BenchmarkSec3Deployments(b *testing.B) {
+	b.Run("Trondheim12Nodes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.New(core.TrondheimConfig(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Close()
+		}
+	})
+	b.Run("Vejle2Nodes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.New(core.VejleConfig(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Close()
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package repro
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// mustGet fetches a URL during a benchmark.
+func mustGet(b *testing.B, url string) []byte {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}

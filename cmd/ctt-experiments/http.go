@@ -1,0 +1,24 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http"
+)
+
+// httpGet fetches a URL or dies — experiment artifacts are mandatory.
+func httpGet(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	return body
+}

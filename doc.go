@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Analysis and
+// Visualization of Urban Emission Measurements in Smart Cities"
+// (Ahlers et al., EDBT 2018): the Carbon Track & Trace (CTT) urban
+// emission monitoring ecosystem.
+//
+// The implementation lives under internal/ (one package per
+// subsystem), runnable examples under examples/, and executables under
+// cmd/. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// the paper-vs-measured record of every figure and table. The
+// bench_test.go file in this directory holds one benchmark per paper
+// artifact (Figures 1–8, Table 1, §3 deployments).
+package repro

@@ -1,0 +1,90 @@
+// Quickstart: the smallest end-to-end CTT pipeline — three simulated
+// sensor nodes and one gateway in Trondheim, six hours of 5-minute
+// measurements flowing through LoRaWAN → TTN backend → time-series
+// database, then a query and a terminal chart.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+)
+
+func main() {
+	center := core.TrondheimCenter
+	sys, err := core.New(core.Config{
+		City:   "trondheim",
+		Center: center,
+		Seed:   1,
+		SensorPositions: []geo.LatLon{
+			center,
+			geo.Destination(center, 90, 700),
+			geo.Destination(center, 210, 1200),
+		},
+		GatewayPositions: []geo.LatLon{center},
+		Start:            time.Date(2017, time.March, 7, 6, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Println("running 6 simulated hours of the CTT pipeline ...")
+	if _, err := sys.Run(6 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uplinks stored: %d, series: %d, points: %d\n",
+		sys.IngestCount(), sys.DB.SeriesCount(), sys.DB.PointCount())
+
+	// Query mean CO2 across the network, downsampled to 30 minutes.
+	res, err := sys.DB.Execute(tsdb.Query{
+		Metric:     core.MetricCO2,
+		Start:      sys.Start.UnixMilli(),
+		End:        sys.Now().UnixMilli(),
+		Aggregator: tsdb.AggAvg,
+		Downsample: 30 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res) == 0 {
+		log.Fatal("no data stored")
+	}
+	fmt.Printf("\nnetwork mean CO2 [ppm], %s → %s:\n\n",
+		sys.Start.Format("15:04"), sys.Now().Format("15:04"))
+	var vals []float64
+	for _, p := range res[0].Points {
+		vals = append(vals, p.Value)
+	}
+	fmt.Print(viz.ASCIIChart(vals, 60, 10))
+
+	// Per-sensor means show spatial variation.
+	perSensor, err := sys.DB.Execute(tsdb.Query{
+		Metric:     core.MetricCO2,
+		Tags:       map[string]string{"sensor": "*"},
+		Start:      sys.Start.UnixMilli(),
+		End:        sys.Now().UnixMilli(),
+		Aggregator: tsdb.AggAvg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-sensor mean CO2:")
+	for _, rs := range perSensor {
+		var sum float64
+		for _, p := range rs.Points {
+			sum += p.Value
+		}
+		fmt.Printf("  %-14s %6.1f ppm over %d samples\n",
+			rs.Tags["sensor"], sum/float64(len(rs.Points)), len(rs.Points))
+	}
+}

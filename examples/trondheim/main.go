@@ -1,0 +1,163 @@
+// Trondheim pilot: the paper's 12-sensor deployment. This example runs
+// two simulated weeks, grounds the co-located node against the official
+// reference station (§2.4), propagates the calibration to a remote
+// node through correlated trends, and screens the network for
+// outliers and malfunctioning sensors.
+//
+// Run with:
+//
+//	go run ./examples/trondheim
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/emissions"
+	"repro/internal/integrate"
+	"repro/internal/sensors"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	cfg := core.TrondheimConfig(7)
+	// Run a spring window (the DB holds data since January 2017; the
+	// calibration study needs live nodes, and March has enough sun to
+	// keep the solar-charged units healthy at 63°N).
+	cfg.Start = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Inject one decaying sensor so the malfunction screening has
+	// something to find (§2.3: "decaying sensors ... need specific
+	// analysis").
+	sys.Node("ctt-node-07").InjectFault(sensors.Fault{
+		Kind:  sensors.FaultDrift,
+		Start: sys.Start.Add(24 * time.Hour),
+	})
+
+	fmt.Println("running 14 simulated days of the Trondheim pilot (12 nodes) ...")
+	if _, err := sys.Run(14 * 24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uplinks: %d, stored points: %d, compressed block bytes: %d\n\n",
+		sys.IngestCount(), sys.DB.PointCount(), sys.DB.CompressedBytes())
+
+	// --- calibration against the official station -------------------
+	station := integrate.NewReferenceStation("nilu-torvet", core.TrondheimCenter, sys.Field)
+	ref := station.Observe(emissions.CO2, sys.Start, sys.Now())
+
+	colocated := fetchSeries(sys, core.ColocatedNodeID)
+	aligned, err := integrate.Align([]integrate.TimeSeries{colocated, ref}, time.Hour, integrate.MeanInBucket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aligned = integrate.DropNaN(aligned)
+
+	before, _ := analytics.Accuracy(aligned[0], aligned[1])
+	cal, err := analytics.CalibrateAgainstReference(aligned[0], aligned[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := analytics.Accuracy(cal.ApplySeries(aligned[0]), aligned[1])
+	node := sys.Node(core.ColocatedNodeID)
+	trueGain, trueOffset := node.TrueCalibration()
+
+	fmt.Println("co-located calibration against the reference station:")
+	fmt.Printf("  estimated gain %.3f offset %+.1f  (true unit miscalibration: gain %.3f offset %+.1f)\n",
+		cal.Gain, cal.Offset, trueGain, trueOffset)
+	fmt.Printf("  accuracy before: MAE %.1f ppm bias %+.1f   after: MAE %.1f ppm bias %+.1f  (R %.3f)\n\n",
+		before.MAE, before.Bias, after.MAE, after.Bias, after.R)
+
+	// --- network propagation ----------------------------------------
+	remote := fetchSeries(sys, "ctt-node-05")
+	alignedR, err := integrate.Align([]integrate.TimeSeries{remote, cal.ApplySeries(colocated)}, time.Hour, integrate.MeanInBucket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alignedR = integrate.DropNaN(alignedR)
+	netCal, err := analytics.PropagateCalibration(alignedR[0], alignedR[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network calibration propagated to ctt-node-05: gain %.3f offset %+.1f (R² %.2f, lower certainty)\n\n",
+		netCal.Gain, netCal.Offset, netCal.R2)
+
+	// --- malfunction screening --------------------------------------
+	var all []integrate.TimeSeries
+	for _, n := range sys.Nodes {
+		s := fetchSeries(sys, n.ID)
+		rs, err := integrate.Resample(s, sys.Start.Add(time.Hour), sys.Now().Add(-time.Hour), time.Hour, integrate.MeanInBucket)
+		if err == nil {
+			all = append(all, rs)
+		}
+	}
+	all = integrate.DropNaN(all)
+	scores := analytics.NetworkDeviation(all)
+	fmt.Println("network-deviation screening (score ≫ 1 ⇒ spatial-outlier candidate):")
+	for _, n := range sys.Nodes {
+		name := n.ID + ".co2"
+		marker := ""
+		if scores[name] > 3 {
+			marker = "  ← flagged"
+		}
+		fmt.Printf("  %-16s %5.2f%s\n", n.ID, scores[name], marker)
+	}
+
+	// --- drift screening ---------------------------------------------
+	// A decaying sensor reads progressively higher relative to the
+	// network: fit each node's (value - network median) against time
+	// and flag steep positive slopes.
+	fmt.Println("\ndrift screening (ppm/day away from network median; injected fault on ctt-node-07):")
+	n := len(all[0].Samples)
+	medians := make([]float64, n)
+	for t := 0; t < n; t++ {
+		vals := make([]float64, len(all))
+		for si := range all {
+			vals[si] = all[si].Samples[t].Value
+		}
+		medians[t] = analytics.Median(vals)
+	}
+	for si, s := range all {
+		days := make([]float64, n)
+		diff := make([]float64, n)
+		for t := 0; t < n; t++ {
+			days[t] = s.Samples[t].Time.Sub(sys.Start).Hours() / 24
+			diff[t] = s.Samples[t].Value - medians[t]
+		}
+		fit, err := analytics.FitLine(days, diff)
+		if err != nil {
+			continue
+		}
+		marker := ""
+		if fit.Slope > 1.0 {
+			marker = "  ← drifting"
+		}
+		fmt.Printf("  %-16s %+5.2f ppm/day%s\n", sys.Nodes[si].ID, fit.Slope, marker)
+	}
+}
+
+// fetchSeries reads a node's raw CO2 series from the TSDB.
+func fetchSeries(sys *core.System, nodeID string) integrate.TimeSeries {
+	res, err := sys.DB.Execute(tsdb.Query{
+		Metric:     core.MetricCO2,
+		Tags:       map[string]string{"sensor": nodeID},
+		Start:      sys.Start.UnixMilli(),
+		End:        sys.Now().UnixMilli(),
+		Aggregator: tsdb.AggAvg,
+	})
+	if err != nil || len(res) == 0 {
+		log.Fatalf("no data for %s: %v", nodeID, err)
+	}
+	ts := integrate.TimeSeries{Name: nodeID + ".co2", Unit: "ppm"}
+	for _, p := range res[0].Points {
+		ts.Samples = append(ts.Samples, integrate.Sample{Time: p.Time(), Value: p.Value})
+	}
+	return ts
+}

@@ -1,0 +1,140 @@
+// Urban planning: the demo's "city officials' point of view" (§3) and
+// the paper's decision-support goal (§4) — three studies on the
+// simulated city:
+//
+//  1. siting new sensors by road network + building density,
+//  2. a street-closure intervention with spillover/evasion analysis
+//     (§1: "closing down certain streets (and being able to observe
+//     spillover and evasion effects in surrounding parts of the city)"),
+//  3. a city-wide interpolated pollution surface from the network's
+//     current readings, rendered as a heatmap into ./out/.
+//
+// Run with:
+//
+//	go run ./examples/urbanplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/citygml"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/emissions"
+	"repro/internal/geo"
+	"repro/internal/traffic"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+	"repro/internal/weather"
+)
+
+func main() {
+	cfg := core.TrondheimConfig(31)
+	cfg.Start = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Println("running 3 simulated days to get live readings ...")
+	if _, err := sys.Run(3 * 24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	model := citygml.GenerateCity("trondheim", core.TrondheimCenter, 2500, 31)
+
+	// --- study 1: where should the next 3 sensors go? ---------------
+	var existing []geo.LatLon
+	for _, n := range sys.Nodes {
+		existing = append(existing, n.Pos)
+	}
+	sites, err := decision.PlanPlacement(sys.Traffic, model, existing,
+		core.TrondheimCenter, 2500, 3, decision.PlacementConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstudy 1 — recommended sensor sites (traffic 60% + building density 40%):")
+	for i, s := range sites {
+		fmt.Printf("  #%d at %s  score %.2f (traffic %.2f, density %.2f)\n",
+			i+1, s.Pos, s.Score, s.TrafficScore, s.DensityScore)
+	}
+
+	// --- study 2: close the busiest arterial for a week -------------
+	busiest := sys.Traffic.Segments[0]
+	iv := decision.Intervention{
+		Name:           "close-" + busiest.ID,
+		ClosedSegments: []string{busiest.ID},
+		Start:          sys.Now(),
+		End:            sys.Now().Add(7 * 24 * time.Hour),
+	}
+	buildScenario := func() *emissions.Field {
+		tr := traffic.NewNetwork(traffic.GenerateGridNetwork(cfg.Center, cfg.CityRadiusM, cfg.Seed), cfg.Seed)
+		decision.CloseStreets(tr, iv)
+		return emissions.NewField(weather.NewModel(cfg.Center.Lat, cfg.Center.Lon, cfg.Seed), tr)
+	}
+	var receptors []decision.Receptor
+	for _, n := range sys.Nodes {
+		receptors = append(receptors, decision.Receptor{ID: n.ID, Pos: n.Pos})
+	}
+	res, err := decision.EvaluateIntervention(sys.Field, buildScenario, emissions.NO2, receptors, iv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstudy 2 — closing %s for a week (NO2 at sensor sites):\n", busiest.ID)
+	for _, d := range res.Receptors {
+		marker := ""
+		for _, sp := range res.SpilloverReceptors {
+			if sp == d.ID {
+				marker = "  ← spillover (evasion traffic)"
+			}
+		}
+		fmt.Printf("  %-14s %+6.2f%%  (%.1f → %.1f µg/m³)%s\n",
+			d.ID, d.DeltaPct, d.Baseline, d.Scenario, marker)
+	}
+	fmt.Printf("  city mean change %+.2f%%, %d spillover receptor(s)\n",
+		res.CityDeltaPct, len(res.SpilloverReceptors))
+
+	// --- study 3: interpolated pollution surface ---------------------
+	var readings []analytics.SensorReading
+	for _, n := range sys.Nodes {
+		v := latest(sys, core.MetricCO2, n.ID)
+		readings = append(readings, analytics.SensorReading{ID: n.ID, Pos: n.Pos, Value: v})
+	}
+	surf, err := analytics.InterpolateIDW(readings, 100, 500, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cv, err := analytics.CrossValidateIDW(readings, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstudy 3 — interpolated CO2 surface: %dx%d cells; leave-one-out MAE %.1f ppm (R %.2f)\n",
+		surf.NX, surf.NY, cv.MAE, cv.R)
+	os.MkdirAll("out", 0o755)
+	heat := viz.HeatmapSVG(surf, readings, "Interpolated CO2 surface [ppm]", 900, 700)
+	path := filepath.Join("out", "trondheim_co2_surface.svg")
+	if err := os.WriteFile(path, heat, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func latest(sys *core.System, metric, sensor string) float64 {
+	res, err := sys.DB.Execute(tsdb.Query{
+		Metric:     metric,
+		Tags:       map[string]string{"sensor": sensor},
+		Start:      sys.Now().Add(-2 * time.Hour).UnixMilli(),
+		End:        sys.Now().UnixMilli(),
+		Aggregator: tsdb.AggAvg,
+	})
+	if err != nil || len(res) == 0 || len(res[0].Points) == 0 {
+		return 0
+	}
+	return res[0].Points[len(res[0].Points)-1].Value
+}

@@ -1,0 +1,477 @@
+// Package actor is a small actor runtime in the spirit of Akka, which
+// the paper's dataport monitoring application is built on: "It is built
+// with the Akka framework, which facilitates the creation of
+// fault-tolerant applications based on the actor model. Actors are
+// independent, supervised processes that encapsulate data and control
+// logic and communicate via messages."
+//
+// The runtime provides:
+//
+//   - actors with unbounded mailboxes, processed by one goroutine each
+//     (messages from one sender preserve order),
+//   - a supervision hierarchy: children spawned by an actor are
+//     supervised by it; a panic in a child applies the parent's
+//     supervision strategy (restart with backoff budget, stop, or
+//     resume),
+//   - ask semantics (request/response with timeout) in addition to
+//     fire-and-forget tell,
+//   - lifecycle hooks (PreStart/PostStop) and dead-letter accounting.
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Receiver is the behaviour of an actor. Receive is called for every
+// message, strictly sequentially per actor.
+type Receiver interface {
+	Receive(ctx *Context, msg any)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(ctx *Context, msg any)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(ctx *Context, msg any) { f(ctx, msg) }
+
+// PreStarter is implemented by receivers that want a hook before the
+// first message (and after every restart).
+type PreStarter interface {
+	PreStart(ctx *Context)
+}
+
+// PostStopper is implemented by receivers that want a hook after the
+// actor stops.
+type PostStopper interface {
+	PostStop()
+}
+
+// Directive tells the supervisor what to do with a failed child.
+type Directive int
+
+// Supervision directives.
+const (
+	// Restart recreates the receiver (via the spawn factory) and
+	// resumes processing with the mailbox intact.
+	Restart Directive = iota
+	// Stop terminates the child permanently.
+	Stop
+	// Resume ignores the failure and continues with the next message.
+	Resume
+)
+
+// Strategy decides the directive for a child failure.
+type Strategy func(err any) Directive
+
+// DefaultStrategy restarts on any failure.
+func DefaultStrategy(any) Directive { return Restart }
+
+// MaxRestarts bounds restarts per actor within RestartWindow before
+// escalating to Stop.
+const (
+	MaxRestarts   = 5
+	RestartWindow = time.Minute
+)
+
+// System owns the actor hierarchy.
+type System struct {
+	name        string
+	mu          sync.Mutex
+	actors      map[string]*Ref
+	stopped     bool
+	deadLetters atomic.Int64
+	wg          sync.WaitGroup
+
+	// OnDeadLetter, if set, observes undeliverable messages.
+	OnDeadLetter func(target string, msg any)
+}
+
+// NewSystem creates an actor system.
+func NewSystem(name string) *System {
+	return &System{name: name, actors: make(map[string]*Ref)}
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.name }
+
+// DeadLetters returns the count of messages sent to stopped or unknown
+// actors.
+func (s *System) DeadLetters() int64 { return s.deadLetters.Load() }
+
+// Spawn creates a top-level actor. The factory is invoked to create
+// (and on restart, recreate) the receiver.
+func (s *System) Spawn(name string, factory func() Receiver) (*Ref, error) {
+	return s.spawn(name, factory, nil, DefaultStrategy)
+}
+
+// SpawnWithStrategy creates a top-level actor with a custom supervision
+// strategy applied to ITS children.
+func (s *System) SpawnWithStrategy(name string, factory func() Receiver, strat Strategy) (*Ref, error) {
+	return s.spawn(name, factory, nil, strat)
+}
+
+// Errors.
+var (
+	ErrSystemStopped = errors.New("actor: system stopped")
+	ErrNameTaken     = errors.New("actor: name already in use")
+	ErrAskTimeout    = errors.New("actor: ask timed out")
+	ErrActorStopped  = errors.New("actor: actor stopped")
+)
+
+func (s *System) spawn(name string, factory func() Receiver, parent *Ref, strat Strategy) (*Ref, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, ErrSystemStopped
+	}
+	path := name
+	if parent != nil {
+		path = parent.path + "/" + name
+	}
+	if _, exists := s.actors[path]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrNameTaken, path)
+	}
+	if strat == nil {
+		strat = DefaultStrategy
+	}
+	r := &Ref{
+		system:   s,
+		path:     path,
+		factory:  factory,
+		parent:   parent,
+		strategy: strat,
+		signal:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	r.receiver = factory()
+	s.actors[path] = r
+	if parent != nil {
+		parent.childMu.Lock()
+		parent.children = append(parent.children, r)
+		parent.childMu.Unlock()
+	}
+	s.wg.Add(1)
+	go r.run()
+	return r, nil
+}
+
+// Lookup finds an actor by path, or nil.
+func (s *System) Lookup(path string) *Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.actors[path]
+}
+
+// ActorPaths lists the paths of all live actors, unordered.
+func (s *System) ActorPaths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.actors))
+	for p := range s.actors {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Shutdown stops every actor and waits for them to finish.
+func (s *System) Shutdown() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	roots := make([]*Ref, 0)
+	for _, r := range s.actors {
+		if r.parent == nil {
+			roots = append(roots, r)
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range roots {
+		r.StopActor()
+	}
+	s.wg.Wait()
+}
+
+func (s *System) unregister(path string) {
+	s.mu.Lock()
+	delete(s.actors, path)
+	s.mu.Unlock()
+}
+
+func (s *System) deadLetter(target string, msg any) {
+	s.deadLetters.Add(1)
+	if s.OnDeadLetter != nil {
+		s.OnDeadLetter(target, msg)
+	}
+}
+
+// Ref is a handle to an actor.
+type Ref struct {
+	system   *System
+	path     string
+	factory  func() Receiver
+	receiver Receiver
+	parent   *Ref
+	strategy Strategy
+
+	mailMu  sync.Mutex
+	mailbox []envelope
+	signal  chan struct{}
+
+	childMu  sync.Mutex
+	children []*Ref
+
+	stopping atomic.Bool
+	done     chan struct{}
+
+	restarts     int
+	restartStart time.Time
+}
+
+type envelope struct {
+	msg   any
+	reply chan any
+}
+
+// Path returns the actor's hierarchical path.
+func (r *Ref) Path() string { return r.path }
+
+// Tell sends a message asynchronously. Messages to stopped actors are
+// counted as dead letters.
+func (r *Ref) Tell(msg any) {
+	if r == nil {
+		return
+	}
+	if r.stopping.Load() {
+		r.system.deadLetter(r.path, msg)
+		return
+	}
+	r.enqueue(envelope{msg: msg})
+}
+
+// Ask sends a message and waits for the actor to Reply, up to timeout.
+func (r *Ref) Ask(msg any, timeout time.Duration) (any, error) {
+	if r == nil || r.stopping.Load() {
+		return nil, ErrActorStopped
+	}
+	reply := make(chan any, 1)
+	r.enqueue(envelope{msg: msg, reply: reply})
+	select {
+	case v := <-reply:
+		return v, nil
+	case <-r.done:
+		return nil, ErrActorStopped
+	case <-time.After(timeout):
+		return nil, ErrAskTimeout
+	}
+}
+
+func (r *Ref) enqueue(e envelope) {
+	r.mailMu.Lock()
+	r.mailbox = append(r.mailbox, e)
+	r.mailMu.Unlock()
+	select {
+	case r.signal <- struct{}{}:
+	default:
+	}
+}
+
+// StopActor stops the actor and all of its children, then waits for
+// the actor's goroutine to exit.
+func (r *Ref) StopActor() {
+	if r == nil || !r.stopping.CompareAndSwap(false, true) {
+		if r != nil {
+			<-r.done
+		}
+		return
+	}
+	select {
+	case r.signal <- struct{}{}:
+	default:
+	}
+	<-r.done
+}
+
+// Stopped reports whether the actor has been stopped (or is stopping).
+func (r *Ref) Stopped() bool { return r.stopping.Load() }
+
+// Children returns the actor's live children.
+func (r *Ref) Children() []*Ref {
+	r.childMu.Lock()
+	defer r.childMu.Unlock()
+	out := make([]*Ref, 0, len(r.children))
+	for _, c := range r.children {
+		if !c.stopping.Load() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Ref) run() {
+	defer r.system.wg.Done()
+	defer r.finalize()
+
+	if ps, ok := r.receiver.(PreStarter); ok {
+		r.safeHook(func() { ps.PreStart(&Context{system: r.system, self: r}) })
+	}
+
+	for {
+		if r.stopping.Load() {
+			return
+		}
+		r.mailMu.Lock()
+		var batch []envelope
+		if len(r.mailbox) > 0 {
+			batch = r.mailbox
+			r.mailbox = nil
+		}
+		r.mailMu.Unlock()
+		if batch == nil {
+			select {
+			case <-r.signal:
+				continue
+			}
+		}
+		for i, e := range batch {
+			if r.stopping.Load() {
+				// Requeue undelivered messages as dead letters.
+				for _, rest := range batch[i:] {
+					r.system.deadLetter(r.path, rest.msg)
+				}
+				return
+			}
+			if !r.process(e) {
+				// Stop directive: drop the rest as dead letters.
+				for _, rest := range batch[i+1:] {
+					r.system.deadLetter(r.path, rest.msg)
+				}
+				return
+			}
+		}
+	}
+}
+
+// process runs one message; returns false if the actor must stop.
+func (r *Ref) process(e envelope) (alive bool) {
+	ctx := &Context{system: r.system, self: r, reply: e.reply}
+	defer func() {
+		if rec := recover(); rec != nil {
+			alive = r.handleFailure(rec)
+		}
+	}()
+	r.receiver.Receive(ctx, e.msg)
+	if ctx.stopRequested {
+		r.stopping.Store(true)
+		return false
+	}
+	return true
+}
+
+// handleFailure applies the parent's strategy (or the default for
+// top-level actors).
+func (r *Ref) handleFailure(cause any) (alive bool) {
+	strat := DefaultStrategy
+	if r.parent != nil {
+		strat = r.parent.strategy
+	}
+	switch strat(cause) {
+	case Resume:
+		return true
+	case Stop:
+		r.stopping.Store(true)
+		return false
+	default: // Restart
+		now := time.Now()
+		if now.Sub(r.restartStart) > RestartWindow {
+			r.restartStart = now
+			r.restarts = 0
+		}
+		r.restarts++
+		if r.restarts > MaxRestarts {
+			r.stopping.Store(true)
+			return false
+		}
+		if ps, ok := r.receiver.(PostStopper); ok {
+			r.safeHook(ps.PostStop)
+		}
+		r.receiver = r.factory()
+		if ps, ok := r.receiver.(PreStarter); ok {
+			r.safeHook(func() { ps.PreStart(&Context{system: r.system, self: r}) })
+		}
+		return true
+	}
+}
+
+func (r *Ref) safeHook(f func()) {
+	defer func() { recover() }()
+	f()
+}
+
+func (r *Ref) finalize() {
+	r.stopping.Store(true)
+	// Stop children first (depth-first teardown).
+	r.childMu.Lock()
+	children := append([]*Ref(nil), r.children...)
+	r.childMu.Unlock()
+	for _, c := range children {
+		c.StopActor()
+	}
+	if ps, ok := r.receiver.(PostStopper); ok {
+		r.safeHook(ps.PostStop)
+	}
+	// Remaining mail becomes dead letters.
+	r.mailMu.Lock()
+	rest := r.mailbox
+	r.mailbox = nil
+	r.mailMu.Unlock()
+	for _, e := range rest {
+		r.system.deadLetter(r.path, e.msg)
+	}
+	r.system.unregister(r.path)
+	close(r.done)
+}
+
+// Context is passed to Receive with per-message facilities.
+type Context struct {
+	system        *System
+	self          *Ref
+	reply         chan any
+	stopRequested bool
+}
+
+// Self returns the current actor's ref.
+func (c *Context) Self() *Ref { return c.self }
+
+// System returns the owning system.
+func (c *Context) System() *System { return c.system }
+
+// Spawn creates a child actor supervised by the current actor.
+func (c *Context) Spawn(name string, factory func() Receiver) (*Ref, error) {
+	return c.system.spawn(name, factory, c.self, c.self.strategy)
+}
+
+// SpawnWithStrategy creates a supervised child whose own children use
+// the given strategy.
+func (c *Context) SpawnWithStrategy(name string, factory func() Receiver, strat Strategy) (*Ref, error) {
+	return c.system.spawn(name, factory, c.self, strat)
+}
+
+// Reply answers an Ask. It is a no-op for Tell messages.
+func (c *Context) Reply(v any) {
+	if c.reply != nil {
+		select {
+		case c.reply <- v:
+		default:
+		}
+	}
+}
+
+// StopSelf requests the actor to stop after the current message.
+func (c *Context) StopSelf() { c.stopRequested = true }

@@ -1,0 +1,389 @@
+package actor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem("test")
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met in time")
+}
+
+// counter accumulates received ints.
+type counter struct {
+	sum atomic.Int64
+	n   atomic.Int64
+}
+
+func (c *counter) Receive(ctx *Context, msg any) {
+	if v, ok := msg.(int); ok {
+		c.sum.Add(int64(v))
+		c.n.Add(1)
+	}
+}
+
+func TestTellDelivers(t *testing.T) {
+	s := newSystem(t)
+	c := &counter{}
+	ref, err := s.Spawn("counter", func() Receiver { return c })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		ref.Tell(i)
+	}
+	waitFor(t, 2*time.Second, func() bool { return c.n.Load() == 100 })
+	if c.sum.Load() != 5050 {
+		t.Fatalf("sum = %d, want 5050", c.sum.Load())
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	s := newSystem(t)
+	var mu sync.Mutex
+	var got []int
+	ref, _ := s.Spawn("order", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			mu.Lock()
+			got = append(got, msg.(int))
+			mu.Unlock()
+		})
+	})
+	for i := 0; i < 500; i++ {
+		ref.Tell(i)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 500
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestAskReply(t *testing.T) {
+	s := newSystem(t)
+	ref, _ := s.Spawn("echo", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			ctx.Reply("echo:" + msg.(string))
+		})
+	})
+	got, err := ref.Ask("hi", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "echo:hi" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAskTimeout(t *testing.T) {
+	s := newSystem(t)
+	ref, _ := s.Spawn("mute", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) { /* never replies */ })
+	})
+	_, err := ref.Ask("hello", 30*time.Millisecond)
+	if err != ErrAskTimeout {
+		t.Fatalf("got %v, want ErrAskTimeout", err)
+	}
+}
+
+func TestSpawnDuplicateName(t *testing.T) {
+	s := newSystem(t)
+	mk := func() Receiver { return ReceiverFunc(func(*Context, any) {}) }
+	if _, err := s.Spawn("dup", mk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Spawn("dup", mk); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+}
+
+func TestChildSpawnAndLookup(t *testing.T) {
+	s := newSystem(t)
+	ready := make(chan *Ref, 1)
+	parent, _ := s.Spawn("parent", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "spawn" {
+				child, err := ctx.Spawn("child", func() Receiver {
+					return ReceiverFunc(func(*Context, any) {})
+				})
+				if err != nil {
+					t.Error(err)
+				}
+				ready <- child
+			}
+		})
+	})
+	parent.Tell("spawn")
+	child := <-ready
+	if child.Path() != "parent/child" {
+		t.Fatalf("child path = %q", child.Path())
+	}
+	if s.Lookup("parent/child") != child {
+		t.Fatal("lookup failed")
+	}
+	if len(parent.Children()) != 1 {
+		t.Fatalf("children = %d", len(parent.Children()))
+	}
+}
+
+func TestStopActorStopsChildren(t *testing.T) {
+	s := newSystem(t)
+	grandchildStopped := make(chan struct{})
+	childReady := make(chan struct{})
+	parent, _ := s.Spawn("p", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "init" {
+				ctx.Spawn("c", func() Receiver {
+					return &hookedReceiver{
+						onStart: func(cctx *Context) {
+							cctx.Spawn("g", func() Receiver {
+								return &hookedReceiver{onStop: func() { close(grandchildStopped) }}
+							})
+							close(childReady)
+						},
+					}
+				})
+			}
+		})
+	})
+	parent.Tell("init")
+	<-childReady
+	parent.StopActor()
+	select {
+	case <-grandchildStopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("grandchild not stopped with parent")
+	}
+	if !parent.Stopped() {
+		t.Fatal("parent should be stopped")
+	}
+}
+
+type hookedReceiver struct {
+	onStart func(*Context)
+	onStop  func()
+}
+
+func (h *hookedReceiver) Receive(*Context, any) {}
+func (h *hookedReceiver) PreStart(ctx *Context) {
+	if h.onStart != nil {
+		h.onStart(ctx)
+	}
+}
+func (h *hookedReceiver) PostStop() {
+	if h.onStop != nil {
+		h.onStop()
+	}
+}
+
+func TestDeadLettersOnStoppedActor(t *testing.T) {
+	s := newSystem(t)
+	ref, _ := s.Spawn("short", func() Receiver {
+		return ReceiverFunc(func(*Context, any) {})
+	})
+	ref.StopActor()
+	before := s.DeadLetters()
+	ref.Tell("too late")
+	if s.DeadLetters() != before+1 {
+		t.Fatalf("dead letters = %d, want %d", s.DeadLetters(), before+1)
+	}
+	if _, err := ref.Ask("x", time.Second); err != ErrActorStopped {
+		t.Fatalf("ask on stopped: %v", err)
+	}
+}
+
+func TestPanicRestartsActor(t *testing.T) {
+	s := newSystem(t)
+	var instances atomic.Int32
+	var processed atomic.Int32
+	ref, _ := s.Spawn("flaky", func() Receiver {
+		instances.Add(1)
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "boom" {
+				panic("kaboom")
+			}
+			processed.Add(1)
+		})
+	})
+	ref.Tell("ok")
+	ref.Tell("boom")
+	ref.Tell("after") // must be processed by the restarted instance
+	waitFor(t, 2*time.Second, func() bool { return processed.Load() == 2 })
+	if instances.Load() != 2 {
+		t.Fatalf("factory invoked %d times, want 2 (initial + restart)", instances.Load())
+	}
+}
+
+func TestStopStrategyOnPanic(t *testing.T) {
+	s := newSystem(t)
+	stopAll := func(any) Directive { return Stop }
+	childStopped := make(chan struct{})
+	parent, _ := s.SpawnWithStrategy("sup", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "init" {
+				ctx.Spawn("fragile", func() Receiver {
+					return &panicOnBoom{stopped: childStopped}
+				})
+			}
+		})
+	}, stopAll)
+	parent.Tell("init")
+	waitFor(t, time.Second, func() bool { return s.Lookup("sup/fragile") != nil })
+	s.Lookup("sup/fragile").Tell("boom")
+	select {
+	case <-childStopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("child not stopped by Stop directive")
+	}
+}
+
+type panicOnBoom struct{ stopped chan struct{} }
+
+func (p *panicOnBoom) Receive(ctx *Context, msg any) {
+	if msg == "boom" {
+		panic("boom")
+	}
+}
+func (p *panicOnBoom) PostStop() { close(p.stopped) }
+
+func TestResumeStrategyKeepsState(t *testing.T) {
+	s := newSystem(t)
+	resume := func(any) Directive { return Resume }
+	var sum atomic.Int64
+	parent, _ := s.SpawnWithStrategy("rsup", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "init" {
+				ctx.Spawn("worker", func() Receiver {
+					return ReceiverFunc(func(ctx *Context, m any) {
+						if m == "boom" {
+							panic("x")
+						}
+						sum.Add(int64(m.(int)))
+					})
+				})
+			}
+		})
+	}, resume)
+	parent.Tell("init")
+	waitFor(t, time.Second, func() bool { return s.Lookup("rsup/worker") != nil })
+	w := s.Lookup("rsup/worker")
+	w.Tell(1)
+	w.Tell("boom")
+	w.Tell(2)
+	waitFor(t, 2*time.Second, func() bool { return sum.Load() == 3 })
+}
+
+func TestMaxRestartsEscalatesToStop(t *testing.T) {
+	s := newSystem(t)
+	var instances atomic.Int32
+	ref, _ := s.Spawn("alwaysboom", func() Receiver {
+		instances.Add(1)
+		return ReceiverFunc(func(ctx *Context, msg any) { panic("always") })
+	})
+	for i := 0; i < MaxRestarts+3; i++ {
+		ref.Tell(i)
+	}
+	waitFor(t, 2*time.Second, func() bool { return ref.Stopped() })
+	if n := instances.Load(); n > MaxRestarts+1 {
+		t.Fatalf("instances = %d, want ≤ %d", n, MaxRestarts+1)
+	}
+}
+
+func TestStopSelf(t *testing.T) {
+	s := newSystem(t)
+	ref, _ := s.Spawn("quitter", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) {
+			if msg == "quit" {
+				ctx.StopSelf()
+			}
+		})
+	})
+	ref.Tell("quit")
+	waitFor(t, 2*time.Second, func() bool { return ref.Stopped() })
+	if s.Lookup("quitter") != nil {
+		t.Fatal("stopped actor still registered")
+	}
+}
+
+func TestSystemShutdown(t *testing.T) {
+	s := NewSystem("shut")
+	var stops atomic.Int32
+	for _, name := range []string{"a", "b", "c"} {
+		s.Spawn(name, func() Receiver {
+			return &hookedReceiver{onStop: func() { stops.Add(1) }}
+		})
+	}
+	s.Shutdown()
+	if stops.Load() != 3 {
+		t.Fatalf("stopped %d actors, want 3", stops.Load())
+	}
+	if _, err := s.Spawn("late", func() Receiver { return &hookedReceiver{} }); err != ErrSystemStopped {
+		t.Fatalf("spawn after shutdown: %v", err)
+	}
+	// Idempotent.
+	s.Shutdown()
+}
+
+func TestOnDeadLetterCallback(t *testing.T) {
+	s := newSystem(t)
+	var gotTarget atomic.Value
+	s.OnDeadLetter = func(target string, msg any) { gotTarget.Store(target) }
+	ref, _ := s.Spawn("dl", func() Receiver { return ReceiverFunc(func(*Context, any) {}) })
+	ref.StopActor()
+	ref.Tell("x")
+	if gotTarget.Load() != "dl" {
+		t.Fatalf("dead letter callback got %v", gotTarget.Load())
+	}
+}
+
+func TestActorPaths(t *testing.T) {
+	s := newSystem(t)
+	s.Spawn("one", func() Receiver { return ReceiverFunc(func(*Context, any) {}) })
+	s.Spawn("two", func() Receiver { return ReceiverFunc(func(*Context, any) {}) })
+	paths := s.ActorPaths()
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestConcurrentTellers(t *testing.T) {
+	s := newSystem(t)
+	c := &counter{}
+	ref, _ := s.Spawn("mt", func() Receiver { return c })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				ref.Tell(1)
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 3*time.Second, func() bool { return c.n.Load() == 2000 })
+}

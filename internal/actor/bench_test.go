@@ -1,0 +1,71 @@
+package actor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkTellThroughput(b *testing.B) {
+	s := NewSystem("bench")
+	defer s.Shutdown()
+	var n atomic.Int64
+	ref, err := s.Spawn("sink", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) { n.Add(1) })
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref.Tell(i)
+	}
+	for n.Load() < int64(b.N) {
+		time.Sleep(time.Microsecond * 50)
+	}
+}
+
+func BenchmarkAskRoundTrip(b *testing.B) {
+	s := NewSystem("bench")
+	defer s.Shutdown()
+	ref, err := s.Spawn("echo", func() Receiver {
+		return ReceiverFunc(func(ctx *Context, msg any) { ctx.Reply(msg) })
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Ask(i, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwinFanout approximates the dataport pattern: one message
+// fanned to many twins.
+func BenchmarkTwinFanout(b *testing.B) {
+	s := NewSystem("bench")
+	defer s.Shutdown()
+	var n atomic.Int64
+	const twins = 14 // 12 sensors + 2 gateways
+	refs := make([]*Ref, twins)
+	for i := range refs {
+		ref, err := s.Spawn("twin"+string(rune('a'+i)), func() Receiver {
+			return ReceiverFunc(func(ctx *Context, msg any) { n.Add(1) })
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range refs {
+			r.Tell(i)
+		}
+	}
+	for n.Load() < int64(b.N*twins) {
+		time.Sleep(50 * time.Microsecond)
+	}
+}

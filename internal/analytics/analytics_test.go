@@ -1,0 +1,477 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/integrate"
+)
+
+func d(day, h, m int) time.Time {
+	return time.Date(2017, time.March, day, h, m, 0, 0, time.UTC)
+}
+
+func series(name string, start time.Time, step time.Duration, vals ...float64) integrate.TimeSeries {
+	ts := integrate.TimeSeries{Name: name}
+	for i, v := range vals {
+		ts.Samples = append(ts.Samples, integrate.Sample{Time: start.Add(time.Duration(i) * step), Value: v})
+	}
+	return ts
+}
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if med := Median(xs); med != 4.5 {
+		t.Fatalf("median = %v", med)
+	}
+	if med := Median([]float64{3, 1, 2}); med != 2 {
+		t.Fatalf("odd median = %v", med)
+	}
+	if mad := MAD([]float64{1, 1, 2, 2, 4, 6, 9}); mad != 1 {
+		t.Fatalf("mad = %v", mad)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Fatal("empty inputs should be NaN")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation: r=%v err=%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation: r=%v", r)
+	}
+	constant := []float64{3, 3, 3, 3, 3}
+	r, err = Pearson(xs, constant)
+	if err != nil || r != 0 {
+		t.Fatalf("constant series: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson(xs, xs[:2]); err != ErrLengthMismatch {
+		t.Fatalf("length mismatch: %v", err)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 3 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i, v := range xs {
+			ys[i] = v*0.5 + float64(i%7)
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{1, 8, 27, 64, 125, 216} // nonlinear but monotone
+	rho, err := Spearman(xs, ys)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("monotone: rho=%v err=%v", rho, err)
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	// ys = xs delayed by 3 steps.
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i) / 5)
+	}
+	for i := 3; i < n; i++ {
+		ys[i] = xs[i-3]
+	}
+	xc, err := CrossCorrelation(xs, ys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lag, r := BestLag(xc)
+	if lag != 3 {
+		t.Fatalf("best lag = %d (r=%v), want 3", lag, r)
+	}
+	if r < 0.9 {
+		t.Fatalf("lagged correlation %v too weak", r)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit: %+v", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if fit.Apply(10) != 21 {
+		t.Fatalf("apply: %v", fit.Apply(10))
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("zero-variance x should error")
+	}
+}
+
+func TestFitMultiRecoversCoefficients(t *testing.T) {
+	// y = 3 + 2a - 1.5b
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i % 13)
+		b[i] = float64((i * 7) % 11)
+		y[i] = 3 + 2*a[i] - 1.5*b[i]
+	}
+	fit, err := FitMulti([][]float64{a, b}, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coef[0]-3) > 1e-9 || math.Abs(fit.Coef[1]-2) > 1e-9 || math.Abs(fit.Coef[2]+1.5) > 1e-9 {
+		t.Fatalf("coefficients: %v", fit.Coef)
+	}
+	if fit.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+	if got := fit.Predict([]float64{2, 2}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("predict: %v", got)
+	}
+}
+
+func TestDetectGaps(t *testing.T) {
+	ts := integrate.TimeSeries{Name: "g", Samples: []integrate.Sample{
+		{Time: d(1, 0, 0), Value: 1},
+		{Time: d(1, 0, 5), Value: 2},
+		{Time: d(1, 0, 30), Value: 3}, // 25-minute hole at 5-min cadence
+		{Time: d(1, 0, 35), Value: 4},
+	}}
+	gaps := DetectGaps(ts, 5*time.Minute)
+	if len(gaps) != 1 {
+		t.Fatalf("gaps: %d", len(gaps))
+	}
+	if gaps[0].Missing != 4 {
+		t.Fatalf("missing = %d, want 4", gaps[0].Missing)
+	}
+	c := Completeness(ts, 5*time.Minute)
+	if math.Abs(c-4.0/8.0) > 1e-9 {
+		t.Fatalf("completeness = %v", c)
+	}
+}
+
+func TestImputeLinear(t *testing.T) {
+	ts := integrate.TimeSeries{Name: "i", Samples: []integrate.Sample{
+		{Time: d(1, 0, 0), Value: 0},
+		{Time: d(1, 0, 30), Value: 30}, // 25-min gap at 5-min cadence
+	}}
+	out := Impute(ts, 5*time.Minute, ImputeLinear)
+	if len(out.Samples) != 7 {
+		t.Fatalf("imputed length: %d", len(out.Samples))
+	}
+	for i, s := range out.Samples {
+		if math.Abs(s.Value-float64(i*5)) > 1e-9 {
+			t.Fatalf("imputed sample %d = %v", i, s.Value)
+		}
+	}
+}
+
+func TestImputeLOCF(t *testing.T) {
+	ts := integrate.TimeSeries{Name: "i", Samples: []integrate.Sample{
+		{Time: d(1, 0, 0), Value: 7},
+		{Time: d(1, 0, 15), Value: 9},
+	}}
+	out := Impute(ts, 5*time.Minute, ImputeLOCF)
+	want := []float64{7, 7, 7, 9}
+	for i, w := range want {
+		if out.Samples[i].Value != w {
+			t.Fatalf("locf %d = %v, want %v", i, out.Samples[i].Value, w)
+		}
+	}
+}
+
+func TestImputeDiurnal(t *testing.T) {
+	// Two days of hourly data with a hole on day 2 at 06:00; the
+	// imputed value should equal day 1's 06:00 reading.
+	ts := integrate.TimeSeries{Name: "di"}
+	for day := 1; day <= 2; day++ {
+		for h := 0; h < 24; h++ {
+			if day == 2 && h == 6 {
+				continue
+			}
+			ts.Samples = append(ts.Samples, integrate.Sample{
+				Time: d(day, h, 0), Value: float64(h * 10),
+			})
+		}
+	}
+	out := Impute(ts, time.Hour, ImputeDiurnal)
+	var got float64
+	for _, s := range out.Samples {
+		if s.Time.Equal(d(2, 6, 0)) {
+			got = s.Value
+		}
+	}
+	if got != 60 {
+		t.Fatalf("diurnal imputation = %v, want 60", got)
+	}
+}
+
+func TestCalibrationRecoversTruth(t *testing.T) {
+	// Sensor = 1.08*ref + 15 + noise; calibration must invert that.
+	ref := integrate.TimeSeries{Name: "ref"}
+	sensor := integrate.TimeSeries{Name: "sensor"}
+	for i := 0; i < 200; i++ {
+		truth := 410 + 30*math.Sin(float64(i)/20) + float64(i%7)
+		noise := math.Sin(float64(i)*13.7) * 2
+		ref.Samples = append(ref.Samples, integrate.Sample{Time: d(1, 0, i), Value: truth})
+		sensor.Samples = append(sensor.Samples, integrate.Sample{Time: d(1, 0, i), Value: 1.08*truth + 15 + noise})
+	}
+	cal, err := CalibrateAgainstReference(sensor, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.Gain-1.08) > 0.02 || math.Abs(cal.Offset-15) > 8 {
+		t.Fatalf("calibration: gain=%v offset=%v", cal.Gain, cal.Offset)
+	}
+	// Corrected series must be far closer to the reference.
+	before, _ := Accuracy(sensor, ref)
+	after, _ := Accuracy(cal.ApplySeries(sensor), ref)
+	if after.MAE >= before.MAE/3 {
+		t.Fatalf("calibration did not help: MAE %v -> %v", before.MAE, after.MAE)
+	}
+	if math.Abs(after.Bias) > 2 {
+		t.Fatalf("post-calibration bias %v", after.Bias)
+	}
+}
+
+func TestAccuracyReport(t *testing.T) {
+	a := series("a", d(1, 0, 0), time.Hour, 1, 2, 3, 4)
+	b := series("b", d(1, 0, 0), time.Hour, 2, 3, 4, 5)
+	rep, err := Accuracy(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MAE != 1 || rep.Bias != -1 || rep.RMSE != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if math.Abs(rep.R-1) > 1e-12 {
+		t.Fatalf("R = %v", rep.R)
+	}
+}
+
+func TestPropagateCalibration(t *testing.T) {
+	// Remote sensor shares the regional trend with the co-located one
+	// but has its own gain/offset.
+	coloc := integrate.TimeSeries{Name: "coloc"}
+	remote := integrate.TimeSeries{Name: "remote"}
+	for day := 1; day <= 14; day++ {
+		for h := 0; h < 24; h++ {
+			regional := 410 + 15*math.Sin(float64(day)/3)
+			localC := regional + 3*math.Sin(float64(h)/4)
+			localR := regional + 2*math.Cos(float64(h)/5)
+			coloc.Samples = append(coloc.Samples, integrate.Sample{Time: d(day, h, 0), Value: localC})
+			remote.Samples = append(remote.Samples, integrate.Sample{Time: d(day, h, 0), Value: 1.15*localR - 20})
+		}
+	}
+	cal, err := PropagateCalibration(remote, coloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.Gain-1.15) > 0.1 {
+		t.Fatalf("propagated gain %v, want ~1.15", cal.Gain)
+	}
+	corrected := cal.ApplySeries(remote)
+	// Daily means of corrected remote should track coloc closely.
+	rep, err := Accuracy(corrected, coloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Bias) > 5 {
+		t.Fatalf("propagated bias %v", rep.Bias)
+	}
+}
+
+func TestDetectOutliers(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 400 + math.Sin(float64(i))*5
+	}
+	vals[42] = 900 // spike
+	ts := series("o", d(1, 0, 0), time.Minute, vals...)
+	out := DetectOutliers(ts, 3.5)
+	if len(out) != 1 || out[0].Index != 42 {
+		t.Fatalf("outliers: %+v", out)
+	}
+	if DetectOutliers(series("c", d(1, 0, 0), time.Minute, 5, 5, 5, 5, 5), 3.5) != nil {
+		t.Fatal("constant series has no MAD outliers")
+	}
+}
+
+func TestDetectStuck(t *testing.T) {
+	ts := series("s", d(1, 0, 0), time.Minute,
+		1, 2, 3, 7, 7, 7, 7, 7, 4, 5)
+	runs := DetectStuck(ts, 5)
+	if len(runs) != 1 || runs[0].Length != 5 || runs[0].Value != 7 {
+		t.Fatalf("stuck runs: %+v", runs)
+	}
+	if DetectStuck(series("s2", d(1, 0, 0), time.Minute, 1, 2, 3), 3) != nil {
+		t.Fatal("no stuck runs expected")
+	}
+}
+
+func TestNetworkDeviation(t *testing.T) {
+	mk := func(name string, bias float64) integrate.TimeSeries {
+		ts := integrate.TimeSeries{Name: name}
+		for i := 0; i < 50; i++ {
+			base := 400 + 10*math.Sin(float64(i)/6)
+			ts.Samples = append(ts.Samples, integrate.Sample{Time: d(1, 0, i), Value: base + bias})
+		}
+		return ts
+	}
+	dev := NetworkDeviation([]integrate.TimeSeries{
+		mk("a", 0), mk("b", 1), mk("c", -1), mk("broken", 80),
+	})
+	if dev["broken"] < 10 {
+		t.Fatalf("broken sensor score %v too low: %v", dev["broken"], dev)
+	}
+	if dev["a"] > 3 {
+		t.Fatalf("healthy sensor scored too high: %v", dev)
+	}
+}
+
+func TestCAQI(t *testing.T) {
+	clean := CAQI(5, 5, 3)
+	if clean.Band != AQIVeryLow {
+		t.Fatalf("clean air band: %+v", clean)
+	}
+	dirty := CAQI(250, 100, 60)
+	if dirty.Band != AQIHigh && dirty.Band != AQIVeryHigh {
+		t.Fatalf("dirty air band: %+v", dirty)
+	}
+	if dirty.Index <= clean.Index {
+		t.Fatal("dirty index must exceed clean")
+	}
+	pmHeavy := CAQI(10, 170, 5)
+	if pmHeavy.Dominant != "pm10" {
+		t.Fatalf("dominant: %+v", pmHeavy)
+	}
+	extreme := CAQI(800, 400, 300)
+	if extreme.Band != AQIVeryHigh || extreme.Index <= 100 {
+		t.Fatalf("extreme: %+v", extreme)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	w := NewSlidingWindow(10 * time.Minute)
+	base := d(1, 0, 0)
+	for i := 0; i < 20; i++ {
+		w.Push(StreamPoint{Time: base.Add(time.Duration(i) * time.Minute), Value: float64(i)})
+	}
+	st := w.Stat()
+	// Window holds minutes 9..19 (cutoff at 19-10=9).
+	if st.Count != 11 || st.Min != 9 || st.Max != 19 {
+		t.Fatalf("window stat: %+v", st)
+	}
+	if math.Abs(st.Mean-14) > 1e-9 {
+		t.Fatalf("window mean: %v", st.Mean)
+	}
+	empty := NewSlidingWindow(time.Minute).Stat()
+	if empty.Count != 0 {
+		t.Fatalf("empty window: %+v", empty)
+	}
+}
+
+func TestThresholdAlert(t *testing.T) {
+	a := &ThresholdAlert{Window: NewSlidingWindow(10 * time.Minute), Limit: 150, Hold: 3}
+	base := d(1, 0, 0)
+	var events []AlertEvent
+	push := func(i int, v float64) {
+		if ev := a.Push(StreamPoint{Time: base.Add(time.Duration(i) * time.Minute), Value: v}); ev != nil {
+			events = append(events, *ev)
+		}
+	}
+	// Normal values: no alert.
+	for i := 0; i < 5; i++ {
+		push(i, 50)
+	}
+	// One spike only: debounced.
+	push(5, 500)
+	push(6, 50)
+	push(7, 50)
+	push(8, 50)
+	push(9, 50)
+	push(10, 50)
+	push(11, 50)
+	if len(events) != 0 {
+		t.Fatalf("premature events: %+v", events)
+	}
+	// Sustained pollution: alert fires once, then clears when it ends.
+	for i := 12; i < 22; i++ {
+		push(i, 400)
+	}
+	for i := 22; i < 40; i++ {
+		push(i, 10)
+	}
+	if len(events) != 2 || !events[0].Raised || events[1].Raised {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := &EWMA{Alpha: 0.5}
+	if v := e.Push(10); v != 10 {
+		t.Fatalf("first push: %v", v)
+	}
+	if v := e.Push(20); v != 15 {
+		t.Fatalf("second push: %v", v)
+	}
+	if e.Value() != 15 {
+		t.Fatalf("value: %v", e.Value())
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	ts := integrate.TimeSeries{Name: "d"}
+	for day := 1; day <= 3; day++ {
+		for h := 0; h < 24; h++ {
+			ts.Samples = append(ts.Samples, integrate.Sample{
+				Time:  d(day, h, 0),
+				Value: 100 + 50*math.Sin(2*math.Pi*float64(h-9)/24+math.Pi/2),
+			})
+		}
+	}
+	p := Diurnal(ts)
+	if p.Counts[0] != 3 {
+		t.Fatalf("counts: %v", p.Counts[0])
+	}
+	if p.PeakHour() != 9 {
+		t.Fatalf("peak hour = %d, want 9", p.PeakHour())
+	}
+}

@@ -1,0 +1,91 @@
+package analytics
+
+import "math"
+
+// Common Air Quality Index (CAQI), the European index city dashboards
+// display (the "air quality indicators" of Fig. 6). The index is the
+// maximum of per-pollutant sub-indices computed from breakpoint
+// tables; 0–25 very low ... >100 very high.
+
+// AQIBand labels a CAQI range.
+type AQIBand string
+
+// CAQI bands.
+const (
+	AQIVeryLow  AQIBand = "very-low"
+	AQILow      AQIBand = "low"
+	AQIMedium   AQIBand = "medium"
+	AQIHigh     AQIBand = "high"
+	AQIVeryHigh AQIBand = "very-high"
+)
+
+// caqiScale maps a concentration through a breakpoint grid onto 0-100+.
+func caqiScale(v float64, grid [5]float64) float64 {
+	// grid holds concentrations at index 0, 25, 50, 75, 100.
+	if v <= grid[0] {
+		return 0
+	}
+	for i := 1; i < 5; i++ {
+		if v <= grid[i] {
+			frac := (v - grid[i-1]) / (grid[i] - grid[i-1])
+			return float64(i-1)*25 + frac*25
+		}
+	}
+	// Extrapolate beyond the top breakpoint.
+	return 100 + (v-grid[4])/(grid[4]-grid[3])*25
+}
+
+// CAQI sub-index breakpoint grids (hourly, µg/m³), per the CITEAIR
+// roadside tables.
+var (
+	gridNO2  = [5]float64{0, 50, 100, 200, 400}
+	gridPM10 = [5]float64{0, 25, 50, 90, 180}
+	gridPM25 = [5]float64{0, 15, 30, 55, 110}
+)
+
+// CAQIResult is the index with its dominant pollutant.
+type CAQIResult struct {
+	Index    float64
+	Band     AQIBand
+	Dominant string
+	SubNO2   float64
+	SubPM10  float64
+	SubPM25  float64
+}
+
+// CAQI computes the hourly roadside CAQI from NO2, PM10 and PM2.5
+// concentrations in µg/m³.
+func CAQI(no2, pm10, pm25 float64) CAQIResult {
+	r := CAQIResult{
+		SubNO2:  caqiScale(math.Max(0, no2), gridNO2),
+		SubPM10: caqiScale(math.Max(0, pm10), gridPM10),
+		SubPM25: caqiScale(math.Max(0, pm25), gridPM25),
+	}
+	r.Index = r.SubNO2
+	r.Dominant = "no2"
+	if r.SubPM10 > r.Index {
+		r.Index = r.SubPM10
+		r.Dominant = "pm10"
+	}
+	if r.SubPM25 > r.Index {
+		r.Index = r.SubPM25
+		r.Dominant = "pm25"
+	}
+	r.Band = bandFor(r.Index)
+	return r
+}
+
+func bandFor(idx float64) AQIBand {
+	switch {
+	case idx <= 25:
+		return AQIVeryLow
+	case idx <= 50:
+		return AQILow
+	case idx <= 75:
+		return AQIMedium
+	case idx <= 100:
+		return AQIHigh
+	default:
+		return AQIVeryHigh
+	}
+}

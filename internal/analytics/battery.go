@@ -1,0 +1,131 @@
+package analytics
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/integrate"
+	"repro/internal/weather"
+)
+
+// Battery analysis — the paper's Fig. 4: "the battery level as a
+// function of time (left), and the difference in battery-level from
+// previous sent package versus time of day, and where red indicates
+// whether the nodes could have been charged by sunlight since the
+// previous package (right). This allows to estimate battery
+// depletion."
+
+// BatteryDelta is one point of the Fig. 4 right panel.
+type BatteryDelta struct {
+	Time time.Time
+	// HourOfDay with minute fraction, for the x-axis.
+	HourOfDay float64
+	// Delta is the battery-level change since the previous packet.
+	Delta float64
+	// Sunlit reports whether the sun was above the horizon at any
+	// point since the previous packet (the red/blue classification).
+	Sunlit bool
+}
+
+// BatteryAnalysis is the full Fig. 4 result for one node.
+type BatteryAnalysis struct {
+	NodeID string
+	// Levels is the left panel: battery level vs time.
+	Levels integrate.TimeSeries
+	// Deltas is the right panel.
+	Deltas []BatteryDelta
+	// MeanDeltaSunlit / MeanDeltaDark summarize charging behaviour.
+	MeanDeltaSunlit float64
+	MeanDeltaDark   float64
+	// DischargeRatePerHour is the fitted drain rate over dark periods
+	// (percent per hour, positive value = draining).
+	DischargeRatePerHour float64
+	// HoursToEmpty estimates depletion from the latest level at the
+	// fitted dark discharge rate (+Inf when not draining).
+	HoursToEmpty float64
+}
+
+// AnalyzeBattery computes the Fig. 4 analysis from a node's battery
+// level series (one sample per received packet) at the node's site.
+func AnalyzeBattery(nodeID string, levels integrate.TimeSeries, lat, lon float64) (BatteryAnalysis, error) {
+	if len(levels.Samples) < 3 {
+		return BatteryAnalysis{}, ErrNotEnoughData
+	}
+	res := BatteryAnalysis{NodeID: nodeID, Levels: levels}
+
+	var sunlit, dark []float64
+	// Contiguous dark runs become per-night discharge segments; fitting
+	// within each night avoids the seasonal charging trend biasing the
+	// estimate (a global fit over dark timestamps would see the battery
+	// rise from night to night in spring).
+	type segment struct{ hours, levels []float64 }
+	var segs []segment
+	var cur segment
+
+	for i := 1; i < len(levels.Samples); i++ {
+		prev, smp := levels.Samples[i-1], levels.Samples[i]
+		delta := smp.Value - prev.Value
+		lit := intervalSunlit(lat, lon, prev.Time, smp.Time)
+		hod := float64(smp.Time.Hour()) + float64(smp.Time.Minute())/60
+		res.Deltas = append(res.Deltas, BatteryDelta{
+			Time: smp.Time, HourOfDay: hod, Delta: delta, Sunlit: lit,
+		})
+		if lit {
+			sunlit = append(sunlit, delta)
+			if len(cur.hours) > 0 {
+				segs = append(segs, cur)
+				cur = segment{}
+			}
+		} else {
+			dark = append(dark, delta)
+			cur.hours = append(cur.hours, smp.Time.Sub(levels.Samples[0].Time).Hours())
+			cur.levels = append(cur.levels, smp.Value)
+		}
+	}
+	if len(cur.hours) > 0 {
+		segs = append(segs, cur)
+	}
+	if len(sunlit) > 0 {
+		res.MeanDeltaSunlit = Mean(sunlit)
+	}
+	if len(dark) > 0 {
+		res.MeanDeltaDark = Mean(dark)
+	}
+
+	// Discharge rate: mean of per-night fitted slopes (segments with
+	// at least 3 samples).
+	var rates []float64
+	for _, s := range segs {
+		if len(s.hours) < 3 {
+			continue
+		}
+		if fit, err := FitLine(s.hours, s.levels); err == nil {
+			rates = append(rates, -fit.Slope)
+		}
+	}
+	if len(rates) > 0 {
+		res.DischargeRatePerHour = Mean(rates)
+	}
+	last := levels.Samples[len(levels.Samples)-1].Value
+	if res.DischargeRatePerHour > 0 {
+		res.HoursToEmpty = last / res.DischargeRatePerHour
+	} else {
+		res.HoursToEmpty = math.Inf(1)
+	}
+	return res, nil
+}
+
+// intervalSunlit reports whether the sun rose above the horizon at any
+// point in [from, to]; sampled at 10-minute resolution.
+func intervalSunlit(lat, lon float64, from, to time.Time) bool {
+	if to.Before(from) {
+		from, to = to, from
+	}
+	step := 10 * time.Minute
+	for t := from; !t.After(to); t = t.Add(step) {
+		if weather.Daylight(lat, lon, t) {
+			return true
+		}
+	}
+	return weather.Daylight(lat, lon, to)
+}

@@ -1,0 +1,114 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/integrate"
+)
+
+func benchSeries(n int) integrate.TimeSeries {
+	ts := integrate.TimeSeries{Name: "b"}
+	start := time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		ts.Samples = append(ts.Samples, integrate.Sample{
+			Time:  start.Add(time.Duration(i) * 5 * time.Minute),
+			Value: 410 + 20*math.Sin(float64(i)/40) + float64(i%7),
+		})
+	}
+	return ts
+}
+
+func BenchmarkPearson(b *testing.B) {
+	xs := benchSeries(4032).Values() // 14 days at 5 min
+	ys := benchSeries(4032).Values()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pearson(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	xs := benchSeries(4032).Values()
+	ys := benchSeries(4032).Values()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Spearman(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossCorrelation(b *testing.B) {
+	xs := benchSeries(336).Values() // 14 days hourly
+	ys := benchSeries(336).Values()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossCorrelation(xs, ys, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitMulti(b *testing.B) {
+	n := 336
+	ys := benchSeries(n).Values()
+	xss := make([][]float64, 5)
+	for k := range xss {
+		xss[k] = make([]float64, n)
+		for i := range xss[k] {
+			xss[k][i] = math.Sin(float64(i)/float64(10+k)) + float64((i*k)%5)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitMulti(xss, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImpute(b *testing.B) {
+	ts := benchSeries(4032)
+	// Punch holes.
+	kept := ts.Samples[:0]
+	for i, s := range ts.Samples {
+		if i%10 != 3 && (i < 1000 || i > 1100) {
+			kept = append(kept, s)
+		}
+	}
+	ts.Samples = kept
+	for _, m := range []struct {
+		name   string
+		method ImputeMethod
+	}{{"linear", ImputeLinear}, {"locf", ImputeLOCF}, {"diurnal", ImputeDiurnal}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := Impute(ts, 5*time.Minute, m.method)
+				if len(out.Samples) <= len(ts.Samples) {
+					b.Fatal("no imputation happened")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetectOutliers(b *testing.B) {
+	ts := benchSeries(4032)
+	ts.Samples[100].Value = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := DetectOutliers(ts, 3.5); len(out) == 0 {
+			b.Fatal("spike not found")
+		}
+	}
+}
+
+func BenchmarkCAQI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CAQI(float64(i%300), float64(i%150), float64(i%80))
+	}
+}

@@ -1,0 +1,147 @@
+package analytics
+
+import (
+	"math"
+
+	"repro/internal/integrate"
+)
+
+// Calibration (§2.4): "we have co-located one of our sensor units to
+// the only station in the pilot area. This allows to compare both
+// absolute and relative accuracy and calibrate the local sensor and,
+// through larger-scale correlated trends, the network, but with lower
+// certainty."
+
+// Calibration maps raw sensor readings onto the reference scale:
+// corrected = (raw - Offset) / Gain.
+type Calibration struct {
+	Gain   float64
+	Offset float64
+	// R2 of the fit — calibration quality.
+	R2 float64
+	N  int
+}
+
+// Apply corrects one raw reading.
+func (c Calibration) Apply(raw float64) float64 {
+	if c.Gain == 0 {
+		return raw
+	}
+	return (raw - c.Offset) / c.Gain
+}
+
+// ApplySeries corrects a whole series.
+func (c Calibration) ApplySeries(ts integrate.TimeSeries) integrate.TimeSeries {
+	out := integrate.TimeSeries{Name: ts.Name + ".cal", Unit: ts.Unit}
+	for _, s := range ts.Samples {
+		out.Samples = append(out.Samples, integrate.Sample{Time: s.Time, Value: c.Apply(s.Value)})
+	}
+	return out
+}
+
+// CalibrateAgainstReference fits sensor = Gain*reference + Offset from
+// co-located, time-aligned series (sensor and reference must share a
+// grid — use integrate.Align first).
+func CalibrateAgainstReference(sensor, reference integrate.TimeSeries) (Calibration, error) {
+	if len(sensor.Samples) != len(reference.Samples) {
+		return Calibration{}, ErrLengthMismatch
+	}
+	xs := reference.Values()
+	ys := sensor.Values()
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{Gain: fit.Slope, Offset: fit.Intercept, R2: fit.R2, N: fit.N}, nil
+}
+
+// AccuracyReport compares a (possibly calibrated) sensor series to the
+// reference: the "absolute and relative accuracy" numbers of §2.4.
+type AccuracyReport struct {
+	MAE  float64 // mean absolute error
+	RMSE float64
+	Bias float64 // mean signed error
+	// R is Pearson correlation — relative accuracy (trend agreement).
+	R float64
+}
+
+// Accuracy computes the report over aligned series.
+func Accuracy(sensor, reference integrate.TimeSeries) (AccuracyReport, error) {
+	if len(sensor.Samples) != len(reference.Samples) {
+		return AccuracyReport{}, ErrLengthMismatch
+	}
+	if len(sensor.Samples) == 0 {
+		return AccuracyReport{}, ErrNotEnoughData
+	}
+	var sumAbs, sumSq, sumErr float64
+	n := float64(len(sensor.Samples))
+	for i := range sensor.Samples {
+		e := sensor.Samples[i].Value - reference.Samples[i].Value
+		sumAbs += math.Abs(e)
+		sumSq += e * e
+		sumErr += e
+	}
+	r, err := Pearson(sensor.Values(), reference.Values())
+	if err != nil {
+		return AccuracyReport{}, err
+	}
+	return AccuracyReport{
+		MAE:  sumAbs / n,
+		RMSE: math.Sqrt(sumSq / n),
+		Bias: sumErr / n,
+		R:    r,
+	}, nil
+}
+
+// PropagateCalibration transfers the co-located sensor's calibration
+// to a remote sensor through correlated large-scale trends: both
+// sensors see the same regional background, so regressing the remote
+// sensor's daily means against the calibrated sensor's daily means
+// yields a network-level (lower-certainty) correction.
+//
+// calibratedColocated must already be corrected (reference scale).
+func PropagateCalibration(remote, calibratedColocated integrate.TimeSeries) (Calibration, error) {
+	if len(remote.Samples) != len(calibratedColocated.Samples) {
+		return Calibration{}, ErrLengthMismatch
+	}
+	// Daily means suppress local (street-level) differences and keep
+	// the shared synoptic/background variation.
+	remoteDaily := dailyMeans(remote)
+	colocDaily := dailyMeans(calibratedColocated)
+	n := len(remoteDaily)
+	if len(colocDaily) < n {
+		n = len(colocDaily)
+	}
+	if n < 3 {
+		return Calibration{}, ErrNotEnoughData
+	}
+	fit, err := FitLine(colocDaily[:n], remoteDaily[:n])
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{Gain: fit.Slope, Offset: fit.Intercept, R2: fit.R2, N: fit.N}, nil
+}
+
+func dailyMeans(ts integrate.TimeSeries) []float64 {
+	var out []float64
+	var day int = -1
+	var sum float64
+	var n int
+	flush := func() {
+		if n > 0 {
+			out = append(out, sum/float64(n))
+			sum, n = 0, 0
+		}
+	}
+	for _, s := range ts.Samples {
+		d := s.Time.YearDay() + s.Time.Year()*1000
+		if d != day {
+			flush()
+			day = d
+		}
+		sum += s.Value
+		n++
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,164 @@
+package analytics
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/integrate"
+)
+
+// CO2 dynamics — the paper's Fig. 5: "Dynamics of CO2 emissions and
+// possible links to traffic in the form of a traffic jam factor ...
+// we can conclude for this sensor location that traffic is not the
+// only factor that accounts for the dynamics of the CO2 emission as
+// they exhibit different patterns, and have no apparent correlation."
+
+// DiurnalProfile is a mean-by-hour-of-day summary (the "pattern" panel
+// of Fig. 5).
+type DiurnalProfile struct {
+	// Hours[h] is the mean value in hour-of-day h (0..23); NaN when
+	// the hour was never observed.
+	Hours [24]float64
+	// Counts[h] is the number of samples behind Hours[h].
+	Counts [24]int
+}
+
+// Diurnal computes the profile of a series.
+func Diurnal(ts integrate.TimeSeries) DiurnalProfile {
+	var sums [24]float64
+	var p DiurnalProfile
+	for _, s := range ts.Samples {
+		h := s.Time.Hour()
+		sums[h] += s.Value
+		p.Counts[h]++
+	}
+	for h := 0; h < 24; h++ {
+		if p.Counts[h] > 0 {
+			p.Hours[h] = sums[h] / float64(p.Counts[h])
+		}
+	}
+	return p
+}
+
+// PeakHour returns the hour with the highest mean.
+func (p DiurnalProfile) PeakHour() int {
+	best := 0
+	for h := 1; h < 24; h++ {
+		if p.Counts[h] > 0 && (p.Counts[best] == 0 || p.Hours[h] > p.Hours[best]) {
+			best = h
+		}
+	}
+	return best
+}
+
+// DynamicsStudy is the Fig. 5 analysis result for one sensor location.
+type DynamicsStudy struct {
+	// CO2Profile and TrafficProfile are the two diurnal patterns shown
+	// side by side in the figure.
+	CO2Profile     DiurnalProfile
+	TrafficProfile DiurnalProfile
+	// PearsonR / SpearmanR are the raw correlations between the
+	// aligned series — the paper's "no apparent correlation".
+	PearsonR  float64
+	SpearmanR float64
+	// CrossCorr holds lagged correlations (lag in steps of the aligned
+	// grid, index = lag + MaxLagSteps).
+	CrossCorr   []float64
+	MaxLagSteps int
+	BestLag     int
+	BestLagR    float64
+	// Attribution is the multi-factor regression of CO2 on traffic,
+	// temperature, wind, and diurnal harmonics — the "many factors"
+	// the paper points to. R2Traffic is the single-factor baseline.
+	R2Traffic float64
+	R2Full    float64
+}
+
+// StudyDynamics aligns a CO2 series with a traffic jam-factor series
+// and the weather covariates, then reproduces the Fig. 5 analysis.
+// All series must already be on a common grid (integrate.Align) with
+// no NaNs (integrate.DropNaN).
+func StudyDynamics(co2, jam integrate.TimeSeries, temperature, wind integrate.TimeSeries, maxLagSteps int) (DynamicsStudy, error) {
+	n := len(co2.Samples)
+	if n < maxLagSteps+4 {
+		return DynamicsStudy{}, ErrNotEnoughData
+	}
+	if len(jam.Samples) != n || len(temperature.Samples) != n || len(wind.Samples) != n {
+		return DynamicsStudy{}, ErrLengthMismatch
+	}
+
+	study := DynamicsStudy{
+		CO2Profile:     Diurnal(co2),
+		TrafficProfile: Diurnal(jam),
+		MaxLagSteps:    maxLagSteps,
+	}
+
+	co2v, jamv := co2.Values(), jam.Values()
+	var err error
+	if study.PearsonR, err = Pearson(co2v, jamv); err != nil {
+		return study, err
+	}
+	if study.SpearmanR, err = Spearman(co2v, jamv); err != nil {
+		return study, err
+	}
+	if study.CrossCorr, err = CrossCorrelation(jamv, co2v, maxLagSteps); err != nil {
+		return study, err
+	}
+	study.BestLag, study.BestLagR = BestLag(study.CrossCorr)
+
+	// Single-factor baseline: CO2 ~ jam.
+	if fit, err := FitLine(jamv, co2v); err == nil {
+		study.R2Traffic = fit.R2
+	}
+
+	// Full model: CO2 ~ jam + temperature + wind + sin/cos(hour).
+	sinH := make([]float64, n)
+	cosH := make([]float64, n)
+	for i, s := range co2.Samples {
+		h := float64(s.Time.Hour()) + float64(s.Time.Minute())/60
+		sinH[i] = sinTurn(h / 24)
+		cosH[i] = cosTurn(h / 24)
+	}
+	full, err := FitMulti([][]float64{
+		jamv, temperature.Values(), wind.Values(), sinH, cosH,
+	}, co2v)
+	if err == nil {
+		study.R2Full = full.R2
+	}
+	return study, nil
+}
+
+// NoApparentCorrelation applies the paper's reading of Fig. 5: the raw
+// linear association between CO2 and the jam factor is weak.
+func (s DynamicsStudy) NoApparentCorrelation() bool {
+	return math.Abs(s.PearsonR) < 0.35
+}
+
+// sinTurn/cosTurn evaluate sin/cos of a full turn fraction.
+func sinTurn(frac float64) float64 { return math.Sin(2 * math.Pi * frac) }
+func cosTurn(frac float64) float64 { return math.Cos(2 * math.Pi * frac) }
+
+// ExtractHourSeries converts a TSDB-style aligned series into hour-of-
+// day predictors. (Exposed for reuse by benches.)
+func ExtractHourSeries(ts integrate.TimeSeries) (sinH, cosH []float64) {
+	n := len(ts.Samples)
+	sinH = make([]float64, n)
+	cosH = make([]float64, n)
+	for i, s := range ts.Samples {
+		h := float64(s.Time.Hour()) + float64(s.Time.Minute())/60
+		sinH[i] = sinTurn(h / 24)
+		cosH[i] = cosTurn(h / 24)
+	}
+	return sinH, cosH
+}
+
+// WeekdayMask returns which samples fall on weekdays — used to study
+// weekday/weekend contrasts in the dashboards.
+func WeekdayMask(ts integrate.TimeSeries) []bool {
+	out := make([]bool, len(ts.Samples))
+	for i, s := range ts.Samples {
+		wd := s.Time.Weekday()
+		out[i] = wd != time.Saturday && wd != time.Sunday
+	}
+	return out
+}

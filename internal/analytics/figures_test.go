@@ -1,0 +1,170 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/integrate"
+)
+
+const (
+	tLat = 63.4305
+	tLon = 10.3951
+)
+
+// syntheticBatterySeries builds a battery level trace with solar
+// charging structure: +0.5%/sample during 09-15 UTC, -0.2% otherwise.
+func syntheticBatterySeries(days int) integrate.TimeSeries {
+	ts := integrate.TimeSeries{Name: "batt", Unit: "%"}
+	level := 70.0
+	start := time.Date(2017, time.June, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < days*288; i++ {
+		tm := start.Add(time.Duration(i) * 5 * time.Minute)
+		h := tm.Hour()
+		if h >= 9 && h < 15 {
+			level += 0.5
+		} else {
+			level -= 0.2
+		}
+		level = math.Max(0, math.Min(100, level))
+		ts.Samples = append(ts.Samples, integrate.Sample{Time: tm, Value: level})
+	}
+	return ts
+}
+
+func TestAnalyzeBatteryFig4(t *testing.T) {
+	levels := syntheticBatterySeries(3)
+	res, err := AnalyzeBattery("node-1", levels, tLat, tLon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) != len(levels.Samples)-1 {
+		t.Fatalf("deltas: %d", len(res.Deltas))
+	}
+	// The Fig 4 separation: sunlit deltas must average above dark ones.
+	if res.MeanDeltaSunlit <= res.MeanDeltaDark {
+		t.Fatalf("sunlit mean delta %v not above dark %v", res.MeanDeltaSunlit, res.MeanDeltaDark)
+	}
+	// Midsummer Trondheim daylight covers the charging hours, so the
+	// sunlit mean must be positive (net charging).
+	if res.MeanDeltaSunlit <= 0 {
+		t.Fatalf("sunlit delta should be positive: %v", res.MeanDeltaSunlit)
+	}
+	// Discharge estimable and finite.
+	if res.DischargeRatePerHour <= 0 {
+		t.Fatalf("discharge rate: %v", res.DischargeRatePerHour)
+	}
+	if math.IsInf(res.HoursToEmpty, 1) || res.HoursToEmpty <= 0 {
+		t.Fatalf("hours to empty: %v", res.HoursToEmpty)
+	}
+	if _, err := AnalyzeBattery("x", integrate.TimeSeries{}, tLat, tLon); err != ErrNotEnoughData {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestBatteryDeltaSunlitClassification(t *testing.T) {
+	// Midwinter at Trondheim latitude: ~4 dark afternoon hours.
+	ts := integrate.TimeSeries{Name: "b"}
+	start := time.Date(2017, time.December, 21, 10, 0, 0, 0, time.UTC)
+	for i := 0; i < 12*6; i++ { // 10:00 → 22:00
+		ts.Samples = append(ts.Samples, integrate.Sample{
+			Time: start.Add(time.Duration(i) * 10 * time.Minute), Value: 50,
+		})
+	}
+	res, err := AnalyzeBattery("w", ts, tLat, tLon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var litCount, darkCount int
+	for _, d := range res.Deltas {
+		if d.Sunlit {
+			litCount++
+		} else {
+			darkCount++
+		}
+	}
+	if litCount == 0 || darkCount == 0 {
+		t.Fatalf("expected both sunlit and dark deltas in a winter day: lit=%d dark=%d", litCount, darkCount)
+	}
+}
+
+// syntheticDynamics builds CO2 and jam series where CO2 is driven by
+// heating + diurnal mixing + a weak traffic term — the Fig. 5 regime.
+func syntheticDynamics(days int) (co2, jam, temp, wind integrate.TimeSeries) {
+	start := time.Date(2017, time.March, 6, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < days*24; i++ {
+		tm := start.Add(time.Duration(i) * time.Hour)
+		h := float64(tm.Hour())
+		weekend := tm.Weekday() == time.Saturday || tm.Weekday() == time.Sunday
+		j := 1.2*math.Exp(-0.5*math.Pow((h-8)/1.5, 2)) + 1.6*math.Exp(-0.5*math.Pow((h-16.5)/2, 2))
+		if weekend {
+			j *= 0.3
+		}
+		// Synoptic term keeps temperature from being an exact linear
+		// combination of the diurnal harmonics (which would make the
+		// regression design matrix singular).
+		temperature := 2 + 4*math.Sin(2*math.Pi*(h-15)/24) + 3*math.Sin(float64(i)/23)
+		windSpeed := 3 + 1.5*math.Sin(float64(i)/17)
+		// CO2: nocturnal accumulation dominates; weak traffic term.
+		mixing := 1.0 + 0.8*math.Max(0, math.Sin(2*math.Pi*(h-6)/24))
+		co2v := 410 + 25/mixing + 8*math.Max(0, (10-temperature))/10 + 1.5*j + 2*math.Sin(float64(i)/11)
+		co2.Samples = append(co2.Samples, integrate.Sample{Time: tm, Value: co2v})
+		jam.Samples = append(jam.Samples, integrate.Sample{Time: tm, Value: j})
+		temp.Samples = append(temp.Samples, integrate.Sample{Time: tm, Value: temperature})
+		wind.Samples = append(wind.Samples, integrate.Sample{Time: tm, Value: windSpeed})
+	}
+	return co2, jam, temp, wind
+}
+
+func TestStudyDynamicsFig5(t *testing.T) {
+	co2, jam, temp, wind := syntheticDynamics(14)
+	study, err := StudyDynamics(co2, jam, temp, wind, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline finding: no apparent raw correlation.
+	if !study.NoApparentCorrelation() {
+		t.Fatalf("raw CO2~jam correlation unexpectedly strong: r=%v", study.PearsonR)
+	}
+	// The profiles must differ in shape: traffic peaks at rush hours,
+	// CO2 peaks overnight/morning under the shallow mixing layer.
+	trafficPeak := study.TrafficProfile.PeakHour()
+	co2Peak := study.CO2Profile.PeakHour()
+	if trafficPeak == co2Peak {
+		t.Fatalf("profiles should exhibit different patterns: both peak at %d", trafficPeak)
+	}
+	// The multi-factor model must explain far more variance than the
+	// traffic-only model — "CO2 emission dynamic is a more complex
+	// issue that may be affected by many factors".
+	if study.R2Full < study.R2Traffic+0.2 {
+		t.Fatalf("full model R2 %v should clearly beat traffic-only %v", study.R2Full, study.R2Traffic)
+	}
+	if len(study.CrossCorr) != 13 {
+		t.Fatalf("cross-correlation lags: %d", len(study.CrossCorr))
+	}
+}
+
+func TestStudyDynamicsErrors(t *testing.T) {
+	co2, jam, temp, wind := syntheticDynamics(1)
+	if _, err := StudyDynamics(co2, jam, temp, wind, 30); err != ErrNotEnoughData {
+		t.Fatalf("short series: %v", err)
+	}
+	short := integrate.TimeSeries{Samples: co2.Samples[:5]}
+	if _, err := StudyDynamics(co2, short, temp, wind, 2); err != ErrLengthMismatch {
+		t.Fatalf("mismatch: %v", err)
+	}
+}
+
+func TestWeekdayMask(t *testing.T) {
+	ts := integrate.TimeSeries{}
+	// March 6 2017 is a Monday; March 11 a Saturday.
+	ts.Samples = append(ts.Samples,
+		integrate.Sample{Time: time.Date(2017, 3, 6, 12, 0, 0, 0, time.UTC)},
+		integrate.Sample{Time: time.Date(2017, 3, 11, 12, 0, 0, 0, time.UTC)},
+	)
+	mask := WeekdayMask(ts)
+	if !mask[0] || mask[1] {
+		t.Fatalf("mask: %v", mask)
+	}
+}

@@ -1,0 +1,146 @@
+package analytics
+
+import (
+	"time"
+
+	"repro/internal/integrate"
+)
+
+// Gap handling (§2.2: "the usual issues of missing data ... being
+// handled by standard methods in the analyses").
+
+// Gap is one detected hole in a series.
+type Gap struct {
+	Start, End time.Time
+	// Missing is the number of expected samples not observed.
+	Missing int
+}
+
+// DetectGaps finds holes in a series with nominal sample interval
+// `interval`: any consecutive pair of samples more than 1.5 intervals
+// apart is a gap.
+func DetectGaps(ts integrate.TimeSeries, interval time.Duration) []Gap {
+	var gaps []Gap
+	thresh := interval + interval/2
+	for i := 1; i < len(ts.Samples); i++ {
+		dt := ts.Samples[i].Time.Sub(ts.Samples[i-1].Time)
+		if dt > thresh {
+			gaps = append(gaps, Gap{
+				Start:   ts.Samples[i-1].Time,
+				End:     ts.Samples[i].Time,
+				Missing: int(dt/interval) - 1,
+			})
+		}
+	}
+	return gaps
+}
+
+// Completeness returns the fraction of expected samples present over
+// the series span at the nominal interval.
+func Completeness(ts integrate.TimeSeries, interval time.Duration) float64 {
+	start, end, ok := ts.Span()
+	if !ok || interval <= 0 {
+		return 0
+	}
+	expected := int(end.Sub(start)/interval) + 1
+	if expected <= 0 {
+		return 0
+	}
+	f := float64(len(ts.Samples)) / float64(expected)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// ImputeMethod selects the gap-filling strategy.
+type ImputeMethod int
+
+// Imputation methods.
+const (
+	// ImputeLinear interpolates linearly across the gap.
+	ImputeLinear ImputeMethod = iota
+	// ImputeLOCF carries the last observation forward.
+	ImputeLOCF
+	// ImputeDiurnal fills with the mean of same-time-of-day samples
+	// observed elsewhere in the series — right for strongly diurnal
+	// quantities like CO2 or traffic.
+	ImputeDiurnal
+)
+
+// Impute fills gaps onto a regular grid at the given interval and
+// returns the completed series. Samples outside gaps are preserved.
+func Impute(ts integrate.TimeSeries, interval time.Duration, method ImputeMethod) integrate.TimeSeries {
+	start, end, ok := ts.Span()
+	if !ok {
+		return ts
+	}
+	// Index existing samples by grid slot.
+	byTime := make(map[int64]float64, len(ts.Samples))
+	for _, s := range ts.Samples {
+		byTime[s.Time.Unix()/int64(interval.Seconds())] = s.Value
+	}
+	// Diurnal profile if needed.
+	var profile map[int][]float64
+	if method == ImputeDiurnal {
+		profile = map[int][]float64{}
+		for _, s := range ts.Samples {
+			slot := s.Time.Hour()
+			profile[slot] = append(profile[slot], s.Value)
+		}
+	}
+
+	out := integrate.TimeSeries{Name: ts.Name, Unit: ts.Unit}
+	var lastVal float64
+	var lastObs time.Time
+	haveLast := false
+	for t := start; !t.After(end); t = t.Add(interval) {
+		key := t.Unix() / int64(interval.Seconds())
+		if v, ok := byTime[key]; ok {
+			out.Samples = append(out.Samples, integrate.Sample{Time: t, Value: v})
+			lastVal, lastObs, haveLast = v, t, true
+			continue
+		}
+		var v float64
+		switch method {
+		case ImputeLOCF:
+			if !haveLast {
+				continue
+			}
+			v = lastVal
+		case ImputeDiurnal:
+			hs := profile[t.Hour()]
+			if len(hs) == 0 {
+				if !haveLast {
+					continue
+				}
+				v = lastVal
+			} else {
+				v = Mean(hs)
+			}
+		default: // linear between the last and next observed samples
+			next, okNext := nextKnown(ts.Samples, t)
+			if !haveLast || !okNext {
+				continue
+			}
+			span := next.Time.Sub(lastObs).Seconds()
+			if span <= 0 {
+				v = lastVal
+			} else {
+				frac := t.Sub(lastObs).Seconds() / span
+				v = lastVal + frac*(next.Value-lastVal)
+			}
+		}
+		out.Samples = append(out.Samples, integrate.Sample{Time: t, Value: v})
+	}
+	return out
+}
+
+func nextKnown(samples []integrate.Sample, after time.Time) (integrate.Sample, bool) {
+	for _, s := range samples {
+		if s.Time.After(after) {
+			return s, true
+		}
+	}
+	return integrate.Sample{}, false
+}

@@ -1,0 +1,118 @@
+package analytics
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/integrate"
+)
+
+// Outlier and malfunction detection (§2.4: "it also allows the
+// identification of outliers and malfunctioning sensors").
+
+// Outlier marks one anomalous sample.
+type Outlier struct {
+	Index int
+	Time  time.Time
+	Value float64
+	Score float64 // robust z-score
+}
+
+// DetectOutliers flags samples whose robust z-score (|x - median| /
+// (1.4826·MAD)) exceeds threshold. A threshold of 3.5 is the standard
+// conservative choice.
+func DetectOutliers(ts integrate.TimeSeries, threshold float64) []Outlier {
+	vals := ts.Values()
+	if len(vals) < 4 {
+		return nil
+	}
+	med := Median(vals)
+	mad := MAD(vals)
+	if mad == 0 {
+		return nil // constant series: stuck detection handles it
+	}
+	scale := 1.4826 * mad
+	var out []Outlier
+	for i, s := range ts.Samples {
+		score := math.Abs(s.Value-med) / scale
+		if score > threshold {
+			out = append(out, Outlier{Index: i, Time: s.Time, Value: s.Value, Score: score})
+		}
+	}
+	return out
+}
+
+// StuckRun describes a run of identical values — the signature of a
+// frozen ADC or failed sensor element.
+type StuckRun struct {
+	Start, End time.Time
+	Value      float64
+	Length     int
+}
+
+// DetectStuck finds runs of minRun or more *identical* consecutive
+// values. Pollutant series have continuous noise, so even short
+// identical runs are suspicious; minRun 5 is a reasonable default at
+// 5-minute cadence.
+func DetectStuck(ts integrate.TimeSeries, minRun int) []StuckRun {
+	if minRun < 2 {
+		minRun = 2
+	}
+	var out []StuckRun
+	i := 0
+	for i < len(ts.Samples) {
+		j := i
+		for j+1 < len(ts.Samples) && ts.Samples[j+1].Value == ts.Samples[i].Value {
+			j++
+		}
+		if runLen := j - i + 1; runLen >= minRun {
+			out = append(out, StuckRun{
+				Start:  ts.Samples[i].Time,
+				End:    ts.Samples[j].Time,
+				Value:  ts.Samples[i].Value,
+				Length: runLen,
+			})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// NetworkDeviation scores each sensor against the network consensus:
+// for aligned series (one per sensor), it computes each sensor's mean
+// absolute deviation from the per-timestamp network median, normalized
+// by the median of those deviations. Sensors scoring far above 1 are
+// malfunctioning candidates — the network-level cross-check the dense
+// deployment enables.
+func NetworkDeviation(series []integrate.TimeSeries) map[string]float64 {
+	if len(series) < 3 {
+		return nil
+	}
+	n := len(series[0].Samples)
+	for _, s := range series {
+		if len(s.Samples) != n {
+			return nil
+		}
+	}
+	dev := make([]float64, len(series))
+	for t := 0; t < n; t++ {
+		vals := make([]float64, len(series))
+		for si, s := range series {
+			vals[si] = s.Samples[t].Value
+		}
+		med := Median(vals)
+		for si := range series {
+			dev[si] += math.Abs(vals[si] - med)
+		}
+	}
+	norm := Median(dev)
+	out := make(map[string]float64, len(series))
+	for si, s := range series {
+		if norm > 0 {
+			out[s.Name] = dev[si] / norm
+		} else {
+			out[s.Name] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package analytics
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Spatial interpolation — the paper's future work: "with more data
+// collected, we will be able to tune models for emission distribution
+// and dispersion ... and provide improved analysis with better models"
+// (§4). The dense low-cost network's whole premise is spatial coverage;
+// this turns point measurements into a city-wide surface.
+
+// SensorReading is one sensor's current value at its site.
+type SensorReading struct {
+	ID    string
+	Pos   geo.LatLon
+	Value float64
+}
+
+// Surface is an interpolated concentration field on a regular grid.
+type Surface struct {
+	// Origin is the south-west corner; cells go east (X) and north (Y).
+	Origin geo.LatLon
+	// CellM is the cell size in meters.
+	CellM float64
+	// NX, NY are the grid dimensions.
+	NX, NY int
+	// Values[y*NX+x] is the interpolated value at the cell center.
+	Values []float64
+}
+
+// At returns the surface value at a geographic point (nearest cell),
+// and false outside the grid.
+func (s *Surface) At(p geo.LatLon) (float64, bool) {
+	enu := geo.NewENU(s.Origin)
+	x, y := enu.Forward(p)
+	cx := int(x / s.CellM)
+	cy := int(y / s.CellM)
+	if cx < 0 || cy < 0 || cx >= s.NX || cy >= s.NY {
+		return 0, false
+	}
+	return s.Values[cy*s.NX+cx], true
+}
+
+// CellCenter returns the geographic center of cell (x, y).
+func (s *Surface) CellCenter(x, y int) geo.LatLon {
+	enu := geo.NewENU(s.Origin)
+	return enu.Inverse((float64(x)+0.5)*s.CellM, (float64(y)+0.5)*s.CellM)
+}
+
+// MinMax returns the value range.
+func (s *Surface) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// ErrNoReadings is returned when interpolation has no inputs.
+var ErrNoReadings = errors.New("analytics: no sensor readings")
+
+// InterpolateIDW builds a surface by inverse-distance-weighted
+// interpolation (power p, typically 2) of the sensor readings over a
+// bounding box padded by padM meters with the given cell size.
+//
+// IDW is the standard baseline for sparse urban sensor interpolation:
+// exact at the sensor sites, smooth elsewhere, no tuning data needed —
+// matching the paper's stage of "prototype different analysis
+// approaches on top of the sensor streams".
+func InterpolateIDW(readings []SensorReading, cellM, padM, power float64) (*Surface, error) {
+	if len(readings) == 0 {
+		return nil, ErrNoReadings
+	}
+	if cellM <= 0 {
+		cellM = 100
+	}
+	if power <= 0 {
+		power = 2
+	}
+	var pts []geo.LatLon
+	for _, r := range readings {
+		pts = append(pts, r.Pos)
+	}
+	box := geo.NewBBox(pts...).Pad(padM)
+	origin := geo.LatLon{Lat: box.MinLat, Lon: box.MinLon}
+	enu := geo.NewENU(origin)
+	maxX, maxY := enu.Forward(geo.LatLon{Lat: box.MaxLat, Lon: box.MaxLon})
+	nx := int(math.Ceil(maxX / cellM))
+	ny := int(math.Ceil(maxY / cellM))
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	// Precompute sensor positions in the local frame.
+	sx := make([]float64, len(readings))
+	sy := make([]float64, len(readings))
+	for i, r := range readings {
+		sx[i], sy[i] = enu.Forward(r.Pos)
+	}
+	surf := &Surface{Origin: origin, CellM: cellM, NX: nx, NY: ny, Values: make([]float64, nx*ny)}
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			px := (float64(cx) + 0.5) * cellM
+			py := (float64(cy) + 0.5) * cellM
+			var num, den float64
+			exact := false
+			for i, r := range readings {
+				d := math.Hypot(px-sx[i], py-sy[i])
+				if d < 1 {
+					surf.Values[cy*nx+cx] = r.Value
+					exact = true
+					break
+				}
+				w := 1 / math.Pow(d, power)
+				num += w * r.Value
+				den += w
+			}
+			if !exact {
+				surf.Values[cy*nx+cx] = num / den
+			}
+		}
+	}
+	return surf, nil
+}
+
+// CrossValidateIDW leave-one-out cross-validates the interpolation:
+// each sensor is predicted from the others; the returned report
+// quantifies how well the network density supports spatial inference
+// (the paper's density-vs-accuracy trade-off).
+func CrossValidateIDW(readings []SensorReading, power float64) (AccuracyReport, error) {
+	if len(readings) < 3 {
+		return AccuracyReport{}, ErrNotEnoughData
+	}
+	if power <= 0 {
+		power = 2
+	}
+	var absSum, sqSum, biasSum float64
+	var preds, truth []float64
+	for i, target := range readings {
+		var num, den float64
+		for j, other := range readings {
+			if j == i {
+				continue
+			}
+			d := geo.Distance(target.Pos, other.Pos)
+			if d < 1 {
+				d = 1
+			}
+			w := 1 / math.Pow(d, power)
+			num += w * other.Value
+			den += w
+		}
+		pred := num / den
+		e := pred - target.Value
+		absSum += math.Abs(e)
+		sqSum += e * e
+		biasSum += e
+		preds = append(preds, pred)
+		truth = append(truth, target.Value)
+	}
+	n := float64(len(readings))
+	r, err := Pearson(preds, truth)
+	if err != nil {
+		return AccuracyReport{}, err
+	}
+	return AccuracyReport{
+		MAE:  absSum / n,
+		RMSE: math.Sqrt(sqSum / n),
+		Bias: biasSum / n,
+		R:    r,
+	}, nil
+}

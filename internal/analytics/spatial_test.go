@@ -1,0 +1,130 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var spatialCenter = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+
+func ring(n int, radius float64, base, amp float64) []SensorReading {
+	out := make([]SensorReading, n)
+	for i := 0; i < n; i++ {
+		brg := float64(i) * 360 / float64(n)
+		out[i] = SensorReading{
+			ID:    string(rune('a' + i)),
+			Pos:   geo.Destination(spatialCenter, brg, radius),
+			Value: base + amp*math.Sin(brg*math.Pi/180),
+		}
+	}
+	return out
+}
+
+func TestInterpolateIDWExactAtSensors(t *testing.T) {
+	readings := ring(6, 1000, 420, 15)
+	surf, err := InterpolateIDW(readings, 100, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range readings {
+		got, ok := surf.At(r.Pos)
+		if !ok {
+			t.Fatalf("sensor %s outside surface", r.ID)
+		}
+		// IDW is exact at sample points; grid discretization costs a
+		// little.
+		if math.Abs(got-r.Value) > 6 {
+			t.Fatalf("surface at %s = %v, sensor %v", r.ID, got, r.Value)
+		}
+	}
+}
+
+func TestInterpolateIDWBounded(t *testing.T) {
+	readings := ring(8, 1200, 420, 20)
+	surf, err := InterpolateIDW(readings, 150, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := surf.MinMax()
+	var vLo, vHi float64 = math.Inf(1), math.Inf(-1)
+	for _, r := range readings {
+		vLo = math.Min(vLo, r.Value)
+		vHi = math.Max(vHi, r.Value)
+	}
+	// IDW never extrapolates beyond the sample range.
+	if lo < vLo-1e-9 || hi > vHi+1e-9 {
+		t.Fatalf("surface [%v,%v] outside readings [%v,%v]", lo, hi, vLo, vHi)
+	}
+}
+
+func TestInterpolateIDWCenterIsBlend(t *testing.T) {
+	// Two sensors, equidistant center → mean value.
+	readings := []SensorReading{
+		{ID: "a", Pos: geo.Destination(spatialCenter, 90, 800), Value: 400},
+		{ID: "b", Pos: geo.Destination(spatialCenter, 270, 800), Value: 500},
+	}
+	surf, err := InterpolateIDW(readings, 50, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := surf.At(spatialCenter)
+	if !ok {
+		t.Fatal("center outside surface")
+	}
+	if math.Abs(got-450) > 15 {
+		t.Fatalf("midpoint value %v, want ~450", got)
+	}
+}
+
+func TestInterpolateIDWErrors(t *testing.T) {
+	if _, err := InterpolateIDW(nil, 100, 100, 2); err != ErrNoReadings {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestSurfaceAtOutside(t *testing.T) {
+	readings := ring(4, 500, 420, 5)
+	surf, _ := InterpolateIDW(readings, 100, 100, 2)
+	if _, ok := surf.At(geo.Destination(spatialCenter, 0, 50000)); ok {
+		t.Fatal("far point should be outside")
+	}
+}
+
+func TestSurfaceCellCenterRoundTrip(t *testing.T) {
+	readings := ring(4, 500, 420, 5)
+	surf, _ := InterpolateIDW(readings, 100, 100, 2)
+	p := surf.CellCenter(2, 3)
+	v, ok := surf.At(p)
+	if !ok {
+		t.Fatal("cell center outside surface")
+	}
+	if v != surf.Values[3*surf.NX+2] {
+		t.Fatal("cell center lookup mismatch")
+	}
+}
+
+func TestCrossValidateIDW(t *testing.T) {
+	// Smooth field: CV should predict well.
+	readings := ring(12, 1000, 420, 10)
+	rep, err := CrossValidateIDW(readings, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MAE > 8 {
+		t.Fatalf("CV MAE %v too high for a smooth field", rep.MAE)
+	}
+	// Sparse network: CV degrades (the density-accuracy trade-off).
+	sparse := ring(3, 1500, 420, 10)
+	rep2, err := CrossValidateIDW(sparse, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.MAE < rep.MAE {
+		t.Fatalf("sparser network should cross-validate worse: %v vs %v", rep2.MAE, rep.MAE)
+	}
+	if _, err := CrossValidateIDW(ring(2, 500, 400, 5), 2); err != ErrNotEnoughData {
+		t.Fatalf("too few readings: %v", err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package analytics implements the data analyses of the paper's §2.4:
+// handling of missing data, grounding/calibration of the low-cost
+// network against official reference stations, outlier and
+// malfunctioning-sensor identification, the battery-level analysis of
+// Fig. 4, the CO2-dynamics and traffic-correlation study of Fig. 5,
+// air-quality indexing for the dashboards, and windowed stream
+// operators for processing live measurement feeds.
+package analytics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Statistical errors.
+var (
+	ErrNotEnoughData  = errors.New("analytics: not enough data")
+	ErrLengthMismatch = errors.New("analytics: series lengths differ")
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the middle value.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation (robust scale estimate).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// Pearson returns the Pearson correlation coefficient of two
+// equal-length series.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrNotEnoughData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil // a constant series correlates with nothing
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the rank correlation coefficient.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrNotEnoughData
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (ties share the mean of their positions).
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(xs))
+	for i, v := range xs {
+		s[i] = iv{i, v}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[s[k].i] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// CrossCorrelation computes Pearson correlation between xs and ys
+// shifted by each lag in [-maxLag, maxLag] (positive lag: ys delayed
+// relative to xs). It returns the correlations indexed by lag+maxLag.
+func CrossCorrelation(xs, ys []float64, maxLag int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, ErrLengthMismatch
+	}
+	if len(xs) < maxLag+2 {
+		return nil, ErrNotEnoughData
+	}
+	out := make([]float64, 2*maxLag+1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		var a, b []float64
+		if lag >= 0 {
+			a = xs[:len(xs)-lag]
+			b = ys[lag:]
+		} else {
+			a = xs[-lag:]
+			b = ys[:len(ys)+lag]
+		}
+		r, err := Pearson(a, b)
+		if err != nil {
+			return nil, err
+		}
+		out[lag+maxLag] = r
+	}
+	return out, nil
+}
+
+// BestLag returns the lag (in steps) with the largest absolute
+// correlation from a CrossCorrelation result.
+func BestLag(xcorr []float64) (lag int, r float64) {
+	maxLag := (len(xcorr) - 1) / 2
+	best := 0
+	for i, v := range xcorr {
+		if math.Abs(v) > math.Abs(xcorr[best]) {
+			best = i
+		}
+	}
+	return best - maxLag, xcorr[best]
+}
+
+// LinearFit is an ordinary-least-squares line y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	N  int
+}
+
+// FitLine fits y = a*x + b by least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrLengthMismatch
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrNotEnoughData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("analytics: x has zero variance")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// R²
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: len(xs)}, nil
+}
+
+// Apply evaluates the fitted line at x.
+func (f LinearFit) Apply(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// MultiFit is a multiple linear regression y = b0 + Σ bi*xi, solved by
+// normal equations with Gaussian elimination. Used for the multi-factor
+// CO2 attribution the paper flags as future work ("affected by many
+// factors, including traffic, wind speed, temperature, humidity").
+type MultiFit struct {
+	Coef []float64 // [b0, b1, ..., bk]
+	R2   float64
+	N    int
+}
+
+// FitMulti regresses ys on the columns of xss (each inner slice is one
+// predictor series).
+func FitMulti(xss [][]float64, ys []float64) (MultiFit, error) {
+	k := len(xss)
+	n := len(ys)
+	if k == 0 || n < k+2 {
+		return MultiFit{}, ErrNotEnoughData
+	}
+	for _, xs := range xss {
+		if len(xs) != n {
+			return MultiFit{}, ErrLengthMismatch
+		}
+	}
+	// Design matrix with intercept column.
+	p := k + 1
+	// Normal equations: (XᵀX) b = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1) // augmented with Xᵀy column
+	}
+	col := func(j, row int) float64 {
+		if j == 0 {
+			return 1
+		}
+		return xss[j-1][row]
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += col(i, r) * col(j, r)
+			}
+			xtx[i][j] = s
+		}
+		var s float64
+		for r := 0; r < n; r++ {
+			s += col(i, r) * ys[r]
+		}
+		xtx[i][p] = s
+	}
+	coef, err := solveGauss(xtx)
+	if err != nil {
+		return MultiFit{}, err
+	}
+	// R².
+	my := Mean(ys)
+	var ssRes, ssTot float64
+	for r := 0; r < n; r++ {
+		pred := coef[0]
+		for j := 1; j < p; j++ {
+			pred += coef[j] * xss[j-1][r]
+		}
+		ssRes += (ys[r] - pred) * (ys[r] - pred)
+		ssTot += (ys[r] - my) * (ys[r] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return MultiFit{Coef: coef, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the regression at the given predictor values.
+func (m MultiFit) Predict(xs []float64) float64 {
+	out := m.Coef[0]
+	for i, x := range xs {
+		if i+1 < len(m.Coef) {
+			out += m.Coef[i+1] * x
+		}
+	}
+	return out
+}
+
+func solveGauss(aug [][]float64) ([]float64, error) {
+	n := len(aug)
+	for i := 0; i < n; i++ {
+		// Partial pivot.
+		max := i
+		for r := i + 1; r < n; r++ {
+			if math.Abs(aug[r][i]) > math.Abs(aug[max][i]) {
+				max = r
+			}
+		}
+		aug[i], aug[max] = aug[max], aug[i]
+		if math.Abs(aug[i][i]) < 1e-12 {
+			return nil, errors.New("analytics: singular design matrix")
+		}
+		for r := i + 1; r < n; r++ {
+			f := aug[r][i] / aug[i][i]
+			for c := i; c <= n; c++ {
+				aug[r][c] -= f * aug[i][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := aug[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= aug[i][c] * out[c]
+		}
+		out[i] = s / aug[i][i]
+	}
+	return out, nil
+}

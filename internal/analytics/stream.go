@@ -1,0 +1,140 @@
+package analytics
+
+import (
+	"sync"
+	"time"
+)
+
+// Stream processing (§2.1 lists "stream processing on measurement
+// data" among the pipeline stages; §3 demonstrates "segmentation,
+// chaining, and automation" of the data flow). These operators process
+// live measurement feeds without buffering unbounded history.
+
+// StreamPoint is one value flowing through an operator.
+type StreamPoint struct {
+	Time  time.Time
+	Value float64
+}
+
+// WindowStat is a windowed aggregate emitted by SlidingWindow.
+type WindowStat struct {
+	Start, End time.Time
+	Count      int
+	Mean       float64
+	Min, Max   float64
+}
+
+// SlidingWindow maintains a time-based window over a stream and
+// reports aggregates. Safe for concurrent use.
+type SlidingWindow struct {
+	size time.Duration
+
+	mu  sync.Mutex
+	buf []StreamPoint
+}
+
+// NewSlidingWindow creates a window of the given duration.
+func NewSlidingWindow(size time.Duration) *SlidingWindow {
+	return &SlidingWindow{size: size}
+}
+
+// Push adds a point and evicts everything older than size before it.
+func (w *SlidingWindow) Push(p StreamPoint) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p)
+	cutoff := p.Time.Add(-w.size)
+	i := 0
+	for i < len(w.buf) && w.buf[i].Time.Before(cutoff) {
+		i++
+	}
+	w.buf = w.buf[i:]
+}
+
+// Stat summarizes the current window contents.
+func (w *SlidingWindow) Stat() WindowStat {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WindowStat{Count: len(w.buf)}
+	if len(w.buf) == 0 {
+		return st
+	}
+	st.Start = w.buf[0].Time
+	st.End = w.buf[len(w.buf)-1].Time
+	st.Min = w.buf[0].Value
+	st.Max = w.buf[0].Value
+	var sum float64
+	for _, p := range w.buf {
+		sum += p.Value
+		if p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if p.Value > st.Max {
+			st.Max = p.Value
+		}
+	}
+	st.Mean = sum / float64(len(w.buf))
+	return st
+}
+
+// ThresholdAlert fires when a windowed mean crosses a limit for at
+// least Hold consecutive pushes — debouncing the alert so a single
+// noisy sample does not page anyone.
+type ThresholdAlert struct {
+	Window *SlidingWindow
+	Limit  float64
+	Hold   int
+
+	over int
+	on   bool
+}
+
+// AlertEvent reports a state change from a push.
+type AlertEvent struct {
+	Time   time.Time
+	Raised bool // true = alert raised, false = cleared
+	Mean   float64
+}
+
+// Push feeds a point; it returns a non-nil event when the alert state
+// changes.
+func (a *ThresholdAlert) Push(p StreamPoint) *AlertEvent {
+	a.Window.Push(p)
+	st := a.Window.Stat()
+	if st.Mean > a.Limit {
+		a.over++
+	} else {
+		a.over = 0
+		if a.on {
+			a.on = false
+			return &AlertEvent{Time: p.Time, Raised: false, Mean: st.Mean}
+		}
+	}
+	if a.over >= a.Hold && !a.on {
+		a.on = true
+		return &AlertEvent{Time: p.Time, Raised: true, Mean: st.Mean}
+	}
+	return nil
+}
+
+// EWMA is an exponentially weighted moving average smoother for
+// dashboard sparklines.
+type EWMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// Push updates the smoother and returns the smoothed value.
+func (e *EWMA) Push(v float64) float64 {
+	if !e.init {
+		e.val = v
+		e.init = true
+		return v
+	}
+	e.val = e.Alpha*v + (1-e.Alpha)*e.val
+	return e.val
+}
+
+// Value returns the current smoothed value.
+func (e *EWMA) Value() float64 { return e.val }

@@ -1,0 +1,429 @@
+// Package citygml implements the 3D city model integration of the
+// paper's Fig. 7 and Table 1 ("Municipal 3D model of Vejle —
+// integration into existing visualization tools. Use of city geometry
+// in future emission modeling"): an LOD1 CityGML-style model in which
+// each building is an extruded footprint polygon with a height,
+// a synthetic city generator standing in for the municipal model,
+// CityGML XML export, spatial queries over the building stock, and
+// embedding of sensor measuring points with pollution colouring.
+package citygml
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// BuildingFunction classifies a building's use.
+type BuildingFunction string
+
+// Building functions (CityGML code-list style).
+const (
+	Residential BuildingFunction = "residential"
+	Commercial  BuildingFunction = "commercial"
+	Industrial  BuildingFunction = "industrial"
+	Public      BuildingFunction = "public"
+)
+
+// Building is one LOD1 building: a footprint ring extruded to a height.
+type Building struct {
+	ID       string
+	Function BuildingFunction
+	// Footprint is a closed ring (first point not repeated) in
+	// geographic coordinates, wound counter-clockwise.
+	Footprint []geo.LatLon
+	// HeightM is the extrusion height above ground.
+	HeightM float64
+}
+
+// Centroid returns the footprint centroid.
+func (b *Building) Centroid() geo.LatLon {
+	var lat, lon float64
+	for _, p := range b.Footprint {
+		lat += p.Lat
+		lon += p.Lon
+	}
+	n := float64(len(b.Footprint))
+	return geo.LatLon{Lat: lat / n, Lon: lon / n}
+}
+
+// FootprintAreaM2 returns the footprint area via the shoelace formula
+// in a local projection.
+func (b *Building) FootprintAreaM2() float64 {
+	if len(b.Footprint) < 3 {
+		return 0
+	}
+	enu := geo.NewENU(b.Footprint[0])
+	var area float64
+	n := len(b.Footprint)
+	for i := 0; i < n; i++ {
+		x1, y1 := enu.Forward(b.Footprint[i])
+		x2, y2 := enu.Forward(b.Footprint[(i+1)%n])
+		area += x1*y2 - x2*y1
+	}
+	return math.Abs(area) / 2
+}
+
+// VolumeM3 returns the LOD1 volume.
+func (b *Building) VolumeM3() float64 { return b.FootprintAreaM2() * b.HeightM }
+
+// Contains reports whether p lies inside the footprint (ray casting in
+// the local plane).
+func (b *Building) Contains(p geo.LatLon) bool {
+	if len(b.Footprint) < 3 {
+		return false
+	}
+	enu := geo.NewENU(b.Footprint[0])
+	px, py := enu.Forward(p)
+	inside := false
+	n := len(b.Footprint)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		xi, yi := enu.Forward(b.Footprint[i])
+		xj, yj := enu.Forward(b.Footprint[j])
+		if (yi > py) != (yj > py) &&
+			px < (xj-xi)*(py-yi)/(yj-yi)+xi {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// Model is a city model: buildings plus embedded measuring points.
+type Model struct {
+	Name      string
+	Buildings []Building
+	Sensors   []MeasuringPoint
+
+	grid *geo.Grid
+}
+
+// MeasuringPoint is an air-quality sensor embedded in the model
+// (Fig. 7: "integrating different measuring points of air quality").
+type MeasuringPoint struct {
+	ID  string
+	Pos geo.LatLon
+	// HeightM above ground (mounting height).
+	HeightM float64
+	// Value is the latest measurement to display (e.g. CO2 ppm).
+	Value float64
+	// Species labels the displayed value.
+	Species string
+}
+
+// Errors.
+var (
+	ErrBadFootprint = errors.New("citygml: footprint needs at least 3 points")
+	ErrBadHeight    = errors.New("citygml: height must be positive")
+)
+
+// NewModel creates an empty model.
+func NewModel(name string) *Model { return &Model{Name: name} }
+
+// AddBuilding validates and adds a building.
+func (m *Model) AddBuilding(b Building) error {
+	if len(b.Footprint) < 3 {
+		return ErrBadFootprint
+	}
+	if b.HeightM <= 0 {
+		return ErrBadHeight
+	}
+	m.Buildings = append(m.Buildings, b)
+	m.grid = nil // invalidate index
+	return nil
+}
+
+// AddSensor embeds a measuring point.
+func (m *Model) AddSensor(s MeasuringPoint) { m.Sensors = append(m.Sensors, s) }
+
+// UpdateSensorValue sets the displayed value of a measuring point.
+func (m *Model) UpdateSensorValue(id string, value float64) bool {
+	for i := range m.Sensors {
+		if m.Sensors[i].ID == id {
+			m.Sensors[i].Value = value
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Model) index() *geo.Grid {
+	if m.grid != nil {
+		return m.grid
+	}
+	if len(m.Buildings) == 0 {
+		return nil
+	}
+	m.grid = geo.NewGrid(m.Buildings[0].Centroid(), 250)
+	for i := range m.Buildings {
+		m.grid.Insert(m.Buildings[i].ID, m.Buildings[i].Centroid())
+	}
+	return m.grid
+}
+
+// BuildingsNear returns buildings whose centroid lies within radius
+// meters of p, nearest first.
+func (m *Model) BuildingsNear(p geo.LatLon, radius float64) []*Building {
+	g := m.index()
+	if g == nil {
+		return nil
+	}
+	byID := make(map[string]*Building, len(m.Buildings))
+	for i := range m.Buildings {
+		byID[m.Buildings[i].ID] = &m.Buildings[i]
+	}
+	var out []*Building
+	for _, n := range g.Within(p, radius) {
+		if b, ok := byID[n.ID]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BuildingAt returns the building containing p, or nil.
+func (m *Model) BuildingAt(p geo.LatLon) *Building {
+	for _, b := range m.BuildingsNear(p, 500) {
+		if b.Contains(p) {
+			return b
+		}
+	}
+	return nil
+}
+
+// Density returns built floor-area density (m² footprint per m²
+// ground) within radius of p — the siting heuristic the paper's demo
+// discusses ("choosing the sites of air quality monitoring, e.g.,
+// according to the road network and building density").
+func (m *Model) Density(p geo.LatLon, radius float64) float64 {
+	var area float64
+	for _, b := range m.BuildingsNear(p, radius) {
+		area += b.FootprintAreaM2()
+	}
+	circle := math.Pi * radius * radius
+	if circle <= 0 {
+		return 0
+	}
+	return area / circle
+}
+
+// Stats summarizes the building stock.
+type Stats struct {
+	Buildings    int
+	TotalAreaM2  float64
+	TotalVolume  float64
+	MeanHeightM  float64
+	ByFunction   map[BuildingFunction]int
+	SensorPoints int
+}
+
+// Stats computes model statistics.
+func (m *Model) Stats() Stats {
+	st := Stats{ByFunction: map[BuildingFunction]int{}, SensorPoints: len(m.Sensors)}
+	var hsum float64
+	for i := range m.Buildings {
+		b := &m.Buildings[i]
+		st.Buildings++
+		st.TotalAreaM2 += b.FootprintAreaM2()
+		st.TotalVolume += b.VolumeM3()
+		hsum += b.HeightM
+		st.ByFunction[b.Function]++
+	}
+	if st.Buildings > 0 {
+		st.MeanHeightM = hsum / float64(st.Buildings)
+	}
+	return st
+}
+
+// --- synthetic city generator ----------------------------------------
+
+// GenerateCity builds a synthetic municipal model: rectangular blocks
+// of buildings on a rotated grid around the center, denser and taller
+// downtown, with an industrial pocket — a stand-in for the Vejle
+// municipal 3D model. Deterministic per seed.
+func GenerateCity(name string, center geo.LatLon, radiusM float64, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel(name)
+	enu := geo.NewENU(center)
+
+	id := 0
+	addRect := func(cx, cy, w, h, height float64, fn BuildingFunction) {
+		id++
+		half := []float64{-w / 2, w / 2}
+		var ring []geo.LatLon
+		for _, dy := range []float64{-h / 2, h / 2} {
+			for _, dx := range half {
+				ring = append(ring, enu.Inverse(cx+dx, cy+dy))
+			}
+		}
+		// order corners counter-clockwise: (x-,y-), (x+,y-), (x+,y+), (x-,y+)
+		ring[2], ring[3] = ring[3], ring[2]
+		m.AddBuilding(Building{
+			ID:        fmt.Sprintf("bldg-%04d", id),
+			Function:  fn,
+			Footprint: ring,
+			HeightM:   height,
+		})
+	}
+
+	// Street grid of ~90 m blocks out to the radius.
+	step := 90.0
+	for x := -radiusM; x <= radiusM; x += step {
+		for y := -radiusM; y <= radiusM; y += step {
+			d := math.Hypot(x, y)
+			if d > radiusM {
+				continue
+			}
+			// Downtown density falls off with distance.
+			pBuild := 0.85 - 0.5*d/radiusM
+			if rng.Float64() > pBuild {
+				continue
+			}
+			frac := 1 - d/radiusM
+			height := 6 + frac*30*rng.Float64() // up to ~36 m downtown
+			w := 25 + rng.Float64()*35
+			h := 20 + rng.Float64()*30
+			fn := Residential
+			switch {
+			case d < radiusM*0.25 && rng.Float64() < 0.6:
+				fn = Commercial
+			case rng.Float64() < 0.05:
+				fn = Public
+			}
+			addRect(x+rng.Float64()*20-10, y+rng.Float64()*20-10, w, h, height, fn)
+		}
+	}
+	// Industrial pocket to the east.
+	for i := 0; i < 6; i++ {
+		addRect(radiusM*0.7+float64(i%3)*120, -radiusM*0.1+float64(i/3)*150,
+			80+rng.Float64()*40, 60+rng.Float64()*30, 8+rng.Float64()*6, Industrial)
+	}
+	return m
+}
+
+// --- CityGML export ----------------------------------------------------
+
+// gml document types (a faithful-in-spirit subset of CityGML 2.0 LOD1).
+type gmlCityModel struct {
+	XMLName xml.Name    `xml:"CityModel"`
+	XMLNS   string      `xml:"xmlns,attr"`
+	Name    string      `xml:"name"`
+	Members []gmlMember `xml:"cityObjectMember"`
+}
+
+type gmlMember struct {
+	Building *gmlBuilding `xml:"Building,omitempty"`
+	Sensor   *gmlSensor   `xml:"cityFurniture,omitempty"`
+}
+
+type gmlBuilding struct {
+	ID       string  `xml:"id,attr"`
+	Function string  `xml:"function"`
+	Height   float64 `xml:"measuredHeight"`
+	PosList  string  `xml:"lod1Solid>posList"`
+}
+
+type gmlSensor struct {
+	ID      string  `xml:"id,attr"`
+	Species string  `xml:"species"`
+	Value   float64 `xml:"value"`
+	Pos     string  `xml:"pos"`
+}
+
+// ExportGML serializes the model to CityGML-flavoured XML.
+func (m *Model) ExportGML() ([]byte, error) {
+	doc := gmlCityModel{XMLNS: "http://www.opengis.net/citygml/2.0", Name: m.Name}
+	for i := range m.Buildings {
+		b := &m.Buildings[i]
+		var pos string
+		for j, p := range b.Footprint {
+			if j > 0 {
+				pos += " "
+			}
+			pos += fmt.Sprintf("%.6f %.6f 0", p.Lat, p.Lon)
+		}
+		doc.Members = append(doc.Members, gmlMember{Building: &gmlBuilding{
+			ID: b.ID, Function: string(b.Function), Height: b.HeightM, PosList: pos,
+		}})
+	}
+	for _, s := range m.Sensors {
+		doc.Members = append(doc.Members, gmlMember{Sensor: &gmlSensor{
+			ID: s.ID, Species: s.Species, Value: s.Value,
+			Pos: fmt.Sprintf("%.6f %.6f %.1f", s.Pos.Lat, s.Pos.Lon, s.HeightM),
+		}})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("citygml: export: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ParseGML reads a document produced by ExportGML back into a model.
+func ParseGML(data []byte) (*Model, error) {
+	var doc gmlCityModel
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("citygml: parse: %w", err)
+	}
+	m := NewModel(doc.Name)
+	for _, mem := range doc.Members {
+		if mem.Building != nil {
+			b := Building{
+				ID:       mem.Building.ID,
+				Function: BuildingFunction(mem.Building.Function),
+				HeightM:  mem.Building.Height,
+			}
+			var vals []float64
+			for _, f := range splitFields(mem.Building.PosList) {
+				var v float64
+				fmt.Sscanf(f, "%g", &v)
+				vals = append(vals, v)
+			}
+			for i := 0; i+2 < len(vals)+1 && i+1 < len(vals); i += 3 {
+				b.Footprint = append(b.Footprint, geo.LatLon{Lat: vals[i], Lon: vals[i+1]})
+			}
+			if err := m.AddBuilding(b); err != nil {
+				return nil, err
+			}
+		}
+		if mem.Sensor != nil {
+			var lat, lon, h float64
+			fmt.Sscanf(mem.Sensor.Pos, "%g %g %g", &lat, &lon, &h)
+			m.AddSensor(MeasuringPoint{
+				ID: mem.Sensor.ID, Species: mem.Sensor.Species,
+				Value: mem.Sensor.Value, Pos: geo.LatLon{Lat: lat, Lon: lon}, HeightM: h,
+			})
+		}
+	}
+	return m, nil
+}
+
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for _, c := range s {
+		if c == ' ' || c == '\n' || c == '\t' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(c)
+	}
+	if field != "" {
+		out = append(out, field)
+	}
+	return out
+}
+
+// SortBuildingsByHeight orders tallest first (for rendering order and
+// the wall display's skyline).
+func (m *Model) SortBuildingsByHeight() {
+	sort.Slice(m.Buildings, func(i, j int) bool { return m.Buildings[i].HeightM > m.Buildings[j].HeightM })
+	m.grid = nil
+}

@@ -1,0 +1,183 @@
+package citygml
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+var vejle = geo.LatLon{Lat: 55.7113, Lon: 9.5363}
+
+func square(center geo.LatLon, sideM float64) []geo.LatLon {
+	enu := geo.NewENU(center)
+	h := sideM / 2
+	return []geo.LatLon{
+		enu.Inverse(-h, -h), enu.Inverse(h, -h), enu.Inverse(h, h), enu.Inverse(-h, h),
+	}
+}
+
+func TestBuildingGeometry(t *testing.T) {
+	b := Building{ID: "b1", Footprint: square(vejle, 20), HeightM: 10}
+	if area := b.FootprintAreaM2(); math.Abs(area-400) > 1 {
+		t.Fatalf("area = %v, want ~400", area)
+	}
+	if vol := b.VolumeM3(); math.Abs(vol-4000) > 10 {
+		t.Fatalf("volume = %v, want ~4000", vol)
+	}
+	c := b.Centroid()
+	if geo.Distance(c, vejle) > 1 {
+		t.Fatalf("centroid off by %v m", geo.Distance(c, vejle))
+	}
+	if !b.Contains(vejle) {
+		t.Fatal("center must be inside")
+	}
+	outside := geo.Destination(vejle, 90, 50)
+	if b.Contains(outside) {
+		t.Fatal("point 50m away must be outside")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	m := NewModel("test")
+	if err := m.AddBuilding(Building{ID: "x", Footprint: square(vejle, 10)[:2], HeightM: 5}); err != ErrBadFootprint {
+		t.Fatalf("footprint: %v", err)
+	}
+	if err := m.AddBuilding(Building{ID: "x", Footprint: square(vejle, 10), HeightM: 0}); err != ErrBadHeight {
+		t.Fatalf("height: %v", err)
+	}
+	if err := m.AddBuilding(Building{ID: "x", Footprint: square(vejle, 10), HeightM: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateCityStructure(t *testing.T) {
+	m := GenerateCity("vejle", vejle, 1500, 7)
+	st := m.Stats()
+	if st.Buildings < 100 {
+		t.Fatalf("city too sparse: %d buildings", st.Buildings)
+	}
+	if st.ByFunction[Residential] == 0 || st.ByFunction[Commercial] == 0 || st.ByFunction[Industrial] == 0 {
+		t.Fatalf("functions missing: %v", st.ByFunction)
+	}
+	if st.MeanHeightM < 5 || st.MeanHeightM > 40 {
+		t.Fatalf("mean height implausible: %v", st.MeanHeightM)
+	}
+	// Downtown must be denser than the outskirts.
+	downtown := m.Density(vejle, 400)
+	outskirts := m.Density(geo.Destination(vejle, 0, 1300), 400)
+	if downtown <= outskirts {
+		t.Fatalf("downtown density %v not above outskirts %v", downtown, outskirts)
+	}
+}
+
+func TestGenerateCityDeterministic(t *testing.T) {
+	a := GenerateCity("v", vejle, 1000, 3)
+	b := GenerateCity("v", vejle, 1000, 3)
+	if len(a.Buildings) != len(b.Buildings) {
+		t.Fatal("same seed must reproduce")
+	}
+	if a.Buildings[5].HeightM != b.Buildings[5].HeightM {
+		t.Fatal("heights differ across same-seed runs")
+	}
+}
+
+func TestBuildingsNearAndAt(t *testing.T) {
+	m := GenerateCity("v", vejle, 1200, 9)
+	near := m.BuildingsNear(vejle, 300)
+	if len(near) == 0 {
+		t.Fatal("no buildings downtown")
+	}
+	// BuildingAt: use a building centroid.
+	target := &m.Buildings[0]
+	got := m.BuildingAt(target.Centroid())
+	if got == nil {
+		t.Fatal("centroid lookup failed")
+	}
+	if got.ID != target.ID && !got.Contains(target.Centroid()) {
+		t.Fatalf("wrong building: %s", got.ID)
+	}
+	// Far away: nothing.
+	if m.BuildingAt(geo.Destination(vejle, 0, 50000)) != nil {
+		t.Fatal("remote point should hit nothing")
+	}
+}
+
+func TestSensorEmbedding(t *testing.T) {
+	m := GenerateCity("v", vejle, 800, 11)
+	m.AddSensor(MeasuringPoint{ID: "node-1", Pos: vejle, HeightM: 3, Species: "co2", Value: 415})
+	m.AddSensor(MeasuringPoint{ID: "node-2", Pos: geo.Destination(vejle, 90, 300), HeightM: 3, Species: "co2", Value: 430})
+	if !m.UpdateSensorValue("node-1", 999) {
+		t.Fatal("update failed")
+	}
+	if m.UpdateSensorValue("nope", 1) {
+		t.Fatal("unknown sensor update should fail")
+	}
+	if m.Sensors[0].Value != 999 {
+		t.Fatalf("value not updated: %v", m.Sensors[0].Value)
+	}
+	if m.Stats().SensorPoints != 2 {
+		t.Fatalf("sensor count: %d", m.Stats().SensorPoints)
+	}
+}
+
+func TestGMLRoundTrip(t *testing.T) {
+	m := NewModel("vejle-test")
+	if err := m.AddBuilding(Building{
+		ID: "b1", Function: Commercial, Footprint: square(vejle, 30), HeightM: 18,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.AddSensor(MeasuringPoint{ID: "s1", Pos: vejle, HeightM: 2.5, Species: "co2", Value: 412.5})
+
+	data, err := m.ExportGML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"CityModel", "Building", "measuredHeight", "cityFurniture", "co2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("GML missing %q:\n%s", want, s[:min(400, len(s))])
+		}
+	}
+
+	back, err := ParseGML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "vejle-test" || len(back.Buildings) != 1 || len(back.Sensors) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	b := back.Buildings[0]
+	if b.ID != "b1" || b.Function != Commercial || b.HeightM != 18 || len(b.Footprint) != 4 {
+		t.Fatalf("building: %+v", b)
+	}
+	if math.Abs(b.FootprintAreaM2()-900) > 5 {
+		t.Fatalf("area after round trip: %v", b.FootprintAreaM2())
+	}
+	sn := back.Sensors[0]
+	if sn.ID != "s1" || sn.Value != 412.5 || sn.HeightM != 2.5 {
+		t.Fatalf("sensor: %+v", sn)
+	}
+	if _, err := ParseGML([]byte("<bad")); err == nil {
+		t.Fatal("bad XML should fail")
+	}
+}
+
+func TestSortBuildingsByHeight(t *testing.T) {
+	m := GenerateCity("v", vejle, 800, 13)
+	m.SortBuildingsByHeight()
+	for i := 1; i < len(m.Buildings); i++ {
+		if m.Buildings[i].HeightM > m.Buildings[i-1].HeightM {
+			t.Fatal("not sorted by height")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

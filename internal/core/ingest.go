@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataport"
+	"repro/internal/mqtt"
+	"repro/internal/tsdb"
+	"repro/internal/ttn"
+)
+
+// Ingestor is the storage end of the pipeline: it parses TTN uplink
+// messages and fans them into the time-series database (one metric per
+// measured quantity, tagged by sensor and city) and into the dataport
+// digital twins. It implements ttn.Publisher so the Direct transport
+// can call it synchronously, and HandleMQTT for the broker path.
+type Ingestor struct {
+	db       *tsdb.DB
+	dp       *dataport.Dataport
+	city     string
+	onIngest func()
+}
+
+// Metric names written per uplink.
+const (
+	MetricCO2      = "air.co2"
+	MetricNO2      = "air.no2"
+	MetricPM10     = "air.pm10"
+	MetricPM25     = "air.pm25"
+	MetricTemp     = "env.temperature"
+	MetricHumidity = "env.humidity"
+	MetricPressure = "env.pressure"
+	MetricBattery  = "node.battery"
+	MetricRSSI     = "net.rssi"
+)
+
+// Publish implements ttn.Publisher (Direct transport).
+func (ing *Ingestor) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	return ing.handle(payload)
+}
+
+// HandleMQTT processes a message delivered by the broker.
+func (ing *Ingestor) HandleMQTT(m mqtt.Message) {
+	// Subscription handlers must not fail the connection; parse errors
+	// are counted by dropping silently here and surfacing through
+	// storage counts in tests.
+	ing.handle(m.Payload)
+}
+
+func (ing *Ingestor) handle(payload []byte) error {
+	msg, err := ttn.ParseUplink(payload)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if msg.Fields == nil {
+		return fmt.Errorf("core: uplink %s has no decoded fields", msg.DevID)
+	}
+	m := msg.Fields
+	ts := msg.Metadata.Time.UnixMilli()
+	tags := map[string]string{"sensor": msg.DevID, "city": ing.city}
+
+	put := func(metric string, v float64) error {
+		return ing.db.Put(tsdb.DataPoint{
+			Metric: metric, Tags: tags,
+			Point: tsdb.Point{Timestamp: ts, Value: v},
+		})
+	}
+	for _, kv := range []struct {
+		metric string
+		v      float64
+	}{
+		{MetricCO2, m.CO2},
+		{MetricNO2, m.NO2},
+		{MetricPM10, m.PM10},
+		{MetricPM25, m.PM25},
+		{MetricTemp, m.TemperatureC},
+		{MetricHumidity, m.HumidityPct},
+		{MetricPressure, m.PressureHPa},
+		{MetricBattery, m.BatteryPct},
+	} {
+		if err := put(kv.metric, kv.v); err != nil {
+			return fmt.Errorf("core: store %s: %w", kv.metric, err)
+		}
+	}
+	// Best-gateway RSSI as link-quality telemetry.
+	var gwIDs []string
+	bestRSSI := 0.0
+	for i, g := range msg.Metadata.Gateways {
+		gwIDs = append(gwIDs, g.GatewayID)
+		if i == 0 {
+			bestRSSI = g.RSSI
+			if err := put(MetricRSSI, g.RSSI); err != nil {
+				return fmt.Errorf("core: store rssi: %w", err)
+			}
+		}
+	}
+
+	ing.dp.ObserveUplink(dataport.UplinkObservation{
+		DeviceID:   msg.DevID,
+		GatewayIDs: gwIDs,
+		Time:       msg.Metadata.Time,
+		BatteryPct: m.BatteryPct,
+		FCnt:       msg.Counter,
+		RSSI:       bestRSSI,
+	})
+	if ing.onIngest != nil {
+		ing.onIngest()
+	}
+	return nil
+}

@@ -1,0 +1,393 @@
+package dataport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	gwPos = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+	t0    = time.Date(2017, time.March, 7, 12, 0, 0, 0, time.UTC)
+)
+
+func newDataport(t *testing.T) *Dataport {
+	t.Helper()
+	d, err := New(Config{DefaultInterval: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func obs(dev, gw string, at time.Time, batt float64) UplinkObservation {
+	return UplinkObservation{
+		DeviceID:   dev,
+		GatewayIDs: []string{gw},
+		Time:       at,
+		BatteryPct: batt,
+		RSSI:       -85,
+	}
+}
+
+// feed sends observations for all devices through a gateway at the
+// standard 5-minute cadence for n cycles starting at start. The cloud
+// path heartbeat accompanies every cycle (in deployment the MQTT
+// keepalive provides it continuously).
+func feed(d *Dataport, devs []string, gw string, start time.Time, n int) time.Time {
+	ts := start
+	for i := 0; i < n; i++ {
+		for _, dev := range devs {
+			d.ObserveUplink(obs(dev, gw, ts, 80))
+		}
+		d.ObserveBackbone(ts)
+		ts = ts.Add(5 * time.Minute)
+	}
+	return ts
+}
+
+func TestNoAlarmOnHealthyNetwork(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	end := feed(d, []string{"s1"}, "gw1", t0, 10)
+	alarms, err := d.Tick(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 0 {
+		t.Fatalf("healthy network raised alarms: %+v", alarms)
+	}
+}
+
+func TestSingleMissedUplinkNoAlarm(t *testing.T) {
+	// Paper: "a single missing measurement is expected occasionally".
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	end := feed(d, []string{"s1"}, "gw1", t0, 5)
+	// One missed cycle: tick at end+5m (gap of ~10m < 3 cycles).
+	alarms, err := d.Tick(end.Add(5 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range alarms {
+		if a.Kind == AlarmSensorSilent {
+			t.Fatalf("one missed uplink should not alarm: %+v", a)
+		}
+	}
+}
+
+func TestSensorSilentAfterMissedCycles(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	d.RegisterSensor("s2", gwPos, 0)
+	end := feed(d, []string{"s1", "s2"}, "gw1", t0, 5)
+	// s2 keeps reporting; s1 goes quiet.
+	ts := end
+	for i := 0; i < 6; i++ {
+		d.ObserveUplink(obs("s2", "gw1", ts, 80))
+		ts = ts.Add(5 * time.Minute)
+	}
+	alarms, err := d.Tick(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var silent []string
+	for _, a := range alarms {
+		if a.Kind == AlarmSensorSilent {
+			silent = append(silent, a.Subject)
+		}
+	}
+	if len(silent) != 1 || silent[0] != "s1" {
+		t.Fatalf("expected exactly s1 silent, got %v (all: %+v)", silent, alarms)
+	}
+}
+
+func TestAlarmDeduplicated(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	end := feed(d, []string{"s1"}, "gw1", t0, 3)
+	late := end.Add(time.Hour)
+	d.ObserveBackbone(late) // cloud path alive; only the radio side is quiet
+	a1, _ := d.Tick(late)
+	d.ObserveBackbone(late.Add(5 * time.Minute))
+	a2, _ := d.Tick(late.Add(5 * time.Minute))
+	if len(a1) != 1 {
+		t.Fatalf("first tick should raise one alarm, got %+v", a1)
+	}
+	if len(a2) != 0 {
+		t.Fatalf("repeated tick should not re-raise: %+v", a2)
+	}
+}
+
+func TestRecoveryEmitsRecoveredAlarm(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	d.RegisterSensor("s2", gwPos, 0) // keeps the gateway demonstrably alive
+	end := feed(d, []string{"s1", "s2"}, "gw1", t0, 3)
+	late := end.Add(time.Hour)
+	d.ObserveUplink(obs("s2", "gw1", late, 80))
+	d.Tick(late)
+	// Node comes back.
+	d.ObserveUplink(obs("s1", "gw1", late.Add(time.Minute), 80))
+	alarms, _ := d.Tick(late.Add(2 * time.Minute))
+	found := false
+	for _, a := range alarms {
+		if a.Kind == AlarmRecovered && a.Subject == "s1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected recovery alarm, got %+v", alarms)
+	}
+}
+
+func TestBatteryAwareExpectation(t *testing.T) {
+	// A node that reported low battery halves its frequency; the twin
+	// must NOT alarm within the stretched window.
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	d.RegisterSensor("s2", gwPos, 0) // keeps the gateway demonstrably alive
+	// Report with low battery.
+	d.ObserveUplink(obs("s1", "gw1", t0, 12)) // below 25%
+	// 20 minutes later: within 3 × (2×5m) = 30m → no alarm.
+	d.ObserveUplink(obs("s2", "gw1", t0.Add(20*time.Minute), 80))
+	alarms, _ := d.Tick(t0.Add(20 * time.Minute))
+	for _, a := range alarms {
+		if a.Kind == AlarmSensorSilent {
+			t.Fatalf("battery-aware window violated: %+v", a)
+		}
+	}
+	// 40 minutes later: beyond the stretched window → silent.
+	d.ObserveUplink(obs("s2", "gw1", t0.Add(40*time.Minute), 80))
+	alarms, _ = d.Tick(t0.Add(40 * time.Minute))
+	foundSilent := false
+	for _, a := range alarms {
+		if a.Kind == AlarmSensorSilent && a.Subject == "s1" {
+			foundSilent = true
+		}
+	}
+	if !foundSilent {
+		t.Fatalf("silent alarm expected beyond stretched window, got %+v", alarms)
+	}
+}
+
+func TestBatteryLowAlarm(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	d.ObserveUplink(obs("s1", "gw1", t0, 15))
+	alarms, _ := d.Tick(t0.Add(time.Minute))
+	found := false
+	for _, a := range alarms {
+		if a.Kind == AlarmSensorBattery && a.Subject == "s1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected battery alarm, got %+v", alarms)
+	}
+}
+
+func TestGatewayOutageGroupsSensorAlarms(t *testing.T) {
+	// Paper: "a distinction can be drawn between sensor failures versus
+	// a gateway outage that would make a set of sensors invisible".
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	devs := []string{"s1", "s2", "s3", "s4"}
+	for _, dev := range devs {
+		d.RegisterSensor(dev, gwPos, 0)
+	}
+	end := feed(d, devs, "gw1", t0, 5)
+	// Radio side goes silent simultaneously (gateway failure); the
+	// cloud path stays up.
+	late := end.Add(time.Hour)
+	d.ObserveBackbone(late)
+	alarms, err := d.Tick(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gw, sensor int
+	for _, a := range alarms {
+		switch a.Kind {
+		case AlarmGatewayOutage:
+			gw++
+		case AlarmSensorSilent:
+			sensor++
+		}
+	}
+	if gw != 1 {
+		t.Fatalf("expected 1 gateway alarm, got %d (%+v)", gw, alarms)
+	}
+	if sensor != 0 {
+		t.Fatalf("sensor alarms should be grouped under the gateway outage, got %d", sensor)
+	}
+}
+
+func TestSensorFailureNotGroupedWhenGatewayAlive(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	d.RegisterSensor("s2", gwPos, 0)
+	end := feed(d, []string{"s1", "s2"}, "gw1", t0, 5)
+	// s2 keeps the gateway alive; s1 dies.
+	ts := end
+	for i := 0; i < 12; i++ {
+		d.ObserveUplink(obs("s2", "gw1", ts, 80))
+		ts = ts.Add(5 * time.Minute)
+	}
+	alarms, _ := d.Tick(ts)
+	var gw, sensor int
+	for _, a := range alarms {
+		switch a.Kind {
+		case AlarmGatewayOutage:
+			gw++
+		case AlarmSensorSilent:
+			sensor++
+		}
+	}
+	if gw != 0 || sensor != 1 {
+		t.Fatalf("want 0 gateway + 1 sensor alarm, got %d/%d (%+v)", gw, sensor, alarms)
+	}
+}
+
+func TestBackboneOutageDominates(t *testing.T) {
+	d, err := New(Config{DefaultInterval: 5 * time.Minute, BackboneQuiet: 15 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	end := feed(d, []string{"s1"}, "gw1", t0, 5)
+	// Total silence for an hour: backbone alarm only.
+	alarms, _ := d.Tick(end.Add(time.Hour))
+	if len(alarms) != 1 || alarms[0].Kind != AlarmBackboneDown {
+		t.Fatalf("want single backbone alarm, got %+v", alarms)
+	}
+}
+
+func TestSnapshotGraph(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterGateway("gw2", geo.Destination(gwPos, 90, 2000))
+	d.RegisterSensor("s1", geo.Destination(gwPos, 0, 500), 0)
+	d.RegisterSensor("s2", geo.Destination(gwPos, 180, 700), 0)
+	d.ObserveUplink(obs("s1", "gw1", t0, 80))
+	d.ObserveUplink(obs("s2", "gw2", t0, 15))
+
+	snap, err := d.Snapshot(t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sensors) != 2 || len(snap.Gateways) != 2 {
+		t.Fatalf("snapshot sizes: %d sensors %d gateways", len(snap.Sensors), len(snap.Gateways))
+	}
+	if len(snap.Links) != 2 {
+		t.Fatalf("links: %d, want 2", len(snap.Links))
+	}
+	for _, l := range snap.Links {
+		if !l.Live {
+			t.Fatalf("fresh link should be live: %+v", l)
+		}
+	}
+	status := map[string]string{}
+	for _, s := range snap.Sensors {
+		status[s.ID] = s.Status
+	}
+	if status["s1"] != "ok" || status["s2"] != "battery-low" {
+		t.Fatalf("statuses: %v", status)
+	}
+}
+
+func TestSnapshotPendingBeforeFirstUplink(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	snap, err := d.Snapshot(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sensors[0].Status != "pending" || snap.Gateways[0].Status != "pending" {
+		t.Fatalf("unseen devices should be pending: %+v", snap)
+	}
+	if len(snap.Links) != 0 {
+		t.Fatal("no links before first uplink")
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	d := newDataport(t)
+	w := Watchdog{MaxQuiet: 10 * time.Minute}
+	if a := w.Check(d, t0); a != nil {
+		t.Fatalf("fresh dataport (never active) should not alarm: %+v", a)
+	}
+	d.Heartbeat(t0)
+	if a := w.Check(d, t0.Add(5*time.Minute)); a != nil {
+		t.Fatalf("active dataport should not alarm: %+v", a)
+	}
+	a := w.Check(d, t0.Add(30*time.Minute))
+	if a == nil || a.Subject != "dataport" {
+		t.Fatalf("stalled dataport should alarm: %+v", a)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	d := newDataport(t)
+	if err := d.RegisterSensor("s1", gwPos, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterSensor("s1", gwPos, 0); err == nil {
+		t.Fatal("duplicate sensor registration should fail")
+	}
+}
+
+func TestAlarmLogAccumulates(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	end := feed(d, []string{"s1"}, "gw1", t0, 3)
+	d.Tick(end.Add(time.Hour))
+	if len(d.AlarmLog()) == 0 {
+		t.Fatal("alarm log empty after alarm")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" {
+		t.Fatal("severity names wrong")
+	}
+}
+
+func TestFrameLossTracking(t *testing.T) {
+	d := newDataport(t)
+	d.RegisterGateway("gw1", gwPos)
+	d.RegisterSensor("s1", gwPos, 0)
+	send := func(fcnt uint16, at time.Time) {
+		o := obs("s1", "gw1", at, 80)
+		o.FCnt = fcnt
+		d.ObserveUplink(o)
+	}
+	send(1, t0)
+	send(2, t0.Add(5*time.Minute))
+	send(5, t0.Add(20*time.Minute)) // frames 3 and 4 lost on air
+	send(6, t0.Add(25*time.Minute))
+	snap, err := d.Snapshot(t0.Add(26 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snap.Sensors[0]
+	if s.Received != 4 {
+		t.Fatalf("received = %d, want 4", s.Received)
+	}
+	if s.LostFrames != 2 {
+		t.Fatalf("lost frames = %d, want 2", s.LostFrames)
+	}
+}

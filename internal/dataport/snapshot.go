@@ -1,0 +1,121 @@
+package dataport
+
+import (
+	"time"
+
+	"repro/internal/geo"
+)
+
+// NetworkSnapshot is the dataport's view of the network for the Fig. 3
+// visualization: "the structure of digital twins for sensors and
+// gateways, their location, the connections and live data transmission
+// between sensors and gateways".
+type NetworkSnapshot struct {
+	Time     time.Time
+	Sensors  []SensorNode
+	Gateways []GatewayNode
+	Links    []Link
+}
+
+// SensorNode is one sensor in the network view.
+type SensorNode struct {
+	ID         string
+	Pos        geo.LatLon
+	LastSeen   time.Time
+	BatteryPct float64
+	Status     string // "ok" | "silent" | "battery-low" | "pending"
+	// Received / LostFrames summarize the radio link quality (counter
+	// gaps = transmitted-but-lost uplinks).
+	Received   int
+	LostFrames int
+}
+
+// GatewayNode is one gateway in the network view.
+type GatewayNode struct {
+	ID       string
+	Pos      geo.LatLon
+	LastSeen time.Time
+	Status   string // "ok" | "down" | "pending"
+}
+
+// Link is a recently used sensor→gateway radio link.
+type Link struct {
+	SensorID  string
+	GatewayID string
+	RSSI      float64
+	LastUsed  time.Time
+	// Live marks links used within the last reporting interval —
+	// rendered as active transmissions.
+	Live bool
+}
+
+// Snapshot collects twin state into a renderable network graph.
+func (d *Dataport) Snapshot(now time.Time) (NetworkSnapshot, error) {
+	sensorsSt, gatewaysSt, _, err := d.collect(now)
+	if err != nil {
+		return NetworkSnapshot{}, err
+	}
+	snap := NetworkSnapshot{Time: now}
+	for _, s := range sensorsSt {
+		status := "ok"
+		switch {
+		case !s.Seen:
+			status = "pending"
+		case s.Silent:
+			status = "silent"
+		case s.BatteryLow:
+			status = "battery-low"
+		}
+		snap.Sensors = append(snap.Sensors, SensorNode{
+			ID: s.ID, Pos: s.Pos, LastSeen: s.LastSeen,
+			BatteryPct: s.BatteryPct, Status: status,
+			Received: s.Received, LostFrames: s.LostFrames,
+		})
+		if s.Seen && s.LastGateway != "" {
+			snap.Links = append(snap.Links, Link{
+				SensorID:  s.ID,
+				GatewayID: s.LastGateway,
+				RSSI:      s.LastRSSI,
+				LastUsed:  s.LastSeen,
+				Live:      now.Sub(s.LastSeen) <= s.Interval,
+			})
+		}
+	}
+	for _, g := range gatewaysSt {
+		status := "ok"
+		switch {
+		case !g.Seen:
+			status = "pending"
+		case g.Down:
+			status = "down"
+		}
+		snap.Gateways = append(snap.Gateways, GatewayNode{
+			ID: g.ID, Pos: g.Pos, LastSeen: g.LastSeen, Status: status,
+		})
+	}
+	return snap, nil
+}
+
+// Watchdog is the external liveness monitor (the paper uses the
+// AppBeat service): it probes the dataport's own activity and raises
+// an alarm if the monitor itself has gone quiet.
+type Watchdog struct {
+	// MaxQuiet is the longest tolerated dataport inactivity.
+	MaxQuiet time.Duration
+}
+
+// Check probes the dataport at simulated time now. It returns a
+// non-nil alarm when the dataport has been inactive for too long.
+func (w Watchdog) Check(d *Dataport, now time.Time) *Alarm {
+	last := d.LastActivity()
+	if last.IsZero() || now.Sub(last) <= w.MaxQuiet {
+		return nil
+	}
+	return &Alarm{
+		Time:     now,
+		Severity: Critical,
+		Kind:     AlarmBackboneDown,
+		Subject:  "dataport",
+		Message:  "dataport unresponsive (watchdog)",
+	}
+}

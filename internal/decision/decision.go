@@ -1,0 +1,288 @@
+// Package decision implements the decision-support layer the paper
+// frames as its goal and demonstrates to city officials (§3): siting
+// new air-quality sensors "according to the road network and building
+// density", and evaluating interventions such as "closing down certain
+// streets (and being able to observe spillover and evasion effects in
+// surrounding parts of the city)" (§1) by running counterfactual
+// scenarios against the simulated city.
+package decision
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/citygml"
+	"repro/internal/emissions"
+	"repro/internal/geo"
+	"repro/internal/traffic"
+)
+
+// --- sensor placement ---------------------------------------------------
+
+// Site is a candidate or chosen sensor location with its score parts.
+type Site struct {
+	Pos geo.LatLon
+	// TrafficScore is the normalized nearby vehicle flow.
+	TrafficScore float64
+	// DensityScore is the normalized building density.
+	DensityScore float64
+	// CoveragePenalty is how much existing/chosen sensors already
+	// cover this site (0 = uncovered).
+	CoveragePenalty float64
+	// Score is the combined objective.
+	Score float64
+}
+
+// PlacementConfig tunes the siting objective.
+type PlacementConfig struct {
+	// CandidateSpacingM controls the candidate grid resolution.
+	CandidateSpacingM float64
+	// CoverageRadiusM is a sensor's representativeness radius; new
+	// sites are discouraged inside existing coverage.
+	CoverageRadiusM float64
+	// TrafficWeight and DensityWeight combine the two demo criteria
+	// ("according to the road network and building density").
+	TrafficWeight float64
+	DensityWeight float64
+	// EvaluateAt is the instant used to sample traffic (rush hour
+	// recommended).
+	EvaluateAt time.Time
+}
+
+func (c *PlacementConfig) defaults() {
+	if c.CandidateSpacingM <= 0 {
+		c.CandidateSpacingM = 300
+	}
+	if c.CoverageRadiusM <= 0 {
+		c.CoverageRadiusM = 500
+	}
+	if c.TrafficWeight == 0 && c.DensityWeight == 0 {
+		c.TrafficWeight, c.DensityWeight = 0.6, 0.4
+	}
+	if c.EvaluateAt.IsZero() {
+		c.EvaluateAt = time.Date(2017, time.March, 7, 8, 0, 0, 0, time.UTC)
+	}
+}
+
+// ErrNoCandidates is returned when the area yields no candidate sites.
+var ErrNoCandidates = errors.New("decision: no candidate sites")
+
+// PlanPlacement greedily selects n new sensor sites within radiusM of
+// center, maximizing traffic + building-density exposure while staying
+// outside the coverage of existing and already-chosen sensors.
+func PlanPlacement(
+	tr *traffic.Network,
+	model *citygml.Model,
+	existing []geo.LatLon,
+	center geo.LatLon,
+	radiusM float64,
+	n int,
+	cfg PlacementConfig,
+) ([]Site, error) {
+	cfg.defaults()
+	if n <= 0 {
+		return nil, nil
+	}
+
+	// Candidate grid.
+	var candidates []Site
+	enu := geo.NewENU(center)
+	var maxTraffic, maxDensity float64
+	for x := -radiusM; x <= radiusM; x += cfg.CandidateSpacingM {
+		for y := -radiusM; y <= radiusM; y += cfg.CandidateSpacingM {
+			if math.Hypot(x, y) > radiusM {
+				continue
+			}
+			pos := enu.Inverse(x, y)
+			t := 0.0
+			if tr != nil {
+				t = tr.FlowNear(pos, cfg.CoverageRadiusM, cfg.EvaluateAt)
+			}
+			d := 0.0
+			if model != nil {
+				d = model.Density(pos, cfg.CoverageRadiusM)
+			}
+			candidates = append(candidates, Site{Pos: pos, TrafficScore: t, DensityScore: d})
+			maxTraffic = math.Max(maxTraffic, t)
+			maxDensity = math.Max(maxDensity, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	// Normalize.
+	for i := range candidates {
+		if maxTraffic > 0 {
+			candidates[i].TrafficScore /= maxTraffic
+		}
+		if maxDensity > 0 {
+			candidates[i].DensityScore /= maxDensity
+		}
+	}
+
+	covered := append([]geo.LatLon(nil), existing...)
+	var chosen []Site
+	for len(chosen) < n {
+		bestIdx := -1
+		bestScore := math.Inf(-1)
+		for i := range candidates {
+			c := &candidates[i]
+			c.CoveragePenalty = coverage(c.Pos, covered, cfg.CoverageRadiusM)
+			c.Score = (cfg.TrafficWeight*c.TrafficScore + cfg.DensityWeight*c.DensityScore) *
+				(1 - c.CoveragePenalty)
+			if c.Score > bestScore {
+				bestScore = c.Score
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 || bestScore <= 0 {
+			break // everything worthwhile is covered
+		}
+		site := candidates[bestIdx]
+		chosen = append(chosen, site)
+		covered = append(covered, site.Pos)
+		// Remove the chosen candidate.
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+	}
+	return chosen, nil
+}
+
+// coverage returns 1 if p is on top of an existing sensor, decaying to
+// 0 at the coverage radius.
+func coverage(p geo.LatLon, sensors []geo.LatLon, radius float64) float64 {
+	best := 0.0
+	for _, s := range sensors {
+		d := geo.Distance(p, s)
+		if d < radius {
+			best = math.Max(best, 1-d/radius)
+		}
+	}
+	return best
+}
+
+// --- intervention scenarios ----------------------------------------------
+
+// Intervention is a planned change to evaluate: closing (or derating)
+// road segments for a period.
+type Intervention struct {
+	Name string
+	// ClosedSegments lists road segment IDs to close.
+	ClosedSegments []string
+	// CapacityFactor in (0,1]: 0.05 ≈ full closure (residual access).
+	CapacityFactor float64
+	Start, End     time.Time
+}
+
+// ReceptorDelta is the change an intervention causes at one receptor
+// (sensor site).
+type ReceptorDelta struct {
+	ID       string
+	Pos      geo.LatLon
+	Baseline float64 // mean concentration without the intervention
+	Scenario float64 // mean concentration with it
+	DeltaPct float64
+}
+
+// ScenarioResult compares baseline and intervention.
+type ScenarioResult struct {
+	Intervention Intervention
+	Species      emissions.Species
+	Receptors    []ReceptorDelta
+	// CityDelta is the mean relative change across receptors.
+	CityDeltaPct float64
+	// SpilloverReceptors lists receptors whose concentration ROSE
+	// while at least one other receptor clearly fell — displaced
+	// rather than removed emissions: the "spillover and evasion
+	// effects" the paper's introduction highlights.
+	SpilloverReceptors []string
+}
+
+// Receptor is a named evaluation point (typically a sensor site).
+type Receptor struct {
+	ID  string
+	Pos geo.LatLon
+}
+
+// EvaluateIntervention runs the truth field with and without the
+// intervention and compares mean concentrations at the receptors over
+// the intervention window, sampling hourly.
+//
+// The two runs share the identical weather and demand realization
+// (same seeds), so the difference isolates the intervention — the
+// counterfactual a real deployment can never observe, and the reason
+// the paper wants model-based decision support.
+func EvaluateIntervention(
+	baseline *emissions.Field,
+	buildScenario func() *emissions.Field, // fresh field with the intervention applied
+	sp emissions.Species,
+	receptors []Receptor,
+	iv Intervention,
+) (ScenarioResult, error) {
+	if len(receptors) == 0 {
+		return ScenarioResult{}, errors.New("decision: no receptors")
+	}
+	if !iv.End.After(iv.Start) {
+		return ScenarioResult{}, fmt.Errorf("decision: empty intervention window")
+	}
+	scenario := buildScenario()
+
+	res := ScenarioResult{Intervention: iv, Species: sp}
+	var deltaSum float64
+	for _, r := range receptors {
+		var bSum, sSum float64
+		var n int
+		for t := iv.Start; t.Before(iv.End); t = t.Add(time.Hour) {
+			bSum += baseline.Concentration(sp, r.Pos, t)
+			sSum += scenario.Concentration(sp, r.Pos, t)
+			n++
+		}
+		b := bSum / float64(n)
+		s := sSum / float64(n)
+		d := ReceptorDelta{
+			ID: r.ID, Pos: r.Pos,
+			Baseline: b, Scenario: s,
+			DeltaPct: 100 * (s - b) / b,
+		}
+		res.Receptors = append(res.Receptors, d)
+		deltaSum += d.DeltaPct
+	}
+	res.CityDeltaPct = deltaSum / float64(len(res.Receptors))
+	anyFell := false
+	for _, d := range res.Receptors {
+		if d.DeltaPct < -1 {
+			anyFell = true
+		}
+	}
+	if anyFell {
+		for _, d := range res.Receptors {
+			if d.DeltaPct > 0.5 {
+				res.SpilloverReceptors = append(res.SpilloverReceptors, d.ID)
+			}
+		}
+	}
+	sort.Slice(res.Receptors, func(i, j int) bool {
+		return res.Receptors[i].DeltaPct < res.Receptors[j].DeltaPct
+	})
+	return res, nil
+}
+
+// CloseStreets applies an intervention to a traffic network (helper
+// for building the scenario field): each listed segment is closed with
+// its demand rerouted to open streets nearby.
+func CloseStreets(tr *traffic.Network, iv Intervention) {
+	f := iv.CapacityFactor
+	if f <= 0 {
+		f = 0.05
+	}
+	for _, seg := range iv.ClosedSegments {
+		tr.AddClosure(traffic.Closure{
+			SegmentID: seg,
+			Start:     iv.Start,
+			End:       iv.End,
+			Residual:  f,
+		})
+	}
+}

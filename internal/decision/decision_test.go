@@ -1,0 +1,151 @@
+package decision
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/citygml"
+	"repro/internal/emissions"
+	"repro/internal/geo"
+	"repro/internal/traffic"
+	"repro/internal/weather"
+)
+
+var center = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+
+func rushHour() time.Time {
+	return time.Date(2017, time.March, 7, 8, 0, 0, 0, time.UTC)
+}
+
+func testCity(t *testing.T) (*traffic.Network, *citygml.Model) {
+	t.Helper()
+	tr := traffic.NewNetwork(traffic.GenerateGridNetwork(center, 3000, 1), 1)
+	model := citygml.GenerateCity("trondheim", center, 2500, 1)
+	return tr, model
+}
+
+func TestPlanPlacementBasics(t *testing.T) {
+	tr, model := testCity(t)
+	sites, err := PlanPlacement(tr, model, nil, center, 2500, 4, PlacementConfig{EvaluateAt: rushHour()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 4 {
+		t.Fatalf("sites: %d", len(sites))
+	}
+	// Chosen sites must spread out: pairwise distance above the
+	// coverage radius discount makes identical picks impossible.
+	for i := 0; i < len(sites); i++ {
+		for j := i + 1; j < len(sites); j++ {
+			if geo.Distance(sites[i].Pos, sites[j].Pos) < 100 {
+				t.Fatalf("sites %d and %d are on top of each other", i, j)
+			}
+		}
+	}
+	// Scores decrease monotonically with greedy selection.
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Score > sites[i-1].Score+1e-9 {
+			t.Fatalf("greedy order violated: %v then %v", sites[i-1].Score, sites[i].Score)
+		}
+	}
+	// The first site should score high on at least one criterion.
+	if sites[0].TrafficScore < 0.3 && sites[0].DensityScore < 0.3 {
+		t.Fatalf("best site scores low on both criteria: %+v", sites[0])
+	}
+}
+
+func TestPlanPlacementAvoidsExistingSensors(t *testing.T) {
+	tr, model := testCity(t)
+	// Without constraints, find the top site first.
+	free, err := PlanPlacement(tr, model, nil, center, 2500, 1, PlacementConfig{EvaluateAt: rushHour()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now place an existing sensor exactly there.
+	constrained, err := PlanPlacement(tr, model, []geo.LatLon{free[0].Pos}, center, 2500, 1,
+		PlacementConfig{EvaluateAt: rushHour()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Distance(constrained[0].Pos, free[0].Pos) < 250 {
+		t.Fatalf("new site should avoid the covered area: %v m away",
+			geo.Distance(constrained[0].Pos, free[0].Pos))
+	}
+}
+
+func TestPlanPlacementEdgeCases(t *testing.T) {
+	tr, model := testCity(t)
+	if sites, err := PlanPlacement(tr, model, nil, center, 2500, 0, PlacementConfig{}); err != nil || sites != nil {
+		t.Fatalf("n=0: %v %v", sites, err)
+	}
+	if _, err := PlanPlacement(tr, model, nil, center, 10, 1, PlacementConfig{CandidateSpacingM: 50000}); err != ErrNoCandidates {
+		t.Fatalf("no candidates: %v", err)
+	}
+}
+
+func TestEvaluateInterventionStreetClosure(t *testing.T) {
+	// Baseline city.
+	w := weather.NewModel(center.Lat, center.Lon, 1)
+	trBase := traffic.NewNetwork(traffic.GenerateGridNetwork(center, 3000, 1), 1)
+	baseline := emissions.NewField(w, trBase)
+
+	// Close the busiest arterial for a week.
+	iv := Intervention{
+		Name:           "close-arterial",
+		ClosedSegments: []string{trBase.Segments[0].ID},
+		Start:          time.Date(2017, time.March, 6, 0, 0, 0, 0, time.UTC),
+		End:            time.Date(2017, time.March, 13, 0, 0, 0, 0, time.UTC),
+	}
+	buildScenario := func() *emissions.Field {
+		tr2 := traffic.NewNetwork(traffic.GenerateGridNetwork(center, 3000, 1), 1)
+		CloseStreets(tr2, iv)
+		return emissions.NewField(weather.NewModel(center.Lat, center.Lon, 1), tr2)
+	}
+
+	closedMid := trBase.Segments[0].Midpoint()
+	receptors := []Receptor{
+		{ID: "at-closure", Pos: closedMid},
+		{ID: "nearby-1", Pos: geo.Destination(closedMid, 90, 900)},
+		{ID: "nearby-2", Pos: geo.Destination(closedMid, 270, 900)},
+		{ID: "far", Pos: geo.Destination(center, 200, 2600)},
+	}
+	res, err := EvaluateIntervention(baseline, buildScenario, emissions.NO2, receptors, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]ReceptorDelta{}
+	for _, d := range res.Receptors {
+		byID[d.ID] = d
+	}
+	// At the closed street: NO2 falls.
+	if byID["at-closure"].DeltaPct >= 0 {
+		t.Fatalf("closure should cut NO2 at the street: %+v", byID["at-closure"])
+	}
+	// Evasion: at least one nearby receptor rises (rerouted traffic) or
+	// falls far less than the closure site.
+	n1, n2 := byID["nearby-1"].DeltaPct, byID["nearby-2"].DeltaPct
+	if n1 <= byID["at-closure"].DeltaPct && n2 <= byID["at-closure"].DeltaPct {
+		t.Fatalf("spillover missing: closure %+.2f%% vs nearby %+.2f%%/%+.2f%%",
+			byID["at-closure"].DeltaPct, n1, n2)
+	}
+	// Receptors sorted ascending by delta.
+	for i := 1; i < len(res.Receptors); i++ {
+		if res.Receptors[i].DeltaPct < res.Receptors[i-1].DeltaPct {
+			t.Fatal("receptors not sorted")
+		}
+	}
+}
+
+func TestEvaluateInterventionErrors(t *testing.T) {
+	w := weather.NewModel(center.Lat, center.Lon, 1)
+	tr := traffic.NewNetwork(traffic.GenerateGridNetwork(center, 3000, 1), 1)
+	f := emissions.NewField(w, tr)
+	iv := Intervention{Start: rushHour(), End: rushHour()}
+	if _, err := EvaluateIntervention(f, func() *emissions.Field { return f }, emissions.NO2, nil, iv); err == nil {
+		t.Fatal("no receptors should error")
+	}
+	recs := []Receptor{{ID: "x", Pos: center}}
+	if _, err := EvaluateIntervention(f, func() *emissions.Field { return f }, emissions.NO2, recs, iv); err == nil {
+		t.Fatal("empty window should error")
+	}
+}

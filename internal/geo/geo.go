@@ -1,0 +1,170 @@
+// Package geo provides geographic primitives used throughout the CTT
+// system: coordinates, great-circle geometry, bounding boxes, a local
+// east-north-up (ENU) projection for city-scale work, and a spatial grid
+// index for nearest-neighbour queries over sensors and buildings.
+//
+// All distances are in meters, all angles in degrees unless stated
+// otherwise. The Earth is modeled as a sphere of radius EarthRadius,
+// which is accurate to ~0.5% — far below the positioning error of the
+// deployments the paper describes.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadius is the mean Earth radius in meters (IUGG).
+const EarthRadius = 6371008.8
+
+// LatLon is a WGS84 geographic coordinate in decimal degrees.
+type LatLon struct {
+	Lat float64 // latitude, positive north, [-90, 90]
+	Lon float64 // longitude, positive east, [-180, 180]
+}
+
+// String renders the coordinate as "lat,lon" with 6 decimals (~0.1 m).
+func (p LatLon) String() string {
+	return fmt.Sprintf("%.6f,%.6f", p.Lat, p.Lon)
+}
+
+// Valid reports whether the coordinate lies within WGS84 bounds.
+func (p LatLon) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// Radians returns the coordinate in radians.
+func (p LatLon) Radians() (lat, lon float64) {
+	return p.Lat * math.Pi / 180, p.Lon * math.Pi / 180
+}
+
+// Distance returns the great-circle distance in meters between p and q
+// using the haversine formula, which is numerically stable for the
+// city-scale distances this system works with.
+func Distance(p, q LatLon) float64 {
+	lat1, lon1 := p.Radians()
+	lat2, lon2 := q.Radians()
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadius * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Bearing returns the initial great-circle bearing from p to q in
+// degrees clockwise from north, in [0, 360).
+func Bearing(p, q LatLon) float64 {
+	lat1, lon1 := p.Radians()
+	lat2, lon2 := q.Radians()
+	dLon := lon2 - lon1
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by traveling dist meters from p
+// along the given initial bearing (degrees clockwise from north).
+func Destination(p LatLon, bearingDeg, dist float64) LatLon {
+	lat1, lon1 := p.Radians()
+	brg := bearingDeg * math.Pi / 180
+	ad := dist / EarthRadius
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(ad) + math.Cos(lat1)*math.Sin(ad)*math.Cos(brg))
+	lon2 := lon1 + math.Atan2(math.Sin(brg)*math.Sin(ad)*math.Cos(lat1),
+		math.Cos(ad)-math.Sin(lat1)*math.Sin(lat2))
+	return LatLon{
+		Lat: lat2 * 180 / math.Pi,
+		Lon: math.Mod(lon2*180/math.Pi+540, 360) - 180,
+	}
+}
+
+// Midpoint returns the great-circle midpoint of p and q.
+func Midpoint(p, q LatLon) LatLon {
+	return Destination(p, Bearing(p, q), Distance(p, q)/2)
+}
+
+// BBox is an axis-aligned geographic bounding box.
+type BBox struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// NewBBox returns the smallest bounding box containing all points.
+// The zero BBox of no points is empty (Min > Max).
+func NewBBox(points ...LatLon) BBox {
+	b := BBox{MinLat: 91, MinLon: 181, MaxLat: -91, MaxLon: -181}
+	for _, p := range points {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns the box grown to include p.
+func (b BBox) Extend(p LatLon) BBox {
+	if p.Lat < b.MinLat {
+		b.MinLat = p.Lat
+	}
+	if p.Lat > b.MaxLat {
+		b.MaxLat = p.Lat
+	}
+	if p.Lon < b.MinLon {
+		b.MinLon = p.Lon
+	}
+	if p.Lon > b.MaxLon {
+		b.MaxLon = p.Lon
+	}
+	return b
+}
+
+// Contains reports whether p lies within the box (inclusive).
+func (b BBox) Contains(p LatLon) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box center.
+func (b BBox) Center() LatLon {
+	return LatLon{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// Pad returns the box expanded by meters on every side.
+func (b BBox) Pad(meters float64) BBox {
+	dLat := meters / EarthRadius * 180 / math.Pi
+	// Longitude degrees shrink with latitude; pad using the widest latitude.
+	lat := math.Max(math.Abs(b.MinLat), math.Abs(b.MaxLat)) * math.Pi / 180
+	dLon := dLat / math.Max(0.01, math.Cos(lat))
+	return BBox{b.MinLat - dLat, b.MinLon - dLon, b.MaxLat + dLat, b.MaxLon + dLon}
+}
+
+// Empty reports whether the box contains no area.
+func (b BBox) Empty() bool { return b.MinLat > b.MaxLat || b.MinLon > b.MaxLon }
+
+// ENU is a local tangent-plane projection anchored at an origin. For
+// city-scale extents (<~50 km) the flat-earth approximation is within
+// centimeters, which lets downstream geometry (dispersion, city models,
+// SVG maps) work in plain meters.
+type ENU struct {
+	Origin LatLon
+	cosLat float64
+}
+
+// NewENU creates a local projection anchored at origin.
+func NewENU(origin LatLon) *ENU {
+	lat := origin.Lat * math.Pi / 180
+	return &ENU{Origin: origin, cosLat: math.Cos(lat)}
+}
+
+// Forward projects a geographic coordinate to local (east, north) meters.
+func (e *ENU) Forward(p LatLon) (x, y float64) {
+	x = (p.Lon - e.Origin.Lon) * math.Pi / 180 * EarthRadius * e.cosLat
+	y = (p.Lat - e.Origin.Lat) * math.Pi / 180 * EarthRadius
+	return x, y
+}
+
+// Inverse converts local (east, north) meters back to geographic.
+func (e *ENU) Inverse(x, y float64) LatLon {
+	return LatLon{
+		Lat: e.Origin.Lat + y/EarthRadius*180/math.Pi,
+		Lon: e.Origin.Lon + x/(EarthRadius*e.cosLat)*180/math.Pi,
+	}
+}

@@ -1,0 +1,265 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Trondheim and Vejle — the paper's two pilot cities.
+var (
+	trondheim = LatLon{Lat: 63.4305, Lon: 10.3951}
+	vejle     = LatLon{Lat: 55.7113, Lon: 9.5363}
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q LatLon
+		want float64 // meters
+		tol  float64 // relative tolerance
+	}{
+		{"same point", trondheim, trondheim, 0, 0},
+		{"trondheim-vejle", trondheim, vejle, 861000, 0.01},
+		{"equator degree", LatLon{0, 0}, LatLon{0, 1}, 111195, 0.005},
+		{"meridian degree", LatLon{0, 0}, LatLon{1, 0}, 111195, 0.005},
+		{"antipodal-ish", LatLon{0, 0}, LatLon{0, 180}, math.Pi * EarthRadius, 0.001},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Distance(tc.p, tc.q)
+			if tc.want == 0 {
+				if got != 0 {
+					t.Fatalf("Distance = %v, want 0", got)
+				}
+				return
+			}
+			if rel := math.Abs(got-tc.want) / tc.want; rel > tc.tol {
+				t.Fatalf("Distance = %v, want %v (rel err %v)", got, tc.want, rel)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := LatLon{clampLat(lat1), clampLon(lon1)}
+		q := LatLon{clampLat(lat2), clampLon(lon2)}
+		d1, d2 := Distance(p, q), Distance(q, p)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		a := randomPoint(rng)
+		b := randomPoint(rng)
+		c := randomPoint(rng)
+		// Great-circle distance satisfies the triangle inequality.
+		if Distance(a, c) > Distance(a, b)+Distance(b, c)+1e-6 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		p := LatLon{Lat: rng.Float64()*120 - 60, Lon: rng.Float64()*360 - 180}
+		brg := rng.Float64() * 360
+		dist := rng.Float64() * 20000 // city scale
+		q := Destination(p, brg, dist)
+		if got := Distance(p, q); math.Abs(got-dist) > 1 {
+			t.Fatalf("Destination distance: got %v want %v", got, dist)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	p := LatLon{Lat: 60, Lon: 10}
+	if b := Bearing(p, LatLon{Lat: 61, Lon: 10}); math.Abs(b-0) > 0.01 {
+		t.Errorf("north bearing = %v", b)
+	}
+	if b := Bearing(p, LatLon{Lat: 59, Lon: 10}); math.Abs(b-180) > 0.01 {
+		t.Errorf("south bearing = %v", b)
+	}
+	if b := Bearing(p, LatLon{Lat: 60, Lon: 11}); b < 80 || b > 100 {
+		t.Errorf("east bearing = %v", b)
+	}
+	if b := Bearing(p, LatLon{Lat: 60, Lon: 9}); b < 260 || b > 280 {
+		t.Errorf("west bearing = %v", b)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(trondheim, vejle)
+	d1, d2 := Distance(trondheim, m), Distance(vejle, m)
+	if math.Abs(d1-d2) > 1 {
+		t.Fatalf("midpoint not equidistant: %v vs %v", d1, d2)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := NewBBox(trondheim, vejle)
+	if !b.Contains(trondheim) || !b.Contains(vejle) {
+		t.Fatal("bbox must contain its defining points")
+	}
+	if !b.Contains(b.Center()) {
+		t.Fatal("bbox must contain its center")
+	}
+	if b.Contains(LatLon{Lat: 0, Lon: 0}) {
+		t.Fatal("bbox must not contain far-away point")
+	}
+	if NewBBox().Empty() != true {
+		t.Fatal("bbox of no points must be empty")
+	}
+	padded := b.Pad(1000)
+	if !padded.Contains(Destination(trondheim, 0, 900)) {
+		t.Fatal("padded box should contain point 900m north of corner")
+	}
+}
+
+func TestENURoundTrip(t *testing.T) {
+	e := NewENU(trondheim)
+	f := func(dx, dy float64) bool {
+		// Limit to city scale.
+		dx = math.Mod(dx, 20000)
+		dy = math.Mod(dy, 20000)
+		p := e.Inverse(dx, dy)
+		x, y := e.Forward(p)
+		return math.Abs(x-dx) < 0.01 && math.Abs(y-dy) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestENUDistanceAgreement(t *testing.T) {
+	// ENU planar distance should agree with haversine within 0.1% at
+	// city scale.
+	e := NewENU(trondheim)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		p := Destination(trondheim, rng.Float64()*360, rng.Float64()*5000)
+		x, y := e.Forward(p)
+		planar := math.Hypot(x, y)
+		sphere := Distance(trondheim, p)
+		if sphere > 1 && math.Abs(planar-sphere)/sphere > 0.001 {
+			t.Fatalf("planar %v vs sphere %v", planar, sphere)
+		}
+	}
+}
+
+func TestGridWithin(t *testing.T) {
+	g := NewGrid(trondheim, 200)
+	rng := rand.New(rand.NewSource(4))
+	type pt struct {
+		id string
+		p  LatLon
+		d  float64
+	}
+	var pts []pt
+	for i := 0; i < 500; i++ {
+		d := rng.Float64() * 5000
+		p := Destination(trondheim, rng.Float64()*360, d)
+		id := string(rune('a'+i%26)) + string(rune('0'+i%10))
+		g.Insert(id, p)
+		pts = append(pts, pt{id, p, d})
+	}
+	got := g.Within(trondheim, 1000)
+	want := 0
+	for _, p := range pts {
+		if p.d <= 1000 {
+			want++
+		}
+	}
+	// ENU projection vs great-circle can differ sub-meter at this scale;
+	// allow exact count since distances are far from the boundary in
+	// expectation — but be tolerant of boundary cases.
+	if math.Abs(float64(len(got)-want)) > 2 {
+		t.Fatalf("Within returned %d, want ~%d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Distance < got[i-1].Distance {
+			t.Fatal("Within results not sorted by distance")
+		}
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	g := NewGrid(trondheim, 300)
+	rng := rand.New(rand.NewSource(5))
+	ids := map[string]LatLon{}
+	for i := 0; i < 200; i++ {
+		p := Destination(trondheim, rng.Float64()*360, rng.Float64()*8000)
+		id := "s" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%26))
+		g.Insert(id, p)
+		ids[id] = p
+	}
+	got := g.Nearest(trondheim, 5)
+	if len(got) != 5 {
+		t.Fatalf("Nearest returned %d results", len(got))
+	}
+	// Verify against brute force.
+	var best float64 = math.MaxFloat64
+	for _, p := range ids {
+		if d := Distance(trondheim, p); d < best {
+			best = d
+		}
+	}
+	if math.Abs(got[0].Distance-best) > 1 {
+		t.Fatalf("nearest distance %v, brute force %v", got[0].Distance, best)
+	}
+}
+
+func TestGridNearestMoreThanAvailable(t *testing.T) {
+	g := NewGrid(trondheim, 300)
+	g.Insert("only", trondheim)
+	got := g.Nearest(vejle, 10)
+	if len(got) != 1 || got[0].ID != "only" {
+		t.Fatalf("got %v", got)
+	}
+	if g.Nearest(trondheim, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestGridRemove(t *testing.T) {
+	g := NewGrid(trondheim, 300)
+	g.Insert("a", trondheim)
+	g.Insert("a", Destination(trondheim, 90, 100))
+	g.Insert("b", Destination(trondheim, 0, 100))
+	if n := g.Remove("a"); n != 2 {
+		t.Fatalf("Remove = %d, want 2", n)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if got := g.Nearest(trondheim, 3); len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	if !trondheim.Valid() {
+		t.Fatal("trondheim should be valid")
+	}
+	bad := []LatLon{{91, 0}, {-91, 0}, {0, 181}, {0, -181}, {math.NaN(), 0}}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func clampLat(v float64) float64 { return math.Mod(math.Abs(v), 90) }
+func clampLon(v float64) float64 { return math.Mod(v, 180) }
+
+func randomPoint(rng *rand.Rand) LatLon {
+	return LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*360 - 180}
+}

@@ -1,0 +1,193 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform spatial hash index over geographic points. It backs
+// nearest-sensor lookups for dashboards, gateway coverage queries, and
+// building lookups in the city model. Cell size is chosen at
+// construction; queries degrade gracefully when points are clustered.
+type Grid struct {
+	enu      *ENU
+	cellSize float64
+	cells    map[cellKey][]gridEntry
+	n        int
+	// Bounding box of occupied cells, used to bound ring expansion in
+	// Nearest when the query point is far outside the indexed area.
+	minC, maxC cellKey
+}
+
+type cellKey struct{ cx, cy int }
+
+type gridEntry struct {
+	id   string
+	pos  LatLon
+	x, y float64
+}
+
+// NewGrid creates a grid index anchored at origin with the given cell
+// size in meters. Cell sizes in the 100–1000 m range suit city extents.
+func NewGrid(origin LatLon, cellSizeMeters float64) *Grid {
+	if cellSizeMeters <= 0 {
+		cellSizeMeters = 500
+	}
+	return &Grid{
+		enu:      NewENU(origin),
+		cellSize: cellSizeMeters,
+		cells:    make(map[cellKey][]gridEntry),
+	}
+}
+
+func (g *Grid) key(x, y float64) cellKey {
+	return cellKey{int(math.Floor(x / g.cellSize)), int(math.Floor(y / g.cellSize))}
+}
+
+// Insert adds a point with an identifier. Duplicate identifiers are
+// allowed; Remove deletes all entries with the identifier.
+func (g *Grid) Insert(id string, p LatLon) {
+	x, y := g.enu.Forward(p)
+	k := g.key(x, y)
+	g.cells[k] = append(g.cells[k], gridEntry{id: id, pos: p, x: x, y: y})
+	if g.n == 0 {
+		g.minC, g.maxC = k, k
+	} else {
+		if k.cx < g.minC.cx {
+			g.minC.cx = k.cx
+		}
+		if k.cy < g.minC.cy {
+			g.minC.cy = k.cy
+		}
+		if k.cx > g.maxC.cx {
+			g.maxC.cx = k.cx
+		}
+		if k.cy > g.maxC.cy {
+			g.maxC.cy = k.cy
+		}
+	}
+	g.n++
+}
+
+// Remove deletes every entry with the given identifier. It reports how
+// many entries were removed.
+func (g *Grid) Remove(id string) int {
+	removed := 0
+	for k, entries := range g.cells {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.id == id {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(g.cells, k)
+		} else {
+			g.cells[k] = kept
+		}
+	}
+	g.n -= removed
+	return removed
+}
+
+// Len returns the number of indexed entries.
+func (g *Grid) Len() int { return g.n }
+
+// Neighbor is a query result: an indexed point and its distance from
+// the query location in meters.
+type Neighbor struct {
+	ID       string
+	Pos      LatLon
+	Distance float64
+}
+
+// Within returns all entries within radius meters of p, sorted by
+// ascending distance.
+func (g *Grid) Within(p LatLon, radius float64) []Neighbor {
+	x, y := g.enu.Forward(p)
+	r := int(math.Ceil(radius/g.cellSize)) + 1
+	ck := g.key(x, y)
+	var out []Neighbor
+	for cx := ck.cx - r; cx <= ck.cx+r; cx++ {
+		for cy := ck.cy - r; cy <= ck.cy+r; cy++ {
+			for _, e := range g.cells[cellKey{cx, cy}] {
+				d := math.Hypot(e.x-x, e.y-y)
+				if d <= radius {
+					out = append(out, Neighbor{ID: e.id, Pos: e.pos, Distance: d})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// Nearest returns up to k nearest entries to p, sorted by ascending
+// distance. It expands the search ring until enough candidates are
+// found or the whole index has been scanned.
+func (g *Grid) Nearest(p LatLon, k int) []Neighbor {
+	if k <= 0 || g.n == 0 {
+		return nil
+	}
+	x, y := g.enu.Forward(p)
+	ck := g.key(x, y)
+	// The farthest ring that can contain any occupied cell: the Chebyshev
+	// distance from the query cell to the occupied-cell bounding box.
+	maxRing := 0
+	for _, d := range []int{g.minC.cx - ck.cx, ck.cx - g.maxC.cx, g.minC.cy - ck.cy, ck.cy - g.maxC.cy} {
+		if d > maxRing {
+			maxRing = d
+		}
+	}
+	maxRing += (g.maxC.cx - g.minC.cx) + (g.maxC.cy - g.minC.cy) + 1
+	var out []Neighbor
+	for ring := 0; ring <= maxRing; ring++ {
+		// Scan only the cells at exactly this ring (Chebyshev) distance,
+		// clipped to the occupied-cell bounding box.
+		for cx := maxInt(ck.cx-ring, g.minC.cx); cx <= minInt(ck.cx+ring, g.maxC.cx); cx++ {
+			for cy := maxInt(ck.cy-ring, g.minC.cy); cy <= minInt(ck.cy+ring, g.maxC.cy); cy++ {
+				onEdge := cx == ck.cx-ring || cx == ck.cx+ring || cy == ck.cy-ring || cy == ck.cy+ring
+				if !onEdge {
+					continue
+				}
+				for _, e := range g.cells[cellKey{cx, cy}] {
+					out = append(out, Neighbor{ID: e.id, Pos: e.pos, Distance: math.Hypot(e.x-x, e.y-y)})
+				}
+			}
+		}
+		// Stop when we have k candidates whose distances cannot be beaten
+		// by entries in farther rings, or we have scanned everything.
+		if len(out) >= k {
+			sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+			// Entries in ring R are at least (R-1)*cellSize away; once the
+			// k-th candidate is closer than that bound we can stop.
+			if out[k-1].Distance <= float64(ring)*g.cellSize || len(out) == g.n {
+				return out[:k]
+			}
+		}
+		if len(out) == g.n {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

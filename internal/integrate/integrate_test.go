@@ -1,0 +1,333 @@
+package integrate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/emissions"
+	"repro/internal/geo"
+	"repro/internal/traffic"
+	"repro/internal/weather"
+)
+
+var center = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+
+func testField(t *testing.T) (*emissions.Field, *traffic.Network) {
+	t.Helper()
+	w := weather.NewModel(center.Lat, center.Lon, 1)
+	tr := traffic.NewNetwork(traffic.GenerateGridNetwork(center, 3000, 1), 1)
+	return emissions.NewField(w, tr), tr
+}
+
+func day(d, h int) time.Time {
+	return time.Date(2017, time.March, d, h, 0, 0, 0, time.UTC)
+}
+
+func mkSeries(name string, start time.Time, step time.Duration, vals ...float64) TimeSeries {
+	ts := TimeSeries{Name: name}
+	for i, v := range vals {
+		ts.Samples = append(ts.Samples, Sample{Time: start.Add(time.Duration(i) * step), Value: v})
+	}
+	return ts
+}
+
+func TestResampleLinear(t *testing.T) {
+	ts := mkSeries("a", day(1, 0), time.Hour, 0, 10, 20)
+	got, err := Resample(ts, day(1, 0), day(1, 2), 30*time.Minute, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 10, 15, 20}
+	if len(got.Samples) != len(want) {
+		t.Fatalf("got %d samples", len(got.Samples))
+	}
+	for i, w := range want {
+		if math.Abs(got.Samples[i].Value-w) > 1e-9 {
+			t.Fatalf("sample %d = %v, want %v", i, got.Samples[i].Value, w)
+		}
+	}
+}
+
+func TestResampleOutsideSpanIsNaN(t *testing.T) {
+	ts := mkSeries("a", day(1, 1), time.Hour, 5, 6)
+	got, err := Resample(ts, day(1, 0), day(1, 3), time.Hour, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Samples[0].Value) {
+		t.Fatal("before-span sample should be NaN")
+	}
+	if !math.IsNaN(got.Samples[3].Value) {
+		t.Fatal("after-span sample should be NaN")
+	}
+}
+
+func TestResamplePrevious(t *testing.T) {
+	ts := mkSeries("a", day(1, 0), 2*time.Hour, 1, 2)
+	got, err := Resample(ts, day(1, 0), day(1, 3), time.Hour, Previous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2, 2}
+	for i, w := range want {
+		if got.Samples[i].Value != w {
+			t.Fatalf("sample %d = %v, want %v", i, got.Samples[i].Value, w)
+		}
+	}
+}
+
+func TestResampleMeanInBucket(t *testing.T) {
+	// 4 samples per hour; hourly mean buckets.
+	ts := mkSeries("a", day(1, 0), 15*time.Minute, 1, 2, 3, 4, 10, 20, 30, 40)
+	got, err := Resample(ts, day(1, 0), day(1, 1), time.Hour, MeanInBucket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Samples[0].Value != 2.5 || got.Samples[1].Value != 25 {
+		t.Fatalf("bucket means: %v, %v", got.Samples[0].Value, got.Samples[1].Value)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample(TimeSeries{}, day(1, 0), day(1, 1), time.Hour, Linear); err != ErrEmptySeries {
+		t.Fatalf("empty: %v", err)
+	}
+	ts := mkSeries("a", day(1, 0), time.Hour, 1)
+	if _, err := Resample(ts, day(1, 0), day(1, 1), 0, Linear); err != ErrBadInterval {
+		t.Fatalf("bad interval: %v", err)
+	}
+}
+
+func TestAlignHeterogeneousSeries(t *testing.T) {
+	// Hourly reference data vs 5-minute sensor data.
+	ref := mkSeries("ref", day(1, 0), time.Hour, 10, 12, 14, 16, 18, 20)
+	sensor := TimeSeries{Name: "sensor"}
+	for i := 0; i < 60; i++ {
+		sensor.Samples = append(sensor.Samples, Sample{
+			Time:  day(1, 0).Add(time.Duration(i) * 5 * time.Minute),
+			Value: float64(i),
+		})
+	}
+	aligned, err := Align([]TimeSeries{ref, sensor}, time.Hour, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned) != 2 {
+		t.Fatalf("aligned %d series", len(aligned))
+	}
+	if len(aligned[0].Samples) != len(aligned[1].Samples) {
+		t.Fatalf("grids differ: %d vs %d", len(aligned[0].Samples), len(aligned[1].Samples))
+	}
+	for i := range aligned[0].Samples {
+		if !aligned[0].Samples[i].Time.Equal(aligned[1].Samples[i].Time) {
+			t.Fatal("timestamps not aligned")
+		}
+	}
+}
+
+func TestAlignNonOverlapping(t *testing.T) {
+	a := mkSeries("a", day(1, 0), time.Hour, 1, 2)
+	b := mkSeries("b", day(5, 0), time.Hour, 1, 2)
+	if _, err := Align([]TimeSeries{a, b}, time.Hour, Linear); err == nil {
+		t.Fatal("non-overlapping spans should error")
+	}
+}
+
+func TestDropNaN(t *testing.T) {
+	a := TimeSeries{Name: "a", Samples: []Sample{
+		{day(1, 0), 1}, {day(1, 1), math.NaN()}, {day(1, 2), 3},
+	}}
+	b := TimeSeries{Name: "b", Samples: []Sample{
+		{day(1, 0), 4}, {day(1, 1), 5}, {day(1, 2), 6},
+	}}
+	out := DropNaN([]TimeSeries{a, b})
+	if len(out[0].Samples) != 2 || len(out[1].Samples) != 2 {
+		t.Fatalf("NaN row not dropped: %d/%d", len(out[0].Samples), len(out[1].Samples))
+	}
+	if out[1].Samples[1].Value != 6 {
+		t.Fatalf("wrong survivor: %v", out[1].Samples[1].Value)
+	}
+}
+
+func TestReferenceStationAccuracy(t *testing.T) {
+	field, _ := testField(t)
+	st := NewReferenceStation("nilu-1", center, field)
+	series := st.Observe(emissions.CO2, day(1, 0), day(3, 0))
+	if len(series.Samples) != 48 {
+		t.Fatalf("expected 48 hourly samples, got %d", len(series.Samples))
+	}
+	// Station error must be small relative to truth.
+	var sumAbs float64
+	for _, s := range series.Samples {
+		truth := field.Concentration(emissions.CO2, center, s.Time)
+		sumAbs += math.Abs(s.Value - truth)
+	}
+	if mean := sumAbs / 48; mean > 2 {
+		t.Fatalf("reference station too noisy: mean abs err %v", mean)
+	}
+}
+
+func TestStationServerAndClient(t *testing.T) {
+	field, _ := testField(t)
+	st := NewReferenceStation("nilu-1", center, field)
+	srv := NewStationServer(st)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := NewStationClient("http://" + addr.String())
+	got, err := client.Fetch("nilu-1", emissions.NO2, day(1, 0), day(1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 6 {
+		t.Fatalf("fetched %d samples, want 6", len(got.Samples))
+	}
+	want := st.Observe(emissions.NO2, day(1, 0), day(1, 6))
+	for i := range want.Samples {
+		if math.Abs(got.Samples[i].Value-want.Samples[i].Value) > 1e-9 {
+			t.Fatalf("sample %d mismatch over HTTP", i)
+		}
+	}
+	// Error paths.
+	if _, err := client.Fetch("nope", emissions.CO2, day(1, 0), day(1, 1)); err == nil {
+		t.Fatal("unknown station should fail")
+	}
+}
+
+func TestSatelliteOverpassSchedule(t *testing.T) {
+	field, _ := testField(t)
+	sat := NewSatellite(field)
+	passes := sat.Overpasses(day(1, 0), time.Date(2017, time.May, 1, 0, 0, 0, 0, time.UTC))
+	if len(passes) < 3 || len(passes) > 5 {
+		t.Fatalf("expected ~4 overpasses in 2 months at 16-day revisit, got %d", len(passes))
+	}
+	for i := 1; i < len(passes); i++ {
+		if gap := passes[i].Sub(passes[i-1]); gap != 16*24*time.Hour {
+			t.Fatalf("overpass gap %v, want 384h", gap)
+		}
+	}
+}
+
+func TestSatelliteSoundings(t *testing.T) {
+	field, _ := testField(t)
+	sat := NewSatellite(field)
+	passes := sat.Overpasses(day(1, 0), day(28, 0))
+	if len(passes) == 0 {
+		t.Fatal("no overpasses in a month")
+	}
+	snds := sat.Retrieve(center, passes[0])
+	if len(snds) != sat.SwathSoundings {
+		t.Fatalf("soundings: %d", len(snds))
+	}
+	for _, s := range snds {
+		// XCO2 must look like a column value: near background, far from
+		// surface enhancement levels.
+		if s.XCO2 < 395 || s.XCO2 > 420 {
+			t.Fatalf("XCO2 %v implausible for a column retrieval", s.XCO2)
+		}
+		if s.Uncertainty <= 0 {
+			t.Fatal("uncertainty must be positive")
+		}
+	}
+}
+
+func TestSatelliteCampaignSparse(t *testing.T) {
+	field, _ := testField(t)
+	sat := NewSatellite(field)
+	series := sat.CampaignSeries(center, day(1, 0), time.Date(2017, time.June, 1, 0, 0, 0, 0, time.UTC))
+	// ~3 months / 16 days ≈ 5-6 points: the "low spatial/temporal
+	// resolution" characteristic.
+	if len(series.Samples) < 4 || len(series.Samples) > 7 {
+		t.Fatalf("campaign samples: %d", len(series.Samples))
+	}
+}
+
+func TestTrafficFeedSeries(t *testing.T) {
+	_, tr := testField(t)
+	feed := NewTrafficFeed(tr)
+	ts := feed.JamFactorSeries(day(7, 0), day(8, 0)) // Tuesday
+	if len(ts.Samples) != 288 {
+		t.Fatalf("samples: %d, want 288 (5-min over a day)", len(ts.Samples))
+	}
+	// Rush hour jam must exceed night jam.
+	byHour := map[int]float64{}
+	for _, s := range ts.Samples {
+		byHour[s.Time.Hour()] += s.Value
+	}
+	if byHour[8] <= byHour[3] {
+		t.Fatalf("rush jam %v not above night %v", byHour[8]/12, byHour[3]/12)
+	}
+}
+
+func TestSegmentAndNearbyJam(t *testing.T) {
+	_, tr := testField(t)
+	feed := NewTrafficFeed(tr)
+	seg := tr.Segments[0].ID
+	ts, err := feed.SegmentJamSeries(seg, day(7, 8), day(7, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Samples) != 12 {
+		t.Fatalf("segment samples: %d", len(ts.Samples))
+	}
+	if _, err := feed.SegmentJamSeries("nope", day(7, 8), day(7, 9)); err == nil {
+		t.Fatal("unknown segment should error")
+	}
+	near := feed.NearbyJamSeries(center, 1500, day(7, 8), day(7, 9))
+	if len(near.Samples) != 12 {
+		t.Fatalf("nearby samples: %d", len(near.Samples))
+	}
+}
+
+func TestMunicipalCounts(t *testing.T) {
+	_, tr := testField(t)
+	mc := &MunicipalCounts{Network: tr}
+	ts, err := mc.Campaign(tr.Segments[0].ID, day(6, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Samples) != 48 {
+		t.Fatalf("campaign samples: %d", len(ts.Samples))
+	}
+}
+
+func TestNationalDownscale(t *testing.T) {
+	inv := NorwayInventory2016()
+	est, err := inv.Downscale("trondheim", 190000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != len(inv.Sectors) {
+		t.Fatalf("sector count: %d", len(est))
+	}
+	share := 190000.0 / 5236000.0
+	for i, e := range est {
+		want := inv.Sectors[i].KtCO2e * share
+		if math.Abs(e.KtCO2e-want) > 1e-9 {
+			t.Fatalf("downscale %s: %v want %v", e.Sector, e.KtCO2e, want)
+		}
+		if e.High <= e.KtCO2e || e.Low >= e.KtCO2e {
+			t.Fatalf("uncertainty bounds wrong: %+v", e)
+		}
+		// Downscaling must widen relative uncertainty.
+		rel := (e.High - e.KtCO2e) / e.KtCO2e * 100
+		if rel <= inv.Sectors[i].UncertaintyPct {
+			t.Fatalf("downscaled uncertainty %v should exceed national %v", rel, inv.Sectors[i].UncertaintyPct)
+		}
+	}
+	total := Total(est)
+	var sum float64
+	for _, e := range est {
+		sum += e.KtCO2e
+	}
+	if math.Abs(total.KtCO2e-sum) > 1e-9 {
+		t.Fatalf("total: %v want %v", total.KtCO2e, sum)
+	}
+	if _, err := inv.Downscale("x", 0); err == nil {
+		t.Fatal("zero population should error")
+	}
+}

@@ -1,0 +1,127 @@
+package integrate
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/emissions"
+	"repro/internal/geo"
+)
+
+// Satellite simulates the NASA OCO-2 integration (Table 1 row 2):
+// "ground truth top-down measurements for certain emission types,
+// large-scale coverage, low spatial resolution". OCO-2 is a polar
+// sun-synchronous orbiter whose narrow swath revisits a given city
+// only every ~16 days, returning column-averaged CO2 (XCO2) soundings
+// with a footprint of a few km — coarse, sparse, but unbiased.
+type Satellite struct {
+	// RevisitDays between overpasses of the target area.
+	RevisitDays int
+	// FootprintM is the sounding footprint diameter.
+	FootprintM float64
+	// SwathSoundings per overpass over the city.
+	SwathSoundings int
+	// OverpassHourUTC: OCO-2 crosses mid-day local; fixed here.
+	OverpassHourUTC int
+
+	field *emissions.Field
+}
+
+// NewSatellite builds an OCO-2-like sampler of the truth field.
+func NewSatellite(field *emissions.Field) *Satellite {
+	return &Satellite{
+		RevisitDays:     16,
+		FootprintM:      2250,
+		SwathSoundings:  8,
+		OverpassHourUTC: 12,
+		field:           field,
+	}
+}
+
+// Sounding is one column-CO2 retrieval.
+type Sounding struct {
+	Time time.Time
+	Pos  geo.LatLon
+	// XCO2 is the column-averaged dry-air CO2 mole fraction in ppm.
+	XCO2 float64
+	// Uncertainty (1σ) of the retrieval.
+	Uncertainty float64
+}
+
+// Overpasses lists the overpass times within [start, end).
+func (s *Satellite) Overpasses(start, end time.Time) []time.Time {
+	var out []time.Time
+	// Anchor the cycle to a fixed epoch so results are stable.
+	epoch := time.Date(2017, time.January, 3, 0, 0, 0, 0, time.UTC)
+	period := time.Duration(s.RevisitDays) * 24 * time.Hour
+	// First overpass at or after start.
+	n := int(math.Ceil(start.Sub(epoch).Hours() / 24 / float64(s.RevisitDays)))
+	if n < 0 {
+		n = 0
+	}
+	for {
+		day := epoch.Add(time.Duration(n) * period)
+		t := time.Date(day.Year(), day.Month(), day.Day(), s.OverpassHourUTC, 26, 0, 0, time.UTC)
+		if !t.Before(end) {
+			return out
+		}
+		if !t.Before(start) {
+			out = append(out, t)
+		}
+		n++
+	}
+}
+
+// Retrieve returns the soundings of one overpass near the city center:
+// a north-south line of footprints crossing the area. The XCO2 value
+// is the truth field smoothed over the footprint plus the column
+// background (the local surface enhancement is diluted ~20x through
+// the column — why satellite data grounds large-scale modeling but
+// cannot replace in-situ sensors).
+func (s *Satellite) Retrieve(center geo.LatLon, at time.Time) []Sounding {
+	var out []Sounding
+	for i := 0; i < s.SwathSoundings; i++ {
+		off := float64(i-s.SwathSoundings/2) * s.FootprintM
+		pos := geo.Destination(center, 0, off)
+		// Footprint average: sample the field at the footprint center
+		// and at 4 surrounding points.
+		var sum float64
+		pts := []geo.LatLon{
+			pos,
+			geo.Destination(pos, 0, s.FootprintM/3),
+			geo.Destination(pos, 90, s.FootprintM/3),
+			geo.Destination(pos, 180, s.FootprintM/3),
+			geo.Destination(pos, 270, s.FootprintM/3),
+		}
+		for _, p := range pts {
+			sum += s.field.Concentration(emissions.CO2, p, at)
+		}
+		surface := sum / float64(len(pts))
+		background := 405.0
+		xco2 := background + (surface-background)/20 +
+			0.4*deterministicNoise("oco2", at.Unix()+int64(i))
+		out = append(out, Sounding{
+			Time:        at,
+			Pos:         pos,
+			XCO2:        xco2,
+			Uncertainty: 0.5,
+		})
+	}
+	return out
+}
+
+// CampaignSeries runs Retrieve over every overpass in a window and
+// returns the swath-mean XCO2 as a (sparse) time series, ready for
+// alignment against ground data.
+func (s *Satellite) CampaignSeries(center geo.LatLon, start, end time.Time) TimeSeries {
+	ts := TimeSeries{Name: "oco2.xco2", Unit: "ppm"}
+	for _, t := range s.Overpasses(start, end) {
+		soundings := s.Retrieve(center, t)
+		var sum float64
+		for _, snd := range soundings {
+			sum += snd.XCO2
+		}
+		ts.Samples = append(ts.Samples, Sample{Time: t, Value: sum / float64(len(soundings))})
+	}
+	return ts
+}

@@ -1,0 +1,190 @@
+package integrate
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/traffic"
+)
+
+// TrafficFeed wraps the traffic simulator as the here.com continuous
+// jam-factor feed (Table 1 row 3): "estimate traffic emissions by
+// correlating continuous external traffic density to emission
+// measurements".
+type TrafficFeed struct {
+	Network *traffic.Network
+	// Interval between feed updates (here.com updates every minute;
+	// the paper's analyses use coarser grids).
+	Interval time.Duration
+}
+
+// NewTrafficFeed wraps a network with a 5-minute feed cadence.
+func NewTrafficFeed(n *traffic.Network) *TrafficFeed {
+	return &TrafficFeed{Network: n, Interval: 5 * time.Minute}
+}
+
+// JamFactorSeries returns the city-wide jam factor over [start, end).
+func (f *TrafficFeed) JamFactorSeries(start, end time.Time) TimeSeries {
+	ts := TimeSeries{Name: "here.jamfactor", Unit: "jf"}
+	for t := start; t.Before(end); t = t.Add(f.Interval) {
+		ts.Samples = append(ts.Samples, Sample{Time: t, Value: f.Network.CityJamFactor(t)})
+	}
+	return ts
+}
+
+// SegmentJamSeries returns one segment's jam factor over [start, end).
+func (f *TrafficFeed) SegmentJamSeries(segmentID string, start, end time.Time) (TimeSeries, error) {
+	ts := TimeSeries{Name: "here.jamfactor." + segmentID, Unit: "jf"}
+	for t := start; t.Before(end); t = t.Add(f.Interval) {
+		obs, err := f.Network.At(segmentID, t)
+		if err != nil {
+			return TimeSeries{}, err
+		}
+		ts.Samples = append(ts.Samples, Sample{Time: t, Value: obs.JamFactor})
+	}
+	return ts, nil
+}
+
+// NearbyJamSeries averages the jam factor of segments within radius
+// meters of a sensor position — the per-location indicator shown on
+// the Fig. 6 dashboard.
+func (f *TrafficFeed) NearbyJamSeries(pos geo.LatLon, radius float64, start, end time.Time) TimeSeries {
+	var ids []string
+	for i := range f.Network.Segments {
+		s := &f.Network.Segments[i]
+		if geo.Distance(s.Midpoint(), pos) <= radius {
+			ids = append(ids, s.ID)
+		}
+	}
+	ts := TimeSeries{Name: "here.jamfactor.nearby", Unit: "jf"}
+	for t := start; t.Before(end); t = t.Add(f.Interval) {
+		var sum float64
+		var n int
+		for _, id := range ids {
+			if obs, err := f.Network.At(id, t); err == nil {
+				sum += obs.JamFactor
+				n++
+			}
+		}
+		v := 0.0
+		if n > 0 {
+			v = sum / float64(n)
+		}
+		ts.Samples = append(ts.Samples, Sample{Time: t, Value: v})
+	}
+	return ts
+}
+
+// MunicipalCounts wraps short-period municipal count campaigns
+// (Table 1 row 4: "validate traffic estimations, but only available
+// for short periods").
+type MunicipalCounts struct {
+	Network *traffic.Network
+}
+
+// Campaign returns hourly counts for a segment as a time series.
+func (m *MunicipalCounts) Campaign(segmentID string, start time.Time, days int) (TimeSeries, error) {
+	counts, err := m.Network.CountCampaign(segmentID, start, days)
+	if err != nil {
+		return TimeSeries{}, err
+	}
+	ts := TimeSeries{Name: "municipal.counts." + segmentID, Unit: "veh/h"}
+	for _, c := range counts {
+		ts.Samples = append(ts.Samples, Sample{Time: c.Hour, Value: float64(c.Vehicles)})
+	}
+	return ts, nil
+}
+
+// --- national statistics ---------------------------------------------
+
+// SectorEmission is one sector's annual GHG emission estimate.
+type SectorEmission struct {
+	Sector string
+	// KtCO2e is kilotonnes of CO2-equivalent per year.
+	KtCO2e float64
+	// UncertaintyPct is the 1σ relative uncertainty — the paper notes
+	// downscaled national data comes "often with high uncertainties".
+	UncertaintyPct float64
+}
+
+// NationalInventory is the national statistics office's annual GHG
+// inventory (Table 1 row 6).
+type NationalInventory struct {
+	Year       int
+	Country    string
+	Population int
+	Sectors    []SectorEmission
+}
+
+// NorwayInventory2016 returns a stylized national inventory with the
+// sector structure of the Norwegian 2016 GHG account (~53 Mt CO2e).
+func NorwayInventory2016() NationalInventory {
+	return NationalInventory{
+		Year: 2016, Country: "NO", Population: 5236000,
+		Sectors: []SectorEmission{
+			{Sector: "oil-gas", KtCO2e: 14800, UncertaintyPct: 5},
+			{Sector: "industry", KtCO2e: 11900, UncertaintyPct: 8},
+			{Sector: "road-transport", KtCO2e: 9400, UncertaintyPct: 10},
+			{Sector: "other-transport", KtCO2e: 6900, UncertaintyPct: 15},
+			{Sector: "agriculture", KtCO2e: 4500, UncertaintyPct: 25},
+			{Sector: "heating", KtCO2e: 1100, UncertaintyPct: 30},
+			{Sector: "waste", KtCO2e: 1400, UncertaintyPct: 35},
+			{Sector: "other", KtCO2e: 3000, UncertaintyPct: 40},
+		},
+	}
+}
+
+// CityEstimate is a downscaled city-level emission estimate.
+type CityEstimate struct {
+	City       string
+	Population int
+	Sector     string
+	// KtCO2e per year attributed to the city.
+	KtCO2e float64
+	// Low/High bound the 1σ interval.
+	Low, High float64
+}
+
+// Downscale attributes national sector emissions to a city by
+// population share — the standard (and coarse) per-capita method.
+// Uncertainty combines the national figure's uncertainty with a
+// downscaling penalty, reflecting the paper's caveat.
+func (inv NationalInventory) Downscale(city string, population int) ([]CityEstimate, error) {
+	if population <= 0 || inv.Population <= 0 {
+		return nil, fmt.Errorf("integrate: bad population %d/%d", population, inv.Population)
+	}
+	share := float64(population) / float64(inv.Population)
+	const downscalePenaltyPct = 20 // extra relative uncertainty from per-capita attribution
+	out := make([]CityEstimate, 0, len(inv.Sectors))
+	for _, s := range inv.Sectors {
+		v := s.KtCO2e * share
+		relU := s.UncertaintyPct + downscalePenaltyPct
+		u := v * relU / 100
+		out = append(out, CityEstimate{
+			City: city, Population: population, Sector: s.Sector,
+			KtCO2e: v, Low: v - u, High: v + u,
+		})
+	}
+	return out, nil
+}
+
+// Total sums city estimates across sectors (with uncertainty added in
+// quadrature).
+func Total(estimates []CityEstimate) CityEstimate {
+	var total CityEstimate
+	var varSum float64
+	for _, e := range estimates {
+		total.KtCO2e += e.KtCO2e
+		sigma := (e.High - e.Low) / 2
+		varSum += sigma * sigma
+		total.City = e.City
+		total.Population = e.Population
+	}
+	total.Sector = "total"
+	sigma := math.Sqrt(varSum)
+	total.Low = total.KtCO2e - sigma
+	total.High = total.KtCO2e + sigma
+	return total
+}

@@ -1,0 +1,192 @@
+package integrate
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/emissions"
+	"repro/internal/geo"
+)
+
+// ReferenceStation simulates an official air-quality measurement
+// station (the paper's NILU integration, Table 1 row 1): a
+// high-accuracy instrument at a fixed site, publishing hourly values.
+// It samples the same truth field the low-cost sensors observe, with
+// two orders of magnitude less error — which is what makes it usable
+// as "ground truth for certain pollution types, grounding and
+// calibrating measurements".
+type ReferenceStation struct {
+	ID    string
+	Pos   geo.LatLon
+	field *emissions.Field
+	// NoiseSigma is the instrument error (µg/m³ or ppm); reference
+	// instruments are ~0.1% of the low-cost units'.
+	NoiseSigma float64
+}
+
+// NewReferenceStation places a reference station on the truth field.
+func NewReferenceStation(id string, pos geo.LatLon, field *emissions.Field) *ReferenceStation {
+	return &ReferenceStation{ID: id, Pos: pos, field: field, NoiseSigma: 0.5}
+}
+
+// Observe returns the station's hourly series for a species covering
+// [start, end).
+func (r *ReferenceStation) Observe(sp emissions.Species, start, end time.Time) TimeSeries {
+	ts := TimeSeries{Name: r.ID + "." + sp.String(), Unit: sp.Unit()}
+	for t := start.Truncate(time.Hour); t.Before(end); t = t.Add(time.Hour) {
+		truth := r.field.Concentration(sp, r.Pos, t)
+		// Deterministic small instrument noise derived from the hour.
+		noise := r.NoiseSigma * deterministicNoise(r.ID, t.Unix())
+		ts.Samples = append(ts.Samples, Sample{Time: t, Value: truth + noise})
+	}
+	return ts
+}
+
+func deterministicNoise(key string, bucket int64) float64 {
+	h := uint64(1469598103934665603)
+	for _, c := range key {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h ^= uint64(bucket) * 0x9E3779B97F4A7C15
+	// Map to roughly standard normal via sum of uniforms.
+	var sum float64
+	for i := 0; i < 4; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		sum += float64(h>>11) / float64(1<<53)
+	}
+	return (sum - 2) * 1.7 // variance ≈ 1
+}
+
+// --- REST API (the integration surface) ------------------------------
+
+// stationReading is the JSON document the station API serves.
+type stationReading struct {
+	Station string    `json:"station"`
+	Species string    `json:"species"`
+	Unit    string    `json:"unit"`
+	Time    time.Time `json:"time"`
+	Value   float64   `json:"value"`
+}
+
+// StationServer exposes reference stations over HTTP, standing in for
+// the national institute's open-data API.
+type StationServer struct {
+	mu       sync.Mutex
+	stations map[string]*ReferenceStation
+	srv      *http.Server
+	ln       net.Listener
+}
+
+// NewStationServer creates a server over the given stations.
+func NewStationServer(stations ...*ReferenceStation) *StationServer {
+	m := make(map[string]*ReferenceStation, len(stations))
+	for _, s := range stations {
+		m[s.ID] = s
+	}
+	return &StationServer{stations: m}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *StationServer) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("integrate: station server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/observations", s.handleObservations)
+	s.srv = &http.Server{Handler: mux}
+	s.ln = ln
+	go s.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close shuts the server down.
+func (s *StationServer) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// handleObservations serves
+// /v1/observations?station=ID&species=co2&from=RFC3339&to=RFC3339
+func (s *StationServer) handleObservations(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	s.mu.Lock()
+	st := s.stations[q.Get("station")]
+	s.mu.Unlock()
+	if st == nil {
+		http.Error(w, "unknown station", http.StatusNotFound)
+		return
+	}
+	sp, ok := speciesByName(q.Get("species"))
+	if !ok {
+		http.Error(w, "unknown species", http.StatusBadRequest)
+		return
+	}
+	from, err1 := time.Parse(time.RFC3339, q.Get("from"))
+	to, err2 := time.Parse(time.RFC3339, q.Get("to"))
+	if err1 != nil || err2 != nil || !to.After(from) {
+		http.Error(w, "bad time range", http.StatusBadRequest)
+		return
+	}
+	series := st.Observe(sp, from, to)
+	out := make([]stationReading, 0, len(series.Samples))
+	for _, smp := range series.Samples {
+		out = append(out, stationReading{
+			Station: st.ID, Species: sp.String(), Unit: sp.Unit(),
+			Time: smp.Time, Value: smp.Value,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func speciesByName(name string) (emissions.Species, bool) {
+	for _, sp := range emissions.AllSpecies {
+		if sp.String() == name {
+			return sp, true
+		}
+	}
+	return 0, false
+}
+
+// StationClient fetches observations from a StationServer — the
+// integration client the analytics pipeline uses.
+type StationClient struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewStationClient targets a server base URL like "http://host:port".
+func NewStationClient(baseURL string) *StationClient {
+	return &StationClient{BaseURL: baseURL, HTTP: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Fetch retrieves a station's series for a species over [from, to).
+func (c *StationClient) Fetch(station string, sp emissions.Species, from, to time.Time) (TimeSeries, error) {
+	url := fmt.Sprintf("%s/v1/observations?station=%s&species=%s&from=%s&to=%s",
+		c.BaseURL, station, sp.String(),
+		from.UTC().Format(time.RFC3339), to.UTC().Format(time.RFC3339))
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return TimeSeries{}, fmt.Errorf("integrate: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return TimeSeries{}, fmt.Errorf("integrate: station API status %d", resp.StatusCode)
+	}
+	var readings []stationReading
+	if err := json.NewDecoder(resp.Body).Decode(&readings); err != nil {
+		return TimeSeries{}, fmt.Errorf("integrate: decode: %w", err)
+	}
+	ts := TimeSeries{Name: station + "." + sp.String(), Unit: sp.Unit()}
+	for _, r := range readings {
+		ts.Samples = append(ts.Samples, Sample{Time: r.Time, Value: r.Value})
+	}
+	return ts, nil
+}

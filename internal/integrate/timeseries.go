@@ -1,0 +1,220 @@
+// Package integrate implements the external data integration of the
+// paper's Table 1: official air-quality measurements (NILU), remote
+// sensing (NASA OCO-2 CO2 soundings), commercial traffic density
+// (here.com), municipal traffic counts, national GHG statistics, and
+// the time-alignment machinery needed to bring these "highly
+// heterogeneous data, with different timescales, measurement
+// frequencies, spatial distributions and granularities" (§2.2) onto a
+// common timeline with the sensor network.
+package integrate
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one timestamped observation.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+// TimeSeries is an ordered sequence of samples from one source.
+type TimeSeries struct {
+	Name    string
+	Unit    string
+	Samples []Sample
+}
+
+// Sort orders samples chronologically (stable for equal times).
+func (ts *TimeSeries) Sort() {
+	sort.SliceStable(ts.Samples, func(i, j int) bool {
+		return ts.Samples[i].Time.Before(ts.Samples[j].Time)
+	})
+}
+
+// Span returns the first and last sample times.
+func (ts TimeSeries) Span() (start, end time.Time, ok bool) {
+	if len(ts.Samples) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return ts.Samples[0].Time, ts.Samples[len(ts.Samples)-1].Time, true
+}
+
+// Values extracts the value column.
+func (ts TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.Samples))
+	for i, s := range ts.Samples {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// ResampleMethod selects how values map onto a new time grid.
+type ResampleMethod int
+
+// Resampling methods.
+const (
+	// Linear interpolates between neighbouring samples.
+	Linear ResampleMethod = iota
+	// Previous holds the last observed value (step function) — right
+	// for slowly updated sources like national statistics.
+	Previous
+	// MeanInBucket averages samples falling inside each grid interval —
+	// right for downscaling high-frequency sources.
+	MeanInBucket
+)
+
+// Alignment errors.
+var (
+	ErrEmptySeries = errors.New("integrate: empty series")
+	ErrBadInterval = errors.New("integrate: non-positive interval")
+)
+
+// Resample maps a series onto a regular grid [start, end] with the
+// given interval. Grid points outside the series span yield NaN
+// (missing), which downstream gap-handling deals with explicitly.
+func Resample(ts TimeSeries, start, end time.Time, interval time.Duration, method ResampleMethod) (TimeSeries, error) {
+	if len(ts.Samples) == 0 {
+		return TimeSeries{}, ErrEmptySeries
+	}
+	if interval <= 0 {
+		return TimeSeries{}, ErrBadInterval
+	}
+	ts.Sort()
+	out := TimeSeries{Name: ts.Name, Unit: ts.Unit}
+	for t := start; !t.After(end); t = t.Add(interval) {
+		var v float64
+		switch method {
+		case Previous:
+			v = previousAt(ts.Samples, t)
+		case MeanInBucket:
+			v = meanIn(ts.Samples, t, t.Add(interval))
+		default:
+			v = linearAt(ts.Samples, t)
+		}
+		out.Samples = append(out.Samples, Sample{Time: t, Value: v})
+	}
+	return out, nil
+}
+
+func linearAt(s []Sample, t time.Time) float64 {
+	i := sort.Search(len(s), func(i int) bool { return !s[i].Time.Before(t) })
+	if i < len(s) && s[i].Time.Equal(t) {
+		return s[i].Value
+	}
+	if i == 0 || i == len(s) {
+		return math.NaN()
+	}
+	a, b := s[i-1], s[i]
+	span := b.Time.Sub(a.Time).Seconds()
+	if span <= 0 {
+		return a.Value
+	}
+	frac := t.Sub(a.Time).Seconds() / span
+	return a.Value + frac*(b.Value-a.Value)
+}
+
+func previousAt(s []Sample, t time.Time) float64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Time.After(t) })
+	if i == 0 {
+		return math.NaN()
+	}
+	return s[i-1].Value
+}
+
+func meanIn(s []Sample, from, to time.Time) float64 {
+	var sum float64
+	var n int
+	for _, smp := range s {
+		if !smp.Time.Before(from) && smp.Time.Before(to) {
+			sum += smp.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Align resamples several heterogeneous series onto one shared grid,
+// returning them in input order. The grid spans the intersection of
+// all series' spans, so every aligned series has data coverage.
+func Align(series []TimeSeries, interval time.Duration, method ResampleMethod) ([]TimeSeries, error) {
+	if len(series) == 0 {
+		return nil, ErrEmptySeries
+	}
+	var start, end time.Time
+	for i := range series {
+		s, e, ok := series[i].Span()
+		if !ok {
+			return nil, ErrEmptySeries
+		}
+		if i == 0 || s.After(start) {
+			start = s
+		}
+		if i == 0 || e.Before(end) {
+			end = e
+		}
+	}
+	if end.Before(start) {
+		return nil, errors.New("integrate: series spans do not overlap")
+	}
+	// Snap the grid origin to a whole interval for stable bucketing.
+	start = start.Truncate(interval)
+	if start.Before(seriesMaxStart(series)) {
+		start = start.Add(interval)
+	}
+	out := make([]TimeSeries, len(series))
+	for i := range series {
+		r, err := Resample(series[i], start, end, interval, method)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func seriesMaxStart(series []TimeSeries) time.Time {
+	var m time.Time
+	for i := range series {
+		if s, _, ok := series[i].Span(); ok && (m.IsZero() || s.After(m)) {
+			m = s
+		}
+	}
+	return m
+}
+
+// DropNaN returns a copy with NaN samples removed from every series at
+// the same indices (a sample is dropped when ANY series has NaN there).
+// All series must share a grid (same length).
+func DropNaN(series []TimeSeries) []TimeSeries {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0].Samples)
+	keep := make([]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = true
+		for _, s := range series {
+			if i >= len(s.Samples) || math.IsNaN(s.Samples[i].Value) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	out := make([]TimeSeries, len(series))
+	for si, s := range series {
+		out[si] = TimeSeries{Name: s.Name, Unit: s.Unit}
+		for i := 0; i < n && i < len(s.Samples); i++ {
+			if keep[i] {
+				out[si].Samples = append(out[si].Samples, s.Samples[i])
+			}
+		}
+	}
+	return out
+}

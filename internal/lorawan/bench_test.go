@@ -1,0 +1,62 @@
+package lorawan
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkFrameCodec(b *testing.B) {
+	u := &Uplink{DevAddr: 0x26011F42, FCnt: 1234, FPort: 1, Payload: make([]byte, 24)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := u.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAirtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for sf := SF7; sf <= SF12; sf++ {
+			Airtime(24, sf)
+		}
+	}
+}
+
+func BenchmarkChannelRSSI(b *testing.B) {
+	ch := NewChannel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.RSSI("dev", "gw", 1500, t0.Add(time.Duration(i)*time.Minute))
+	}
+}
+
+// BenchmarkResolve measures a radio round at deployment scale (12
+// nodes, 2 gateways) and at a 10x denser hypothetical.
+func BenchmarkResolve(b *testing.B) {
+	for _, nodes := range []int{12, 120} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			gw1 := NewGateway("gw1", gwPos)
+			gw2 := NewGateway("gw2", geo.Destination(gwPos, 60, 1800))
+			n := NewNetwork(1, gw1, gw2)
+			txs := make([]Transmission, nodes)
+			for i := range txs {
+				txs[i] = makeTx(fmt.Sprintf("dev%03d", i),
+					geo.Destination(gwPos, float64(i*7), float64(300+i*13)),
+					SpreadingFactor(9+i%3), i%Channels,
+					t0.Add(time.Duration(i*137)*time.Millisecond))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Resolve(txs)
+			}
+		})
+	}
+}

@@ -1,0 +1,367 @@
+package lorawan
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	gwPos   = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+	t0      = time.Date(2017, time.March, 7, 12, 0, 0, 0, time.UTC)
+	payload = []byte{0x01, 0x67, 0x01, 0x10, 0x02, 0x68, 0x5A}
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	u := &Uplink{DevAddr: 0x26011F42, FCnt: 1234, FPort: 2, Payload: payload}
+	wire, err := u.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DevAddr != u.DevAddr || got.FCnt != u.FCnt || got.FPort != u.FPort ||
+		got.Confirmed != u.Confirmed || !bytes.Equal(got.Payload, u.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, u)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(addr uint32, fcnt uint16, port uint8, pl []byte) bool {
+		if len(pl) > MaxPayload {
+			pl = pl[:MaxPayload]
+		}
+		u := &Uplink{DevAddr: DevAddr(addr), FCnt: fcnt, FPort: port, Payload: pl, Confirmed: addr%2 == 0}
+		wire, err := u.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.DevAddr == u.DevAddr && got.FCnt == u.FCnt && got.FPort == u.FPort &&
+			got.Confirmed == u.Confirmed && bytes.Equal(got.Payload, u.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	u := &Uplink{DevAddr: 1, FCnt: 1, FPort: 1, Payload: payload}
+	wire, _ := u.Encode()
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0xFF
+		if _, err := Decode(bad); err == nil && i != 5 {
+			// FCtrl (index 5) is covered by the MIC too, so any flip must fail.
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, err := Decode(wire[:5]); err != ErrFrameTooShort {
+		t.Fatalf("short frame: got %v", err)
+	}
+	if _, err := Decode(append([]byte{0x00}, wire[1:]...)); err != ErrBadMHDR {
+		t.Fatalf("bad mhdr: got %v", err)
+	}
+}
+
+func TestEncodeRejectsOversizedPayload(t *testing.T) {
+	u := &Uplink{Payload: make([]byte, MaxPayload+1)}
+	if _, err := u.Encode(); err != ErrPayloadTooLong {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAirtimeKnownValues(t *testing.T) {
+	// Reference values from the Semtech LoRa calculator (125 kHz, CR4/5,
+	// explicit header, preamble 8), with tolerance for rounding.
+	cases := []struct {
+		bytes  int
+		sf     SpreadingFactor
+		wantMS float64
+	}{
+		{13, SF7, 46.3},
+		{13, SF12, 1155},
+		{51, SF12, 2466},
+		{51, SF7, 107},
+	}
+	for _, c := range cases {
+		got := Airtime(c.bytes, c.sf).Seconds() * 1000
+		if math.Abs(got-c.wantMS)/c.wantMS > 0.07 {
+			t.Errorf("Airtime(%d, %v) = %.1f ms, want ~%.1f", c.bytes, c.sf, got, c.wantMS)
+		}
+	}
+}
+
+func TestAirtimeMonotone(t *testing.T) {
+	// Airtime grows with payload size and spreading factor.
+	for sf := SF7; sf <= SF12; sf++ {
+		prev := time.Duration(0)
+		for n := 0; n <= 51; n += 10 {
+			at := Airtime(n, sf)
+			if at <= prev && n > 0 {
+				t.Fatalf("airtime not increasing with size at %v %d bytes", sf, n)
+			}
+			prev = at
+		}
+	}
+	for n := 10; n <= 51; n += 20 {
+		for sf := SF7; sf < SF12; sf++ {
+			if Airtime(n, sf) >= Airtime(n, sf+1) {
+				t.Fatalf("airtime not increasing with SF at %d bytes %v", n, sf)
+			}
+		}
+	}
+	if Airtime(-1, SF7) != 0 || Airtime(10, SpreadingFactor(6)) != 0 {
+		t.Fatal("invalid input should yield 0")
+	}
+}
+
+func TestMinInterval(t *testing.T) {
+	at := Airtime(13, SF12)
+	if got := MinInterval(at); got != time.Duration(float64(at)/DutyCycle) {
+		t.Fatalf("MinInterval = %v", got)
+	}
+	// SF12 13-byte frame: ~1.2 s airtime → ≥ ~2 min interval at 1%.
+	if MinInterval(at) < 90*time.Second {
+		t.Fatalf("duty cycle interval %v suspiciously short", MinInterval(at))
+	}
+}
+
+func TestSensitivityOrdering(t *testing.T) {
+	for sf := SF7; sf < SF12; sf++ {
+		if sf.Sensitivity() <= (sf + 1).Sensitivity() {
+			t.Fatalf("sensitivity should improve (decrease) with SF: %v", sf)
+		}
+	}
+}
+
+func TestChannelPathLossDecay(t *testing.T) {
+	ch := NewChannel(1)
+	// Average over several links to wash out shadowing.
+	avg := func(d float64) float64 {
+		sum := 0.0
+		for i := 0; i < 64; i++ {
+			sum += ch.RSSI(string(rune('a'+i)), "gw", d, t0)
+		}
+		return sum / 64
+	}
+	near, mid, far := avg(100), avg(1000), avg(5000)
+	if !(near > mid && mid > far) {
+		t.Fatalf("RSSI should decay: %v %v %v", near, mid, far)
+	}
+	// 1 km urban: roughly -14..-140 window sanity.
+	if mid > 0 || mid < -140 {
+		t.Fatalf("1 km RSSI %v implausible", mid)
+	}
+}
+
+func TestChannelDeterministicShadowing(t *testing.T) {
+	ch1, ch2 := NewChannel(9), NewChannel(9)
+	r1 := ch1.RSSI("dev1", "gw1", 1500, t0)
+	r2 := ch2.RSSI("dev1", "gw1", 1500, t0)
+	if r1 != r2 {
+		t.Fatal("same seed must reproduce RSSI")
+	}
+	if ch1.RSSI("dev1", "gw1", 1500, t0.Add(time.Hour)) == r1 {
+		t.Fatal("fading should vary across transmissions")
+	}
+}
+
+func TestPickSF(t *testing.T) {
+	if sf := PickSF(-100, 10); sf != SF7 {
+		t.Fatalf("strong link should pick SF7, got %v", sf)
+	}
+	if sf := PickSF(-130, 3); sf <= SF9 {
+		t.Fatalf("weak link should pick slow SF, got %v", sf)
+	}
+	if sf := PickSF(-200, 10); sf != SF12 {
+		t.Fatalf("hopeless link should fall back to SF12, got %v", sf)
+	}
+}
+
+func makeTx(dev string, pos geo.LatLon, sf SpreadingFactor, ch int, at time.Time) Transmission {
+	u := &Uplink{DevAddr: 0x1000, FCnt: 1, FPort: 1, Payload: payload}
+	wire, _ := u.Encode()
+	return Transmission{DeviceID: dev, Frame: wire, Pos: pos, SF: sf, Chan: ch, Start: at}
+}
+
+func TestResolveCloseNodeReceived(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	tx := makeTx("dev1", geo.Destination(gwPos, 90, 500), SF9, 0, t0)
+	recs := n.Resolve([]Transmission{tx})
+	if len(recs) != 1 {
+		t.Fatalf("expected 1 reception, got %d", len(recs))
+	}
+	r := recs[0]
+	if r.GatewayID != "gw1" || r.DeviceID != "dev1" || r.SF != SF9 {
+		t.Fatalf("bad reception %+v", r)
+	}
+	if !r.Time.After(t0) {
+		t.Fatal("reception time should be after start (airtime)")
+	}
+	if _, err := Decode(r.Frame); err != nil {
+		t.Fatalf("received frame should decode: %v", err)
+	}
+}
+
+func TestResolveFarNodeLost(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	// 200 km away: no spreading factor closes that link at 14 dBm.
+	tx := makeTx("dev1", geo.Destination(gwPos, 90, 200000), SF12, 0, t0)
+	if recs := n.Resolve([]Transmission{tx}); len(recs) != 0 {
+		t.Fatalf("expected loss, got %d receptions", len(recs))
+	}
+}
+
+func TestResolveOfflineGateway(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	tx := makeTx("dev1", geo.Destination(gwPos, 90, 300), SF9, 0, t0)
+	gw.SetOnline(false)
+	if recs := n.Resolve([]Transmission{tx}); len(recs) != 0 {
+		t.Fatal("offline gateway must not receive")
+	}
+	gw.SetOnline(true)
+	if recs := n.Resolve([]Transmission{tx}); len(recs) != 1 {
+		t.Fatal("back online gateway must receive")
+	}
+}
+
+func TestResolveMultiGateway(t *testing.T) {
+	gw1 := NewGateway("gw1", gwPos)
+	gw2 := NewGateway("gw2", geo.Destination(gwPos, 0, 800))
+	n := NewNetwork(1, gw1, gw2)
+	tx := makeTx("dev1", geo.Destination(gwPos, 0, 400), SF10, 0, t0)
+	recs := n.Resolve([]Transmission{tx})
+	if len(recs) != 2 {
+		t.Fatalf("expected reception at both gateways, got %d", len(recs))
+	}
+	if recs[0].GatewayID == recs[1].GatewayID {
+		t.Fatal("receptions should come from distinct gateways")
+	}
+}
+
+func TestResolveCollisionSameSFChannel(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	// Two equidistant nodes, same channel/SF, same instant: similar
+	// power → both should be lost (no capture).
+	a := makeTx("devA", geo.Destination(gwPos, 90, 400), SF9, 0, t0)
+	b := makeTx("devB", geo.Destination(gwPos, 270, 400), SF9, 0, t0)
+	recs := n.Resolve([]Transmission{a, b})
+	if len(recs) > 1 {
+		t.Fatalf("collision should lose at least one frame, got %d", len(recs))
+	}
+	// Capture effect: a much closer node survives.
+	near := makeTx("devNear", geo.Destination(gwPos, 90, 60), SF9, 0, t0)
+	far := makeTx("devFar", geo.Destination(gwPos, 270, 3000), SF9, 0, t0)
+	recs = n.Resolve([]Transmission{near, far})
+	foundNear := false
+	for _, r := range recs {
+		if r.DeviceID == "devNear" {
+			foundNear = true
+		}
+		if r.DeviceID == "devFar" {
+			t.Fatal("weak frame should be lost in capture")
+		}
+	}
+	if !foundNear {
+		t.Fatal("strong frame should survive collision via capture")
+	}
+}
+
+func TestResolveNoCollisionAcrossSFOrChannel(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	a := makeTx("devA", geo.Destination(gwPos, 90, 300), SF9, 0, t0)
+	b := makeTx("devB", geo.Destination(gwPos, 270, 300), SF10, 0, t0) // different SF
+	c := makeTx("devC", geo.Destination(gwPos, 0, 300), SF9, 1, t0)    // different channel
+	recs := n.Resolve([]Transmission{a, b, c})
+	if len(recs) != 3 {
+		t.Fatalf("orthogonal transmissions should all be received, got %d", len(recs))
+	}
+}
+
+func TestResolveNoCollisionDisjointTimes(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	a := makeTx("devA", geo.Destination(gwPos, 90, 300), SF7, 0, t0)
+	b := makeTx("devB", geo.Destination(gwPos, 270, 300), SF7, 0, t0.Add(5*time.Second))
+	recs := n.Resolve([]Transmission{a, b})
+	if len(recs) != 2 {
+		t.Fatalf("non-overlapping transmissions should both be received, got %d", len(recs))
+	}
+}
+
+func TestDutyCycleTracker(t *testing.T) {
+	d := NewDutyCycleTracker()
+	if !d.CanSend("dev1", t0) {
+		t.Fatal("fresh device should be allowed to send")
+	}
+	at := Airtime(13, SF12)
+	d.Record("dev1", t0, at)
+	if d.CanSend("dev1", t0.Add(time.Second)) {
+		t.Fatal("device must be blocked right after sending")
+	}
+	if !d.CanSend("dev1", t0.Add(MinInterval(at))) {
+		t.Fatal("device should be allowed after the duty-cycle interval")
+	}
+	if !d.CanSend("dev2", t0) {
+		t.Fatal("other devices unaffected")
+	}
+	if got := d.NextAllowed("dev1"); got != t0.Add(MinInterval(at)) {
+		t.Fatalf("NextAllowed = %v", got)
+	}
+}
+
+func TestNetworkGatewayLookup(t *testing.T) {
+	gw := NewGateway("gw1", gwPos)
+	n := NewNetwork(1, gw)
+	if n.Gateway("gw1") != gw {
+		t.Fatal("lookup failed")
+	}
+	if n.Gateway("nope") != nil {
+		t.Fatal("unknown gateway should be nil")
+	}
+}
+
+func TestDevAddrString(t *testing.T) {
+	if DevAddr(0x26011F42).String() != "26011F42" {
+		t.Fatalf("got %s", DevAddr(0x26011F42).String())
+	}
+}
+
+func TestPacketLossGrowsWithDistance(t *testing.T) {
+	// Statistical property: delivery ratio at SF7 should fall with
+	// distance. Uses many independent links.
+	ch := NewChannel(3)
+	ratio := func(d float64) float64 {
+		ok := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			rssi := ch.RSSI(string(rune(i)), "gw", d, t0.Add(time.Duration(i)*time.Minute))
+			if Received(rssi, SF7) {
+				ok++
+			}
+		}
+		return float64(ok) / n
+	}
+	near, far := ratio(500), ratio(6000)
+	if near < 0.95 {
+		t.Fatalf("near delivery ratio %v too low", near)
+	}
+	if far >= near {
+		t.Fatalf("far delivery ratio %v should be below near %v", far, near)
+	}
+}

@@ -1,0 +1,178 @@
+package lorawan
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Gateway is a LoRaWAN gateway: a fixed receiver forwarding every
+// decodable frame to the network server. Gateways can be taken offline
+// to reproduce the outage scenarios the dataport must detect.
+type Gateway struct {
+	ID  string
+	Pos geo.LatLon
+
+	online bool
+}
+
+// NewGateway creates an online gateway.
+func NewGateway(id string, pos geo.LatLon) *Gateway {
+	return &Gateway{ID: id, Pos: pos, online: true}
+}
+
+// Online reports whether the gateway is receiving.
+func (g *Gateway) Online() bool { return g.online }
+
+// SetOnline switches the gateway on or off.
+func (g *Gateway) SetOnline(v bool) { g.online = v }
+
+// Transmission is one radio uplink attempt from a device.
+type Transmission struct {
+	DeviceID string // stable device identifier (for the channel model)
+	Frame    []byte // encoded LoRaWAN frame
+	Pos      geo.LatLon
+	SF       SpreadingFactor
+	Chan     int // channel index, 0..Channels-1
+	Start    time.Time
+}
+
+// End returns when the transmission stops occupying the air.
+func (t Transmission) End() time.Time { return t.Start.Add(Airtime(len(t.Frame), t.SF)) }
+
+// Reception is a frame successfully received by one gateway. The same
+// transmission commonly produces several receptions (one per in-range
+// gateway); deduplication is the network server's job.
+type Reception struct {
+	GatewayID string
+	DeviceID  string
+	Frame     []byte
+	RSSI      float64
+	SNR       float64
+	SF        SpreadingFactor
+	Chan      int
+	Time      time.Time // end of reception
+}
+
+// Network resolves transmissions into per-gateway receptions, applying
+// path loss, shadowing, and collision/capture rules.
+type Network struct {
+	Channel  *Channel
+	Gateways []*Gateway
+}
+
+// NewNetwork assembles a radio network over the given gateways.
+func NewNetwork(seed int64, gws ...*Gateway) *Network {
+	return &Network{Channel: NewChannel(seed), Gateways: gws}
+}
+
+// Gateway returns the gateway with the given ID, or nil.
+func (n *Network) Gateway(id string) *Gateway {
+	for _, g := range n.Gateways {
+		if g.ID == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// Resolve takes a batch of transmissions (typically everything sent in
+// one simulation tick) and returns the resulting receptions across all
+// online gateways, sorted by reception time then gateway ID.
+//
+// Collision rule: two transmissions on the same channel and spreading
+// factor whose air times overlap interfere. At a given gateway the
+// stronger frame survives if it is at least CaptureThresholdDB stronger
+// (capture effect); otherwise both are lost. Different SFs are quasi-
+// orthogonal and do not collide in this model.
+func (n *Network) Resolve(txs []Transmission) []Reception {
+	var out []Reception
+	for i, tx := range txs {
+		for _, gw := range n.Gateways {
+			if !gw.online {
+				continue
+			}
+			d := geo.Distance(tx.Pos, gw.Pos)
+			rssi := n.Channel.RSSI(tx.DeviceID, gw.ID, d, tx.Start)
+			if !Received(rssi, tx.SF) {
+				continue
+			}
+			if n.collided(txs, i, gw, rssi) {
+				continue
+			}
+			out = append(out, Reception{
+				GatewayID: gw.ID,
+				DeviceID:  tx.DeviceID,
+				Frame:     tx.Frame,
+				RSSI:      rssi,
+				SNR:       n.Channel.SNR(rssi),
+				SF:        tx.SF,
+				Chan:      tx.Chan,
+				Time:      tx.End(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].GatewayID != out[j].GatewayID {
+			return out[i].GatewayID < out[j].GatewayID
+		}
+		return out[i].DeviceID < out[j].DeviceID
+	})
+	return out
+}
+
+// CaptureThresholdDB is the power advantage needed for a frame to
+// survive a same-SF, same-channel collision.
+const CaptureThresholdDB = 6
+
+func (n *Network) collided(txs []Transmission, i int, gw *Gateway, rssi float64) bool {
+	tx := txs[i]
+	for j, other := range txs {
+		if j == i || other.Chan != tx.Chan || other.SF != tx.SF {
+			continue
+		}
+		if !overlaps(tx.Start, tx.End(), other.Start, other.End()) {
+			continue
+		}
+		otherRSSI := n.Channel.RSSI(other.DeviceID, gw.ID, geo.Distance(other.Pos, gw.Pos), other.Start)
+		if rssi < otherRSSI+CaptureThresholdDB {
+			return true
+		}
+	}
+	return false
+}
+
+func overlaps(aStart, aEnd, bStart, bEnd time.Time) bool {
+	return aStart.Before(bEnd) && bStart.Before(aEnd)
+}
+
+// DutyCycleTracker enforces the EU868 duty-cycle limit per device.
+type DutyCycleTracker struct {
+	nextAllowed map[string]time.Time
+}
+
+// NewDutyCycleTracker returns an empty tracker.
+func NewDutyCycleTracker() *DutyCycleTracker {
+	return &DutyCycleTracker{nextAllowed: make(map[string]time.Time)}
+}
+
+// CanSend reports whether the device may transmit at t.
+func (d *DutyCycleTracker) CanSend(deviceID string, t time.Time) bool {
+	return !t.Before(d.nextAllowed[deviceID])
+}
+
+// Record notes a transmission and advances the device's next allowed
+// send time per the duty-cycle rule.
+func (d *DutyCycleTracker) Record(deviceID string, t time.Time, airtime time.Duration) {
+	d.nextAllowed[deviceID] = t.Add(MinInterval(airtime))
+}
+
+// NextAllowed returns when the device may next transmit (zero time if
+// it has never transmitted).
+func (d *DutyCycleTracker) NextAllowed(deviceID string) time.Time {
+	return d.nextAllowed[deviceID]
+}

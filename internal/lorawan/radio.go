@@ -1,0 +1,177 @@
+package lorawan
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SpreadingFactor is the LoRa spreading factor, SF7 (fast, short range)
+// through SF12 (slow, long range).
+type SpreadingFactor int
+
+// Valid EU868 spreading factors.
+const (
+	SF7  SpreadingFactor = 7
+	SF8  SpreadingFactor = 8
+	SF9  SpreadingFactor = 9
+	SF10 SpreadingFactor = 10
+	SF11 SpreadingFactor = 11
+	SF12 SpreadingFactor = 12
+)
+
+// String renders "SF7" .. "SF12".
+func (sf SpreadingFactor) String() string { return fmt.Sprintf("SF%d", int(sf)) }
+
+// Valid reports whether sf is a legal LoRa spreading factor.
+func (sf SpreadingFactor) Valid() bool { return sf >= SF7 && sf <= SF12 }
+
+// Sensitivity returns the receiver sensitivity in dBm for the spreading
+// factor at 125 kHz bandwidth (Semtech SX1276 datasheet values).
+func (sf SpreadingFactor) Sensitivity() float64 {
+	switch sf {
+	case SF7:
+		return -123
+	case SF8:
+		return -126
+	case SF9:
+		return -129
+	case SF10:
+		return -132
+	case SF11:
+		return -134.5
+	case SF12:
+		return -137
+	default:
+		return 0
+	}
+}
+
+// EU868 regional constants.
+const (
+	// BandwidthHz is the LoRa channel bandwidth used by CTT nodes.
+	BandwidthHz = 125000
+	// CodingRate denominator: 4/5.
+	codingRateDenom = 5
+	// preambleSymbols per LoRaWAN spec.
+	preambleSymbols = 8
+	// TxPowerDBm is the node transmit power (EU868 max 14 dBm ERP).
+	TxPowerDBm = 14
+	// DutyCycle is the EU868 sub-band duty cycle limit.
+	DutyCycle = 0.01
+	// Channels in the default EU868 plan.
+	Channels = 8
+)
+
+// Airtime returns the on-air time of a LoRa frame with the given
+// physical payload length (bytes) at the spreading factor, using the
+// Semtech airtime formula with 125 kHz bandwidth, CR 4/5, explicit
+// header, and low-data-rate optimization at SF11/SF12.
+func Airtime(payloadBytes int, sf SpreadingFactor) time.Duration {
+	if !sf.Valid() || payloadBytes < 0 {
+		return 0
+	}
+	symbolTime := math.Pow(2, float64(sf)) / float64(BandwidthHz) // seconds
+	de := 0.0
+	if sf >= SF11 {
+		de = 1 // low data rate optimization mandated for SF11/12 at 125 kHz
+	}
+	const ih = 0.0 // explicit header
+	num := 8*float64(payloadBytes) - 4*float64(sf) + 28 + 16 - 20*ih
+	den := 4 * (float64(sf) - 2*de)
+	nPayload := 8 + math.Max(0, math.Ceil(num/den)*float64(codingRateDenom))
+	tPreamble := (preambleSymbols + 4.25) * symbolTime
+	tPayload := nPayload * symbolTime
+	return time.Duration((tPreamble + tPayload) * float64(time.Second))
+}
+
+// MinInterval returns the minimum allowed interval between transmissions
+// of frames with the given airtime under the duty-cycle limit.
+func MinInterval(airtime time.Duration) time.Duration {
+	return time.Duration(float64(airtime) / DutyCycle)
+}
+
+// Channel models large-scale path loss with log-normal shadowing and a
+// small fast-fading term. It is deterministic given (seed, link, time
+// bucket) so that repeated experiments reproduce.
+type Channel struct {
+	// PathLossExponent: ~2 free space, 2.7–3.5 urban. Default 2.9.
+	PathLossExponent float64
+	// ReferenceLossDB at 1 m for EU868 (~ 40 dB free space at 868 MHz
+	// plus antenna/system losses).
+	ReferenceLossDB float64
+	// ShadowingSigmaDB is the log-normal shadowing standard deviation.
+	ShadowingSigmaDB float64
+	seed             int64
+}
+
+// NewChannel returns an urban channel model with standard parameters.
+func NewChannel(seed int64) *Channel {
+	return &Channel{
+		PathLossExponent: 2.9,
+		ReferenceLossDB:  40,
+		ShadowingSigmaDB: 6,
+		seed:             seed,
+	}
+}
+
+// RSSI returns the received signal strength in dBm for a transmission
+// over distanceM meters between the named endpoints at time t. The
+// shadowing term is fixed per link (it models static obstructions) and
+// the fading term varies per transmission.
+func (c *Channel) RSSI(txID, rxID string, distanceM float64, t time.Time) float64 {
+	if distanceM < 1 {
+		distanceM = 1
+	}
+	pl := c.ReferenceLossDB + 10*c.PathLossExponent*math.Log10(distanceM)
+	shadow := c.ShadowingSigmaDB * gaussNoise(c.seed, txID+"|"+rxID, 0)
+	fade := 2.0 * gaussNoise(c.seed, txID+"|"+rxID, t.UnixNano())
+	return TxPowerDBm - pl + shadow + fade
+}
+
+// SNR estimates the signal-to-noise ratio in dB given an RSSI, with the
+// thermal noise floor for 125 kHz bandwidth (~ -117 dBm + NF 6 dB).
+func (c *Channel) SNR(rssi float64) float64 {
+	const noiseFloor = -111.0
+	return rssi - noiseFloor
+}
+
+// Received reports whether a frame at the given RSSI is decodable at
+// the spreading factor.
+func Received(rssi float64, sf SpreadingFactor) bool {
+	return rssi >= sf.Sensitivity()
+}
+
+// PickSF returns the lowest (fastest) spreading factor whose link
+// budget closes for the given expected RSSI with marginDB of headroom —
+// the core of LoRaWAN adaptive data rate (ADR).
+func PickSF(expectedRSSI, marginDB float64) SpreadingFactor {
+	for sf := SF7; sf <= SF12; sf++ {
+		if expectedRSSI >= sf.Sensitivity()+marginDB {
+			return sf
+		}
+	}
+	return SF12
+}
+
+// gaussNoise returns a deterministic standard-normal draw keyed by
+// (seed, link, bucket) — a sum of four uniform draws (Irwin-Hall,
+// variance-corrected), avoiding a PRNG allocation per radio event.
+func gaussNoise(seed int64, key string, bucket int64) float64 {
+	h := uint64(seed) * 0x9E3779B97F4A7C15
+	for _, ch := range key {
+		h = (h ^ uint64(ch)) * 0x100000001B3
+	}
+	h ^= uint64(bucket) * 0xC2B2AE3D27D4EB4F
+	var sum float64
+	for i := 0; i < 4; i++ {
+		h ^= h >> 30
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+		sum += float64(h>>11) / float64(1<<53)
+	}
+	// Sum of 4 U(0,1): mean 2, variance 1/3 → scale by √3.
+	return (sum - 2) * 1.7320508075688772
+}

@@ -1,0 +1,362 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler receives messages delivered to a subscription.
+type Handler func(Message)
+
+// Client is an MQTT 3.1.1 client. Create with Dial; it runs a reader
+// goroutine until Close or connection loss.
+type Client struct {
+	conn     net.Conn
+	clientID string
+
+	mu       sync.Mutex
+	handlers map[string]Handler // filter -> handler
+	pending  map[uint16]chan struct{}
+	nextPID  uint16
+	closed   bool
+	err      error
+
+	writeMu  sync.Mutex
+	done     chan struct{}
+	wg       sync.WaitGroup
+	keepstop chan struct{}
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("mqtt: client closed")
+
+// DialOptions tune the client connection.
+type DialOptions struct {
+	// KeepAlive interval; 0 disables client pings.
+	KeepAlive time.Duration
+	// ConnectTimeout bounds the TCP + CONNECT handshake (default 10 s).
+	ConnectTimeout time.Duration
+}
+
+// Dial connects to a broker and performs the CONNECT handshake.
+func Dial(addr, clientID string, opts DialOptions) (*Client, error) {
+	if clientID == "" {
+		return nil, errors.New("mqtt: client id required")
+	}
+	timeout := opts.ConnectTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt dial: %w", err)
+	}
+
+	// CONNECT: protocol "MQTT", level 4, clean session.
+	body := appendString(nil, "MQTT")
+	body = append(body, 4, 0x02) // level, flags: clean session
+	ka := uint16(opts.KeepAlive / time.Second)
+	body = appendUint16(body, ka)
+	body = appendString(body, clientID)
+
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WritePacket(conn, Packet{Type: CONNECT, Body: body}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := ReadPacket(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt connack: %w", err)
+	}
+	if ack.Type != CONNACK || len(ack.Body) < 2 {
+		conn.Close()
+		return nil, errors.New("mqtt: expected CONNACK")
+	}
+	if ack.Body[1] != 0 {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: connection refused, code %d", ack.Body[1])
+	}
+	conn.SetDeadline(time.Time{})
+
+	c := &Client{
+		conn:     conn,
+		clientID: clientID,
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint16]chan struct{}),
+		nextPID:  1,
+		done:     make(chan struct{}),
+		keepstop: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	if opts.KeepAlive > 0 {
+		c.wg.Add(1)
+		go c.pingLoop(opts.KeepAlive)
+	}
+	return c, nil
+}
+
+// ClientID returns the identifier used at CONNECT.
+func (c *Client) ClientID() string { return c.clientID }
+
+// Err returns the error that terminated the connection, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close sends DISCONNECT and tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	WritePacket(c.conn, Packet{Type: DISCONNECT})
+	c.writeMu.Unlock()
+	close(c.keepstop)
+	c.conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	wasClosed := c.closed
+	c.closed = true
+	pend := c.pending
+	c.pending = map[uint16]chan struct{}{}
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	if !wasClosed {
+		close(c.keepstop)
+		c.conn.Close()
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		pkt, err := ReadPacket(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch pkt.Type {
+		case PUBLISH:
+			c.dispatch(pkt)
+		case PUBACK, SUBACK, UNSUBACK:
+			f := &fieldReader{buf: pkt.Body}
+			pid := f.uint16()
+			c.mu.Lock()
+			if ch, ok := c.pending[pid]; ok {
+				delete(c.pending, pid)
+				close(ch)
+			}
+			c.mu.Unlock()
+		case PINGRESP:
+			// keepalive satisfied
+		default:
+			c.fail(fmt.Errorf("mqtt: unexpected %v from broker", pkt.Type))
+			return
+		}
+	}
+}
+
+func (c *Client) dispatch(pkt Packet) {
+	qos := (pkt.Flags >> 1) & 0x03
+	f := &fieldReader{buf: pkt.Body}
+	topic := f.string()
+	var pid uint16
+	if qos >= 1 {
+		pid = f.uint16()
+	}
+	if f.err != nil {
+		return
+	}
+	payload := append([]byte(nil), f.rest()...)
+	if qos == 1 {
+		c.writeMu.Lock()
+		WritePacket(c.conn, Packet{Type: PUBACK, Body: appendUint16(nil, pid)})
+		c.writeMu.Unlock()
+	}
+
+	c.mu.Lock()
+	var hs []Handler
+	for filter, h := range c.handlers {
+		if TopicMatches(filter, topic) {
+			hs = append(hs, h)
+		}
+	}
+	c.mu.Unlock()
+	msg := Message{Topic: topic, Payload: payload, QoS: qos, Retain: pkt.Flags&0x01 != 0}
+	for _, h := range hs {
+		h(msg)
+	}
+}
+
+func (c *Client) pingLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.keepstop:
+			return
+		case <-t.C:
+			c.writeMu.Lock()
+			err := WritePacket(c.conn, Packet{Type: PINGREQ})
+			c.writeMu.Unlock()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) allocPID() (uint16, chan struct{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClientClosed
+	}
+	pid := c.nextPID
+	c.nextPID++
+	if c.nextPID == 0 {
+		c.nextPID = 1
+	}
+	ch := make(chan struct{})
+	c.pending[pid] = ch
+	return pid, ch, nil
+}
+
+// Publish sends an application message. QoS 0 returns after the write;
+// QoS 1 waits for the broker's PUBACK (or timeout).
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	if qos > 1 {
+		return errors.New("mqtt: only QoS 0 and 1 supported")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.mu.Unlock()
+
+	var pid uint16
+	var ack chan struct{}
+	if qos == 1 {
+		var err error
+		pid, ack, err = c.allocPID()
+		if err != nil {
+			return err
+		}
+	}
+	c.writeMu.Lock()
+	err := WritePacket(c.conn, buildPublish(topic, payload, qos, retain, pid))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return err
+	}
+	if qos == 1 {
+		select {
+		case <-ack:
+			if e := c.Err(); e != nil {
+				return e
+			}
+			return nil
+		case <-time.After(10 * time.Second):
+			return errors.New("mqtt: PUBACK timeout")
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a handler for a topic filter and waits for the
+// broker's SUBACK.
+func (c *Client) Subscribe(filter string, qos byte, h Handler) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if qos > 1 {
+		return errors.New("mqtt: only QoS 0 and 1 supported")
+	}
+	pid, ack, err := c.allocPID()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.handlers[filter] = h
+	c.mu.Unlock()
+
+	body := appendUint16(nil, pid)
+	body = appendString(body, filter)
+	body = append(body, qos)
+	c.writeMu.Lock()
+	err = WritePacket(c.conn, Packet{Type: SUBSCRIBE, Flags: 0x02, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return err
+	}
+	select {
+	case <-ack:
+		if e := c.Err(); e != nil {
+			return e
+		}
+		return nil
+	case <-time.After(10 * time.Second):
+		return errors.New("mqtt: SUBACK timeout")
+	}
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(filter string) error {
+	pid, ack, err := c.allocPID()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.handlers, filter)
+	c.mu.Unlock()
+
+	body := appendUint16(nil, pid)
+	body = appendString(body, filter)
+	c.writeMu.Lock()
+	err = WritePacket(c.conn, Packet{Type: UNSUBSCRIBE, Flags: 0x02, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return err
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-time.After(10 * time.Second):
+		return errors.New("mqtt: UNSUBACK timeout")
+	}
+}

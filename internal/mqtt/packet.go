@@ -1,0 +1,238 @@
+// Package mqtt implements the subset of MQTT 3.1.1 the CTT backbone
+// uses as its event-driven transport (paper §2.1: "Data forwarding and
+// cloud sensor management was built through the event-driven MQTT
+// communication protocol"). It provides a standalone TCP broker and a
+// client, supporting CONNECT/CONNACK, PUBLISH with QoS 0 and 1,
+// SUBSCRIBE/UNSUBSCRIBE with + and # wildcards, retained messages,
+// keepalive with PINGREQ/PINGRESP, and DISCONNECT.
+//
+// The wire format follows the MQTT 3.1.1 specification (fixed header
+// with variable-length remaining length, UTF-8 strings with 16-bit
+// length prefixes), so the pipeline exercises a real protocol over real
+// sockets rather than an in-process bus.
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PacketType is the MQTT control packet type (high nibble of byte 1).
+type PacketType byte
+
+// MQTT 3.1.1 control packet types.
+const (
+	CONNECT     PacketType = 1
+	CONNACK     PacketType = 2
+	PUBLISH     PacketType = 3
+	PUBACK      PacketType = 4
+	SUBSCRIBE   PacketType = 8
+	SUBACK      PacketType = 9
+	UNSUBSCRIBE PacketType = 10
+	UNSUBACK    PacketType = 11
+	PINGREQ     PacketType = 12
+	PINGRESP    PacketType = 13
+	DISCONNECT  PacketType = 14
+)
+
+// String names the packet type for logs and errors.
+func (t PacketType) String() string {
+	switch t {
+	case CONNECT:
+		return "CONNECT"
+	case CONNACK:
+		return "CONNACK"
+	case PUBLISH:
+		return "PUBLISH"
+	case PUBACK:
+		return "PUBACK"
+	case SUBSCRIBE:
+		return "SUBSCRIBE"
+	case SUBACK:
+		return "SUBACK"
+	case UNSUBSCRIBE:
+		return "UNSUBSCRIBE"
+	case UNSUBACK:
+		return "UNSUBACK"
+	case PINGREQ:
+		return "PINGREQ"
+	case PINGRESP:
+		return "PINGRESP"
+	case DISCONNECT:
+		return "DISCONNECT"
+	default:
+		return fmt.Sprintf("UNKNOWN(%d)", byte(t))
+	}
+}
+
+// Packet is a raw decoded control packet: type, flags (low nibble of
+// the first byte) and the variable header + payload bytes.
+type Packet struct {
+	Type  PacketType
+	Flags byte
+	Body  []byte
+}
+
+// Codec errors.
+var (
+	ErrMalformedLength = errors.New("mqtt: malformed remaining length")
+	ErrPacketTooLarge  = errors.New("mqtt: packet exceeds maximum size")
+	ErrTruncated       = errors.New("mqtt: truncated packet")
+	ErrBadString       = errors.New("mqtt: malformed UTF-8 string field")
+)
+
+// MaxPacketSize bounds accepted packets; sensor uplinks are tiny, so
+// 1 MiB is generous and protects the broker from hostile peers.
+const MaxPacketSize = 1 << 20
+
+// WritePacket encodes and writes one control packet.
+func WritePacket(w io.Writer, p Packet) error {
+	if len(p.Body) > MaxPacketSize {
+		return ErrPacketTooLarge
+	}
+	header := []byte{byte(p.Type)<<4 | (p.Flags & 0x0F)}
+	header = append(header, encodeRemainingLength(len(p.Body))...)
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if len(p.Body) > 0 {
+		if _, err := w.Write(p.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPacket reads one control packet from the stream.
+func ReadPacket(r io.Reader) (Packet, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return Packet{}, err
+	}
+	n, err := decodeRemainingLength(r)
+	if err != nil {
+		return Packet{}, err
+	}
+	if n > MaxPacketSize {
+		return Packet{}, ErrPacketTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Packet{}, ErrTruncated
+		}
+		return Packet{}, err
+	}
+	return Packet{
+		Type:  PacketType(first[0] >> 4),
+		Flags: first[0] & 0x0F,
+		Body:  body,
+	}, nil
+}
+
+// encodeRemainingLength implements the MQTT variable-length encoding
+// (7 bits per byte, continuation bit 0x80, up to 4 bytes).
+func encodeRemainingLength(n int) []byte {
+	var out []byte
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		out = append(out, b)
+		if n == 0 {
+			return out
+		}
+	}
+}
+
+func decodeRemainingLength(r io.Reader) (int, error) {
+	mult := 1
+	val := 0
+	for i := 0; i < 4; i++ {
+		var b [1]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, ErrTruncated
+		}
+		val += int(b[0]&0x7F) * mult
+		if b[0]&0x80 == 0 {
+			return val, nil
+		}
+		mult *= 128
+	}
+	return 0, ErrMalformedLength
+}
+
+// --- field helpers -------------------------------------------------
+
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, byte(len(s)>>8), byte(len(s)))
+	return append(buf, s...)
+}
+
+func appendUint16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+// fieldReader walks the body of a packet, consuming typed fields.
+type fieldReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (f *fieldReader) string() string {
+	if f.err != nil {
+		return ""
+	}
+	if f.off+2 > len(f.buf) {
+		f.err = ErrBadString
+		return ""
+	}
+	n := int(f.buf[f.off])<<8 | int(f.buf[f.off+1])
+	f.off += 2
+	if f.off+n > len(f.buf) {
+		f.err = ErrBadString
+		return ""
+	}
+	s := string(f.buf[f.off : f.off+n])
+	f.off += n
+	return s
+}
+
+func (f *fieldReader) uint16() uint16 {
+	if f.err != nil {
+		return 0
+	}
+	if f.off+2 > len(f.buf) {
+		f.err = ErrTruncated
+		return 0
+	}
+	v := uint16(f.buf[f.off])<<8 | uint16(f.buf[f.off+1])
+	f.off += 2
+	return v
+}
+
+func (f *fieldReader) byte() byte {
+	if f.err != nil {
+		return 0
+	}
+	if f.off >= len(f.buf) {
+		f.err = ErrTruncated
+		return 0
+	}
+	b := f.buf[f.off]
+	f.off++
+	return b
+}
+
+func (f *fieldReader) rest() []byte {
+	if f.err != nil {
+		return nil
+	}
+	return f.buf[f.off:]
+}
+
+func (f *fieldReader) remaining() int { return len(f.buf) - f.off }

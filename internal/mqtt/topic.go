@@ -1,0 +1,74 @@
+package mqtt
+
+import (
+	"errors"
+	"strings"
+)
+
+// Topic validation and wildcard matching per MQTT 3.1.1 §4.7.
+//
+// Topic names (in PUBLISH) must not contain wildcards. Topic filters
+// (in SUBSCRIBE) may use '+' to match exactly one level and '#' to
+// match any number of trailing levels ('#' must be last and occupy a
+// whole level).
+
+// Topic errors.
+var (
+	ErrEmptyTopic        = errors.New("mqtt: empty topic")
+	ErrWildcardInTopic   = errors.New("mqtt: wildcard in topic name")
+	ErrBadWildcardFilter = errors.New("mqtt: malformed wildcard in topic filter")
+)
+
+// ValidateTopicName checks a PUBLISH topic.
+func ValidateTopicName(topic string) error {
+	if topic == "" {
+		return ErrEmptyTopic
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return ErrWildcardInTopic
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a SUBSCRIBE filter.
+func ValidateTopicFilter(filter string) error {
+	if filter == "" {
+		return ErrEmptyTopic
+	}
+	levels := strings.Split(filter, "/")
+	for i, l := range levels {
+		switch {
+		case l == "#":
+			if i != len(levels)-1 {
+				return ErrBadWildcardFilter
+			}
+		case l == "+":
+			// single-level wildcard: fine anywhere
+		case strings.ContainsAny(l, "+#"):
+			return ErrBadWildcardFilter
+		}
+	}
+	return nil
+}
+
+// TopicMatches reports whether a topic name matches a topic filter.
+// Assumes both have been validated.
+func TopicMatches(filter, topic string) bool {
+	fl := strings.Split(filter, "/")
+	tl := strings.Split(topic, "/")
+	for i, f := range fl {
+		if f == "#" {
+			return true
+		}
+		if i >= len(tl) {
+			return false
+		}
+		if f == "+" {
+			continue
+		}
+		if f != tl[i] {
+			return false
+		}
+	}
+	return len(fl) == len(tl)
+}

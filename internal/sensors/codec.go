@@ -1,0 +1,112 @@
+// Package sensors simulates the CTT low-cost sensor units: ~$2,000
+// standalone nodes measuring CO2, NO2, particulate matter, temperature,
+// pressure and humidity, powered by solar-charged batteries and
+// transmitting over LoRaWAN at a five-minute interval (paper §2.1, §3).
+//
+// The simulator reproduces the error structure the paper's analytics
+// must handle: per-unit miscalibration (gain and offset) and slow
+// drift — the reason the network must be grounded against official
+// stations (§2.4); measurement noise; battery-driven adaptive sampling
+// ("sensor nodes can adapt their frequency based on battery levels",
+// §2.3); and injectable failure modes (dead node, stuck value,
+// intermittent dropouts) for the dataport to detect.
+package sensors
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Measurement is one full sensor reading.
+type Measurement struct {
+	Time         time.Time
+	CO2          float64 // ppm
+	NO2          float64 // µg/m³
+	PM10         float64 // µg/m³
+	PM25         float64 // µg/m³
+	TemperatureC float64
+	HumidityPct  float64
+	PressureHPa  float64
+	BatteryPct   float64
+}
+
+// Payload codec: a compact TLV format in the spirit of Cayenne LPP.
+// Each field is channel(1) | value(2, big-endian int16, scaled).
+// The full measurement fits in 24 bytes — well inside the SF12 limit.
+const (
+	chCO2      = 0x01 // ppm, x1
+	chNO2      = 0x02 // µg/m³, x10
+	chPM10     = 0x03 // µg/m³, x10
+	chPM25     = 0x04 // µg/m³, x10
+	chTemp     = 0x05 // °C, x10
+	chHumidity = 0x06 // %, x10
+	chPressure = 0x07 // hPa offset from 900, x10
+	chBattery  = 0x08 // %, x10
+)
+
+// Codec errors.
+var (
+	ErrShortPayload   = errors.New("sensors: truncated payload")
+	ErrUnknownChannel = errors.New("sensors: unknown payload channel")
+)
+
+// EncodeMeasurement packs a measurement into the uplink payload.
+func EncodeMeasurement(m Measurement) []byte {
+	buf := make([]byte, 0, 24)
+	put := func(ch byte, v float64, scale float64) {
+		iv := int64(math.Round(v * scale))
+		if iv > math.MaxInt16 {
+			iv = math.MaxInt16
+		}
+		if iv < math.MinInt16 {
+			iv = math.MinInt16
+		}
+		buf = append(buf, ch, 0, 0)
+		binary.BigEndian.PutUint16(buf[len(buf)-2:], uint16(int16(iv)))
+	}
+	put(chCO2, m.CO2, 1)
+	put(chNO2, m.NO2, 10)
+	put(chPM10, m.PM10, 10)
+	put(chPM25, m.PM25, 10)
+	put(chTemp, m.TemperatureC, 10)
+	put(chHumidity, m.HumidityPct, 10)
+	put(chPressure, m.PressureHPa-900, 10)
+	put(chBattery, m.BatteryPct, 10)
+	return buf
+}
+
+// DecodeMeasurement unpacks an uplink payload. The Time field is left
+// zero; the backend stamps reception time.
+func DecodeMeasurement(buf []byte) (Measurement, error) {
+	var m Measurement
+	if len(buf)%3 != 0 {
+		return m, ErrShortPayload
+	}
+	for off := 0; off < len(buf); off += 3 {
+		v := float64(int16(binary.BigEndian.Uint16(buf[off+1 : off+3])))
+		switch buf[off] {
+		case chCO2:
+			m.CO2 = v
+		case chNO2:
+			m.NO2 = v / 10
+		case chPM10:
+			m.PM10 = v / 10
+		case chPM25:
+			m.PM25 = v / 10
+		case chTemp:
+			m.TemperatureC = v / 10
+		case chHumidity:
+			m.HumidityPct = v / 10
+		case chPressure:
+			m.PressureHPa = v/10 + 900
+		case chBattery:
+			m.BatteryPct = v / 10
+		default:
+			return m, fmt.Errorf("%w: 0x%02x", ErrUnknownChannel, buf[off])
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,73 @@
+package sensors
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Downlink commands: the paper's backbone does "cloud sensor
+// management ... through the event-driven MQTT communication protocol"
+// (§2.1), and the demo lets attendees "vary system and analysis
+// properties, and observe the reflection on the dashboard" (§3).
+// Nodes are LoRaWAN class A: a downlink reaches the node in the
+// receive window right after one of its uplinks.
+//
+// Command payload: TLV pairs of cmd(1) | value(1).
+const (
+	// CmdSetIntervalMin sets the reporting interval in minutes (1-120).
+	CmdSetIntervalMin = 0x01
+	// CmdSetLowBatteryPct sets the adaptive-interval battery threshold.
+	CmdSetLowBatteryPct = 0x02
+)
+
+// Downlink codec errors.
+var (
+	ErrBadCommand     = errors.New("sensors: malformed command payload")
+	ErrUnknownCommand = errors.New("sensors: unknown command")
+	ErrCommandValue   = errors.New("sensors: command value out of range")
+)
+
+// EncodeSetInterval builds a downlink payload changing the reporting
+// interval.
+func EncodeSetInterval(minutes int) ([]byte, error) {
+	if minutes < 1 || minutes > 120 {
+		return nil, fmt.Errorf("%w: interval %d min", ErrCommandValue, minutes)
+	}
+	return []byte{CmdSetIntervalMin, byte(minutes)}, nil
+}
+
+// EncodeSetLowBattery builds a downlink payload changing the
+// low-battery threshold.
+func EncodeSetLowBattery(pct int) ([]byte, error) {
+	if pct < 1 || pct > 90 {
+		return nil, fmt.Errorf("%w: threshold %d%%", ErrCommandValue, pct)
+	}
+	return []byte{CmdSetLowBatteryPct, byte(pct)}, nil
+}
+
+// HandleDownlink applies a command payload received in the node's
+// class-A receive window.
+func (n *Node) HandleDownlink(payload []byte) error {
+	if len(payload) == 0 || len(payload)%2 != 0 {
+		return ErrBadCommand
+	}
+	for off := 0; off < len(payload); off += 2 {
+		cmd, val := payload[off], payload[off+1]
+		switch cmd {
+		case CmdSetIntervalMin:
+			if val < 1 || val > 120 {
+				return fmt.Errorf("%w: interval %d", ErrCommandValue, val)
+			}
+			n.Config.Interval = time.Duration(val) * time.Minute
+		case CmdSetLowBatteryPct:
+			if val < 1 || val > 90 {
+				return fmt.Errorf("%w: threshold %d", ErrCommandValue, val)
+			}
+			n.Config.LowBatteryPct = float64(val)
+		default:
+			return fmt.Errorf("%w: 0x%02x", ErrUnknownCommand, cmd)
+		}
+	}
+	return nil
+}

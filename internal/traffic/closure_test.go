@@ -1,0 +1,92 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestClosureReducesOwnFlow(t *testing.T) {
+	n := testNetwork(t)
+	seg := n.Segments[0].ID
+	before, _ := n.At(seg, tue(8, 0))
+	refAfter, _ := n.At(seg, tue(11, 0)) // same network, pre-closure registration
+	n.AddClosure(Closure{SegmentID: seg, Start: tue(7, 0), End: tue(10, 0)})
+	during, _ := n.At(seg, tue(8, 0))
+	after, _ := n.At(seg, tue(11, 0))
+	if during.FlowVPH > before.FlowVPH*0.1 {
+		t.Fatalf("closed street should carry ~5%% of flow: %v vs %v", during.FlowVPH, before.FlowVPH)
+	}
+	if after.FlowVPH != refAfter.FlowVPH {
+		t.Fatalf("flow should return after closure: %v vs %v", after.FlowVPH, refAfter.FlowVPH)
+	}
+}
+
+func TestClosureReroutesToNeighbours(t *testing.T) {
+	n := testNetwork(t)
+	closed := n.Segments[0] // an arterial ring segment
+	// Find an open neighbour within the reroute radius.
+	var neighbour string
+	for i := range n.Segments {
+		s := &n.Segments[i]
+		if s.ID == closed.ID {
+			continue
+		}
+		if geo.Distance(closed.Midpoint(), s.Midpoint()) < 1200 {
+			neighbour = s.ID
+			break
+		}
+	}
+	if neighbour == "" {
+		t.Fatal("no neighbour found")
+	}
+	before, _ := n.At(neighbour, tue(8, 0))
+	n.AddClosure(Closure{SegmentID: closed.ID, Start: tue(7, 0), End: tue(10, 0)})
+	during, _ := n.At(neighbour, tue(8, 0))
+	if during.FlowVPH <= before.FlowVPH {
+		t.Fatalf("neighbour should absorb rerouted flow: %v vs %v", during.FlowVPH, before.FlowVPH)
+	}
+	// Total flow is approximately conserved (residual + rerouted).
+	totalBefore, totalDuring := 0.0, 0.0
+	n2 := NewNetwork(GenerateGridNetwork(center, 3000, 1), 1)
+	for i := range n.Segments {
+		a, _ := n2.At(n.Segments[i].ID, tue(8, 0))
+		b, _ := n.At(n.Segments[i].ID, tue(8, 0))
+		totalBefore += a.FlowVPH
+		totalDuring += b.FlowVPH
+	}
+	rel := (totalDuring - totalBefore) / totalBefore
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("closure should conserve total flow: %+.3f%% change", rel*100)
+	}
+}
+
+func TestClosureInactiveOutsideWindow(t *testing.T) {
+	n := testNetwork(t)
+	seg := n.Segments[0].ID
+	n.AddClosure(Closure{SegmentID: seg, Start: tue(7, 0), End: tue(10, 0)})
+	early, _ := n.At(seg, tue(6, 0))
+	n2 := testNetwork(t)
+	ref, _ := n2.At(seg, tue(6, 0))
+	if early.FlowVPH != ref.FlowVPH {
+		t.Fatal("closure must not affect flow before its window")
+	}
+}
+
+func TestClosureDefaultsApplied(t *testing.T) {
+	n := testNetwork(t)
+	n.AddClosure(Closure{SegmentID: n.Segments[0].ID, Start: tue(0, 0), End: tue(23, 0)})
+	c := n.closures[0]
+	if c.Residual != 0.05 || c.RerouteRadiusM != 1500 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestClosureTimeHelpers(t *testing.T) {
+	c := Closure{Start: tue(7, 0), End: tue(10, 0)}
+	if c.active(tue(6, 59)) || !c.active(tue(7, 0)) || c.active(tue(10, 0)) {
+		t.Fatal("closure window logic wrong")
+	}
+	_ = time.Minute
+}

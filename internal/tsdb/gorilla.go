@@ -1,0 +1,307 @@
+package tsdb
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Gorilla-style compression (Pelkonen et al., VLDB 2015, as used by
+// Facebook's in-memory TSDB and adopted by Prometheus/InfluxDB):
+// timestamps are stored as delta-of-delta with variable-width buckets;
+// values are XORed with the previous value and the meaningful bits
+// stored with leading/trailing-zero headers. Sensor series — slowly
+// changing values at a fixed 5-minute cadence — compress to a few bits
+// per point.
+
+// bitWriter appends bits to a byte slice, MSB first.
+type bitWriter struct {
+	buf  []byte
+	nBit uint8 // bits used in the last byte (0..7); 0 means last byte full/absent
+}
+
+func (w *bitWriter) writeBit(b bool) {
+	if w.nBit == 0 {
+		w.buf = append(w.buf, 0)
+		w.nBit = 8
+	}
+	if b {
+		w.buf[len(w.buf)-1] |= 1 << (w.nBit - 1)
+	}
+	w.nBit--
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+// bitReader consumes bits written by bitWriter.
+type bitReader struct {
+	buf []byte
+	pos int   // byte index
+	bit uint8 // next bit within buf[pos], 7..0
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf, bit: 7} }
+
+var errOutOfBits = errors.New("tsdb: compressed block truncated")
+
+func (r *bitReader) readBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, errOutOfBits
+	}
+	b := r.buf[r.pos]&(1<<r.bit) != 0
+	if r.bit == 0 {
+		r.pos++
+		r.bit = 7
+	} else {
+		r.bit--
+	}
+	return b, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// blockEncoder compresses an in-order point stream.
+type blockEncoder struct {
+	w         bitWriter
+	n         int
+	firstTS   int64
+	prevTS    int64
+	prevDelta int64
+	prevVal   uint64
+	leading   uint8
+	trailing  uint8
+}
+
+func newBlockEncoder() *blockEncoder {
+	return &blockEncoder{leading: 0xFF}
+}
+
+// add appends a point; timestamps must be non-decreasing.
+func (e *blockEncoder) add(ts int64, v float64) {
+	bitsV := math.Float64bits(v)
+	switch e.n {
+	case 0:
+		e.firstTS = ts
+		e.w.writeBits(uint64(ts), 64)
+		e.w.writeBits(bitsV, 64)
+	case 1:
+		delta := ts - e.prevTS
+		e.writeVarDelta(delta)
+		e.prevDelta = delta
+		e.writeXOR(bitsV)
+	default:
+		dod := (ts - e.prevTS) - e.prevDelta
+		e.writeDoD(dod)
+		e.prevDelta = ts - e.prevTS
+		e.writeXOR(bitsV)
+	}
+	e.prevTS = ts
+	e.prevVal = bitsV
+	e.n++
+}
+
+// writeVarDelta stores the first delta as a 33-bit signed value
+// (sufficient for ~24 days in ms).
+func (e *blockEncoder) writeVarDelta(d int64) {
+	e.w.writeBits(uint64(d)&((1<<33)-1), 33)
+}
+
+// writeDoD uses the Gorilla bucket scheme scaled for millisecond
+// resolution: 0 → '0'; [-8191,8192) → '10'+14b; [-65535,65536) →
+// '110'+17b; [-524287,524288) → '1110'+20b; else '1111'+64b.
+func (e *blockEncoder) writeDoD(dod int64) {
+	switch {
+	case dod == 0:
+		e.w.writeBit(false)
+	case dod >= -8191 && dod <= 8192:
+		e.w.writeBits(0b10, 2)
+		e.w.writeBits(uint64(dod+8191)&((1<<14)-1), 14)
+	case dod >= -65535 && dod <= 65536:
+		e.w.writeBits(0b110, 3)
+		e.w.writeBits(uint64(dod+65535)&((1<<17)-1), 17)
+	case dod >= -524287 && dod <= 524288:
+		e.w.writeBits(0b1110, 4)
+		e.w.writeBits(uint64(dod+524287)&((1<<20)-1), 20)
+	default:
+		e.w.writeBits(0b1111, 4)
+		e.w.writeBits(uint64(dod), 64)
+	}
+}
+
+func (e *blockEncoder) writeXOR(v uint64) {
+	xor := v ^ e.prevVal
+	if xor == 0 {
+		e.w.writeBit(false)
+		return
+	}
+	e.w.writeBit(true)
+	leading := uint8(bits.LeadingZeros64(xor))
+	trailing := uint8(bits.TrailingZeros64(xor))
+	if leading > 31 {
+		leading = 31
+	}
+	if e.leading != 0xFF && leading >= e.leading && trailing >= e.trailing {
+		// Reuse the previous window.
+		e.w.writeBit(false)
+		e.w.writeBits(xor>>e.trailing, uint(64-e.leading-e.trailing))
+		return
+	}
+	e.leading, e.trailing = leading, trailing
+	e.w.writeBit(true)
+	e.w.writeBits(uint64(leading), 5)
+	sig := 64 - leading - trailing
+	// Store sig-1 in 6 bits (sig in 1..64).
+	e.w.writeBits(uint64(sig-1), 6)
+	e.w.writeBits(xor>>trailing, uint(sig))
+}
+
+// finish returns the compressed block bytes and point count.
+func (e *blockEncoder) finish() ([]byte, int) {
+	return e.w.buf, e.n
+}
+
+// decodeBlock expands a compressed block back into points.
+func decodeBlock(buf []byte, n int) ([]Point, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	r := newBitReader(buf)
+	out := make([]Point, 0, n)
+
+	tsBits, err := r.readBits(64)
+	if err != nil {
+		return nil, err
+	}
+	valBits, err := r.readBits(64)
+	if err != nil {
+		return nil, err
+	}
+	ts := int64(tsBits)
+	val := valBits
+	out = append(out, Point{Timestamp: ts, Value: math.Float64frombits(val)})
+
+	var delta int64
+	leading, trailing := uint8(0), uint8(0)
+
+	readXOR := func() error {
+		nonzero, err := r.readBit()
+		if err != nil {
+			return err
+		}
+		if !nonzero {
+			return nil
+		}
+		newWindow, err := r.readBit()
+		if err != nil {
+			return err
+		}
+		if newWindow {
+			l, err := r.readBits(5)
+			if err != nil {
+				return err
+			}
+			s, err := r.readBits(6)
+			if err != nil {
+				return err
+			}
+			leading = uint8(l)
+			sig := uint8(s) + 1
+			trailing = 64 - leading - sig
+		}
+		sig := 64 - leading - trailing
+		x, err := r.readBits(uint(sig))
+		if err != nil {
+			return err
+		}
+		val ^= x << trailing
+		return nil
+	}
+
+	for i := 1; i < n; i++ {
+		if i == 1 {
+			d, err := r.readBits(33)
+			if err != nil {
+				return nil, err
+			}
+			// Sign-extend 33-bit value.
+			delta = int64(d<<31) >> 31
+		} else {
+			dod, err := readDoD(r)
+			if err != nil {
+				return nil, err
+			}
+			delta += dod
+		}
+		ts += delta
+		if err := readXOR(); err != nil {
+			return nil, err
+		}
+		out = append(out, Point{Timestamp: ts, Value: math.Float64frombits(val)})
+	}
+	return out, nil
+}
+
+func readDoD(r *bitReader) (int64, error) {
+	b, err := r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b {
+		return 0, nil
+	}
+	b, err = r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b { // '10'
+		v, err := r.readBits(14)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 8191, nil
+	}
+	b, err = r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b { // '110'
+		v, err := r.readBits(17)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 65535, nil
+	}
+	b, err = r.readBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b { // '1110'
+		v, err := r.readBits(20)
+		if err != nil {
+			return 0, err
+		}
+		return int64(v) - 524287, nil
+	}
+	v, err := r.readBits(64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}

@@ -1,0 +1,118 @@
+// Package tsdb is an embedded time-series database modeled on the
+// OpenTSDB deployment the paper uses as its cloud storage ("accesses
+// the data from the OpenTSDB time series database"). It stores
+// measurements as (metric, tags, timestamp, value) points, compresses
+// sealed blocks with Gorilla-style delta-of-delta timestamp and XOR
+// value encoding, answers tag-filtered queries with aggregation,
+// downsampling and rate conversion, and optionally persists every
+// write through an append-only WAL for crash recovery.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Validation errors.
+var (
+	ErrEmptyMetric   = errors.New("tsdb: empty metric name")
+	ErrBadMetricChar = errors.New("tsdb: metric/tag may contain only [a-zA-Z0-9._/-]")
+	ErrNoTags        = errors.New("tsdb: at least one tag required")
+	ErrBadTimestamp  = errors.New("tsdb: timestamp outside accepted range")
+)
+
+// Point is a single measurement.
+type Point struct {
+	// Timestamp in milliseconds since the Unix epoch.
+	Timestamp int64
+	Value     float64
+}
+
+// Time converts the point's timestamp to time.Time (UTC).
+func (p Point) Time() time.Time { return time.UnixMilli(p.Timestamp).UTC() }
+
+// DataPoint is a point addressed to a series.
+type DataPoint struct {
+	Metric string
+	Tags   map[string]string
+	Point
+}
+
+// Series identifies one stored time series.
+type Series struct {
+	Metric string
+	Tags   map[string]string
+}
+
+// Key returns the canonical series key: metric{k1=v1,k2=v2} with tags
+// sorted by key — the same form OpenTSDB displays.
+func (s Series) Key() string {
+	return seriesKey(s.Metric, s.Tags)
+}
+
+func seriesKey(metric string, tags map[string]string) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(metric)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(tags[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '/' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// minTS/maxTS bound accepted timestamps: years ~1970–2100 in ms.
+const (
+	minTS = 0
+	maxTS = 4102444800000
+)
+
+// Validate checks a data point before storage.
+func (d *DataPoint) Validate() error {
+	if d.Metric == "" {
+		return ErrEmptyMetric
+	}
+	if !validName(d.Metric) {
+		return fmt.Errorf("%w: metric %q", ErrBadMetricChar, d.Metric)
+	}
+	if len(d.Tags) == 0 {
+		return ErrNoTags
+	}
+	for k, v := range d.Tags {
+		if !validName(k) || !validName(v) {
+			return fmt.Errorf("%w: tag %q=%q", ErrBadMetricChar, k, v)
+		}
+	}
+	if d.Timestamp < minTS || d.Timestamp > maxTS {
+		return fmt.Errorf("%w: %d", ErrBadTimestamp, d.Timestamp)
+	}
+	return nil
+}

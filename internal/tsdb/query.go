@@ -1,0 +1,383 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Aggregator combines values, both across series and within downsample
+// buckets — the OpenTSDB aggregator set the paper's dashboards use.
+type Aggregator string
+
+// Supported aggregators.
+const (
+	AggSum   Aggregator = "sum"
+	AggAvg   Aggregator = "avg"
+	AggMin   Aggregator = "min"
+	AggMax   Aggregator = "max"
+	AggCount Aggregator = "count"
+	AggP50   Aggregator = "p50"
+	AggP95   Aggregator = "p95"
+	AggP99   Aggregator = "p99"
+	AggDev   Aggregator = "dev"
+)
+
+// Valid reports whether the aggregator is known.
+func (a Aggregator) Valid() bool {
+	switch a {
+	case AggSum, AggAvg, AggMin, AggMax, AggCount, AggP50, AggP95, AggP99, AggDev:
+		return true
+	}
+	return false
+}
+
+// apply reduces a non-empty value slice.
+func (a Aggregator) apply(vals []float64) float64 {
+	switch a {
+	case AggSum:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	case AggAvg:
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	case AggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case AggCount:
+		return float64(len(vals))
+	case AggP50:
+		return percentile(vals, 0.50)
+	case AggP95:
+		return percentile(vals, 0.95)
+	case AggP99:
+		return percentile(vals, 0.99)
+	case AggDev:
+		mean := AggAvg.apply(vals)
+		ss := 0.0
+		for _, v := range vals {
+			d := v - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(vals)))
+	default:
+		return math.NaN()
+	}
+}
+
+func percentile(vals []float64, p float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Query selects and reduces series, OpenTSDB-style.
+type Query struct {
+	Metric string
+	// Tags filters series: exact value, or "*" to group by that tag
+	// (one result series per distinct value). Tags not mentioned are
+	// not constrained and are aggregated over.
+	Tags map[string]string
+	// Start and End bound the time range (inclusive), in ms.
+	Start, End int64
+	// Aggregator combines values across series within a group at each
+	// timestamp (after interpolation). Required.
+	Aggregator Aggregator
+	// Downsample, when >0, buckets points into intervals reduced by
+	// DownsampleFn (defaults to Aggregator).
+	Downsample   time.Duration
+	DownsampleFn Aggregator
+	// Rate converts the result to a per-second first derivative.
+	Rate bool
+}
+
+// ResultSeries is one output series of a query.
+type ResultSeries struct {
+	Metric string
+	// Tags contains the group-by tags and any tags shared by every
+	// aggregated series.
+	Tags   map[string]string
+	Points []Point
+}
+
+// Query errors.
+var (
+	ErrBadAggregator = errors.New("tsdb: unknown aggregator")
+	ErrBadRange      = errors.New("tsdb: query start after end")
+)
+
+// Execute runs the query.
+func (db *DB) Execute(q Query) ([]ResultSeries, error) {
+	if !q.Aggregator.Valid() {
+		return nil, fmt.Errorf("%w: %q", ErrBadAggregator, q.Aggregator)
+	}
+	if q.Downsample > 0 {
+		fn := q.DownsampleFn
+		if fn == "" {
+			fn = q.Aggregator
+		}
+		if !fn.Valid() {
+			return nil, fmt.Errorf("%w: %q", ErrBadAggregator, q.DownsampleFn)
+		}
+	}
+	if q.Start > q.End {
+		return nil, ErrBadRange
+	}
+
+	// Collect matching series grouped by group-by tag values.
+	groups := map[string][]matched{}
+	groupTags := map[string]map[string]string{}
+	var groupKeys []string
+
+	var groupBy []string
+	for k, v := range q.Tags {
+		if v == "*" {
+			groupBy = append(groupBy, k)
+		}
+	}
+	sort.Strings(groupBy)
+
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if s.metric != q.Metric || !tagsMatch(q.Tags, s.tags) {
+				continue
+			}
+			gk := ""
+			gt := map[string]string{}
+			for _, k := range groupBy {
+				gk += k + "=" + s.tags[k] + ";"
+				gt[k] = s.tags[k]
+			}
+			if _, ok := groups[gk]; !ok {
+				groupKeys = append(groupKeys, gk)
+				groupTags[gk] = gt
+			}
+			groups[gk] = append(groups[gk], matched{s, sh})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(groupKeys)
+
+	var out []ResultSeries
+	for _, gk := range groupKeys {
+		members := groups[gk]
+		var seriesPts [][]Point
+		for _, m := range members {
+			pts, err := db.rawPoints(m.s, m.sh, q.Start, q.End)
+			if err != nil {
+				return nil, err
+			}
+			if q.Downsample > 0 {
+				fn := q.DownsampleFn
+				if fn == "" {
+					fn = q.Aggregator
+				}
+				pts = downsample(pts, q.Downsample, fn)
+			}
+			if len(pts) > 0 {
+				seriesPts = append(seriesPts, pts)
+			}
+		}
+		if len(seriesPts) == 0 {
+			continue
+		}
+		merged := aggregateSeries(seriesPts, q.Aggregator)
+		if q.Rate {
+			merged = rate(merged)
+		}
+		// Result tags: group-by tags plus tags common to all members.
+		tags := map[string]string{}
+		for k, v := range groupTags[gk] {
+			tags[k] = v
+		}
+		for k, v := range commonTags(members[0].s.tags, members) {
+			tags[k] = v
+		}
+		out = append(out, ResultSeries{Metric: q.Metric, Tags: tags, Points: merged})
+	}
+	return out, nil
+}
+
+// matched pairs a series with its shard for later lock-free reads.
+type matched struct {
+	s  *memSeries
+	sh *shard
+}
+
+func commonTags(first map[string]string, members []matched) map[string]string {
+	common := map[string]string{}
+	for k, v := range first {
+		shared := true
+		for _, m := range members {
+			if m.s.tags[k] != v {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			common[k] = v
+		}
+	}
+	return common
+}
+
+// tagsMatch checks filter tags against series tags ("*" matches any
+// present value).
+func tagsMatch(filter, tags map[string]string) bool {
+	for k, v := range filter {
+		tv, ok := tags[k]
+		if !ok {
+			return false
+		}
+		if v != "*" && v != tv {
+			return false
+		}
+	}
+	return true
+}
+
+// downsample buckets points into fixed intervals aligned to the epoch.
+func downsample(pts []Point, interval time.Duration, fn Aggregator) []Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	ms := interval.Milliseconds()
+	if ms <= 0 {
+		return pts
+	}
+	var out []Point
+	var bucketStart int64 = math.MinInt64
+	var vals []float64
+	flush := func() {
+		if len(vals) > 0 {
+			out = append(out, Point{Timestamp: bucketStart, Value: fn.apply(vals)})
+			vals = vals[:0]
+		}
+	}
+	for _, p := range pts {
+		bs := p.Timestamp - (p.Timestamp % ms)
+		if bs != bucketStart {
+			flush()
+			bucketStart = bs
+		}
+		vals = append(vals, p.Value)
+	}
+	flush()
+	return out
+}
+
+// aggregateSeries combines multiple series into one by aggregating at
+// the union of timestamps, linearly interpolating series that lack an
+// exact sample (OpenTSDB semantics). Series contribute only within
+// their own [first, last] time span.
+func aggregateSeries(series [][]Point, agg Aggregator) []Point {
+	if len(series) == 1 {
+		return series[0]
+	}
+	// Union of timestamps.
+	tsSet := map[int64]bool{}
+	for _, s := range series {
+		for _, p := range s {
+			tsSet[p.Timestamp] = true
+		}
+	}
+	tss := make([]int64, 0, len(tsSet))
+	for ts := range tsSet {
+		tss = append(tss, ts)
+	}
+	sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+
+	idx := make([]int, len(series))
+	out := make([]Point, 0, len(tss))
+	vals := make([]float64, 0, len(series))
+	for _, ts := range tss {
+		vals = vals[:0]
+		for si, s := range series {
+			// Advance the cursor to the last point ≤ ts.
+			for idx[si]+1 < len(s) && s[idx[si]+1].Timestamp <= ts {
+				idx[si]++
+			}
+			v, ok := valueAt(s, idx[si], ts)
+			if ok {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) > 0 {
+			out = append(out, Point{Timestamp: ts, Value: agg.apply(vals)})
+		}
+	}
+	return out
+}
+
+// valueAt returns the series value at ts, interpolating between the
+// cursor point and the next; ok is false outside the series span.
+func valueAt(s []Point, cursor int, ts int64) (float64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	p := s[cursor]
+	if p.Timestamp == ts {
+		return p.Value, true
+	}
+	if p.Timestamp > ts {
+		return 0, false // before first point
+	}
+	if cursor+1 >= len(s) {
+		return 0, false // after last point
+	}
+	next := s[cursor+1]
+	frac := float64(ts-p.Timestamp) / float64(next.Timestamp-p.Timestamp)
+	return p.Value + frac*(next.Value-p.Value), true
+}
+
+// rate converts a series to per-second first differences.
+func rate(pts []Point) []Point {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Point, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dtMS := pts[i].Timestamp - pts[i-1].Timestamp
+		if dtMS <= 0 {
+			continue
+		}
+		out = append(out, Point{
+			Timestamp: pts[i].Timestamp,
+			Value:     (pts[i].Value - pts[i-1].Value) / (float64(dtMS) / 1000),
+		})
+	}
+	return out
+}

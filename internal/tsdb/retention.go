@@ -1,0 +1,70 @@
+package tsdb
+
+// Retention: the deployments accumulate "historic data ... collected
+// since January 2017" (§3); a long-running installation needs to age
+// out raw points. DeleteBefore drops whole sealed blocks that end
+// before the cutoff and filters head buffers — cheap, because sealed
+// blocks carry their time bounds.
+
+// DeleteBefore removes all points with timestamps strictly before
+// cutoffMS. Sealed blocks that straddle the cutoff are decoded and
+// re-sealed. It returns the number of points removed.
+func (db *DB) DeleteBefore(cutoffMS int64) (int, error) {
+	removed := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for key, s := range sh.series {
+			var blocks []sealedBlock
+			for _, b := range s.blocks {
+				switch {
+				case b.maxTS < cutoffMS:
+					removed += b.n // whole block aged out
+				case b.minTS >= cutoffMS:
+					blocks = append(blocks, b)
+				default:
+					// Straddling block: decode, filter, re-seal.
+					pts, err := decodeBlock(b.data, b.n)
+					if err != nil {
+						sh.mu.Unlock()
+						return removed, err
+					}
+					enc := newBlockEncoder()
+					kept := 0
+					var minTS, maxTS int64
+					for _, p := range pts {
+						if p.Timestamp < cutoffMS {
+							removed++
+							continue
+						}
+						if kept == 0 {
+							minTS = p.Timestamp
+						}
+						maxTS = p.Timestamp
+						enc.add(p.Timestamp, p.Value)
+						kept++
+					}
+					if kept > 0 {
+						data, n := enc.finish()
+						blocks = append(blocks, sealedBlock{minTS: minTS, maxTS: maxTS, n: n, data: data})
+					}
+				}
+			}
+			s.blocks = blocks
+			head := s.head[:0]
+			for _, p := range s.head {
+				if p.Timestamp >= cutoffMS {
+					head = append(head, p)
+				} else {
+					removed++
+				}
+			}
+			s.head = head
+			if len(s.blocks) == 0 && len(s.head) == 0 {
+				delete(sh.series, key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed, nil
+}

@@ -1,0 +1,280 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is the time-series store. It shards series across a fixed set of
+// locks by series-key hash, keeps a mutable head buffer per series, and
+// seals full heads into Gorilla-compressed blocks.
+type DB struct {
+	shards [numShards]shard
+	wal    *wal // nil when persistence is disabled
+}
+
+const (
+	numShards = 16
+	// headSealSize: points per head buffer before sealing to a block.
+	// 256 points at 5-minute cadence ≈ 21 hours per block.
+	headSealSize = 256
+)
+
+type shard struct {
+	mu     sync.RWMutex
+	series map[string]*memSeries
+}
+
+type memSeries struct {
+	metric string
+	tags   map[string]string
+	blocks []sealedBlock
+	head   []Point // sorted by timestamp
+}
+
+type sealedBlock struct {
+	minTS, maxTS int64
+	n            int
+	data         []byte
+}
+
+// Open creates a DB. If dir is non-empty, a write-ahead log in that
+// directory is replayed (recovering prior writes) and every subsequent
+// write is appended to it.
+func Open(dir string) (*DB, error) {
+	db := &DB{}
+	for i := range db.shards {
+		db.shards[i].series = make(map[string]*memSeries)
+	}
+	if dir != "" {
+		w, err := openWAL(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.replay(func(dp DataPoint) {
+			db.insert(dp) // bypass WAL during replay
+		}); err != nil {
+			w.close()
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
+}
+
+// Close flushes and closes the WAL (if any).
+func (db *DB) Close() error {
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// Sync forces WAL contents to stable storage.
+func (db *DB) Sync() error {
+	if db.wal != nil {
+		return db.wal.sync()
+	}
+	return nil
+}
+
+func shardFor(key string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % numShards
+}
+
+// Put validates and stores one data point.
+func (db *DB) Put(dp DataPoint) error {
+	if err := dp.Validate(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.append(dp); err != nil {
+			return fmt.Errorf("tsdb: wal append: %w", err)
+		}
+	}
+	db.insert(dp)
+	return nil
+}
+
+// PutBatch stores multiple points, stopping at the first invalid one.
+func (db *DB) PutBatch(dps []DataPoint) error {
+	for _, dp := range dps {
+		if err := db.Put(dp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) insert(dp DataPoint) {
+	key := seriesKey(dp.Metric, dp.Tags)
+	sh := &db.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.series[key]
+	if !ok {
+		tags := make(map[string]string, len(dp.Tags))
+		for k, v := range dp.Tags {
+			tags[k] = v
+		}
+		s = &memSeries{metric: dp.Metric, tags: tags}
+		sh.series[key] = s
+	}
+	// Insert keeping the head sorted; most writes are appends.
+	p := dp.Point
+	if n := len(s.head); n == 0 || s.head[n-1].Timestamp <= p.Timestamp {
+		s.head = append(s.head, p)
+	} else {
+		i := sort.Search(n, func(i int) bool { return s.head[i].Timestamp > p.Timestamp })
+		s.head = append(s.head, Point{})
+		copy(s.head[i+1:], s.head[i:])
+		s.head[i] = p
+	}
+	if len(s.head) >= headSealSize {
+		s.seal()
+	}
+}
+
+// seal compresses the head into a block. Caller holds the shard lock.
+func (s *memSeries) seal() {
+	if len(s.head) == 0 {
+		return
+	}
+	enc := newBlockEncoder()
+	for _, p := range s.head {
+		enc.add(p.Timestamp, p.Value)
+	}
+	data, n := enc.finish()
+	s.blocks = append(s.blocks, sealedBlock{
+		minTS: s.head[0].Timestamp,
+		maxTS: s.head[len(s.head)-1].Timestamp,
+		n:     n,
+		data:  data,
+	})
+	s.head = nil
+}
+
+// SeriesCount returns the number of distinct stored series.
+func (db *DB) SeriesCount() int {
+	n := 0
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+		n += len(db.shards[i].series)
+		db.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// PointCount returns the total number of stored points.
+func (db *DB) PointCount() int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			n += len(s.head)
+			for _, b := range s.blocks {
+				n += b.n
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CompressedBytes reports the total size of sealed block data — the
+// number the compression bench tracks.
+func (db *DB) CompressedBytes() int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			for _, b := range s.blocks {
+				n += len(b.data)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Metrics lists the distinct metric names, sorted.
+func (db *DB) Metrics() []string {
+	set := map[string]bool{}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			set[s.metric] = true
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TagValues lists the distinct values of a tag key under a metric.
+func (db *DB) TagValues(metric, tagKey string) []string {
+	set := map[string]bool{}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if s.metric != metric {
+				continue
+			}
+			if v, ok := s.tags[tagKey]; ok {
+				set[v] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rawPoints returns the series' points within [start, end], merging
+// sealed blocks and head. Caller must NOT hold the shard lock.
+func (db *DB) rawPoints(s *memSeries, sh *shard, start, end int64) ([]Point, error) {
+	sh.mu.RLock()
+	blocks := s.blocks
+	head := append([]Point(nil), s.head...)
+	sh.mu.RUnlock()
+
+	var out []Point
+	for _, b := range blocks {
+		if b.maxTS < start || b.minTS > end {
+			continue
+		}
+		pts, err := decodeBlock(b.data, b.n)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			if p.Timestamp >= start && p.Timestamp <= end {
+				out = append(out, p)
+			}
+		}
+	}
+	for _, p := range head {
+		if p.Timestamp >= start && p.Timestamp <= end {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// wal is a single-file append-only write-ahead log. Records are
+// length-prefixed and CRC-protected; replay stops cleanly at the first
+// torn record (partial final write after a crash).
+//
+// Record layout:
+//
+//	crc32(4) | len(4) | payload
+//
+// Payload:
+//
+//	metric(str) | nTags(2) | (key(str) value(str))* | ts(8) | value(8)
+//
+// where str is a 16-bit length prefix + bytes.
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+const walFileName = "tsdb.wal"
+
+var errWALCorrupt = errors.New("tsdb: wal record corrupt")
+
+func openWAL(dir string) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: wal dir: %w", err)
+	}
+	path := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: wal open: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: path}, nil
+}
+
+// replay streams every intact record to fn, then positions the file
+// for appends (truncating any torn tail).
+func (l *wal) replay(fn func(DataPoint)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(l.f, 64<<10)
+	var validEnd int64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			break // clean EOF or torn header
+		}
+		crc := binary.LittleEndian.Uint32(header[0:4])
+		n := binary.LittleEndian.Uint32(header[4:8])
+		if n > 1<<20 {
+			break // implausible length: treat as torn
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		dp, err := decodeWALPayload(payload)
+		if err != nil {
+			break
+		}
+		fn(dp)
+		validEnd += int64(8 + n)
+	}
+	// Truncate any torn tail so appends start at a clean boundary.
+	if err := l.f.Truncate(validEnd); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(validEnd, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	return nil
+}
+
+func (l *wal) append(dp DataPoint) error {
+	payload := encodeWALPayload(dp)
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(header[4:8], uint32(len(payload)))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := l.w.Write(payload)
+	return err
+}
+
+func (l *wal) sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *wal) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+func encodeWALPayload(dp DataPoint) []byte {
+	buf := make([]byte, 0, 64)
+	buf = appendWALString(buf, dp.Metric)
+	keys := make([]string, 0, len(dp.Tags))
+	for k := range dp.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var nTags [2]byte
+	binary.LittleEndian.PutUint16(nTags[:], uint16(len(keys)))
+	buf = append(buf, nTags[:]...)
+	for _, k := range keys {
+		buf = appendWALString(buf, k)
+		buf = appendWALString(buf, dp.Tags[k])
+	}
+	var num [8]byte
+	binary.LittleEndian.PutUint64(num[:], uint64(dp.Timestamp))
+	buf = append(buf, num[:]...)
+	binary.LittleEndian.PutUint64(num[:], math.Float64bits(dp.Value))
+	buf = append(buf, num[:]...)
+	return buf
+}
+
+func appendWALString(buf []byte, s string) []byte {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+	buf = append(buf, n[:]...)
+	return append(buf, s...)
+}
+
+func decodeWALPayload(buf []byte) (DataPoint, error) {
+	off := 0
+	readString := func() (string, error) {
+		if off+2 > len(buf) {
+			return "", errWALCorrupt
+		}
+		n := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if off+n > len(buf) {
+			return "", errWALCorrupt
+		}
+		s := string(buf[off : off+n])
+		off += n
+		return s, nil
+	}
+	metric, err := readString()
+	if err != nil {
+		return DataPoint{}, err
+	}
+	if off+2 > len(buf) {
+		return DataPoint{}, errWALCorrupt
+	}
+	nTags := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	tags := make(map[string]string, nTags)
+	for i := 0; i < nTags; i++ {
+		k, err := readString()
+		if err != nil {
+			return DataPoint{}, err
+		}
+		v, err := readString()
+		if err != nil {
+			return DataPoint{}, err
+		}
+		tags[k] = v
+	}
+	if off+16 > len(buf) {
+		return DataPoint{}, errWALCorrupt
+	}
+	ts := int64(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	val := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+	return DataPoint{Metric: metric, Tags: tags, Point: Point{Timestamp: ts, Value: val}}, nil
+}

@@ -1,0 +1,79 @@
+package ttn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/lorawan"
+)
+
+// Downlink scheduling: the network server queues at most one pending
+// downlink per device (TTN v2 semantics); it is delivered in the
+// class-A receive window following the device's next uplink.
+
+// ErrUnknownDevice is returned when queueing for an unregistered
+// device.
+var ErrUnknownDevice = errors.New("ttn: unknown device")
+
+// QueueDownlink schedules a payload for a device, replacing any
+// previously queued downlink.
+func (ns *NetworkServer) QueueDownlink(devID string, payload []byte) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for addr, dev := range ns.devices {
+		if dev.ID == devID {
+			if ns.downlinks == nil {
+				ns.downlinks = make(map[lorawan.DevAddr][]byte)
+			}
+			ns.downlinks[addr] = append([]byte(nil), payload...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownDevice, devID)
+}
+
+// PopDownlink removes and returns the pending downlink for a device
+// address (called right after an uplink is received — the class-A
+// window).
+func (ns *NetworkServer) PopDownlink(addr lorawan.DevAddr) ([]byte, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	payload, ok := ns.downlinks[addr]
+	if ok {
+		delete(ns.downlinks, addr)
+	}
+	return payload, ok
+}
+
+// PendingDownlinks reports how many downlinks are queued.
+func (ns *NetworkServer) PendingDownlinks() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.downlinks)
+}
+
+// DownlinkTopic is the MQTT topic on which applications schedule
+// downlinks for a device (TTN v2 shape).
+func DownlinkTopic(appID, devID string) string {
+	return appID + "/devices/" + devID + "/down"
+}
+
+// DownlinkWildcard matches all devices' downlink topics.
+func DownlinkWildcard(appID string) string {
+	return appID + "/devices/+/down"
+}
+
+// DeviceIDFromDownlinkTopic extracts the device ID from a downlink
+// topic, or "" if the topic has the wrong shape.
+func DeviceIDFromDownlinkTopic(appID, topic string) string {
+	prefix := appID + "/devices/"
+	if !strings.HasPrefix(topic, prefix) || !strings.HasSuffix(topic, "/down") {
+		return ""
+	}
+	dev := strings.TrimSuffix(strings.TrimPrefix(topic, prefix), "/down")
+	if dev == "" || strings.Contains(dev, "/") {
+		return ""
+	}
+	return dev
+}

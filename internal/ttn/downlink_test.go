@@ -1,0 +1,61 @@
+package ttn
+
+import "testing"
+
+func TestQueueAndPopDownlink(t *testing.T) {
+	ns, _ := newServer(t)
+	if err := ns.QueueDownlink("node-01", []byte{0x01, 0x0A}); err != nil {
+		t.Fatal(err)
+	}
+	if ns.PendingDownlinks() != 1 {
+		t.Fatalf("pending: %d", ns.PendingDownlinks())
+	}
+	payload, ok := ns.PopDownlink(0x1001)
+	if !ok || len(payload) != 2 || payload[0] != 0x01 {
+		t.Fatalf("pop: %v %v", payload, ok)
+	}
+	if _, ok := ns.PopDownlink(0x1001); ok {
+		t.Fatal("downlink should be consumed")
+	}
+}
+
+func TestQueueDownlinkUnknownDevice(t *testing.T) {
+	ns, _ := newServer(t)
+	if err := ns.QueueDownlink("nope", []byte{1}); err == nil {
+		t.Fatal("unknown device should error")
+	}
+}
+
+func TestQueueDownlinkReplaces(t *testing.T) {
+	ns, _ := newServer(t)
+	ns.QueueDownlink("node-01", []byte{0x01, 0x05})
+	ns.QueueDownlink("node-01", []byte{0x01, 0x0F})
+	payload, _ := ns.PopDownlink(0x1001)
+	if payload[1] != 0x0F {
+		t.Fatalf("latest downlink should win: %v", payload)
+	}
+	if ns.PendingDownlinks() != 0 {
+		t.Fatal("queue should hold one per device")
+	}
+}
+
+func TestDownlinkTopicHelpers(t *testing.T) {
+	if DownlinkTopic("ctt", "n1") != "ctt/devices/n1/down" {
+		t.Fatal("topic wrong")
+	}
+	if DownlinkWildcard("ctt") != "ctt/devices/+/down" {
+		t.Fatal("wildcard wrong")
+	}
+	cases := map[string]string{
+		"ctt/devices/n1/down":   "n1",
+		"ctt/devices/n1/up":     "",
+		"other/devices/n1/down": "",
+		"ctt/devices//down":     "",
+		"ctt/devices/a/b/down":  "",
+	}
+	for topic, want := range cases {
+		if got := DeviceIDFromDownlinkTopic("ctt", topic); got != want {
+			t.Errorf("DeviceIDFromDownlinkTopic(%q) = %q, want %q", topic, got, want)
+		}
+	}
+}

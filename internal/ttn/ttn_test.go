@@ -1,0 +1,220 @@
+package ttn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lorawan"
+	"repro/internal/sensors"
+)
+
+var t0 = time.Date(2017, time.March, 7, 12, 0, 0, 0, time.UTC)
+
+// memPub captures published messages.
+type memPub struct {
+	mu   sync.Mutex
+	msgs []struct {
+		topic   string
+		payload []byte
+	}
+}
+
+func (p *memPub) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.msgs = append(p.msgs, struct {
+		topic   string
+		payload []byte
+	}{topic, payload})
+	return nil
+}
+
+func (p *memPub) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.msgs)
+}
+
+func makeReception(t *testing.T, addr lorawan.DevAddr, fcnt uint16, gw string, rssi float64) lorawan.Reception {
+	t.Helper()
+	m := sensors.Measurement{CO2: 420, TemperatureC: 5, BatteryPct: 80, PressureHPa: 1010}
+	up := &lorawan.Uplink{DevAddr: addr, FCnt: fcnt, FPort: 1, Payload: sensors.EncodeMeasurement(m)}
+	frame, err := up.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lorawan.Reception{
+		GatewayID: gw, DeviceID: "dev", Frame: frame,
+		RSSI: rssi, SNR: 8, SF: lorawan.SF9, Chan: 2, Time: t0,
+	}
+}
+
+func newServer(t *testing.T) (*NetworkServer, *memPub) {
+	t.Helper()
+	pub := &memPub{}
+	ns := NewNetworkServer("ctt", pub)
+	ns.Register(Device{ID: "node-01", DevAddr: 0x1001})
+	return ns, pub
+}
+
+func TestIngestPublishesAfterWindow(t *testing.T) {
+	ns, pub := newServer(t)
+	rec := makeReception(t, 0x1001, 1, "gw1", -80)
+	msgs, err := ns.Ingest([]lorawan.Reception{rec}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 || pub.count() != 0 {
+		t.Fatal("uplink should be held during dedup window")
+	}
+	msgs, err = ns.Ingest(nil, t0.Add(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || pub.count() != 1 {
+		t.Fatalf("expected publish after window: msgs=%d pubs=%d", len(msgs), pub.count())
+	}
+	m := msgs[0]
+	if m.DevID != "node-01" || m.Counter != 1 || m.AppID != "ctt" {
+		t.Fatalf("bad message: %+v", m)
+	}
+	if m.Fields == nil || m.Fields.CO2 != 420 {
+		t.Fatalf("decoded fields missing: %+v", m.Fields)
+	}
+	if m.Metadata.DataRate != "SF9/125kHz" {
+		t.Fatalf("data rate: %s", m.Metadata.DataRate)
+	}
+}
+
+func TestDedupAcrossGateways(t *testing.T) {
+	ns, _ := newServer(t)
+	recs := []lorawan.Reception{
+		makeReception(t, 0x1001, 7, "gw1", -85),
+		makeReception(t, 0x1001, 7, "gw2", -70),
+		makeReception(t, 0x1001, 7, "gw3", -95),
+	}
+	ns.Ingest(recs, t0)
+	msgs, _ := ns.Ingest(nil, t0.Add(3*time.Second))
+	if len(msgs) != 1 {
+		t.Fatalf("3 receptions should dedup to 1 uplink, got %d", len(msgs))
+	}
+	gws := msgs[0].Metadata.Gateways
+	if len(gws) != 3 {
+		t.Fatalf("gateway metadata lost: %d", len(gws))
+	}
+	// Best RSSI first.
+	if gws[0].GatewayID != "gw2" || gws[0].RSSI != -70 {
+		t.Fatalf("gateways not sorted by RSSI: %+v", gws)
+	}
+	st := ns.Stats()
+	if st.Duplicates != 2 || st.UplinksOut != 1 || st.FramesIn != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	ns, _ := newServer(t)
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 5, "gw1", -80)}, t0)
+	ns.Ingest(nil, t0.Add(3*time.Second))
+	// Replay of the same counter after the window: must be dropped.
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 5, "gw1", -80)}, t0.Add(10*time.Second))
+	msgs, _ := ns.Ingest(nil, t0.Add(20*time.Second))
+	if len(msgs) != 0 {
+		t.Fatal("replayed frame must not publish")
+	}
+	if ns.Stats().ReplaysDropped != 1 {
+		t.Fatalf("stats: %+v", ns.Stats())
+	}
+	// Older counter too.
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 3, "gw1", -80)}, t0.Add(30*time.Second))
+	if ns.Stats().ReplaysDropped != 2 {
+		t.Fatalf("stats: %+v", ns.Stats())
+	}
+}
+
+func TestCounterWrapAccepted(t *testing.T) {
+	ns, _ := newServer(t)
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 65530, "gw1", -80)}, t0)
+	ns.Ingest(nil, t0.Add(3*time.Second))
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 2, "gw1", -80)}, t0.Add(10*time.Second))
+	msgs, _ := ns.Ingest(nil, t0.Add(20*time.Second))
+	if len(msgs) != 1 {
+		t.Fatal("wrapped counter should be accepted")
+	}
+}
+
+func TestUnknownDeviceDropped(t *testing.T) {
+	ns, _ := newServer(t)
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x9999, 1, "gw1", -80)}, t0)
+	msgs, _ := ns.Ingest(nil, t0.Add(3*time.Second))
+	if len(msgs) != 0 || ns.Stats().UnknownDevice != 1 {
+		t.Fatalf("unknown device: msgs=%d stats=%+v", len(msgs), ns.Stats())
+	}
+}
+
+func TestCorruptFrameCounted(t *testing.T) {
+	ns, _ := newServer(t)
+	rec := makeReception(t, 0x1001, 1, "gw1", -80)
+	rec.Frame[10] ^= 0xFF
+	ns.Ingest([]lorawan.Reception{rec}, t0)
+	if ns.Stats().DecodeErrors != 1 {
+		t.Fatalf("stats: %+v", ns.Stats())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	ns, pub := newServer(t)
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 1, "gw1", -80)}, t0)
+	msgs, err := ns.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || pub.count() != 1 {
+		t.Fatal("flush should publish pending uplinks")
+	}
+}
+
+func TestUplinkJSONRoundTrip(t *testing.T) {
+	ns, pub := newServer(t)
+	ns.Ingest([]lorawan.Reception{makeReception(t, 0x1001, 9, "gw1", -77)}, t0)
+	ns.Flush()
+	parsed, err := ParseUplink(pub.msgs[0].payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DevID != "node-01" || parsed.Counter != 9 {
+		t.Fatalf("parsed: %+v", parsed)
+	}
+	if parsed.Fields == nil || parsed.Fields.CO2 != 420 {
+		t.Fatalf("fields: %+v", parsed.Fields)
+	}
+	if pub.msgs[0].topic != "ctt/devices/node-01/up" {
+		t.Fatalf("topic: %s", pub.msgs[0].topic)
+	}
+	if _, err := ParseUplink([]byte("{bad")); err == nil {
+		t.Fatal("bad json should error")
+	}
+}
+
+func TestTopicHelpers(t *testing.T) {
+	if UplinkTopic("app", "dev") != "app/devices/dev/up" {
+		t.Fatal("topic wrong")
+	}
+	if UplinkWildcard("app") != "app/devices/+/up" {
+		t.Fatal("wildcard wrong")
+	}
+}
+
+func TestMultipleDevicesIndependentCounters(t *testing.T) {
+	ns, _ := newServer(t)
+	ns.Register(Device{ID: "node-02", DevAddr: 0x1002})
+	ns.Ingest([]lorawan.Reception{
+		makeReception(t, 0x1001, 1, "gw1", -80),
+		makeReception(t, 0x1002, 1, "gw1", -82),
+	}, t0)
+	msgs, _ := ns.Ingest(nil, t0.Add(3*time.Second))
+	if len(msgs) != 2 {
+		t.Fatalf("both devices should publish, got %d", len(msgs))
+	}
+}

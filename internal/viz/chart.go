@@ -1,0 +1,354 @@
+// Package viz renders the paper's visualizations: SVG line charts and
+// scatter plots (the battery analysis of Fig. 4 and CO2 dynamics of
+// Fig. 5), the network map of Fig. 3, dashboard panels (Fig. 6), the
+// 3D city model view (Fig. 7), the combined wall display (Fig. 8),
+// plus ASCII charts for terminal dashboards and GeoJSON export for
+// integration into municipal GIS tools (Table 1, last row).
+//
+// Everything renders to bytes with no external dependencies.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	Color  string // CSS color; defaults assigned when empty
+	Times  []time.Time
+	Values []float64
+}
+
+// ScatterPoint is one point in a scatter plot with a class for
+// colouring (Fig. 4 uses sunlit/dark classes).
+type ScatterPoint struct {
+	X, Y  float64
+	Class int
+}
+
+// defaultPalette cycles for unstyled series.
+var defaultPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// classPalette colours scatter classes (class 1 red = "sunlit" in
+// Fig. 4's convention, class 0 blue).
+var classPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e"}
+
+// ChartOptions configure a chart rendering.
+type ChartOptions struct {
+	Title         string
+	Width, Height int
+	XLabel        string
+	YLabel        string
+}
+
+func (o *ChartOptions) defaults() {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.Height <= 0 {
+		o.Height = 300
+	}
+}
+
+const chartMargin = 50
+
+// LineChartSVG renders one or more time series as an SVG line chart.
+func LineChartSVG(series []Series, opt ChartOptions) []byte {
+	opt.defaults()
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	writeTitle(&b, opt)
+
+	// Bounds.
+	var tMin, tMax time.Time
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range series {
+		for i, tm := range s.Times {
+			if i >= len(s.Values) || math.IsNaN(s.Values[i]) {
+				continue
+			}
+			if empty || tm.Before(tMin) {
+				tMin = tm
+			}
+			if empty || tm.After(tMax) {
+				tMax = tm
+			}
+			if s.Values[i] < vMin {
+				vMin = s.Values[i]
+			}
+			if s.Values[i] > vMax {
+				vMax = s.Values[i]
+			}
+			empty = false
+		}
+	}
+	if empty {
+		b.WriteString(`<text x="20" y="40" class="axis">no data</text>`)
+		closeSVG(&b)
+		return []byte(b.String())
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	span := tMax.Sub(tMin)
+	if span <= 0 {
+		span = time.Second
+	}
+
+	px := func(tm time.Time) float64 {
+		return chartMargin + tm.Sub(tMin).Seconds()/span.Seconds()*float64(opt.Width-2*chartMargin)
+	}
+	py := func(v float64) float64 {
+		return float64(opt.Height-chartMargin) - (v-vMin)/(vMax-vMin)*float64(opt.Height-2*chartMargin)
+	}
+
+	drawAxes(&b, opt, vMin, vMax, tMin, tMax)
+
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[si%len(defaultPalette)]
+		}
+		var pts []string
+		for i, tm := range s.Times {
+			if i >= len(s.Values) || math.IsNaN(s.Values[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(tm), py(s.Values[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+				color, strings.Join(pts, " "))
+		}
+		// Legend entry.
+		ly := 16 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, opt.Width-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="axis">%s</text>`, opt.Width-135, ly+9, escape(s.Name))
+	}
+	closeSVG(&b)
+	return []byte(b.String())
+}
+
+// ScatterSVG renders a class-coloured scatter plot (Fig. 4 right
+// panel: Δbattery vs time-of-day, coloured by sunlight).
+func ScatterSVG(points []ScatterPoint, classNames []string, opt ChartOptions) []byte {
+	opt.defaults()
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	writeTitle(&b, opt)
+	if len(points) == 0 {
+		b.WriteString(`<text x="20" y="40" class="axis">no data</text>`)
+		closeSVG(&b)
+		return []byte(b.String())
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		xMin = math.Min(xMin, p.X)
+		xMax = math.Max(xMax, p.X)
+		yMin = math.Min(yMin, p.Y)
+		yMax = math.Max(yMax, p.Y)
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	px := func(x float64) float64 {
+		return chartMargin + (x-xMin)/(xMax-xMin)*float64(opt.Width-2*chartMargin)
+	}
+	py := func(y float64) float64 {
+		return float64(opt.Height-chartMargin) - (y-yMin)/(yMax-yMin)*float64(opt.Height-2*chartMargin)
+	}
+	drawAxesNumeric(&b, opt, xMin, xMax, yMin, yMax)
+	for _, p := range points {
+		color := classPalette[p.Class%len(classPalette)]
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.7"/>`,
+			px(p.X), py(p.Y), color)
+	}
+	for ci, name := range classNames {
+		ly := 16 + ci*16
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="5" fill="%s"/>`, opt.Width-145, ly+5, classPalette[ci%len(classPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="axis">%s</text>`, opt.Width-135, ly+9, escape(name))
+	}
+	closeSVG(&b)
+	return []byte(b.String())
+}
+
+// BarChartSVG renders labeled values (used for diurnal profiles and
+// the Table 1 national-statistics panel).
+func BarChartSVG(labels []string, values []float64, opt ChartOptions) []byte {
+	opt.defaults()
+	var b strings.Builder
+	openSVG(&b, opt.Width, opt.Height)
+	writeTitle(&b, opt)
+	if len(values) == 0 {
+		b.WriteString(`<text x="20" y="40" class="axis">no data</text>`)
+		closeSVG(&b)
+		return []byte(b.String())
+	}
+	vMax := math.Inf(-1)
+	vMin := 0.0
+	for _, v := range values {
+		vMax = math.Max(vMax, v)
+		vMin = math.Min(vMin, v)
+	}
+	if vMax <= vMin {
+		vMax = vMin + 1
+	}
+	plotW := float64(opt.Width - 2*chartMargin)
+	plotH := float64(opt.Height - 2*chartMargin)
+	bw := plotW / float64(len(values))
+	py := func(v float64) float64 {
+		return float64(opt.Height-chartMargin) - (v-vMin)/(vMax-vMin)*plotH
+	}
+	zero := py(math.Max(0, vMin))
+	for i, v := range values {
+		x := chartMargin + float64(i)*bw
+		top := py(v)
+		h := zero - top
+		if h < 0 {
+			top, h = zero, -h
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+			x+1, top, bw-2, h, defaultPalette[0])
+		if i < len(labels) && (len(values) <= 30 || i%4 == 0) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" class="axis" text-anchor="middle">%s</text>`,
+				x+bw/2, opt.Height-chartMargin+15, escape(labels[i]))
+		}
+	}
+	closeSVG(&b)
+	return []byte(b.String())
+}
+
+// --- shared SVG helpers ------------------------------------------------
+
+func openSVG(b *strings.Builder, w, h int) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	b.WriteString(`<style>.axis{font:10px sans-serif;fill:#444}.title{font:bold 13px sans-serif;fill:#111}</style>`)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+}
+
+func closeSVG(b *strings.Builder) { b.WriteString(`</svg>`) }
+
+func writeTitle(b *strings.Builder, opt ChartOptions) {
+	if opt.Title != "" {
+		fmt.Fprintf(b, `<text x="%d" y="18" class="title">%s</text>`, chartMargin, escape(opt.Title))
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(b, `<text x="8" y="%d" class="axis" transform="rotate(-90 8 %d)">%s</text>`,
+			opt.Height/2, opt.Height/2, escape(opt.YLabel))
+	}
+	if opt.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" class="axis" text-anchor="middle">%s</text>`,
+			opt.Width/2, opt.Height-8, escape(opt.XLabel))
+	}
+}
+
+func drawAxes(b *strings.Builder, opt ChartOptions, vMin, vMax float64, tMin, tMax time.Time) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		chartMargin, opt.Height-chartMargin, opt.Width-chartMargin, opt.Height-chartMargin)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		chartMargin, chartMargin, chartMargin, opt.Height-chartMargin)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := vMin + float64(i)/4*(vMax-vMin)
+		y := float64(opt.Height-chartMargin) - float64(i)/4*float64(opt.Height-2*chartMargin)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" class="axis" text-anchor="end">%.4g</text>`,
+			chartMargin-4, y+3, v)
+	}
+	// X ticks: start, middle, end.
+	for i := 0; i <= 2; i++ {
+		tm := tMin.Add(time.Duration(float64(tMax.Sub(tMin)) * float64(i) / 2))
+		x := chartMargin + float64(i)/2*float64(opt.Width-2*chartMargin)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" class="axis" text-anchor="middle">%s</text>`,
+			x, opt.Height-chartMargin+15, tm.Format("01-02 15:04"))
+	}
+}
+
+func drawAxesNumeric(b *strings.Builder, opt ChartOptions, xMin, xMax, yMin, yMax float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		chartMargin, opt.Height-chartMargin, opt.Width-chartMargin, opt.Height-chartMargin)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		chartMargin, chartMargin, chartMargin, opt.Height-chartMargin)
+	for i := 0; i <= 4; i++ {
+		v := yMin + float64(i)/4*(yMax-yMin)
+		y := float64(opt.Height-chartMargin) - float64(i)/4*float64(opt.Height-2*chartMargin)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" class="axis" text-anchor="end">%.4g</text>`, chartMargin-4, y+3, v)
+	}
+	for i := 0; i <= 4; i++ {
+		v := xMin + float64(i)/4*(xMax-xMin)
+		x := chartMargin + float64(i)/4*float64(opt.Width-2*chartMargin)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" class="axis" text-anchor="middle">%.4g</text>`,
+			x, opt.Height-chartMargin+15, v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCIIChart renders a single series as a terminal chart of the given
+// size — the quick-look view used by the CLI tools.
+func ASCIIChart(values []float64, width, height int) string {
+	if len(values) == 0 || width < 2 || height < 2 {
+		return "(no data)\n"
+	}
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		vMin = math.Min(vMin, v)
+		vMax = math.Max(vMax, v)
+	}
+	if math.IsInf(vMin, 1) {
+		return "(no data)\n"
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for c := 0; c < width; c++ {
+		// Sample the series at this column.
+		idx := c * (len(values) - 1) / max(1, width-1)
+		v := values[idx]
+		if math.IsNaN(v) {
+			continue
+		}
+		row := int((vMax - v) / (vMax - vMin) * float64(height-1))
+		grid[row][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.4g ┤\n", vMax)
+	for _, row := range grid {
+		b.WriteString("         │")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.4g ┼%s\n", vMin, strings.Repeat("─", width))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package viz
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/citygml"
+	"repro/internal/dataport"
+	"repro/internal/geo"
+)
+
+var center = geo.LatLon{Lat: 63.4305, Lon: 10.3951}
+
+func t0() time.Time { return time.Date(2017, time.March, 7, 12, 0, 0, 0, time.UTC) }
+
+func sampleSeries(n int) Series {
+	s := Series{Name: "co2 [ppm]"}
+	for i := 0; i < n; i++ {
+		s.Times = append(s.Times, t0().Add(time.Duration(i)*5*time.Minute))
+		s.Values = append(s.Values, 400+float64(i%20))
+	}
+	return s
+}
+
+// validSVG checks the output is well-formed XML with an svg root.
+func validSVG(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	seenSVG := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "svg" {
+			seenSVG = true
+		}
+	}
+	if !seenSVG {
+		t.Fatalf("not a valid SVG: %.120s", data)
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	data := LineChartSVG([]Series{sampleSeries(50)}, ChartOptions{Title: "CO2", YLabel: "ppm"})
+	validSVG(t, data)
+	s := string(data)
+	if !strings.Contains(s, "polyline") {
+		t.Fatal("no polyline drawn")
+	}
+	if !strings.Contains(s, "CO2") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(s, "co2 [ppm]") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestLineChartMultipleSeries(t *testing.T) {
+	a, b := sampleSeries(30), sampleSeries(30)
+	b.Name = "second"
+	data := LineChartSVG([]Series{a, b}, ChartOptions{})
+	validSVG(t, data)
+	if strings.Count(string(data), "polyline") != 2 {
+		t.Fatal("expected two polylines")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	data := LineChartSVG(nil, ChartOptions{})
+	validSVG(t, data)
+	if !strings.Contains(string(data), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestScatterSVGClasses(t *testing.T) {
+	var pts []ScatterPoint
+	for i := 0; i < 100; i++ {
+		pts = append(pts, ScatterPoint{X: float64(i % 24), Y: float64(i%7) - 3, Class: i % 2})
+	}
+	data := ScatterSVG(pts, []string{"dark", "sunlit"}, ChartOptions{Title: "Δbattery vs hour"})
+	validSVG(t, data)
+	s := string(data)
+	if strings.Count(s, "<circle") < 100 {
+		t.Fatalf("points missing: %d circles", strings.Count(s, "<circle"))
+	}
+	if !strings.Contains(s, "sunlit") {
+		t.Fatal("class legend missing")
+	}
+	// Both class colours present.
+	if !strings.Contains(s, classPalette[0]) || !strings.Contains(s, classPalette[1]) {
+		t.Fatal("class colours missing")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	data := BarChartSVG(labels, []float64{3, 1, 2}, ChartOptions{Title: "bars"})
+	validSVG(t, data)
+	if strings.Count(string(data), "<rect") < 4 { // background + 3 bars
+		t.Fatal("bars missing")
+	}
+	validSVG(t, BarChartSVG(nil, nil, ChartOptions{}))
+}
+
+func TestASCIIChart(t *testing.T) {
+	out := ASCIIChart([]float64{1, 5, 3, 9, 2, 8}, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // header + 8 rows + footer
+		t.Fatalf("chart height: %d lines", len(lines))
+	}
+	if ASCIIChart(nil, 10, 5) != "(no data)\n" {
+		t.Fatal("empty handling")
+	}
+}
+
+func testSnapshot() dataport.NetworkSnapshot {
+	return dataport.NetworkSnapshot{
+		Time: t0(),
+		Sensors: []dataport.SensorNode{
+			{ID: "s1", Pos: geo.Destination(center, 0, 500), Status: "ok", BatteryPct: 88},
+			{ID: "s2", Pos: geo.Destination(center, 90, 800), Status: "silent", BatteryPct: 42},
+			{ID: "s3", Pos: geo.Destination(center, 180, 650), Status: "battery-low", BatteryPct: 12},
+		},
+		Gateways: []dataport.GatewayNode{
+			{ID: "gw1", Pos: center, Status: "ok"},
+			{ID: "gw2", Pos: geo.Destination(center, 270, 1500), Status: "down"},
+		},
+		Links: []dataport.Link{
+			{SensorID: "s1", GatewayID: "gw1", RSSI: -80, Live: true},
+			{SensorID: "s3", GatewayID: "gw1", RSSI: -95, Live: false},
+		},
+	}
+}
+
+func TestNetworkMapSVG(t *testing.T) {
+	data := NetworkMapSVG(testSnapshot(), 800, 600)
+	validSVG(t, data)
+	s := string(data)
+	if strings.Count(s, "<circle") != 3 {
+		t.Fatalf("sensor circles: %d", strings.Count(s, "<circle"))
+	}
+	// 2 gateway squares + background rect.
+	if strings.Count(s, "<rect") != 3 {
+		t.Fatalf("rects: %d", strings.Count(s, "<rect"))
+	}
+	if strings.Count(s, "<line") < 2 {
+		t.Fatal("links missing")
+	}
+	// Live link dashed.
+	if !strings.Contains(s, "stroke-dasharray") {
+		t.Fatal("live transmission styling missing")
+	}
+	// Status colours: ok green, silent red, battery orange.
+	for _, c := range []string{"#2ca02c", "#d62728", "#ff7f0e"} {
+		if !strings.Contains(s, c) {
+			t.Fatalf("status colour %s missing", c)
+		}
+	}
+	validSVG(t, NetworkMapSVG(dataport.NetworkSnapshot{Time: t0()}, 400, 300))
+}
+
+func TestPollutionColor(t *testing.T) {
+	lo := PollutionColor(400, 400, 500)
+	hi := PollutionColor(500, 400, 500)
+	mid := PollutionColor(450, 400, 500)
+	if lo == hi || lo == mid {
+		t.Fatalf("colour ramp flat: %s %s %s", lo, mid, hi)
+	}
+	if PollutionColor(1000, 400, 500) != hi {
+		t.Fatal("above-range should clamp")
+	}
+	if PollutionColor(1, 5, 5) != "#888888" {
+		t.Fatal("degenerate range should be gray")
+	}
+}
+
+func TestCityModelSVG(t *testing.T) {
+	m := citygml.GenerateCity("vejle", center, 600, 3)
+	m.AddSensor(citygml.MeasuringPoint{ID: "n1", Pos: center, Species: "co2", Value: 420, HeightM: 3})
+	m.AddSensor(citygml.MeasuringPoint{ID: "n2", Pos: geo.Destination(center, 90, 200), Species: "co2", Value: 480, HeightM: 3})
+	data := CityModelSVG(m, 400, 500, 900, 650)
+	validSVG(t, data)
+	s := string(data)
+	if strings.Count(s, "<polygon") < 2*50 {
+		t.Fatalf("building polygons missing: %d", strings.Count(s, "<polygon"))
+	}
+	if strings.Count(s, "<circle") != 2 {
+		t.Fatalf("sensor markers: %d", strings.Count(s, "<circle"))
+	}
+	validSVG(t, CityModelSVG(citygml.NewModel("empty"), 0, 1, 300, 200))
+}
+
+func TestNetworkGeoJSON(t *testing.T) {
+	data, err := NetworkGeoJSON(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["type"] != "FeatureCollection" {
+		t.Fatalf("type: %v", doc["type"])
+	}
+	features := doc["features"].([]any)
+	if len(features) != 3+2+2 {
+		t.Fatalf("features: %d", len(features))
+	}
+	// Coordinates are [lon, lat].
+	first := features[0].(map[string]any)
+	coords := first["geometry"].(map[string]any)["coordinates"].([]any)
+	lon := coords[0].(float64)
+	if lon < 10 || lon > 11 {
+		t.Fatalf("lon/lat order wrong: %v", coords)
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	readings := []analytics.SensorReading{
+		{ID: "a", Pos: geo.Destination(center, 90, 800), Value: 400},
+		{ID: "b", Pos: geo.Destination(center, 270, 800), Value: 500},
+		{ID: "c", Pos: geo.Destination(center, 0, 600), Value: 450},
+	}
+	surf, err := analytics.InterpolateIDW(readings, 100, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := HeatmapSVG(surf, readings, "CO2 surface", 800, 600)
+	validSVG(t, data)
+	s := string(data)
+	if strings.Count(s, "<rect") < surf.NX*surf.NY {
+		t.Fatalf("heatmap cells missing: %d rects for %dx%d grid",
+			strings.Count(s, "<rect"), surf.NX, surf.NY)
+	}
+	if strings.Count(s, "<circle") != 3 {
+		t.Fatalf("sensor overlays: %d", strings.Count(s, "<circle"))
+	}
+	validSVG(t, HeatmapSVG(nil, nil, "empty", 300, 200))
+}

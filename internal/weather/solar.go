@@ -1,0 +1,105 @@
+// Package weather simulates the meteorological environment of a pilot
+// city: solar geometry and irradiance (which drive the solar-charged
+// sensor nodes analyzed in the paper's Fig. 4), near-surface temperature
+// with diurnal and seasonal cycles, a wind process (which drives the
+// emission-dispersion substrate), humidity, pressure, and cloud cover.
+//
+// Everything is deterministic for a given seed and simulated time, so
+// experiments are reproducible and tests never touch the wall clock.
+package weather
+
+import (
+	"math"
+	"time"
+)
+
+// SolarPosition describes the sun's position in the sky at a location
+// and instant.
+type SolarPosition struct {
+	// Elevation is the angle of the sun above the horizon in degrees;
+	// negative values mean the sun is below the horizon (night).
+	Elevation float64
+	// Azimuth is degrees clockwise from north.
+	Azimuth float64
+	// Declination is the solar declination in degrees.
+	Declination float64
+}
+
+// SunAt computes the solar position for a latitude/longitude (degrees)
+// at time t (interpreted in UTC). It uses the standard low-precision
+// astronomical formulas (Cooper's declination + equation of time),
+// accurate to a fraction of a degree — plenty for battery-charging and
+// daylight classification.
+func SunAt(lat, lon float64, t time.Time) SolarPosition {
+	t = t.UTC()
+	doy := float64(t.YearDay())
+	// Fractional hour of day in UTC.
+	hour := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+
+	// Solar declination (Cooper 1969).
+	decl := 23.45 * math.Sin(2*math.Pi*(284+doy)/365)
+
+	// Equation of time in minutes (Spencer-style approximation).
+	b := 2 * math.Pi * (doy - 81) / 364
+	eot := 9.87*math.Sin(2*b) - 7.53*math.Cos(b) - 1.5*math.Sin(b)
+
+	// True solar time in hours: UTC hour + longitude offset + EoT.
+	tst := hour + lon/15 + eot/60
+	// Hour angle: degrees from solar noon, negative before noon.
+	ha := (tst - 12) * 15
+
+	latR := lat * math.Pi / 180
+	declR := decl * math.Pi / 180
+	haR := ha * math.Pi / 180
+
+	sinEl := math.Sin(latR)*math.Sin(declR) + math.Cos(latR)*math.Cos(declR)*math.Cos(haR)
+	el := math.Asin(clamp(sinEl, -1, 1))
+
+	// Azimuth measured clockwise from north.
+	cosAz := (math.Sin(declR) - math.Sin(latR)*sinEl) / (math.Cos(latR) * math.Cos(el))
+	az := math.Acos(clamp(cosAz, -1, 1)) * 180 / math.Pi
+	if ha > 0 {
+		az = 360 - az
+	}
+
+	return SolarPosition{
+		Elevation:   el * 180 / math.Pi,
+		Azimuth:     az,
+		Declination: decl,
+	}
+}
+
+// ClearSkyIrradiance returns the global horizontal irradiance in W/m²
+// under a clear sky for the given solar elevation in degrees, using a
+// simple air-mass attenuation model (Meinel). Zero when the sun is
+// below the horizon.
+func ClearSkyIrradiance(elevationDeg float64) float64 {
+	if elevationDeg <= 0 {
+		return 0
+	}
+	elR := elevationDeg * math.Pi / 180
+	airMass := 1 / math.Sin(elR)
+	// Direct-normal irradiance attenuated through the atmosphere, plus a
+	// small diffuse fraction.
+	const solarConstant = 1353 // W/m² at top of atmosphere
+	dni := solarConstant * math.Pow(0.7, math.Pow(airMass, 0.678))
+	ghi := dni*math.Sin(elR) + 0.1*dni
+	return ghi
+}
+
+// Daylight reports whether the sun is above the horizon at lat/lon at t.
+// This is the classifier used by the Fig. 4 battery analysis ("could the
+// node have been charged by sunlight since the previous package").
+func Daylight(lat, lon float64, t time.Time) bool {
+	return SunAt(lat, lon, t).Elevation > 0
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

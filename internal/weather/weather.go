@@ -1,0 +1,125 @@
+package weather
+
+import (
+	"math"
+	"time"
+)
+
+// Conditions is a snapshot of ambient weather at a location and instant.
+// These are the covariates the paper lists as confounders of CO2
+// dynamics ("traffic, wind speed, temperature, humidity and other
+// weather conditions, as well as daily and seasonal patterns").
+type Conditions struct {
+	Time          time.Time
+	TemperatureC  float64 // near-surface air temperature, °C
+	HumidityPct   float64 // relative humidity, %
+	PressureHPa   float64 // sea-level pressure, hPa
+	WindSpeedMS   float64 // wind speed at 10 m, m/s
+	WindDirDeg    float64 // direction wind blows FROM, degrees from north
+	CloudCover    float64 // fraction [0,1]
+	IrradianceWM2 float64 // global horizontal irradiance after clouds, W/m²
+}
+
+// Model is a deterministic stochastic weather generator for one city.
+// Given the same seed and query times it reproduces the same series.
+// The generator is continuous in time: querying at any instant returns
+// a consistent value (smooth noise is derived from hashed time buckets,
+// interpolated), so multiple consumers (sensors, dispersion, reference
+// stations) observe the same weather.
+type Model struct {
+	Lat, Lon float64
+	seed     int64
+
+	// Climate parameters; defaults approximate a Nordic coastal city.
+	AnnualMeanC    float64 // annual mean temperature
+	SeasonalAmplC  float64 // seasonal (summer-winter) half-swing
+	DiurnalAmplC   float64 // day-night half-swing
+	MeanWindMS     float64
+	MeanPressure   float64
+	BaseHumidity   float64
+	CloudBase      float64 // mean cloud cover fraction
+	CloudVariation float64
+}
+
+// NewModel creates a weather model for a location with Nordic-city
+// default climate and the given seed.
+func NewModel(lat, lon float64, seed int64) *Model {
+	return &Model{
+		Lat: lat, Lon: lon, seed: seed,
+		AnnualMeanC:    6.0,
+		SeasonalAmplC:  9.0,
+		DiurnalAmplC:   4.0,
+		MeanWindMS:     3.5,
+		MeanPressure:   1013.0,
+		BaseHumidity:   75,
+		CloudBase:      0.55,
+		CloudVariation: 0.35,
+	}
+}
+
+// At returns the weather conditions at time t.
+func (m *Model) At(t time.Time) Conditions {
+	t = t.UTC()
+	doy := float64(t.YearDay())
+	hour := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+
+	// Seasonal cycle peaks ~July 20 (doy 201) in the northern hemisphere.
+	seasonal := m.SeasonalAmplC * math.Cos(2*math.Pi*(doy-201)/365.25)
+	// Diurnal cycle peaks mid-afternoon (~15:00 local solar time).
+	localHour := math.Mod(hour+m.Lon/15+24, 24)
+	diurnal := m.DiurnalAmplC * math.Cos(2*math.Pi*(localHour-15)/24)
+
+	// Synoptic-scale noise: smooth pseudo-random walk over ~6h buckets.
+	synoptic := 3.0 * m.smoothNoise(t, 6*time.Hour, 1)
+	temp := m.AnnualMeanC + seasonal + diurnal + synoptic
+
+	cloud := clamp(m.CloudBase+m.CloudVariation*m.smoothNoise(t, 3*time.Hour, 2), 0, 1)
+
+	sun := SunAt(m.Lat, m.Lon, t)
+	irr := ClearSkyIrradiance(sun.Elevation) * (1 - 0.75*cloud)
+
+	wind := math.Max(0.1, m.MeanWindMS*(1+0.6*m.smoothNoise(t, 4*time.Hour, 3)))
+	// Prevailing south-westerly with slow meander.
+	windDir := math.Mod(225+60*m.smoothNoise(t, 8*time.Hour, 4)+360, 360)
+
+	hum := clamp(m.BaseHumidity-1.2*(temp-m.AnnualMeanC)+8*m.smoothNoise(t, 5*time.Hour, 5), 15, 100)
+	press := m.MeanPressure + 12*m.smoothNoise(t, 12*time.Hour, 6)
+
+	return Conditions{
+		Time:          t,
+		TemperatureC:  temp,
+		HumidityPct:   hum,
+		PressureHPa:   press,
+		WindSpeedMS:   wind,
+		WindDirDeg:    windDir,
+		CloudCover:    cloud,
+		IrradianceWM2: irr,
+	}
+}
+
+// smoothNoise returns a smooth pseudo-random signal in [-1, 1] that is
+// a deterministic function of (seed, stream, time). It linearly
+// interpolates white noise defined on fixed time buckets, which yields
+// continuity without storing state.
+func (m *Model) smoothNoise(t time.Time, bucket time.Duration, stream int64) float64 {
+	b := t.UnixNano() / int64(bucket)
+	frac := float64(t.UnixNano()%int64(bucket)) / float64(bucket)
+	// Cosine interpolation for C1-ish smoothness.
+	w := (1 - math.Cos(frac*math.Pi)) / 2
+	n0 := hashNoise(m.seed, stream, b)
+	n1 := hashNoise(m.seed, stream, b+1)
+	return n0*(1-w) + n1*w
+}
+
+// hashNoise maps (seed, stream, bucket) to a deterministic value in
+// [-1, 1] with a splitmix64-style finalizer (no allocation; this sits
+// on the hot path of every weather query).
+func hashNoise(seed, stream, bucket int64) float64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(stream)*0xC2B2AE3D27D4EB4F ^ uint64(bucket)*0x165667B19E3779F9
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}

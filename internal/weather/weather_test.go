@@ -1,0 +1,171 @@
+package weather
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const (
+	tLat = 63.4305 // Trondheim
+	tLon = 10.3951
+)
+
+func date(y int, m time.Month, d, h, min int) time.Time {
+	return time.Date(y, m, d, h, min, 0, 0, time.UTC)
+}
+
+func TestSunNoonIsHigh(t *testing.T) {
+	// Local solar noon in Trondheim (lon 10.4°E) is ~11:18 UTC.
+	noon := SunAt(tLat, tLon, date(2017, time.June, 21, 11, 18))
+	midnight := SunAt(tLat, tLon, date(2017, time.June, 21, 23, 18))
+	if noon.Elevation < 45 || noon.Elevation > 55 {
+		// 90 - 63.43 + 23.44 ≈ 50° at summer solstice.
+		t.Fatalf("solstice noon elevation = %v, want ~50", noon.Elevation)
+	}
+	if midnight.Elevation > 5 {
+		t.Fatalf("solstice midnight elevation = %v, want near/below horizon", midnight.Elevation)
+	}
+}
+
+func TestSunWinterSolsticeLow(t *testing.T) {
+	noon := SunAt(tLat, tLon, date(2017, time.December, 21, 11, 18))
+	// 90 - 63.43 - 23.44 ≈ 3.1°.
+	if noon.Elevation < 0 || noon.Elevation > 8 {
+		t.Fatalf("winter noon elevation = %v, want ~3", noon.Elevation)
+	}
+}
+
+func TestSunDeclinationBounds(t *testing.T) {
+	for doy := 1; doy <= 365; doy += 7 {
+		p := SunAt(tLat, tLon, date(2017, time.January, 1, 12, 0).AddDate(0, 0, doy-1))
+		if math.Abs(p.Declination) > 23.46 {
+			t.Fatalf("declination %v out of bounds on doy %d", p.Declination, doy)
+		}
+	}
+}
+
+func TestSunAzimuthRoughlySouthAtNoon(t *testing.T) {
+	p := SunAt(tLat, tLon, date(2017, time.March, 21, 11, 18))
+	if p.Azimuth < 160 || p.Azimuth > 200 {
+		t.Fatalf("noon azimuth = %v, want ~180 (south)", p.Azimuth)
+	}
+}
+
+func TestClearSkyIrradiance(t *testing.T) {
+	if ClearSkyIrradiance(-5) != 0 {
+		t.Fatal("below-horizon irradiance must be 0")
+	}
+	low := ClearSkyIrradiance(10)
+	high := ClearSkyIrradiance(60)
+	if low <= 0 || high <= low {
+		t.Fatalf("irradiance not increasing with elevation: %v vs %v", low, high)
+	}
+	if high > 1100 {
+		t.Fatalf("irradiance %v unphysically high", high)
+	}
+}
+
+func TestDaylightSummerVsWinter(t *testing.T) {
+	// Midsummer in Trondheim: sun up at 03:00 UTC. Midwinter: down at 15:00.
+	if !Daylight(tLat, tLon, date(2017, time.June, 21, 9, 0)) {
+		t.Fatal("midsummer morning should be daylight")
+	}
+	if Daylight(tLat, tLon, date(2017, time.December, 21, 20, 0)) {
+		t.Fatal("midwinter evening should be dark")
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	m1 := NewModel(tLat, tLon, 42)
+	m2 := NewModel(tLat, tLon, 42)
+	at := date(2017, time.March, 5, 14, 30)
+	c1, c2 := m1.At(at), m2.At(at)
+	if c1 != c2 {
+		t.Fatalf("same seed should give identical conditions: %+v vs %+v", c1, c2)
+	}
+	m3 := NewModel(tLat, tLon, 43)
+	if m3.At(at) == c1 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestModelSeasonalCycle(t *testing.T) {
+	m := NewModel(tLat, tLon, 7)
+	// Average over many samples to wash out noise.
+	avg := func(month time.Month) float64 {
+		sum, n := 0.0, 0
+		for d := 1; d <= 28; d++ {
+			for h := 0; h < 24; h += 3 {
+				sum += m.At(date(2017, month, d, h, 0)).TemperatureC
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	july, january := avg(time.July), avg(time.January)
+	if july-january < 8 {
+		t.Fatalf("summer-winter difference %v too small", july-january)
+	}
+}
+
+func TestModelDiurnalCycle(t *testing.T) {
+	m := NewModel(tLat, tLon, 8)
+	// Afternoon should on average be warmer than pre-dawn.
+	sumPM, sumAM := 0.0, 0.0
+	for d := 1; d <= 28; d++ {
+		sumPM += m.At(date(2017, time.June, d, 14, 0)).TemperatureC
+		sumAM += m.At(date(2017, time.June, d, 3, 0)).TemperatureC
+	}
+	if sumPM <= sumAM {
+		t.Fatalf("afternoon not warmer than night: %v vs %v", sumPM/28, sumAM/28)
+	}
+}
+
+func TestModelBounds(t *testing.T) {
+	m := NewModel(tLat, tLon, 9)
+	for d := 0; d < 365; d += 3 {
+		for h := 0; h < 24; h += 2 {
+			c := m.At(date(2017, time.January, 1, h, 0).AddDate(0, 0, d))
+			if c.HumidityPct < 0 || c.HumidityPct > 100 {
+				t.Fatalf("humidity out of range: %v", c.HumidityPct)
+			}
+			if c.CloudCover < 0 || c.CloudCover > 1 {
+				t.Fatalf("cloud cover out of range: %v", c.CloudCover)
+			}
+			if c.WindSpeedMS <= 0 {
+				t.Fatalf("wind speed must be positive: %v", c.WindSpeedMS)
+			}
+			if c.WindDirDeg < 0 || c.WindDirDeg >= 360 {
+				t.Fatalf("wind direction out of range: %v", c.WindDirDeg)
+			}
+			if c.IrradianceWM2 < 0 {
+				t.Fatalf("irradiance negative: %v", c.IrradianceWM2)
+			}
+			if c.TemperatureC < -40 || c.TemperatureC > 45 {
+				t.Fatalf("temperature implausible: %v", c.TemperatureC)
+			}
+		}
+	}
+}
+
+func TestModelContinuity(t *testing.T) {
+	// Adjacent 5-minute samples should not jump wildly (smooth noise).
+	m := NewModel(tLat, tLon, 10)
+	prev := m.At(date(2017, time.April, 10, 0, 0))
+	for i := 1; i < 288; i++ {
+		cur := m.At(date(2017, time.April, 10, 0, 0).Add(time.Duration(i) * 5 * time.Minute))
+		if math.Abs(cur.TemperatureC-prev.TemperatureC) > 1.5 {
+			t.Fatalf("temperature jump %v→%v at step %d", prev.TemperatureC, cur.TemperatureC, i)
+		}
+		prev = cur
+	}
+}
+
+func TestIrradianceNightZero(t *testing.T) {
+	m := NewModel(tLat, tLon, 11)
+	c := m.At(date(2017, time.December, 21, 23, 0))
+	if c.IrradianceWM2 != 0 {
+		t.Fatalf("night irradiance = %v, want 0", c.IrradianceWM2)
+	}
+}
