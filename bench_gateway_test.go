@@ -1,0 +1,108 @@
+// Gateway benchmarks: ingest throughput and query latency of the
+// internal/api HTTP gateway, the perf baseline for the network-facing
+// path (sensor batches in via /api/put, dashboards out via
+// /api/query).
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/tsdb"
+)
+
+// gatewayPutBatch renders an /api/put JSON array of n points for one
+// sensor starting at startMS, one point per second.
+func gatewayPutBatch(n int, sensor string, startMS int64) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"metric":"air.co2","timestamp":%d,"value":%d,"tags":{"sensor":%q,"city":"bench"}}`,
+			startMS+int64(i)*1000, 400+i%50, sensor)
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+// BenchmarkGatewayIngest measures /api/put throughput end to end
+// (HTTP parse → validate → queue → worker batch → store), in
+// points/second, for OpenTSDB-style 100-point batches.
+func BenchmarkGatewayIngest(b *testing.B) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	gw := api.New(db, nil, api.Config{QueueSize: 1 << 16})
+	defer gw.Close()
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	const batch = 100
+	startMS := time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		bodies[i] = gatewayPutBatch(batch, fmt.Sprintf("bench-%02d", i), startMS)
+	}
+	client := srv.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/api/put", "application/json",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkGatewayQuery measures /api/query latency over a 3-day
+// Trondheim pilot store, cold (cache disabled) and cached.
+func BenchmarkGatewayQuery(b *testing.B) {
+	sys := sharedSys(b)
+	run := func(b *testing.B, cfg api.Config, url string) {
+		cfg.Now = sys.Now
+		gw := api.New(sys.DB, sys.Dataport, cfg)
+		defer gw.Close()
+		srv := httptest.NewServer(gw.Handler())
+		defer srv.Close()
+		client := srv.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(srv.URL + url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+		}
+	}
+	groupByHourly := "/api/query?start=3d-ago&m=avg:1h-avg:air.co2{sensor=*}"
+	b.Run("ColdGroupByDownsample", func(b *testing.B) {
+		run(b, api.Config{CacheSize: -1}, groupByHourly)
+	})
+	b.Run("Cached", func(b *testing.B) {
+		run(b, api.Config{CacheSize: 128, CacheAlign: time.Hour}, groupByHourly)
+	})
+	b.Run("ColdNetworkMean", func(b *testing.B) {
+		run(b, api.Config{CacheSize: -1}, "/api/query?start=1d-ago&m=avg:air.no2")
+	})
+}

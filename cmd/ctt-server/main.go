@@ -1,0 +1,177 @@
+// ctt-server is the production-shaped deployment of the CTT cloud: it
+// runs the simulated pilot (internal/core) as a live feed and serves,
+// on one address, the OpenTSDB-style HTTP gateway (internal/api) and
+// the SVG dashboard (internal/dashboard) over the same time-series
+// store:
+//
+//	POST /api/put      ingest JSON data-point batches (429 on overload)
+//	GET  /api/query    aggregated/downsampled reads (LRU-cached)
+//	GET  /api/suggest  metric and tag discovery
+//	GET  /api/stream   live server-sent-event feed
+//	GET  /metrics      gateway self-instrumentation
+//	GET  /             dashboards, /wall, /live, /network.svg
+//
+// The pilot fast-forwards -days of history, then keeps stepping one
+// reporting interval every -tick of wall time; every stored point is
+// pushed to /api/stream subscribers, so the /live page shows the city
+// breathing. External producers can write alongside the pilot through
+// /api/put.
+//
+// Usage:
+//
+//	go run ./cmd/ctt-server [-city trondheim|vejle] [-days 3] [-addr 127.0.0.1:4242] [-tick 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/tsdb"
+)
+
+var (
+	city      = flag.String("city", "trondheim", "pilot deployment: trondheim or vejle")
+	days      = flag.Int("days", 3, "simulated days of history to fast-forward before serving")
+	addr      = flag.String("addr", "127.0.0.1:4242", "listen address for gateway + dashboard")
+	seed      = flag.Int64("seed", 1, "simulation seed")
+	tick      = flag.Duration("tick", time.Second, "wall-clock time per simulated reporting interval (0 = freeze)")
+	walDir    = flag.String("wal", "", "enable TSDB persistence in this directory")
+	queueSize = flag.Int("queue", 4096, "ingest queue capacity (points)")
+	workers   = flag.Int("workers", 4, "ingest worker goroutines")
+	rateLimit = flag.Float64("rate-limit", 0, "per-client ingest limit in points/sec (0 = off)")
+)
+
+func main() {
+	flag.Parse()
+	var cfg core.Config
+	switch *city {
+	case "trondheim":
+		cfg = core.TrondheimConfig(*seed)
+	case "vejle":
+		cfg = core.VejleConfig(*seed)
+	default:
+		log.Fatalf("unknown city %q", *city)
+	}
+	cfg.Start = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
+	cfg.WALDir = *walDir
+
+	sys, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("fast-forwarding %d days of the %s pilot (%d sensors) ...\n",
+		*days, *city, len(sys.Nodes))
+	t0 := time.Now()
+	if _, err := sys.Run(time.Duration(*days) * 24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v: %d uplinks, %d points, %d series\n",
+		time.Since(t0).Round(time.Millisecond),
+		sys.IngestCount(), sys.DB.PointCount(), sys.DB.SeriesCount())
+
+	// Gateway over the pilot's store and monitoring state.
+	gw := api.New(sys.DB, sys.Dataport, api.Config{
+		QueueSize: *queueSize,
+		Workers:   *workers,
+		RateLimit: *rateLimit,
+		Now:       sys.Now,
+	})
+	defer gw.Close()
+
+	// Dashboard over the same store.
+	dash := dashboard.New(sys.DB, sys.Dataport)
+	dash.SetNow(sys.Now)
+	dash.SendCommand = sys.SendCommand
+	window := time.Duration(*days) * 24 * time.Hour
+	for _, p := range []dashboard.Panel{
+		{Name: "co2", Title: "Air quality — CO2 by sensor", Metric: core.MetricCO2,
+			Tags: map[string]string{"sensor": "*"}, Agg: tsdb.AggAvg,
+			Downsample: time.Hour, Window: window, YLabel: "ppm"},
+		{Name: "no2", Title: "Air quality — NO2 network mean", Metric: core.MetricNO2,
+			Agg: tsdb.AggAvg, Downsample: time.Hour, Window: window, YLabel: "µg/m³"},
+		{Name: "traffic", Title: "Traffic — city jam factor", Metric: "traffic.jamfactor",
+			Agg: tsdb.AggAvg, Downsample: 30 * time.Minute, Window: 48 * time.Hour, YLabel: "jf"},
+		{Name: "battery", Title: "Node battery", Metric: core.MetricBattery,
+			Tags: map[string]string{"sensor": "*"}, Agg: tsdb.AggAvg,
+			Downsample: time.Hour, Window: window, YLabel: "%"},
+	} {
+		if err := dash.AddPanel(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One origin: exact gateway paths go to the gateway, the rest —
+	// index, panels, wall, live view, and the dashboard JSON APIs not
+	// listed below — to the dashboard. Note the gateway's OpenTSDB-
+	// style /api/query deliberately replaces the dashboard's legacy
+	// ?metric=&agg= endpoint here (nothing in the dashboard's own
+	// pages calls it; standalone ctt-demo still serves the old shape).
+	gwH := gw.Handler()
+	root := http.NewServeMux()
+	for _, p := range []string{"/api/put", "/api/query", "/api/suggest", "/api/stream", "/metrics"} {
+		root.Handle(p, gwH)
+	}
+	root.Handle("/", dash.Handler())
+
+	// Serve failures are signalled back to main rather than
+	// log.Fatal'd in the goroutine: os.Exit would skip the deferred
+	// closes and drop the buffered WAL tail.
+	srv := &http.Server{Addr: *addr, Handler: root}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+
+	// Live feed: keep the pilot stepping so /api/stream subscribers
+	// and dashboard panels see fresh data.
+	stop := make(chan struct{})
+	var stepper sync.WaitGroup
+	if *tick > 0 {
+		stepper.Add(1)
+		go func() {
+			defer stepper.Done()
+			ticker := time.NewTicker(*tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if err := sys.Step(); err != nil {
+						log.Printf("step: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	fmt.Printf("\ngateway     http://%s/api/put · /api/query · /api/suggest · /api/stream · /metrics\n", *addr)
+	fmt.Printf("dashboards  http://%s/  ·  wall http://%s/wall  ·  live http://%s/live\n", *addr, *addr, *addr)
+	fmt.Printf("stepping %v of simulated time every %v — Ctrl-C to stop\n", sys.Interval, *tick)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+	case err := <-serveErr:
+		log.Printf("serve: %v", err)
+	}
+	close(stop)
+	// Join the stepper before the deferred closes tear down the WAL
+	// and dataport an in-flight Step may still be writing to.
+	stepper.Wait()
+	srv.Close()
+}

@@ -8,5 +8,15 @@
 // cmd/. See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // the paper-vs-measured record of every figure and table. The
 // bench_test.go file in this directory holds one benchmark per paper
-// artifact (Figures 1–8, Table 1, §3 deployments).
+// artifact (Figures 1–8, Table 1, §3 deployments); bench_gateway_test.go
+// tracks the HTTP gateway's ingest throughput and query latency.
+//
+// The network-facing surface is internal/api: an OpenTSDB-compatible
+// HTTP gateway over the internal/tsdb store with batched writes,
+// backpressure, per-client rate limiting, a cached query engine,
+// suggest indexes, and a server-sent-event live stream. cmd/ctt-server
+// runs the simulated pilot as a live feed behind that gateway together
+// with the internal/dashboard SVG dashboards — the closest analogue of
+// the paper's deployed CTT cloud. See README.md for a quickstart and
+// an architecture sketch.
 package repro

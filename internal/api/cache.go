@@ -1,0 +1,89 @@
+package api
+
+// queryCache is a small LRU over marshaled query responses. Entries
+// are keyed on the canonical query string with the time range aligned
+// to Config.CacheAlign, so the cache never serves results staler than
+// one alignment bucket.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Byte bounds: entries bigger than maxCacheBody are never cached, and
+// total retained bytes stay under maxCacheBytes — the entry-count cap
+// alone would let a few huge result bodies pin unbounded memory.
+const (
+	maxCacheBody  = 1 << 20  // 1 MiB per entry
+	maxCacheBytes = 64 << 20 // 64 MiB total
+)
+
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	bytes   int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newQueryCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every get misses, put is a no-op).
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *queryCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *queryCache) put(key string, body []byte) {
+	if c.cap <= 0 || len(body) > maxCacheBody {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += len(body) - len(e.body)
+		e.body = body
+		c.order.MoveToFront(el)
+	} else {
+		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += len(body)
+	}
+	for len(c.entries) > c.cap || c.bytes > maxCacheBytes {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*cacheEntry)
+		c.bytes -= len(e.body)
+		delete(c.entries, e.key)
+	}
+}
+
+func (c *queryCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

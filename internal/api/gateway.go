@@ -1,0 +1,336 @@
+// Package api is the network-facing gateway of the CTT cloud: an
+// OpenTSDB-compatible HTTP service over the embedded time-series
+// store. The paper's Data Port feeds urban emission measurements into
+// an OpenTSDB instance that dashboards and analysts query over HTTP;
+// this package reproduces that surface:
+//
+//	POST /api/put      — JSON batches of data points, through a bounded
+//	                     ingest queue with worker-pool batching,
+//	                     backpressure (429 + Retry-After) and per-client
+//	                     token-bucket rate limiting
+//	GET  /api/query    — aggregated, downsampled, rate-converted reads
+//	POST /api/query      with an LRU result cache keyed on the query and
+//	                     an aligned time bucket
+//	GET  /api/suggest  — metric/tag-key/tag-value discovery
+//	GET  /api/stream   — server-sent events pushing matching points to
+//	                     live dashboard subscribers
+//	GET  /metrics      — self-instrumentation (ingest rate, queue depth,
+//	                     cache hit ratio, compression ratio)
+package api
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataport"
+	"repro/internal/tsdb"
+)
+
+// Config tunes the gateway. Zero values select the defaults.
+type Config struct {
+	// QueueSize bounds the ingest queue (points). Default 4096.
+	QueueSize int
+	// Workers is the number of batching writer goroutines. Default 4.
+	Workers int
+	// BatchSize caps points per tsdb.AppendBatch call. Default 256.
+	BatchSize int
+	// RateLimit is the sustained per-client ingest budget in
+	// points/second; 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth. Default max(RateLimit, 1).
+	RateBurst float64
+	// CacheSize bounds the query-result cache (entries). 0 selects
+	// the default of 128; negative disables caching entirely.
+	CacheSize int
+	// CacheAlign aligns query time ranges to this bucket for cache
+	// keying — the bound on result staleness. Default 10s.
+	CacheAlign time.Duration
+	// StreamBuffer is the per-subscriber event buffer; events beyond it
+	// are dropped (slow-consumer protection). Default 256.
+	StreamBuffer int
+	// Heartbeat is the SSE keep-alive comment interval. Default 15s.
+	Heartbeat time.Duration
+	// Now injects a clock for relative time parsing and cache
+	// alignment (simulated pilots run on simulated time). Default
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = c.RateLimit
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheAlign <= 0 {
+		c.CacheAlign = 10 * time.Second
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 15 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Gateway is the HTTP ingest/query service.
+type Gateway struct {
+	db  *tsdb.DB
+	dp  *dataport.Dataport // optional; enriches /metrics
+	cfg Config
+
+	queue  chan tsdb.DataPoint
+	qmu    sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	limiter *rateLimiter
+	cache   *queryCache
+	hub     *streamHub
+
+	// counters
+	ingested    atomic.Uint64 // points stored
+	storeErrors atomic.Uint64 // points rejected by the store (post-queue)
+	rejectFull  atomic.Uint64 // points refused: queue full
+	rejectRate  atomic.Uint64 // points refused: rate limited
+	invalid     atomic.Uint64 // points refused: validation
+	putReqs     atomic.Uint64
+	queryReqs   atomic.Uint64
+	queryErrs   atomic.Uint64
+
+	rate ewmaRate
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds a gateway over db and starts its ingest workers. dp may
+// be nil. Call Close to drain and stop.
+func New(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
+	g := newGateway(db, dp, cfg)
+	g.startWorkers()
+	return g
+}
+
+// newGateway assembles a gateway without launching workers (tests
+// fill the queue deterministically before starting them).
+func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
+	cfg.setDefaults()
+	g := &Gateway{
+		db:      db,
+		dp:      dp,
+		cfg:     cfg,
+		queue:   make(chan tsdb.DataPoint, cfg.QueueSize),
+		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		cache:   newQueryCache(cfg.CacheSize),
+		hub:     newStreamHub(cfg.StreamBuffer),
+	}
+	// Every stored point — whether it arrived over HTTP or from an
+	// in-process writer like the simulated pilot — feeds the live
+	// stream.
+	db.SetObserver(g.hub.publish)
+	return g
+}
+
+func (g *Gateway) startWorkers() {
+	for i := 0; i < g.cfg.Workers; i++ {
+		g.wg.Add(1)
+		go g.worker()
+	}
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/put", g.handlePut)
+	mux.HandleFunc("/api/query", g.handleQuery)
+	mux.HandleFunc("/api/suggest", g.handleSuggest)
+	mux.HandleFunc("/api/stream", g.handleStream)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+// Start serves on addr until Close.
+func (g *Gateway) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	g.ln = ln
+	g.srv = &http.Server{Handler: g.Handler()}
+	go g.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops accepting writes, drains the queue, and shuts the
+// server and stream hub down.
+func (g *Gateway) Close() error {
+	g.qmu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.queue)
+	}
+	g.qmu.Unlock()
+	g.wg.Wait()
+	g.db.SetObserver(nil)
+	g.hub.closeAll()
+	if g.srv != nil {
+		return g.srv.Close()
+	}
+	return nil
+}
+
+// clientKey identifies a client for rate limiting: the remote IP.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// --- /api/suggest ------------------------------------------------------
+
+func (g *Gateway) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	max := 25
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad max %q (want a positive integer)", v)
+			return
+		}
+		max = n
+	}
+	prefix := q.Get("q")
+	var out []string
+	switch t := q.Get("type"); t {
+	case "metrics":
+		out = g.db.SuggestMetrics(prefix, max)
+	case "tagk":
+		out = g.db.SuggestTagKeys(prefix, max)
+	case "tagv":
+		out = g.db.SuggestTagValues(prefix, max)
+	default:
+		httpError(w, http.StatusBadRequest, "type must be metrics, tagk or tagv")
+		return
+	}
+	if out == nil {
+		out = []string{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- /metrics ----------------------------------------------------------
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	emit := func(name string, v any) {
+		fmt.Fprintf(&b, "%s %v\n", name, v)
+	}
+	emit("ctt_ingest_queue_depth", len(g.queue))
+	emit("ctt_ingest_queue_capacity", cap(g.queue))
+	emit("ctt_ingest_points_total", g.ingested.Load())
+	emit("ctt_ingest_store_errors_total", g.storeErrors.Load())
+	emit(`ctt_ingest_rejected_total{reason="queue_full"}`, g.rejectFull.Load())
+	emit(`ctt_ingest_rejected_total{reason="rate_limited"}`, g.rejectRate.Load())
+	emit(`ctt_ingest_rejected_total{reason="invalid"}`, g.invalid.Load())
+	emit("ctt_ingest_rate_points_per_second", fmt.Sprintf("%.3f", g.rate.value(time.Now())))
+	emit("ctt_put_requests_total", g.putReqs.Load())
+	emit("ctt_query_requests_total", g.queryReqs.Load())
+	emit("ctt_query_errors_total", g.queryErrs.Load())
+	hits, misses := g.cache.stats()
+	emit("ctt_query_cache_hits_total", hits)
+	emit("ctt_query_cache_misses_total", misses)
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	emit("ctt_query_cache_hit_ratio", fmt.Sprintf("%.3f", ratio))
+	emit("ctt_stream_subscribers", g.hub.subscriberCount())
+	emit("ctt_stream_dropped_total", g.hub.droppedCount())
+
+	series := g.db.SeriesCount()
+	points := g.db.PointCount()
+	compressed := g.db.CompressedBytes()
+	emit("ctt_tsdb_series", series)
+	emit("ctt_tsdb_points", points)
+	emit("ctt_tsdb_compressed_bytes", compressed)
+	// Raw size baseline: 16 bytes per point (int64 ts + float64 value).
+	if compressed > 0 {
+		emit("ctt_tsdb_compression_ratio", fmt.Sprintf("%.3f", float64(points*16)/float64(compressed)))
+	}
+	if g.dp != nil {
+		st := g.dp.Stats()
+		emit("ctt_dataport_sensors", st.Sensors)
+		emit("ctt_dataport_gateways", st.Gateways)
+		emit("ctt_dataport_alarms_total", st.Alarms)
+	}
+	w.Write([]byte(b.String()))
+}
+
+// ewmaRate tracks an exponentially-weighted ingest rate.
+type ewmaRate struct {
+	mu   sync.Mutex
+	rate float64
+	last time.Time
+}
+
+// observe credits n points at time now.
+func (e *ewmaRate) observe(n int, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		e.last, e.rate = now, 0
+		return
+	}
+	dt := now.Sub(e.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(n) / dt
+	// ~10s time constant.
+	alpha := 1 - math.Exp(-dt/10)
+	e.rate += alpha * (inst - e.rate)
+	e.last = now
+}
+
+func (e *ewmaRate) value(now time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		return 0
+	}
+	// Decay toward zero when idle.
+	if dt := now.Sub(e.last).Seconds(); dt > 0 {
+		return e.rate * math.Exp(-dt/10)
+	}
+	return e.rate
+}

@@ -1,0 +1,304 @@
+package api
+
+// Ingest path: POST /api/put accepts a single OpenTSDB-style JSON
+// data point or an array of them. Points pass a per-client token
+// bucket, then an all-or-nothing reservation on the bounded ingest
+// queue; worker goroutines drain the queue in batches into
+// tsdb.AppendBatch. A full queue answers 429 with Retry-After instead
+// of blocking the producer or dropping silently.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// Enqueue errors.
+var (
+	ErrQueueFull = errors.New("api: ingest queue full")
+	ErrClosed    = errors.New("api: gateway closed")
+)
+
+// putPoint is the OpenTSDB /api/put JSON shape. Timestamp and value
+// use flexible decoders because real OpenTSDB accepts both bare and
+// string-quoted numbers.
+type putPoint struct {
+	Metric    string            `json:"metric"`
+	Timestamp flexInt64         `json:"timestamp"`
+	Value     flexFloat64       `json:"value"`
+	Tags      map[string]string `json:"tags"`
+}
+
+// flexInt64 decodes 1488326400 or "1488326400".
+type flexInt64 int64
+
+func (v *flexInt64) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad integer %s", b)
+	}
+	*v = flexInt64(n)
+	return nil
+}
+
+// flexFloat64 decodes 412.5 or "412.5".
+type flexFloat64 float64
+
+func (v *flexFloat64) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("bad number %s", b)
+	}
+	*v = flexFloat64(f)
+	return nil
+}
+
+// toDataPoint normalises an HTTP point: second-precision timestamps
+// (OpenTSDB's default) are scaled to the store's milliseconds.
+func (p putPoint) toDataPoint() tsdb.DataPoint {
+	return tsdb.DataPoint{
+		Metric: p.Metric,
+		Tags:   p.Tags,
+		Point:  tsdb.Point{Timestamp: normalizeMillis(int64(p.Timestamp)), Value: float64(p.Value)},
+	}
+}
+
+// normalizeMillis interprets an epoch timestamp that may be in
+// seconds or milliseconds: positive values before the year 2100 in
+// seconds are taken as seconds and scaled to milliseconds. Both the
+// ingest and query paths route timestamps through this one rule.
+func normalizeMillis(n int64) int64 {
+	if n > 0 && n < 4102444800 {
+		return n * 1000
+	}
+	return n
+}
+
+// maxPutBody bounds a single /api/put request body (8 MiB).
+const maxPutBody = 8 << 20
+
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	g.putReqs.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPutBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxPutBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxPutBody)
+		return
+	}
+	pts, err := decodePutBody(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(pts) == 0 {
+		httpError(w, http.StatusBadRequest, "no data points")
+		return
+	}
+
+	// Validate up front so the response can report bad points; only
+	// valid ones cost rate-limit tokens and contend for queue space.
+	var (
+		dps      []tsdb.DataPoint
+		failures []string
+	)
+	for i, p := range pts {
+		// The store accepts timestamp 0 (the epoch), but over HTTP a
+		// missing/zero timestamp is almost always an omitted field —
+		// reject it instead of silently burying the point in 1970.
+		if p.Timestamp <= 0 {
+			failures = append(failures, fmt.Sprintf("point %d: timestamp required", i))
+			continue
+		}
+		// A stored NaN/Inf (reachable via quoted "NaN") would make
+		// every query over its range fail to marshal — reject at the
+		// edge.
+		if math.IsNaN(float64(p.Value)) || math.IsInf(float64(p.Value), 0) {
+			failures = append(failures, fmt.Sprintf("point %d: value must be finite", i))
+			continue
+		}
+		dp := p.toDataPoint()
+		if err := dp.Validate(); err != nil {
+			failures = append(failures, fmt.Sprintf("point %d: %v", i, err))
+			continue
+		}
+		dps = append(dps, dp)
+	}
+	g.invalid.Add(uint64(len(failures)))
+
+	// An all-invalid batch stores nothing but still cost a parse and
+	// validation pass; charge one token so a flood of garbage can't
+	// bypass the rate limiter entirely at full CPU cost.
+	if len(dps) == 0 && g.cfg.RateLimit > 0 {
+		if ok, retry := g.limiter.allowN(clientKey(r), 1, time.Now()); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+	}
+
+	if len(dps) > 0 {
+		// A valid batch bigger than the token bucket or the whole
+		// queue could never be accepted no matter how long the client
+		// waits: 413 — before any tokens are spent — instead of an
+		// unwinnable 429.
+		if g.cfg.RateLimit > 0 && float64(len(dps)) > g.cfg.RateBurst {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d valid points exceeds rate-limit burst %g; split it", len(dps), g.cfg.RateBurst)
+			return
+		}
+		if len(dps) > g.cfg.QueueSize {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d valid points exceeds queue capacity %d; split it", len(dps), g.cfg.QueueSize)
+			return
+		}
+		client := clientKey(r)
+		if ok, retry := g.limiter.allowN(client, float64(len(dps)), time.Now()); !ok {
+			g.rejectRate.Add(uint64(len(dps)))
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		if err := g.Enqueue(dps); err != nil {
+			// Nothing was stored: hand the spent tokens back so the
+			// retry the 429 invites isn't then rate-limited.
+			g.limiter.refund(client, float64(len(dps)))
+			if errors.Is(err, ErrQueueFull) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, "ingest queue full")
+				return
+			}
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
+
+	switch {
+	case len(failures) == 0 && !r.URL.Query().Has("details"):
+		w.WriteHeader(http.StatusNoContent) // OpenTSDB's success answer
+	case len(failures) == 0:
+		writeJSON(w, http.StatusOK, putResponse{Success: len(dps), Errors: []string{}})
+	case len(dps) == 0:
+		writeJSON(w, http.StatusBadRequest, putResponse{Failed: len(failures), Errors: failures})
+	default:
+		writeJSON(w, http.StatusOK, putResponse{Success: len(dps), Failed: len(failures), Errors: failures})
+	}
+}
+
+type putResponse struct {
+	Success int      `json:"success"`
+	Failed  int      `json:"failed"`
+	Errors  []string `json:"errors"`
+}
+
+// decodePutBody accepts either one JSON object or a JSON array.
+func decodePutBody(body []byte) ([]putPoint, error) {
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' || body[i] == '\r') {
+		i++
+	}
+	if i < len(body) && body[i] == '[' {
+		var pts []putPoint
+		if err := json.Unmarshal(body, &pts); err != nil {
+			return nil, fmt.Errorf("bad JSON array: %v", err)
+		}
+		return pts, nil
+	}
+	var p putPoint
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("bad JSON object: %v", err)
+	}
+	return []putPoint{p}, nil
+}
+
+// Enqueue reserves queue space for the whole batch and enqueues it —
+// all points or none, so callers can retry a 429 without partial
+// writes. Safe for concurrent use. Every point must already have
+// passed DataPoint.Validate (the HTTP handler validates at the edge;
+// in-process feeders must do the same): workers store the queue's
+// contents without re-checking.
+func (g *Gateway) Enqueue(dps []tsdb.DataPoint) error {
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	// Producers all hold qmu and consumers only free space, so the
+	// capacity check cannot be invalidated before the sends below.
+	if cap(g.queue)-len(g.queue) < len(dps) {
+		g.rejectFull.Add(uint64(len(dps)))
+		return ErrQueueFull
+	}
+	for _, dp := range dps {
+		g.queue <- dp
+	}
+	return nil
+}
+
+// QueueDepth reports the current ingest backlog.
+func (g *Gateway) QueueDepth() int { return len(g.queue) }
+
+// worker drains the queue in batches into the store.
+func (g *Gateway) worker() {
+	defer g.wg.Done()
+	batch := make([]tsdb.DataPoint, 0, g.cfg.BatchSize)
+	for dp := range g.queue {
+		batch = append(batch[:0], dp)
+	fill:
+		for len(batch) < g.cfg.BatchSize {
+			select {
+			case next, ok := <-g.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		// Points were validated at the HTTP edge before enqueueing.
+		res := g.db.AppendBatchValidated(batch)
+		g.ingested.Add(uint64(res.Stored))
+		g.storeErrors.Add(uint64(len(res.Errors)))
+		g.rate.observe(res.Stored, time.Now())
+	}
+}
+
+// retryAfterSeconds formats a duration as whole seconds, minimum 1.
+func retryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+// --- small HTTP helpers shared across handlers -------------------------
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

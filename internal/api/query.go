@@ -1,0 +1,329 @@
+package api
+
+// Query path: GET /api/query with OpenTSDB metric specs
+// (m=avg:1h-avg:rate:air.co2{sensor=*}) or POST with a JSON request
+// body. Results are served from an LRU cache keyed on the canonical
+// query and the time range aligned to Config.CacheAlign — repeated
+// dashboard polls within one alignment bucket cost one store read.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// subQuery is one metric selection within a query request.
+type subQuery struct {
+	Aggregator string            `json:"aggregator"`
+	Metric     string            `json:"metric"`
+	Tags       map[string]string `json:"tags"`
+	Downsample string            `json:"downsample"` // "1h-avg"
+	Rate       bool              `json:"rate"`
+}
+
+// queryRequest is the POST /api/query body.
+type queryRequest struct {
+	Start   json.RawMessage `json:"start"`
+	End     json.RawMessage `json:"end"`
+	Queries []subQuery      `json:"queries"`
+}
+
+// queryResult is one output series, OpenTSDB-style: dps maps the
+// timestamp (milliseconds, as a string key) to the value.
+type queryResult struct {
+	Metric string             `json:"metric"`
+	Tags   map[string]string  `json:"tags"`
+	DPS    map[string]float64 `json:"dps"`
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	g.queryReqs.Add(1)
+	var (
+		start, end int64
+		subs       []subQuery
+		err        error
+	)
+	switch r.Method {
+	case http.MethodGet:
+		start, end, subs, err = parseQueryParams(r, g.cfg.Now)
+	case http.MethodPost:
+		start, end, subs, err = parseQueryBody(r, g.cfg.Now)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
+	if err != nil {
+		g.queryErrs.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := g.cacheKey(start, end, subs)
+	if body, ok := g.cache.get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+
+	var out []queryResult
+	for _, sq := range subs {
+		q, err := sq.toTSDB(start, end)
+		if err != nil {
+			g.queryErrs.Add(1)
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res, err := g.db.Execute(q)
+		if err != nil {
+			g.queryErrs.Add(1)
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for _, rs := range res {
+			qr := queryResult{Metric: rs.Metric, Tags: rs.Tags, DPS: make(map[string]float64, len(rs.Points))}
+			if qr.Tags == nil {
+				qr.Tags = map[string]string{}
+			}
+			for _, p := range rs.Points {
+				qr.DPS[strconv.FormatInt(p.Timestamp, 10)] = p.Value
+			}
+			out = append(out, qr)
+		}
+	}
+	if out == nil {
+		out = []queryResult{}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	g.cache.put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(body)
+}
+
+// toTSDB converts a subQuery to a store query.
+func (sq subQuery) toTSDB(start, end int64) (tsdb.Query, error) {
+	q := tsdb.Query{
+		Metric:     sq.Metric,
+		Tags:       sq.Tags,
+		Start:      start,
+		End:        end,
+		Aggregator: tsdb.Aggregator(sq.Aggregator),
+		Rate:       sq.Rate,
+	}
+	if sq.Metric == "" {
+		return q, fmt.Errorf("metric required")
+	}
+	if sq.Downsample != "" {
+		interval, fn, err := parseDownsample(sq.Downsample)
+		if err != nil {
+			return q, err
+		}
+		q.Downsample = interval
+		q.DownsampleFn = fn
+	}
+	return q, nil
+}
+
+// parseQueryParams handles GET ?start=&end=&m=agg:[ds:][rate:]metric{tags}.
+func parseQueryParams(r *http.Request, now func() time.Time) (int64, int64, []subQuery, error) {
+	v := r.URL.Query()
+	start, end, err := parseRange(v.Get("start"), v.Get("end"), now)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ms := v["m"]
+	if len(ms) == 0 {
+		return 0, 0, nil, fmt.Errorf("at least one m= metric spec required")
+	}
+	var subs []subQuery
+	for _, spec := range ms {
+		sq, err := parseMetricSpec(spec)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		subs = append(subs, sq)
+	}
+	return start, end, subs, nil
+}
+
+// maxQueryBody bounds a POST /api/query request body (1 MiB).
+const maxQueryBody = 1 << 20
+
+// parseQueryBody handles the POST JSON request.
+func parseQueryBody(r *http.Request, now func() time.Time) (int64, int64, []subQuery, error) {
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxQueryBody)).Decode(&req); err != nil {
+		return 0, 0, nil, fmt.Errorf("bad JSON body: %v", err)
+	}
+	start, end, err := parseRange(rawToString(req.Start), rawToString(req.End), now)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(req.Queries) == 0 {
+		return 0, 0, nil, fmt.Errorf("at least one query required")
+	}
+	return start, end, req.Queries, nil
+}
+
+// rawToString renders a JSON scalar (number or string) as its text.
+func rawToString(raw json.RawMessage) string {
+	s := strings.TrimSpace(string(raw))
+	return strings.Trim(s, `"`)
+}
+
+// parseRange resolves start/end expressions; end defaults to now.
+func parseRange(startS, endS string, now func() time.Time) (int64, int64, error) {
+	if startS == "" {
+		return 0, 0, fmt.Errorf("start required")
+	}
+	start, err := parseTime(startS, now)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad start: %v", err)
+	}
+	end := now().UnixMilli()
+	if endS != "" {
+		end, err = parseTime(endS, now)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad end: %v", err)
+		}
+	}
+	return start, end, nil
+}
+
+// parseTime accepts unix seconds, unix milliseconds, RFC3339, or a
+// relative "1h-ago" / "30m-ago" / "2d-ago" expression.
+func parseTime(s string, now func() time.Time) (int64, error) {
+	if strings.HasSuffix(s, "-ago") {
+		d, err := parseDuration(strings.TrimSuffix(s, "-ago"))
+		if err != nil {
+			return 0, err
+		}
+		return now().Add(-d).UnixMilli(), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return normalizeMillis(n), nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return 0, fmt.Errorf("unrecognized time %q", s)
+	}
+	return t.UnixMilli(), nil
+}
+
+// parseDuration extends time.ParseDuration with OpenTSDB's d (days)
+// and w (weeks) suffixes.
+func parseDuration(s string) (time.Duration, error) {
+	if n := len(s); n > 1 {
+		switch s[n-1] {
+		case 'd':
+			if v, err := strconv.ParseFloat(s[:n-1], 64); err == nil {
+				return time.Duration(v * 24 * float64(time.Hour)), nil
+			}
+		case 'w':
+			if v, err := strconv.ParseFloat(s[:n-1], 64); err == nil {
+				return time.Duration(v * 7 * 24 * float64(time.Hour)), nil
+			}
+		}
+	}
+	return time.ParseDuration(s)
+}
+
+// parseDownsample splits "1h-avg" into interval and aggregator.
+func parseDownsample(s string) (time.Duration, tsdb.Aggregator, error) {
+	i := strings.IndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return 0, "", fmt.Errorf("bad downsample %q (want e.g. 1h-avg)", s)
+	}
+	d, err := parseDuration(s[:i])
+	if err != nil {
+		return 0, "", fmt.Errorf("bad downsample interval %q: %v", s[:i], err)
+	}
+	fn := tsdb.Aggregator(s[i+1:])
+	if !fn.Valid() {
+		return 0, "", fmt.Errorf("bad downsample aggregator %q", s[i+1:])
+	}
+	return d, fn, nil
+}
+
+// parseMetricSpec parses OpenTSDB's m= syntax:
+// <agg>:[<interval>-<dsagg>:][rate:]<metric>[{k=v,k=*}].
+func parseMetricSpec(spec string) (subQuery, error) {
+	var sq subQuery
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return sq, fmt.Errorf("bad metric spec %q (want agg:metric)", spec)
+	}
+	sq.Aggregator = parts[0]
+	for _, mid := range parts[1 : len(parts)-1] {
+		switch {
+		case mid == "rate":
+			sq.Rate = true
+		case strings.Contains(mid, "-"):
+			sq.Downsample = mid
+		default:
+			return sq, fmt.Errorf("bad metric spec component %q", mid)
+		}
+	}
+	m := parts[len(parts)-1]
+	if i := strings.IndexByte(m, '{'); i >= 0 {
+		if !strings.HasSuffix(m, "}") {
+			return sq, fmt.Errorf("unterminated tag filter in %q", m)
+		}
+		tags := map[string]string{}
+		for _, kv := range strings.Split(m[i+1:len(m)-1], ",") {
+			if kv == "" {
+				continue
+			}
+			j := strings.IndexByte(kv, '=')
+			if j <= 0 {
+				return sq, fmt.Errorf("bad tag filter %q", kv)
+			}
+			tags[kv[:j]] = kv[j+1:]
+		}
+		sq.Tags = tags
+		m = m[:i]
+	}
+	sq.Metric = m
+	return sq, nil
+}
+
+// cacheKey canonicalises a request; start/end are aligned down to the
+// cache bucket so rolling dashboard queries share entries. The
+// alignment interval bounds result staleness.
+func (g *Gateway) cacheKey(start, end int64, subs []subQuery) string {
+	align := g.cfg.CacheAlign.Milliseconds()
+	if align > 0 {
+		start -= start % align
+		end -= end % align
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d", start, end)
+	for _, sq := range subs {
+		keys := make([]string, 0, len(sq.Tags))
+		for k := range sq.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		// %q-quote every free-form component so delimiter characters
+		// inside POSTed values can't make two different queries
+		// collide on one cache key.
+		fmt.Fprintf(&b, "|%q:%q:%q:%t{", sq.Aggregator, sq.Downsample, sq.Metric, sq.Rate)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%q=%q,", k, sq.Tags[k])
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package api
+
+// Per-client token-bucket rate limiting for the ingest path. Buckets
+// refill continuously at rate tokens/second up to burst; a batch of n
+// points spends n tokens or is refused with the time until enough
+// tokens accrue (the Retry-After answer).
+
+import (
+	"sync"
+	"time"
+)
+
+type rateLimiter struct {
+	rate  float64 // tokens per second; 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	sweep   time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Bucket-table hygiene: prune entries idle longer than idleTTL
+// whenever the table exceeds maxClients at a spend.
+const (
+	maxClients = 10000
+	idleTTL    = 10 * time.Minute
+)
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, clients: make(map[string]*bucket)}
+}
+
+// allowN spends n tokens from the client's bucket. When refused, the
+// returned duration is how long until n tokens will be available.
+func (rl *rateLimiter) allowN(client string, n float64, now time.Time) (bool, time.Duration) {
+	if rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.clients[client]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.clients[client] = b
+		rl.maybePrune(now)
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / rl.rate * float64(time.Second))
+}
+
+// refund returns n tokens to the client's bucket (capped at burst) —
+// used when a batch was charged but then not stored (queue full).
+func (rl *rateLimiter) refund(client string, n float64) {
+	if rl.rate <= 0 {
+		return
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.clients[client]
+	if !ok {
+		return
+	}
+	b.tokens += n
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+}
+
+// maybePrune evicts long-idle buckets. Caller holds rl.mu.
+func (rl *rateLimiter) maybePrune(now time.Time) {
+	if len(rl.clients) <= maxClients || now.Sub(rl.sweep) < time.Minute {
+		return
+	}
+	rl.sweep = now
+	for k, b := range rl.clients {
+		if now.Sub(b.last) > idleTTL {
+			delete(rl.clients, k)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package api
+
+// Live streaming: GET /api/stream holds the connection open and
+// pushes every stored data point that matches the subscriber's filter
+// as a server-sent event — the push channel live dashboards attach to
+// instead of polling /api/query. Slow consumers lose events rather
+// than stall the ingest path; drops are counted and exposed on
+// /metrics.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+type streamHub struct {
+	buffer int
+	// nsubs mirrors len(subs) so publish — called for every stored
+	// point — can skip the mutex entirely in the common case of no
+	// live stream subscribers.
+	nsubs   atomic.Int64
+	mu      sync.RWMutex
+	subs    map[*subscriber]struct{}
+	closed  bool
+	dropped atomic.Uint64
+}
+
+type subscriber struct {
+	ch           chan tsdb.DataPoint
+	metricPrefix string
+	tags         map[string]string
+}
+
+func newStreamHub(buffer int) *streamHub {
+	return &streamHub{buffer: buffer, subs: make(map[*subscriber]struct{})}
+}
+
+// publish fans a stored point out to matching subscribers without
+// blocking: a full subscriber buffer drops the event.
+func (h *streamHub) publish(dp tsdb.DataPoint) {
+	if h.nsubs.Load() == 0 {
+		return
+	}
+	// Read lock: concurrent publishers (ingest workers + the pilot)
+	// only read the subscriber set; the non-blocking channel sends are
+	// safe in parallel.
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for sub := range h.subs {
+		if !sub.matches(dp) {
+			continue
+		}
+		select {
+		case sub.ch <- dp:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+func (s *subscriber) matches(dp tsdb.DataPoint) bool {
+	if s.metricPrefix != "" && !strings.HasPrefix(dp.Metric, s.metricPrefix) {
+		return false
+	}
+	for k, v := range s.tags {
+		tv, ok := dp.Tags[k]
+		if !ok || (v != "*" && v != tv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *streamHub) subscribe(metricPrefix string, tags map[string]string) (*subscriber, bool) {
+	sub := &subscriber{
+		ch:           make(chan tsdb.DataPoint, h.buffer),
+		metricPrefix: metricPrefix,
+		tags:         tags,
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, false
+	}
+	h.subs[sub] = struct{}{}
+	h.nsubs.Store(int64(len(h.subs)))
+	return sub, true
+}
+
+func (h *streamHub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.nsubs.Store(int64(len(h.subs)))
+	}
+	h.mu.Unlock()
+}
+
+// closeAll disconnects every subscriber and refuses new ones.
+func (h *streamHub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+	h.nsubs.Store(0)
+}
+
+func (h *streamHub) subscriberCount() int {
+	return int(h.nsubs.Load())
+}
+
+func (h *streamHub) droppedCount() uint64 { return h.dropped.Load() }
+
+// streamEvent is the SSE payload for one point.
+type streamEvent struct {
+	Metric    string            `json:"metric"`
+	Tags      map[string]string `json:"tags"`
+	Timestamp int64             `json:"timestamp"` // ms
+	Value     float64           `json:"value"`
+}
+
+// handleStream serves GET /api/stream?metric=<prefix>&tag.<k>=<v>.
+// Filters: metric is a prefix match; tag.* entries must all match
+// ("*" accepts any present value). No filter streams everything.
+func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	q := r.URL.Query()
+	tags := map[string]string{}
+	for key, vals := range q {
+		if strings.HasPrefix(key, "tag.") && len(vals) > 0 {
+			tags[strings.TrimPrefix(key, "tag.")] = vals[0]
+		}
+	}
+	sub, ok := g.hub.subscribe(q.Get("metric"), tags)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "gateway closing")
+		return
+	}
+	defer g.hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, ": connected\n\n")
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(g.cfg.Heartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			flusher.Flush()
+		case dp, ok := <-sub.ch:
+			if !ok {
+				return // hub closed
+			}
+			payload, err := json.Marshal(streamEvent{
+				Metric: dp.Metric, Tags: dp.Tags,
+				Timestamp: dp.Timestamp, Value: dp.Value,
+			})
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: point\ndata: %s\n\n", payload)
+			flusher.Flush()
+		}
+	}
+}

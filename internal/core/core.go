@@ -247,8 +247,14 @@ func (s *System) waitIngested(n int, timeout time.Duration) bool {
 	return true
 }
 
-// Now returns the current simulated time.
-func (s *System) Now() time.Time { return s.now }
+// Now returns the current simulated time. Safe to call concurrently
+// with StepBy (servers read the clock from HTTP handlers while a
+// ticker goroutine steps the simulation).
+func (s *System) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
 
 // Node returns the node with the given ID, or nil.
 func (s *System) Node(id string) *sensors.Node {
@@ -266,8 +272,10 @@ func (s *System) Step() error { return s.StepBy(s.Interval) }
 // StepBy advances the simulation by d, processing one radio round at
 // the new time.
 func (s *System) StepBy(d time.Duration) error {
+	s.mu.Lock()
 	s.now = s.now.Add(d)
 	t := s.now
+	s.mu.Unlock()
 
 	// 1. Sensor nodes sample/transmit.
 	var txs []lorawan.Transmission

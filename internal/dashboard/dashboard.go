@@ -109,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/panel/", s.handlePanelSVG)
 	mux.HandleFunc("/network.svg", s.handleNetworkSVG)
 	mux.HandleFunc("/wall", s.handleWall)
+	mux.HandleFunc("/live", s.handleLive)
 	mux.HandleFunc("/api/query", s.handleQuery)
 	mux.HandleFunc("/api/panels", s.handlePanels)
 	mux.HandleFunc("/api/alarms", s.handleAlarms)
@@ -192,7 +193,7 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <style>body{font-family:sans-serif;margin:20px}.panel{margin-bottom:24px}</style>
 </head><body>
 <h1>CTT — air quality &amp; traffic dashboards</h1>
-<p><a href="/wall">wall display</a> · <a href="/network.svg">network map</a> · <a href="/api/alarms">alarms</a></p>
+<p><a href="/wall">wall display</a> · <a href="/live">live feed</a> · <a href="/network.svg">network map</a> · <a href="/api/alarms">alarms</a></p>
 {{range .}}<div class="panel"><h2>{{.Title}}</h2><img src="/panel/{{.Name}}.svg" alt="{{.Title}}"/></div>
 {{end}}</body></html>`))
 

@@ -1,0 +1,58 @@
+package dashboard
+
+// Live view: a page that subscribes to the API gateway's /api/stream
+// server-sent events and renders arriving data points as they land —
+// the push-based counterpart of the re-query-on-render SVG panels.
+// It expects the gateway to be mounted on the same origin (as
+// cmd/ctt-server does); standalone dashboards without a gateway show
+// a "disconnected" state.
+
+import "net/http"
+
+const livePage = `<!DOCTYPE html>
+<html><head><title>CTT live feed</title>
+<style>
+body{font-family:sans-serif;margin:20px;background:#111;color:#eee}
+#status{padding:4px 8px;border-radius:4px;background:#633}
+#status.ok{background:#363}
+table{border-collapse:collapse;margin-top:12px;width:100%}
+td,th{border-bottom:1px solid #333;padding:4px 8px;text-align:left;font-size:14px}
+</style></head><body>
+<h1>CTT — live measurement feed</h1>
+<p><span id="status">disconnected</span>
+· filter: <input id="metric" placeholder="metric prefix, e.g. air."/>
+<button onclick="connect()">apply</button> · <a href="/" style="color:#9cf">dashboards</a></p>
+<table><thead><tr><th>time</th><th>metric</th><th>tags</th><th>value</th></tr></thead>
+<tbody id="rows"></tbody></table>
+<script>
+let es = null;
+function connect() {
+  if (es) es.close();
+  const prefix = document.getElementById('metric').value;
+  es = new EventSource('/api/stream' + (prefix ? '?metric=' + encodeURIComponent(prefix) : ''));
+  const status = document.getElementById('status');
+  es.onopen = () => { status.textContent = 'connected'; status.className = 'ok'; };
+  es.onerror = () => { status.textContent = 'disconnected'; status.className = ''; };
+  es.addEventListener('point', (e) => {
+    const p = JSON.parse(e.data);
+    const row = document.createElement('tr');
+    const tags = Object.entries(p.tags || {}).map(([k, v]) => k + '=' + v).join(', ');
+    // textContent, not innerHTML: stored names are charset-restricted
+    // today, but the page shouldn't rely on a distant validator.
+    for (const text of [new Date(p.timestamp).toISOString(), p.metric, tags, p.value.toFixed(2)]) {
+      const cell = document.createElement('td');
+      cell.textContent = text;
+      row.appendChild(cell);
+    }
+    const rows = document.getElementById('rows');
+    rows.insertBefore(row, rows.firstChild);
+    while (rows.children.length > 200) rows.removeChild(rows.lastChild);
+  });
+}
+connect();
+</script></body></html>`
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(livePage))
+}

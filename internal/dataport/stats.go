@@ -1,0 +1,24 @@
+package dataport
+
+import "time"
+
+// Stats is a cheap point-in-time summary of the monitoring state, for
+// the HTTP gateway's /metrics endpoint.
+type Stats struct {
+	Sensors      int
+	Gateways     int
+	Alarms       int // total alarms raised so far
+	LastActivity time.Time
+}
+
+// Stats reports registered twin counts and the alarm-log length.
+func (d *Dataport) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Sensors:      len(d.sensors),
+		Gateways:     len(d.gateways),
+		Alarms:       len(d.alarmLog),
+		LastActivity: d.lastActivity,
+	}
+}

@@ -1,0 +1,101 @@
+package tsdb
+
+// Batch ingestion: the HTTP gateway accepts whole JSON arrays of data
+// points per request, so the store offers an append path that
+// validates everything up front, groups points by shard, and takes
+// each shard lock once per batch instead of once per point.
+
+import "fmt"
+
+// PointError locates one rejected point within a batch.
+type PointError struct {
+	Index int   // position in the submitted batch
+	Err   error // why it was rejected
+}
+
+func (e PointError) Error() string {
+	return fmt.Sprintf("tsdb: point %d: %v", e.Index, e.Err)
+}
+
+// BatchResult summarises an AppendBatch call.
+type BatchResult struct {
+	Stored int
+	Errors []PointError
+}
+
+// AppendBatch stores every valid point of the batch and reports the
+// invalid ones, OpenTSDB /api/put-style: one bad point does not reject
+// its neighbours. Points are grouped by shard so each shard lock is
+// taken once per batch.
+func (db *DB) AppendBatch(dps []DataPoint) BatchResult {
+	return db.appendBatch(dps, true)
+}
+
+// AppendBatchValidated is AppendBatch minus the per-point Validate
+// pass, for callers that already validated every point (the HTTP
+// gateway validates at the edge so it can answer synchronously).
+// Unvalidated garbage passed here would be stored as-is.
+func (db *DB) AppendBatchValidated(dps []DataPoint) BatchResult {
+	return db.appendBatch(dps, false)
+}
+
+func (db *DB) appendBatch(dps []DataPoint, validate bool) BatchResult {
+	var res BatchResult
+	type item struct {
+		key string
+		idx int
+	}
+	var groups [numShards][]item
+	for i := range dps {
+		if validate {
+			if err := dps[i].Validate(); err != nil {
+				res.Errors = append(res.Errors, PointError{Index: i, Err: err})
+				continue
+			}
+		}
+		key := seriesKey(dps[i].Metric, dps[i].Tags)
+		sh := shardFor(key)
+		groups[sh] = append(groups[sh], item{key: key, idx: i})
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		// WAL first (it has its own lock), then the in-memory insert.
+		stored := groups[si][:0]
+		for _, it := range groups[si] {
+			if db.wal != nil {
+				if err := db.wal.append(dps[it.idx]); err != nil {
+					res.Errors = append(res.Errors, PointError{Index: it.idx, Err: fmt.Errorf("tsdb: wal append: %w", err)})
+					continue
+				}
+			}
+			stored = append(stored, it)
+		}
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for _, it := range stored {
+			db.insertLocked(sh, it.key, dps[it.idx])
+		}
+		sh.mu.Unlock()
+		res.Stored += len(stored)
+		if obs := db.observer.Load(); obs != nil {
+			for _, it := range stored {
+				(*obs)(dps[it.idx])
+			}
+		}
+	}
+	return res
+}
+
+// SetObserver installs a callback invoked (outside the shard locks)
+// for every point stored through Put, PutBatch or AppendBatch — the
+// hook the gateway's live stream hub subscribes to. Pass nil to
+// remove. WAL replay during Open does not trigger it.
+func (db *DB) SetObserver(fn func(DataPoint)) {
+	if fn == nil {
+		db.observer.Store(nil)
+		return
+	}
+	db.observer.Store(&fn)
+}

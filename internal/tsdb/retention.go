@@ -62,6 +62,7 @@ func (db *DB) DeleteBefore(cutoffMS int64) (int, error) {
 			s.head = head
 			if len(s.blocks) == 0 && len(s.head) == 0 {
 				delete(sh.series, key)
+				db.idx.removeSeries(s.metric, s.tags)
 			}
 		}
 		sh.mu.Unlock()

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DB is the time-series store. It shards series across a fixed set of
 // locks by series-key hash, keeps a mutable head buffer per series, and
 // seals full heads into Gorilla-compressed blocks.
 type DB struct {
-	shards [numShards]shard
-	wal    *wal // nil when persistence is disabled
+	shards   [numShards]shard
+	wal      *wal // nil when persistence is disabled
+	idx      suggestIndex
+	observer atomic.Pointer[func(DataPoint)]
 }
 
 const (
@@ -44,6 +47,7 @@ type sealedBlock struct {
 // write is appended to it.
 func Open(dir string) (*DB, error) {
 	db := &DB{}
+	db.idx.init()
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*memSeries)
 	}
@@ -98,6 +102,9 @@ func (db *DB) Put(dp DataPoint) error {
 		}
 	}
 	db.insert(dp)
+	if obs := db.observer.Load(); obs != nil {
+		(*obs)(dp)
+	}
 	return nil
 }
 
@@ -116,6 +123,11 @@ func (db *DB) insert(dp DataPoint) {
 	sh := &db.shards[shardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	db.insertLocked(sh, key, dp)
+}
+
+// insertLocked stores one validated point. Caller holds sh.mu.
+func (db *DB) insertLocked(sh *shard, key string, dp DataPoint) {
 	s, ok := sh.series[key]
 	if !ok {
 		tags := make(map[string]string, len(dp.Tags))
@@ -124,6 +136,7 @@ func (db *DB) insert(dp DataPoint) {
 		}
 		s = &memSeries{metric: dp.Metric, tags: tags}
 		sh.series[key] = s
+		db.idx.addSeries(dp.Metric, tags)
 	}
 	// Insert keeping the head sorted; most writes are appends.
 	p := dp.Point

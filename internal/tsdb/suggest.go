@@ -1,0 +1,88 @@
+package tsdb
+
+// Suggest indexes: the OpenTSDB /api/suggest endpoint needs fast
+// prefix lookup over metric names, tag keys and tag values without
+// scanning every stored series. The DB maintains three refcounted
+// inverted indexes, updated when a series is created (insert) or
+// dropped (DeleteBefore).
+
+import (
+	"sort"
+	"sync"
+)
+
+type suggestIndex struct {
+	mu      sync.RWMutex
+	metrics map[string]int
+	tagKeys map[string]int
+	tagVals map[string]int
+}
+
+func (ix *suggestIndex) init() {
+	ix.metrics = make(map[string]int)
+	ix.tagKeys = make(map[string]int)
+	ix.tagVals = make(map[string]int)
+}
+
+// addSeries registers one new series with the index.
+func (ix *suggestIndex) addSeries(metric string, tags map[string]string) {
+	ix.mu.Lock()
+	ix.metrics[metric]++
+	for k, v := range tags {
+		ix.tagKeys[k]++
+		ix.tagVals[v]++
+	}
+	ix.mu.Unlock()
+}
+
+// removeSeries drops one series' contribution from the index.
+func (ix *suggestIndex) removeSeries(metric string, tags map[string]string) {
+	ix.mu.Lock()
+	decr(ix.metrics, metric)
+	for k, v := range tags {
+		decr(ix.tagKeys, k)
+		decr(ix.tagVals, v)
+	}
+	ix.mu.Unlock()
+}
+
+func decr(m map[string]int, k string) {
+	if m[k] <= 1 {
+		delete(m, k)
+	} else {
+		m[k]--
+	}
+}
+
+// suggest returns up to max entries with the given prefix, sorted.
+func (ix *suggestIndex) suggest(m map[string]int, prefix string, max int) []string {
+	ix.mu.RLock()
+	out := make([]string, 0, 16)
+	for k := range m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	ix.mu.RUnlock()
+	sort.Strings(out)
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// SuggestMetrics lists stored metric names with the given prefix,
+// sorted, at most max (0 = unlimited).
+func (db *DB) SuggestMetrics(prefix string, max int) []string {
+	return db.idx.suggest(db.idx.metrics, prefix, max)
+}
+
+// SuggestTagKeys lists stored tag keys with the given prefix.
+func (db *DB) SuggestTagKeys(prefix string, max int) []string {
+	return db.idx.suggest(db.idx.tagKeys, prefix, max)
+}
+
+// SuggestTagValues lists stored tag values with the given prefix.
+func (db *DB) SuggestTagValues(prefix string, max int) []string {
+	return db.idx.suggest(db.idx.tagVals, prefix, max)
+}

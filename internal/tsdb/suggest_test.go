@@ -1,0 +1,109 @@
+package tsdb
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func dp(metric, sensor string, ts int64, v float64) DataPoint {
+	return DataPoint{
+		Metric: metric,
+		Tags:   map[string]string{"sensor": sensor, "city": "trondheim"},
+		Point:  Point{Timestamp: ts, Value: v},
+	}
+}
+
+func TestSuggestIndexes(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i, m := range []string{"air.co2", "air.no2", "env.temperature"} {
+		if err := db.Put(dp(m, "node-01", int64(1000+i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Put(dp("air.co2", "node-02", 2000, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := db.SuggestMetrics("air.", 0), []string{"air.co2", "air.no2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestMetrics(air.) = %v, want %v", got, want)
+	}
+	if got := db.SuggestMetrics("", 2); len(got) != 2 {
+		t.Errorf("SuggestMetrics max=2 returned %v", got)
+	}
+	if got, want := db.SuggestTagKeys("s", 0), []string{"sensor"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestTagKeys(s) = %v, want %v", got, want)
+	}
+	if got, want := db.SuggestTagValues("node-", 0), []string{"node-01", "node-02"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestTagValues(node-) = %v, want %v", got, want)
+	}
+
+	// Aging out every series of a metric must drop it from the index.
+	if _, err := db.DeleteBefore(3000); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SuggestMetrics("", 0); len(got) != 0 {
+		t.Errorf("after DeleteBefore, SuggestMetrics = %v, want empty", got)
+	}
+	if got := db.SuggestTagValues("node-", 0); len(got) != 0 {
+		t.Errorf("after DeleteBefore, SuggestTagValues = %v, want empty", got)
+	}
+}
+
+func TestAppendBatchPartial(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	batch := []DataPoint{
+		dp("air.co2", "node-01", 1000, 400),
+		{Metric: "", Tags: map[string]string{"a": "b"}, Point: Point{Timestamp: 1001}}, // invalid
+		dp("air.co2", "node-01", 2000, 410),
+		{Metric: "bad metric!", Tags: map[string]string{"a": "b"}, Point: Point{Timestamp: 1002}},
+	}
+	res := db.AppendBatch(batch)
+	if res.Stored != 2 {
+		t.Errorf("Stored = %d, want 2", res.Stored)
+	}
+	if len(res.Errors) != 2 {
+		t.Fatalf("Errors = %v, want 2 entries", res.Errors)
+	}
+	if res.Errors[0].Index != 1 || !errors.Is(res.Errors[0].Err, ErrEmptyMetric) {
+		t.Errorf("Errors[0] = %+v, want index 1 ErrEmptyMetric", res.Errors[0])
+	}
+	if res.Errors[1].Index != 3 || !errors.Is(res.Errors[1].Err, ErrBadMetricChar) {
+		t.Errorf("Errors[1] = %+v, want index 3 ErrBadMetricChar", res.Errors[1])
+	}
+	if got := db.PointCount(); got != 2 {
+		t.Errorf("PointCount = %d, want 2", got)
+	}
+}
+
+func TestObserverSeesAllWritePaths(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var seen []DataPoint
+	db.SetObserver(func(p DataPoint) { seen = append(seen, p) })
+	if err := db.Put(dp("air.co2", "node-01", 1000, 400)); err != nil {
+		t.Fatal(err)
+	}
+	db.AppendBatch([]DataPoint{dp("air.co2", "node-01", 2000, 410)})
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d points, want 2", len(seen))
+	}
+	db.SetObserver(nil)
+	if err := db.Put(dp("air.co2", "node-01", 3000, 420)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Errorf("observer called after removal")
+	}
+}
