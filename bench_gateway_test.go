@@ -6,6 +6,7 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/rollup"
 	"repro/internal/tsdb"
 )
 
@@ -105,4 +108,137 @@ func BenchmarkGatewayQuery(b *testing.B) {
 	b.Run("ColdNetworkMean", func(b *testing.B) {
 		run(b, api.Config{CacheSize: -1}, "/api/query?start=1d-ago&m=avg:air.no2")
 	})
+}
+
+// BenchmarkGatewayQueryRollup compares a long-window downsampled
+// query served by a raw block scan against the same query served from
+// the rollup tiers (internal/rollup): 14 days × 4 sensors at 1-minute
+// cadence, read back as hourly averages through /api/query with the
+// result cache disabled. The tier-served variant reads ~340 sealed 1h
+// windows per series instead of decoding ~20k raw points.
+func BenchmarkGatewayQueryRollup(b *testing.B) {
+	const (
+		days    = 14
+		sensors = 4
+		cadence = time.Minute
+	)
+	endTS := benchStart.Add(days * 24 * time.Hour)
+
+	build := func(b *testing.B, withRollup bool) *tsdb.DB {
+		b.Helper()
+		db, err := tsdb.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var eng *rollup.Engine
+		if withRollup {
+			eng, err = rollup.New(db, rollup.Config{
+				Tiers:      []rollup.Tier{{Resolution: time.Minute}, {Resolution: time.Hour}},
+				FlushEvery: -1, // bench drives sealing explicitly
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var batch []tsdb.DataPoint
+		for s := 0; s < sensors; s++ {
+			tags := map[string]string{"sensor": fmt.Sprintf("roll-%02d", s), "city": "bench"}
+			for ts := benchStart; ts.Before(endTS); ts = ts.Add(cadence) {
+				batch = append(batch, tsdb.DataPoint{
+					Metric: "air.co2", Tags: tags,
+					Point: tsdb.Point{Timestamp: ts.UnixMilli(), Value: 400 + float64(ts.Minute())},
+				})
+				if len(batch) == 4096 {
+					db.AppendBatch(batch)
+					batch = batch[:0]
+				}
+			}
+		}
+		db.AppendBatch(batch)
+		if eng != nil {
+			eng.FlushAll()
+			b.Cleanup(func() { eng.Close() })
+		}
+		b.Cleanup(func() { db.Close() })
+		return db
+	}
+
+	url := fmt.Sprintf("/api/query?start=%d&end=%d&m=avg:1h-avg:air.co2{sensor=*}",
+		benchStart.UnixMilli(), endTS.UnixMilli())
+	run := func(b *testing.B, db *tsdb.DB) {
+		gw := api.New(db, nil, api.Config{CacheSize: -1})
+		defer gw.Close()
+		srv := httptest.NewServer(gw.Handler())
+		defer srv.Close()
+		client := srv.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(srv.URL + url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+		}
+	}
+	b.Run("RawScan", func(b *testing.B) {
+		run(b, build(b, false))
+	})
+	b.Run("RollupTier", func(b *testing.B) {
+		run(b, build(b, true))
+	})
+}
+
+// BenchmarkPipelineMQTT measures the uplink pipeline end-to-end with
+// the MQTT transport — sensors → radio → TTN backend → real TCP
+// broker → ingestor → store — in simulated reporting intervals per
+// second, and verifies the transported points are visible through the
+// HTTP gateway. The Direct-transport counterpart lives in the
+// per-artifact benches (bench_test.go).
+func BenchmarkPipelineMQTT(b *testing.B) {
+	cfg := core.TrondheimConfig(7)
+	cfg.Start = benchStart
+	cfg.Transport = core.MQTT
+	sys, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	gw := api.New(sys.DB, sys.Dataport, api.Config{CacheSize: -1, Now: sys.Now})
+	defer gw.Close()
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sys.IngestCount())/b.Elapsed().Seconds(), "uplinks/s")
+
+	// Every uplink that traveled the broker must be queryable over
+	// the gateway.
+	resp, err := srv.Client().Get(srv.URL + fmt.Sprintf(
+		"/api/query?start=%d&m=avg:%s", benchStart.UnixMilli(), core.MetricCO2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("query status %d", resp.StatusCode)
+	}
+	var out []struct {
+		DPS map[string]float64 `json:"dps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if sys.IngestCount() > 0 && len(out) == 0 {
+		b.Fatal("MQTT-transported points not visible through the gateway")
+	}
 }

@@ -2,20 +2,25 @@
 // runs the simulated pilot (internal/core) as a live feed and serves,
 // on one address, the OpenTSDB-style HTTP gateway (internal/api) and
 // the SVG dashboard (internal/dashboard) over the same time-series
-// store:
+// store, with the continuous-aggregation engine (internal/rollup) and
+// the telnet line-protocol listener (internal/lineproto) attached:
 //
-//	POST /api/put      ingest JSON data-point batches (429 on overload)
-//	GET  /api/query    aggregated/downsampled reads (LRU-cached)
+//	POST /api/put      ingest JSON data-point batches (429 on overload,
+//	                   gzip accepted)
+//	GET  /api/query    aggregated/downsampled reads (LRU-cached with
+//	                   write invalidation; downsamples ≥ a rollup tier
+//	                   are served from the tiers, not raw scans)
 //	GET  /api/suggest  metric and tag discovery
 //	GET  /api/stream   live server-sent-event feed
-//	GET  /metrics      gateway self-instrumentation
+//	GET  /metrics      gateway + rollup + line-protocol instrumentation
 //	GET  /             dashboards, /wall, /live, /network.svg
+//	tcp  -telnet addr  OpenTSDB telnet ingest: put <metric> <ts> <v> k=v
 //
-// The pilot fast-forwards -days of history, then keeps stepping one
-// reporting interval every -tick of wall time; every stored point is
-// pushed to /api/stream subscribers, so the /live page shows the city
-// breathing. External producers can write alongside the pilot through
-// /api/put.
+// The pilot fast-forwards -days of history (rolled up as it streams
+// in), then keeps stepping one reporting interval every -tick of wall
+// time; every stored point is pushed to /api/stream subscribers, so
+// the /live page shows the city breathing. External producers can
+// write alongside the pilot through /api/put or the telnet port.
 //
 // Usage:
 //
@@ -29,12 +34,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/dashboard"
+	"repro/internal/lineproto"
+	"repro/internal/rollup"
 	"repro/internal/tsdb"
 )
 
@@ -48,7 +56,40 @@ var (
 	queueSize = flag.Int("queue", 4096, "ingest queue capacity (points)")
 	workers   = flag.Int("workers", 4, "ingest worker goroutines")
 	rateLimit = flag.Float64("rate-limit", 0, "per-client ingest limit in points/sec (0 = off)")
+
+	telnetAddr = flag.String("telnet", "127.0.0.1:4243",
+		`line-protocol (telnet "put") listener address ("" = disabled)`)
+	rollupSpec = flag.String("rollup", "1m:168h,1h:2160h",
+		`rollup tiers as resolution:retention pairs (retention 0 = keep forever); "off" disables the engine`)
+	rawRetention = flag.Duration("raw-retention", 0,
+		"age out raw points older than this (0 = keep forever; rollup tiers keep serving older history)")
+	rollupGrace = flag.Duration("rollup-grace", time.Minute,
+		"out-of-order allowance before a rollup window seals")
 )
+
+// parseTiers parses "1m:168h,1h:2160h" ("res" alone keeps forever).
+func parseTiers(spec string) ([]rollup.Tier, error) {
+	var tiers []rollup.Tier
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		resS, retS, hasRet := strings.Cut(part, ":")
+		res, err := time.ParseDuration(resS)
+		if err != nil {
+			return nil, fmt.Errorf("bad tier resolution %q: %v", resS, err)
+		}
+		var ret time.Duration
+		if hasRet {
+			if ret, err = time.ParseDuration(retS); err != nil {
+				return nil, fmt.Errorf("bad tier retention %q: %v", retS, err)
+			}
+		}
+		tiers = append(tiers, rollup.Tier{Resolution: res, Retention: ret})
+	}
+	return tiers, nil
+}
 
 func main() {
 	flag.Parse()
@@ -70,6 +111,26 @@ func main() {
 	}
 	defer sys.Close()
 
+	// Rollup engine first, so the fast-forwarded history is rolled up
+	// as it streams into the store.
+	var eng *rollup.Engine
+	if *rollupSpec != "off" {
+		tiers, err := parseTiers(*rollupSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err = rollup.New(sys.DB, rollup.Config{
+			Tiers:        tiers,
+			RawRetention: *rawRetention,
+			Grace:        *rollupGrace,
+			Now:          sys.Now, // retention/sealing follow simulated time
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer eng.Close()
+	}
+
 	fmt.Printf("fast-forwarding %d days of the %s pilot (%d sensors) ...\n",
 		*days, *city, len(sys.Nodes))
 	t0 := time.Now()
@@ -88,6 +149,23 @@ func main() {
 		Now:       sys.Now,
 	})
 	defer gw.Close()
+	if eng != nil {
+		gw.AddMetricsSource(eng.EmitMetrics)
+	}
+
+	// Telnet-style line-protocol ingest feeding the gateway's bounded
+	// queue — same backpressure as HTTP.
+	if *telnetAddr != "" {
+		lp := lineproto.New(gw, lineproto.Config{})
+		lpAddr, err := lp.Start(*telnetAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer lp.Close()
+		gw.AddMetricsSource(lp.EmitMetrics)
+		fmt.Printf("line protocol on %s — try: echo \"put ctt.co2 $(date +%%s) 415 sensor=cli\" | nc %s\n",
+			lpAddr, strings.ReplaceAll(lpAddr.String(), ":", " "))
+	}
 
 	// Dashboard over the same store.
 	dash := dashboard.New(sys.DB, sys.Dataport)

@@ -13,10 +13,16 @@
 //
 // The network-facing surface is internal/api: an OpenTSDB-compatible
 // HTTP gateway over the internal/tsdb store with batched writes,
-// backpressure, per-client rate limiting, a cached query engine,
-// suggest indexes, and a server-sent-event live stream. cmd/ctt-server
-// runs the simulated pilot as a live feed behind that gateway together
-// with the internal/dashboard SVG dashboards — the closest analogue of
-// the paper's deployed CTT cloud. See README.md for a quickstart and
-// an architecture sketch.
+// backpressure, per-client rate limiting, gzip request/response
+// bodies, a cached query engine with write invalidation, suggest
+// indexes, and a server-sent-event live stream. internal/lineproto
+// adds the OpenTSDB telnet line protocol (put <metric> <ts> <value>
+// tag=v) as a second ingest edge feeding the same bounded queue.
+// internal/rollup continuously aggregates every write into tiered
+// windows (raw → 1m → 1h, per-tier retention) and serves coarse
+// downsampled queries from those tiers instead of raw block scans.
+// cmd/ctt-server runs the simulated pilot as a live feed behind that
+// gateway together with the internal/dashboard SVG dashboards — the
+// closest analogue of the paper's deployed CTT cloud. See README.md
+// for a quickstart and an architecture sketch.
 package repro

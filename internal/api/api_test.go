@@ -3,9 +3,11 @@ package api
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -583,19 +585,19 @@ func TestParseTime(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newQueryCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("2"))
+	c.put("a", []byte("1"), 0, 0, nil)
+	c.put("b", []byte("2"), 0, 0, nil)
 	if _, ok := c.get("a"); !ok { // refresh a
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("3")) // evicts b
+	c.put("c", []byte("3"), 0, 0, nil) // evicts b
 	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
 	if _, ok := c.get("a"); !ok {
 		t.Error("a should have survived")
 	}
-	hits, misses := c.stats()
+	hits, misses, _ := c.stats()
 	if hits != 2 || misses != 1 {
 		t.Errorf("stats = %d/%d, want 2 hits 1 miss", hits, misses)
 	}
@@ -604,14 +606,14 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheByteBounds(t *testing.T) {
 	c := newQueryCache(1000)
 	// Oversized bodies are never cached.
-	c.put("huge", make([]byte, maxCacheBody+1))
+	c.put("huge", make([]byte, maxCacheBody+1), 0, 0, nil)
 	if _, ok := c.get("huge"); ok {
 		t.Error("oversized body was cached")
 	}
 	// Total bytes stay under maxCacheBytes: 100 entries of ~1 MiB
 	// exceed 64 MiB, so early ones must be evicted.
 	for i := 0; i < 100; i++ {
-		c.put(fmt.Sprintf("k%03d", i), make([]byte, maxCacheBody))
+		c.put(fmt.Sprintf("k%03d", i), make([]byte, maxCacheBody), 0, 0, nil)
 	}
 	if c.bytes > maxCacheBytes {
 		t.Errorf("cache holds %d bytes, cap %d", c.bytes, maxCacheBytes)
@@ -621,5 +623,183 @@ func TestCacheByteBounds(t *testing.T) {
 	}
 	if _, ok := c.get("k099"); !ok {
 		t.Error("newest entry missing")
+	}
+}
+
+// TestPutGzip: a gzip-compressed /api/put batch is decoded and
+// stored; a garbage gzip body is a 400, not a hang or a store write.
+func TestPutGzip(t *testing.T) {
+	g, srv := newTestGateway(t, Config{})
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(putBody(5, "air.co2", "gz-1", 1488326400)))
+	zw.Close()
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/put", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("gzip put status = %d, want 204", resp.StatusCode)
+	}
+	waitIngested(t, g, 5)
+
+	req2, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/put", strings.NewReader("not gzip at all"))
+	req2.Header.Set("Content-Encoding", "gzip")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage gzip status = %d, want 400", resp2.StatusCode)
+	}
+
+	req3, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/put", strings.NewReader("{}"))
+	req3.Header.Set("Content-Encoding", "deflate")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("deflate status = %d, want 415", resp3.StatusCode)
+	}
+}
+
+// TestQueryGzipResponse: /api/query honours Accept-Encoding: gzip on
+// both cache misses and hits, and plain clients still get plain JSON.
+func TestQueryGzipResponse(t *testing.T) {
+	g, srv := newTestGateway(t, Config{})
+	resp := putJSON(t, srv.URL+"/api/put", putBody(10, "air.co2", "gz-2", 1488326400))
+	resp.Body.Close()
+	waitIngested(t, g, 10)
+
+	url := srv.URL + "/api/query?start=1488326400&end=1488327000&m=avg:air.co2"
+	fetch := func(acceptGzip bool) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if acceptGzip {
+			// Setting the header explicitly disables the transport's
+			// transparent decompression: we see the raw bytes.
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	for _, cache := range []string{"miss", "hit"} {
+		resp, body := fetch(true)
+		if got := resp.Header.Get("X-Cache"); got != cache {
+			t.Fatalf("X-Cache = %q, want %q", got, cache)
+		}
+		if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+			t.Fatalf("Content-Encoding = %q, want gzip (%s)", enc, cache)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", cache, err)
+		}
+		plain, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []queryResult
+		if err := json.Unmarshal(plain, &out); err != nil {
+			t.Fatalf("%s: gunzipped body is not the query result: %v", cache, err)
+		}
+		if len(out) != 1 || len(out[0].DPS) != 10 {
+			t.Fatalf("%s: unexpected result %+v", cache, out)
+		}
+	}
+
+	resp2, body := fetch(false)
+	if enc := resp2.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("plain client got Content-Encoding %q", enc)
+	}
+	var out []queryResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("plain body: %v", err)
+	}
+}
+
+// TestCacheInvalidationOnWrite: a write landing inside a cached
+// query's time range drops the entry, so the next poll sees the new
+// point instead of waiting out the alignment bucket.
+func TestCacheInvalidationOnWrite(t *testing.T) {
+	now := time.Date(2017, time.March, 2, 0, 0, 0, 0, time.UTC)
+	g, srv := newTestGateway(t, Config{
+		CacheAlign: time.Hour, // coarse alignment: only invalidation can refresh
+		Now:        func() time.Time { return now },
+	})
+	resp := putJSON(t, srv.URL+"/api/put", putBody(10, "air.co2", "inv-1", 1488326400))
+	resp.Body.Close()
+	waitIngested(t, g, 10)
+
+	url := srv.URL + "/api/query?start=1488326400&end=1488330000&m=avg:air.co2"
+	query := func() (string, int) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []queryResult
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("got %d series", len(out))
+		}
+		return resp.Header.Get("X-Cache"), len(out[0].DPS)
+	}
+
+	if c, n := query(); c != "miss" || n != 10 {
+		t.Fatalf("first query: cache=%s n=%d", c, n)
+	}
+	if c, _ := query(); c != "hit" {
+		t.Fatalf("second query: cache=%s, want hit", c)
+	}
+
+	// A write inside the cached range invalidates...
+	resp2 := putJSON(t, srv.URL+"/api/put",
+		`{"metric":"air.co2","timestamp":1488327000,"value":555,"tags":{"sensor":"inv-1","city":"trondheim"}}`)
+	resp2.Body.Close()
+	waitIngested(t, g, 11)
+	if c, n := query(); c != "miss" || n != 11 {
+		t.Fatalf("post-write query: cache=%s n=%d, want miss/11", c, n)
+	}
+	if c, _ := query(); c != "hit" {
+		t.Fatal("cache did not repopulate")
+	}
+
+	// ... a write to another metric, or outside the range, does not.
+	resp3 := putJSON(t, srv.URL+"/api/put",
+		`{"metric":"air.no2","timestamp":1488327000,"value":5,"tags":{"sensor":"inv-1"}}`)
+	resp3.Body.Close()
+	resp4 := putJSON(t, srv.URL+"/api/put",
+		`{"metric":"air.co2","timestamp":1489000000,"value":5,"tags":{"sensor":"inv-1","city":"trondheim"}}`)
+	resp4.Body.Close()
+	waitIngested(t, g, 13)
+	if c, _ := query(); c != "hit" {
+		t.Fatal("unrelated writes invalidated the entry")
+	}
+	if _, _, inv := g.cache.stats(); inv == 0 {
+		t.Fatal("invalidation counter not incremented")
 	}
 }

@@ -2,8 +2,11 @@ package api
 
 // queryCache is a small LRU over marshaled query responses. Entries
 // are keyed on the canonical query string with the time range aligned
-// to Config.CacheAlign, so the cache never serves results staler than
-// one alignment bucket.
+// to Config.CacheAlign. On top of that staleness bound, the cache is
+// actively invalidated: every write landing in the store drops the
+// entries whose metric and time range cover the written point, so a
+// dashboard polling a range that just received data re-reads the
+// store instead of serving the stale bucket.
 
 import (
 	"container/list"
@@ -25,22 +28,35 @@ type queryCache struct {
 	bytes   int
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// byMetric indexes live entries by each metric they cover, so
+	// per-point invalidation only scans entries that could match.
+	byMetric map[string]map[*list.Element]struct{}
+	// count mirrors len(entries) so invalidate — called for every
+	// stored point — skips the mutex entirely while the cache is
+	// empty (the common state during bulk ingest).
+	count       atomic.Int64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	invalidated atomic.Uint64
 }
 
 type cacheEntry struct {
 	key  string
 	body []byte
+	// start/end bound the cached query's time range (ms); metrics
+	// lists the metrics it touched — what invalidation matches on.
+	start, end int64
+	metrics    []string
 }
 
 // newQueryCache returns a cache holding up to capacity entries;
 // capacity <= 0 disables caching (every get misses, put is a no-op).
 func newQueryCache(capacity int) *queryCache {
 	return &queryCache{
-		cap:     capacity,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		cap:      capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		byMetric: make(map[string]map[*list.Element]struct{}),
 	}
 }
 
@@ -60,7 +76,7 @@ func (c *queryCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-func (c *queryCache) put(key string, body []byte) {
+func (c *queryCache) put(key string, body []byte, start, end int64, metrics []string) {
 	if c.cap <= 0 || len(body) > maxCacheBody {
 		return
 	}
@@ -69,21 +85,80 @@ func (c *queryCache) put(key string, body []byte) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.bytes += len(body) - len(e.body)
-		e.body = body
+		c.unindex(el, e)
+		e.body, e.start, e.end, e.metrics = body, start, end, metrics
+		c.index(el, e)
 		c.order.MoveToFront(el)
 	} else {
-		c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+		e := &cacheEntry{key: key, body: body, start: start, end: end, metrics: metrics}
+		el := c.order.PushFront(e)
+		c.entries[key] = el
+		c.index(el, e)
 		c.bytes += len(body)
 	}
 	for len(c.entries) > c.cap || c.bytes > maxCacheBytes {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		e := oldest.Value.(*cacheEntry)
-		c.bytes -= len(e.body)
-		delete(c.entries, e.key)
+		c.remove(c.order.Back())
+	}
+	c.count.Store(int64(len(c.entries)))
+}
+
+// invalidate drops every entry whose query covered metric at time
+// tsMS. Called from the store's write observer for each stored point.
+func (c *queryCache) invalidate(metric string, tsMS int64) {
+	if c.cap <= 0 || c.count.Load() == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.byMetric[metric]
+	if !ok {
+		return
+	}
+	var doomed []*list.Element
+	for el := range set {
+		e := el.Value.(*cacheEntry)
+		if e.start <= tsMS && tsMS <= e.end {
+			doomed = append(doomed, el)
+		}
+	}
+	for _, el := range doomed {
+		c.remove(el)
+		c.invalidated.Add(1)
+	}
+	c.count.Store(int64(len(c.entries)))
+}
+
+// remove drops one entry. Caller holds c.mu.
+func (c *queryCache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	c.bytes -= len(e.body)
+	delete(c.entries, e.key)
+	c.unindex(el, e)
+}
+
+func (c *queryCache) index(el *list.Element, e *cacheEntry) {
+	for _, m := range e.metrics {
+		set, ok := c.byMetric[m]
+		if !ok {
+			set = make(map[*list.Element]struct{})
+			c.byMetric[m] = set
+		}
+		set[el] = struct{}{}
 	}
 }
 
-func (c *queryCache) stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+func (c *queryCache) unindex(el *list.Element, e *cacheEntry) {
+	for _, m := range e.metrics {
+		if set, ok := c.byMetric[m]; ok {
+			delete(set, el)
+			if len(set) == 0 {
+				delete(c.byMetric, m)
+			}
+		}
+	}
+}
+
+func (c *queryCache) stats() (hits, misses, invalidated uint64) {
+	return c.hits.Load(), c.misses.Load(), c.invalidated.Load()
 }

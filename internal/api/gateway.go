@@ -111,6 +111,15 @@ type Gateway struct {
 	cache   *queryCache
 	hub     *streamHub
 
+	// removeObservers detaches the gateway's store observers (live
+	// stream fan-out, cache invalidation) on Close.
+	removeObservers []func()
+
+	// extraMetrics are additional /metrics emitters registered by
+	// sibling subsystems (rollup engine, line-protocol listener).
+	emMu         sync.RWMutex
+	extraMetrics []func(emit func(name string, v any))
+
 	// counters
 	ingested    atomic.Uint64 // points stored
 	storeErrors atomic.Uint64 // points rejected by the store (post-queue)
@@ -148,11 +157,23 @@ func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
 		cache:   newQueryCache(cfg.CacheSize),
 		hub:     newStreamHub(cfg.StreamBuffer),
 	}
-	// Every stored point — whether it arrived over HTTP or from an
-	// in-process writer like the simulated pilot — feeds the live
-	// stream.
-	db.SetObserver(g.hub.publish)
+	// Every stored point — whether it arrived over HTTP, telnet, or
+	// from an in-process writer like the simulated pilot — feeds the
+	// live stream and invalidates cached queries covering its range.
+	g.removeObservers = append(g.removeObservers,
+		db.AddObserver(g.hub.publish),
+		db.AddObserver(func(dp tsdb.DataPoint) { g.cache.invalidate(dp.Metric, dp.Timestamp) }),
+	)
 	return g
+}
+
+// AddMetricsSource registers fn to append lines to /metrics — how the
+// rollup engine and line-protocol listener surface their counters on
+// the gateway's one instrumentation endpoint.
+func (g *Gateway) AddMetricsSource(fn func(emit func(name string, v any))) {
+	g.emMu.Lock()
+	g.extraMetrics = append(g.extraMetrics, fn)
+	g.emMu.Unlock()
 }
 
 func (g *Gateway) startWorkers() {
@@ -198,7 +219,9 @@ func (g *Gateway) Close() error {
 	}
 	g.qmu.Unlock()
 	g.wg.Wait()
-	g.db.SetObserver(nil)
+	for _, remove := range g.removeObservers {
+		remove()
+	}
 	g.hub.closeAll()
 	if g.srv != nil {
 		return g.srv.Close()
@@ -266,9 +289,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("ctt_put_requests_total", g.putReqs.Load())
 	emit("ctt_query_requests_total", g.queryReqs.Load())
 	emit("ctt_query_errors_total", g.queryErrs.Load())
-	hits, misses := g.cache.stats()
+	hits, misses, invalidated := g.cache.stats()
 	emit("ctt_query_cache_hits_total", hits)
 	emit("ctt_query_cache_misses_total", misses)
+	emit("ctt_query_cache_invalidations_total", invalidated)
 	ratio := 0.0
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
@@ -293,6 +317,11 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("ctt_dataport_gateways", st.Gateways)
 		emit("ctt_dataport_alarms_total", st.Alarms)
 	}
+	g.emMu.RLock()
+	for _, src := range g.extraMetrics {
+		src(emit)
+	}
+	g.emMu.RUnlock()
 	w.Write([]byte(b.String()))
 }
 

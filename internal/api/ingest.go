@@ -8,6 +8,7 @@ package api
 // of blocking the producer or dropping silently.
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,16 +74,9 @@ func (p putPoint) toDataPoint() tsdb.DataPoint {
 	}
 }
 
-// normalizeMillis interprets an epoch timestamp that may be in
-// seconds or milliseconds: positive values before the year 2100 in
-// seconds are taken as seconds and scaled to milliseconds. Both the
-// ingest and query paths route timestamps through this one rule.
-func normalizeMillis(n int64) int64 {
-	if n > 0 && n < 4102444800 {
-		return n * 1000
-	}
-	return n
-}
+// normalizeMillis routes timestamps through the store's one
+// seconds-vs-milliseconds rule, shared with the telnet listener.
+func normalizeMillis(n int64) int64 { return tsdb.NormalizeMillis(n) }
 
 // maxPutBody bounds a single /api/put request body (8 MiB).
 const maxPutBody = 8 << 20
@@ -93,7 +87,25 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.putReqs.Add(1)
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxPutBody+1))
+	// Constrained producers may gzip the batch; the size cap applies
+	// to the decompressed bytes, so a compressed bomb cannot buy more
+	// buffer than a plain request.
+	var reader io.Reader = r.Body
+	switch enc := strings.TrimSpace(strings.ToLower(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+	case "gzip":
+		zr, err := gzip.NewReader(io.LimitReader(r.Body, maxPutBody+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad gzip body: %v", err)
+			return
+		}
+		defer zr.Close()
+		reader = zr
+	default:
+		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(reader, maxPutBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return

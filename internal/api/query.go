@@ -7,6 +7,7 @@ package api
 // dashboard polls within one alignment bucket cost one store read.
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -67,9 +68,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	key := g.cacheKey(start, end, subs)
 	if body, ok := g.cache.get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(body)
+		writeQueryBody(w, r, body, "hit")
 		return
 	}
 
@@ -106,10 +105,47 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	g.cache.put(key, body)
+	metrics := make([]string, 0, len(subs))
+	for _, sq := range subs {
+		metrics = append(metrics, sq.Metric)
+	}
+	g.cache.put(key, body, start, end, metrics)
+	writeQueryBody(w, r, body, "miss")
+}
+
+// writeQueryBody sends a marshaled query result, gzip-compressed when
+// the client advertises support (cached bodies are stored plain and
+// compressed per response, so one entry serves both kinds of client).
+func writeQueryBody(w http.ResponseWriter, r *http.Request, body []byte, cacheStatus string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("X-Cache", cacheStatus)
+	w.Header().Set("Vary", "Accept-Encoding")
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(w)
+		zw.Write(body)
+		zw.Close()
+		return
+	}
 	w.Write(body)
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding lists
+// gzip with a non-zero quality.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" && strings.TrimSpace(enc) != "*" {
+			continue
+		}
+		if hasQ {
+			if v := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(q), "q=")); v == "0" || v == "0.0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // toTSDB converts a subQuery to a store query.

@@ -1,0 +1,395 @@
+// Package lineproto is a TCP listener speaking the OpenTSDB telnet
+// line protocol — the "Telnet-style put" ingest the ROADMAP calls for
+// and the chunked path constrained producers (LoRaWAN gateways,
+// legacy collectors, a developer with nc) use instead of HTTP JSON:
+//
+//	put <metric> <timestamp> <value> <tag1=v1> [<tag2=v2> ...]
+//
+// One measurement per line; timestamps in epoch seconds or
+// milliseconds; at least one tag, exactly as OpenTSDB requires. The
+// listener parses statsdaemon-style — a buffered reader sliced at
+// newlines, oversized lines skipped, per-connection read deadlines so
+// a dead peer cannot pin a connection — and feeds parsed points into
+// the same bounded ingest queue as the HTTP gateway, so both edges
+// share one backpressure policy. Malformed lines are counted, answered
+// with a one-line error (visible in an interactive nc session), and
+// never abort the connection.
+package lineproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/tsdb"
+)
+
+// Sink receives parsed, validated points — implemented by
+// api.Gateway, whose bounded queue and 429-style refusal the listener
+// inherits.
+type Sink interface {
+	Enqueue(dps []tsdb.DataPoint) error
+}
+
+// Config tunes the listener. Zero values select the defaults.
+type Config struct {
+	// ReadTimeout is the per-read deadline: a connection idle longer
+	// is closed. Default 5m.
+	ReadTimeout time.Duration
+	// MaxLineLen bounds one line; longer lines are counted malformed
+	// and skipped. Default 1024.
+	MaxLineLen int
+	// BatchSize caps points buffered per connection before they are
+	// flushed to the sink. Default 128.
+	BatchSize int
+}
+
+func (c *Config) setDefaults() {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.MaxLineLen <= 0 {
+		c.MaxLineLen = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+}
+
+// Server is the line-protocol listener.
+type Server struct {
+	sink Sink
+	cfg  Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// counters
+	connsTotal atomic.Uint64
+	active     atomic.Int64
+	lines      atomic.Uint64 // non-empty lines read
+	points     atomic.Uint64 // points accepted into the queue
+	malformed  atomic.Uint64 // lines rejected by the parser/validator
+	dropped    atomic.Uint64 // parsed points refused by the sink
+	timeouts   atomic.Uint64 // connections closed by the read deadline
+
+	rate ewmaRate
+}
+
+// New builds a server feeding sink. Call Start, then Close.
+func New(sink Sink, cfg Config) *Server {
+	cfg.setDefaults()
+	return &Server{sink: sink, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on addr and accepts connections until Close.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lineproto: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("lineproto: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		s.active.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.active.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	r := bufio.NewReaderSize(conn, 4096)
+	batch := make([]tsdb.DataPoint, 0, s.cfg.BatchSize)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		line, err := s.readLine(conn, r)
+		if line != "" {
+			if quit := s.handleLine(conn, line, &batch); quit {
+				s.flush(conn, &batch)
+				return
+			}
+		}
+		// Flush when the batch is full or no more input is already
+		// buffered (the next read would block).
+		if len(batch) >= s.cfg.BatchSize || (len(batch) > 0 && r.Buffered() == 0) {
+			s.flush(conn, &batch)
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.timeouts.Add(1)
+			}
+			return // EOF, deadline, or closed
+		}
+	}
+}
+
+// readLine reads one newline-terminated line via ReadSlice, so memory
+// stays bounded by the reader's buffer no matter how long the peer's
+// line is: once a line overflows MaxLineLen its bytes are discarded
+// as they stream in, and the line is counted malformed.
+func (s *Server) readLine(conn net.Conn, r *bufio.Reader) (string, error) {
+	var buf []byte
+	overflow := false
+	for {
+		frag, err := r.ReadSlice('\n')
+		if !overflow {
+			if len(buf)+len(frag) > s.cfg.MaxLineLen+1 { // +1: the trailing \n
+				overflow = true
+				buf = nil
+			} else {
+				buf = append(buf, frag...)
+			}
+		}
+		if err == bufio.ErrBufferFull {
+			continue // same line keeps streaming; frag already consumed
+		}
+		if overflow {
+			s.malformed.Add(1)
+			s.reply(conn, "err: line exceeds %d bytes", s.cfg.MaxLineLen)
+			return "", err
+		}
+		return strings.TrimRight(string(buf), "\r\n"), err
+	}
+}
+
+// handleLine processes one complete line; quit requests connection
+// close (the telnet "exit" command).
+func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint) (quit bool) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return false
+	}
+	s.lines.Add(1)
+	switch {
+	case line == "exit" || line == "quit":
+		return true
+	case line == "version":
+		s.reply(conn, "ctt-tsdb line protocol, OpenTSDB telnet compatible")
+		return false
+	}
+	dp, err := ParseLine(line)
+	if err != nil {
+		s.malformed.Add(1)
+		s.reply(conn, "err: %v", err)
+		return false
+	}
+	*batch = append(*batch, dp)
+	return false
+}
+
+// flush hands the batch to the sink, translating queue refusal into a
+// counted drop plus an error line — the telnet analogue of HTTP 429.
+func (s *Server) flush(conn net.Conn, batch *[]tsdb.DataPoint) {
+	if len(*batch) == 0 {
+		return
+	}
+	n := len(*batch)
+	if err := s.sink.Enqueue(*batch); err != nil {
+		s.dropped.Add(uint64(n))
+		if errors.Is(err, api.ErrQueueFull) {
+			s.reply(conn, "err: ingest queue full, %d points dropped; slow down", n)
+		} else {
+			s.reply(conn, "err: %v", err)
+		}
+	} else {
+		s.points.Add(uint64(n))
+		s.rate.observe(n, time.Now())
+	}
+	*batch = (*batch)[:0]
+}
+
+// reply best-effort writes one diagnostic line back to the peer.
+func (s *Server) reply(conn net.Conn, format string, args ...any) {
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, format+"\n", args...)
+}
+
+// ParseLine parses one telnet put line into a validated data point.
+func ParseLine(line string) (tsdb.DataPoint, error) {
+	var dp tsdb.DataPoint
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != "put" {
+		return dp, fmt.Errorf("unknown command %q (want: put <metric> <ts> <value> <tag=value> ...)", firstWord(line))
+	}
+	if len(fields) < 5 {
+		return dp, fmt.Errorf("put needs metric, timestamp, value and at least one tag (got %d fields)", len(fields)-1)
+	}
+	ts, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return dp, fmt.Errorf("bad timestamp %q", fields[2])
+	}
+	if ts <= 0 {
+		return dp, fmt.Errorf("timestamp must be positive, got %q", fields[2])
+	}
+	val, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return dp, fmt.Errorf("bad value %q", fields[3])
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return dp, fmt.Errorf("value must be finite, got %q", fields[3])
+	}
+	tags := make(map[string]string, len(fields)-4)
+	for _, kv := range fields[4:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 || eq == len(kv)-1 {
+			return dp, fmt.Errorf("bad tag %q (want key=value)", kv)
+		}
+		tags[kv[:eq]] = kv[eq+1:]
+	}
+	dp = tsdb.DataPoint{
+		Metric: fields[1],
+		Tags:   tags,
+		Point:  tsdb.Point{Timestamp: tsdb.NormalizeMillis(ts), Value: val},
+	}
+	if err := dp.Validate(); err != nil {
+		return dp, err
+	}
+	return dp, nil
+}
+
+func firstWord(line string) string {
+	if i := strings.IndexByte(line, ' '); i > 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// Stats is a snapshot of the listener's counters.
+type Stats struct {
+	ConnsTotal  uint64
+	ConnsActive int64
+	Lines       uint64
+	Points      uint64
+	Malformed   uint64
+	Dropped     uint64
+	Timeouts    uint64
+	// PointsPerSecond is the exponentially-weighted ingest rate.
+	PointsPerSecond float64
+}
+
+// Stats snapshots the listener.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsTotal:      s.connsTotal.Load(),
+		ConnsActive:     s.active.Load(),
+		Lines:           s.lines.Load(),
+		Points:          s.points.Load(),
+		Malformed:       s.malformed.Load(),
+		Dropped:         s.dropped.Load(),
+		Timeouts:        s.timeouts.Load(),
+		PointsPerSecond: s.rate.value(time.Now()),
+	}
+}
+
+// EmitMetrics appends the listener's metrics in the gateway's
+// /metrics line format — registered via Gateway.AddMetricsSource.
+func (s *Server) EmitMetrics(emit func(name string, v any)) {
+	st := s.Stats()
+	emit("ctt_lineproto_connections_total", st.ConnsTotal)
+	emit("ctt_lineproto_connections_active", st.ConnsActive)
+	emit("ctt_lineproto_lines_total", st.Lines)
+	emit("ctt_lineproto_points_total", st.Points)
+	emit("ctt_lineproto_malformed_total", st.Malformed)
+	emit("ctt_lineproto_dropped_total", st.Dropped)
+	emit("ctt_lineproto_read_timeouts_total", st.Timeouts)
+	emit("ctt_lineproto_rate_points_per_second", fmt.Sprintf("%.3f", st.PointsPerSecond))
+}
+
+// ewmaRate tracks an exponentially-weighted ingest rate (~10s time
+// constant), decaying toward zero when idle.
+type ewmaRate struct {
+	mu   sync.Mutex
+	rate float64
+	last time.Time
+}
+
+func (e *ewmaRate) observe(n int, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		e.last = now
+		return
+	}
+	dt := now.Sub(e.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(n) / dt
+	alpha := 1 - math.Exp(-dt/10)
+	e.rate += alpha * (inst - e.rate)
+	e.last = now
+}
+
+func (e *ewmaRate) value(now time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		return 0
+	}
+	if dt := now.Sub(e.last).Seconds(); dt > 0 {
+		return e.rate * math.Exp(-dt/10)
+	}
+	return e.rate
+}

@@ -1,0 +1,200 @@
+package lineproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/tsdb"
+)
+
+func TestParseLine(t *testing.T) {
+	good := []struct {
+		line   string
+		metric string
+		tsMS   int64
+		value  float64
+		tags   map[string]string
+	}{
+		{"put air.co2 1488326400 412.5 sensor=s1", "air.co2", 1488326400000, 412.5,
+			map[string]string{"sensor": "s1"}},
+		{"put air.co2 1488326400123 412.5 sensor=s1 city=trondheim", "air.co2", 1488326400123, 412.5,
+			map[string]string{"sensor": "s1", "city": "trondheim"}},
+		{"  put   air.no2  1488326400  -7  sensor=s2  ", "air.no2", 1488326400000, -7,
+			map[string]string{"sensor": "s2"}},
+	}
+	for _, g := range good {
+		dp, err := ParseLine(g.line)
+		if err != nil {
+			t.Fatalf("ParseLine(%q): %v", g.line, err)
+		}
+		if dp.Metric != g.metric || dp.Timestamp != g.tsMS || dp.Value != g.value {
+			t.Fatalf("ParseLine(%q) = %+v", g.line, dp)
+		}
+		for k, v := range g.tags {
+			if dp.Tags[k] != v {
+				t.Fatalf("ParseLine(%q) tag %s = %q, want %q", g.line, k, dp.Tags[k], v)
+			}
+		}
+	}
+	bad := []string{
+		"puts air.co2 1488326400 412.5 sensor=s1", // unknown command
+		"put air.co2 1488326400 412.5",            // no tags
+		"put air.co2 nope 412.5 sensor=s1",        // bad timestamp
+		"put air.co2 -5 412.5 sensor=s1",          // negative timestamp
+		"put air.co2 1488326400 abc sensor=s1",    // bad value
+		"put air.co2 1488326400 NaN sensor=s1",    // non-finite value
+		"put air.co2 1488326400 412.5 sensor=",    // empty tag value
+		"put air.co2 1488326400 412.5 =s1",        // empty tag key
+		"put bad metric 1488326400 412.5 a=b",     // field misalignment
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Fatalf("ParseLine(%q) accepted", line)
+		}
+	}
+}
+
+// testStack assembles store → gateway → line listener.
+func testStack(t *testing.T, cfg Config) (*tsdb.DB, *api.Gateway, *Server, net.Addr) {
+	t.Helper()
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := api.New(db, nil, api.Config{})
+	srv := New(gw, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); gw.Close(); db.Close() })
+	return db, gw, srv, addr
+}
+
+// TestTelnetPutQueryableOverHTTP is the acceptance e2e: points
+// written over the telnet listener are readable through the HTTP
+// gateway's /api/query.
+func TestTelnetPutQueryableOverHTTP(t *testing.T) {
+	_, gw, srv, addr := testStack(t, Config{})
+	web := httptest.NewServer(gw.Handler())
+	defer web.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1488326400) // 2017-03-01 00:00:00 UTC, seconds
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "put air.co2 %d %d sensor=telnet-1 city=trondheim\n", base+int64(i)*60, 400+i)
+	}
+	sb.WriteString("this is not a put line\n")
+	sb.WriteString("version\n")
+	if _, err := conn.Write([]byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	// The server replies to the malformed line and to version.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("expected reply line %d: %v", i, err)
+		}
+	}
+	conn.Close()
+
+	// The queue drains asynchronously; poll the HTTP query until the
+	// points land.
+	url := web.URL + "/api/query?start=1488326400&end=1488327000&m=sum:air.co2{sensor=telnet-1}"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []struct {
+			DPS map[string]float64 `json:"dps"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err == nil && len(out) == 1 && len(out[0].DPS) == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("telnet points never became queryable; last result %+v", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := srv.Stats()
+	if st.Points != 10 {
+		t.Fatalf("points = %d, want 10", st.Points)
+	}
+	if st.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", st.Malformed)
+	}
+	if st.ConnsTotal != 1 {
+		t.Fatalf("connsTotal = %d, want 1", st.ConnsTotal)
+	}
+}
+
+// TestReadDeadline: an idle connection is closed by the server and
+// counted as a timeout.
+func TestReadDeadline(t *testing.T) {
+	_, _, srv, addr := testStack(t, Config{ReadTimeout: 50 * time.Millisecond})
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection stayed open past the read deadline")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Timeouts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOversizedLine: a line beyond MaxLineLen is skipped and counted,
+// and the connection keeps working.
+func TestOversizedLine(t *testing.T) {
+	db, _, srv, addr := testStack(t, Config{MaxLineLen: 64})
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	long := "put air.co2 1488326400 1 sensor=" + strings.Repeat("x", 200) + "\n"
+	ok := "put air.co2 1488326400 1 sensor=s1\n"
+	if _, err := conn.Write([]byte(long + ok)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Points < 1 || srv.Stats().Malformed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The valid point made it to the store.
+	for db.PointCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("valid point after oversized line never stored")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

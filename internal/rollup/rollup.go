@@ -1,0 +1,528 @@
+// Package rollup is the continuous-aggregation engine of the CTT
+// cloud: it subscribes to every write landing in the time-series
+// store, maintains per-series aggregation windows at a ladder of
+// resolutions (raw → 1m → 1h by default), and flushes each sealed
+// window back into the store as derived series — one per statistic
+// (count, sum, min, max, mean, p50, p95, p99) — under the
+// rollup.<resolution>.<metric> namespace with a stat=<name> tag.
+//
+// The paper's pilots accumulate months of 5-minute sensor history
+// ("historic data ... collected since January 2017", §3) that
+// dashboards read almost exclusively downsampled; scanning raw
+// Gorilla blocks for every hourly-average panel is wasted work. The
+// engine instead answers those reads from the rollup tiers: it
+// installs itself as the store's RollupPlanner, so any query whose
+// downsample interval is a multiple of a tier resolution (and whose
+// aggregator the tier can reproduce exactly) is served from the
+// coarsest satisfying tier, skipping raw block decodes entirely. The
+// unsealed tail window — and the partial buckets at the range edges —
+// transparently fall back to the raw scan, so served results match a
+// full raw scan bucket for bucket.
+//
+// Windows seal on a watermark: once a series' newest-seen timestamp
+// (minus a configurable grace allowance for out-of-order arrivals)
+// passes a window's end, the window is aggregated and written out. A
+// background loop additionally seals by wall (or injected) clock, so
+// idle series flush too, and applies per-tier retention: raw points
+// and each rollup tier age out on their own schedules, turning the
+// store into tiered storage — recent data at full resolution, months
+// of history at 1m/1h.
+package rollup
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// MetricPrefix namespaces every derived series the engine writes.
+// Writes under this prefix are never themselves rolled up.
+const MetricPrefix = "rollup."
+
+// StatTag is the tag key carrying the statistic name on derived
+// series. Raw series that already use this tag key are not rolled up
+// (they would collide with the derived namespace).
+const StatTag = "stat"
+
+// Tier is one rollup level: windows of Resolution, kept for
+// Retention (0 = forever).
+type Tier struct {
+	Resolution time.Duration
+	Retention  time.Duration
+}
+
+// Config tunes the engine. Zero values select the defaults.
+type Config struct {
+	// Tiers lists the rollup levels, finest first. Default:
+	// 1m kept 7 days, 1h kept 90 days.
+	Tiers []Tier
+	// RawRetention ages out raw (non-derived) points older than this;
+	// 0 keeps them forever.
+	RawRetention time.Duration
+	// Grace delays watermark sealing: a window seals only once the
+	// series watermark passes its end by Grace, allowing out-of-order
+	// arrivals that far behind the newest point. Default 0.
+	Grace time.Duration
+	// FlushEvery is the background seal/retention cadence. Default
+	// 10s; negative disables the background loop entirely (callers
+	// drive Flush/ApplyRetention themselves — tests and benches).
+	FlushEvery time.Duration
+	// Now injects the clock used for idle sealing and retention
+	// cutoffs (simulated pilots run on simulated time). Default
+	// time.Now.
+	Now func() time.Time
+}
+
+// stats computed for every sealed window, in storage order.
+var windowStats = []struct {
+	name string
+	agg  tsdb.Aggregator
+}{
+	{"count", tsdb.AggCount},
+	{"sum", tsdb.AggSum},
+	{"min", tsdb.AggMin},
+	{"max", tsdb.AggMax},
+	{"mean", tsdb.AggAvg},
+	{"p50", tsdb.AggP50},
+	{"p95", tsdb.AggP95},
+	{"p99", tsdb.AggP99},
+}
+
+const engineShards = 16
+
+// Engine is the continuous-aggregation subsystem over one store.
+type Engine struct {
+	db    *tsdb.DB
+	cfg   Config
+	tiers []tierSpec
+
+	shards [engineShards]engineShard
+
+	removeObs func()
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// counters
+	observed  atomic.Uint64 // raw points seen by the observer
+	late      atomic.Uint64 // points behind ≥1 tier's sealed horizon (once per point)
+	skipped   atomic.Uint64 // points on series with a reserved stat tag
+	sealedN   atomic.Uint64 // windows sealed
+	written   atomic.Uint64 // derived points written back
+	hits      atomic.Uint64 // per-series downsamples served from tiers
+	fallbacks atomic.Uint64 // per-series downsamples that fell back to raw
+	retained  atomic.Uint64 // points removed by retention
+}
+
+// tierSpec is a Tier with its derived values precomputed.
+type tierSpec struct {
+	res          time.Duration
+	resMS        int64
+	retention    time.Duration
+	name         string // "1m", "1h", "90s"
+	metricPrefix string // "rollup.1m."
+}
+
+type engineShard struct {
+	mu     sync.Mutex
+	series map[string]*seriesState
+}
+
+type seriesState struct {
+	metric    string
+	tags      map[string]string
+	watermark int64 // newest event timestamp seen (ms)
+	tiers     []tierState
+}
+
+type tierState struct {
+	open        map[int64]*window // by window start (ms)
+	sealedUntil int64             // every window with start < sealedUntil is sealed
+}
+
+type window struct {
+	vals []float64 // arrival order; re-aggregated exactly at seal time
+}
+
+// formatRes renders a resolution as the shortest of h/m/s units.
+func formatRes(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}
+
+// New builds an engine over db, subscribes it to the store's write
+// feed, installs it as the store's rollup planner, and (unless
+// disabled) starts the background seal/retention loop. Call Close to
+// flush open windows and detach.
+func New(db *tsdb.DB, cfg Config) (*Engine, error) {
+	if len(cfg.Tiers) == 0 {
+		cfg.Tiers = []Tier{
+			{Resolution: time.Minute, Retention: 7 * 24 * time.Hour},
+			{Resolution: time.Hour, Retention: 90 * 24 * time.Hour},
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.FlushEvery == 0 {
+		cfg.FlushEvery = 10 * time.Second
+	}
+	e := &Engine{db: db, cfg: cfg, stop: make(chan struct{})}
+	seen := map[int64]bool{}
+	for _, t := range cfg.Tiers {
+		if t.Resolution < time.Second {
+			return nil, fmt.Errorf("rollup: tier resolution %v below 1s", t.Resolution)
+		}
+		ms := t.Resolution.Milliseconds()
+		if seen[ms] {
+			return nil, fmt.Errorf("rollup: duplicate tier resolution %v", t.Resolution)
+		}
+		seen[ms] = true
+		name := formatRes(t.Resolution)
+		e.tiers = append(e.tiers, tierSpec{
+			res: t.Resolution, resMS: ms, retention: t.Retention,
+			name: name, metricPrefix: MetricPrefix + name + ".",
+		})
+	}
+	// Finest first, so serving can pick the coarsest satisfying tier
+	// by scanning from the back.
+	for i := 1; i < len(e.tiers); i++ {
+		if e.tiers[i].resMS <= e.tiers[i-1].resMS {
+			return nil, fmt.Errorf("rollup: tiers must be sorted by ascending resolution")
+		}
+	}
+	for i := range e.shards {
+		e.shards[i].series = make(map[string]*seriesState)
+	}
+	e.removeObs = db.AddObserver(e.observe)
+	db.SetRollupPlanner(e)
+	if cfg.FlushEvery > 0 {
+		e.wg.Add(1)
+		go e.loop()
+	}
+	return e, nil
+}
+
+// Close seals and flushes every open window, detaches the engine from
+// the store, and stops the background loop.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.stop)
+		e.wg.Wait()
+		e.removeObs()
+		e.FlushAll()
+		e.db.SetRollupPlanner(nil)
+	})
+	return nil
+}
+
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			now := e.cfg.Now()
+			e.Flush(now)
+			if _, err := e.ApplyRetention(now); err != nil {
+				// The store only fails retention on a corrupt block;
+				// nothing the loop can do but keep serving.
+				continue
+			}
+		}
+	}
+}
+
+func shardFor(key string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % engineShards
+}
+
+// observe is the store write hook: fold the point into every tier's
+// open window and seal whatever the advancing watermark has passed.
+func (e *Engine) observe(dp tsdb.DataPoint) {
+	if strings.HasPrefix(dp.Metric, MetricPrefix) {
+		return // derived write: never roll up rollups
+	}
+	if _, reserved := dp.Tags[StatTag]; reserved {
+		e.skipped.Add(1)
+		return
+	}
+	e.observed.Add(1)
+	key := tsdb.Series{Metric: dp.Metric, Tags: dp.Tags}.Key()
+	sh := &e.shards[shardFor(key)]
+
+	var flush []tsdb.DataPoint
+	sh.mu.Lock()
+	st, ok := sh.series[key]
+	if !ok {
+		tags := make(map[string]string, len(dp.Tags))
+		for k, v := range dp.Tags {
+			tags[k] = v
+		}
+		st = &seriesState{metric: dp.Metric, tags: tags, tiers: make([]tierState, len(e.tiers))}
+		for i := range st.tiers {
+			st.tiers[i].open = make(map[int64]*window)
+		}
+		sh.series[key] = st
+	}
+	if dp.Timestamp > st.watermark {
+		st.watermark = dp.Timestamp
+	}
+	lateAny := false
+	for i := range e.tiers {
+		ts := &st.tiers[i]
+		w := dp.Timestamp - dp.Timestamp%e.tiers[i].resMS
+		if w < ts.sealedUntil {
+			lateAny = true
+			continue
+		}
+		win := ts.open[w]
+		if win == nil {
+			win = &window{}
+			ts.open[w] = win
+		}
+		win.vals = append(win.vals, dp.Value)
+	}
+	if lateAny {
+		e.late.Add(1)
+	}
+	flush = e.sealPassedLocked(st, st.watermark-e.cfg.Grace.Milliseconds(), flush)
+	sh.mu.Unlock()
+
+	e.writeDerived(flush)
+}
+
+// sealPassedLocked seals, for every tier of st, each open window that
+// ends at or before horizon, appending the derived points to out.
+// Caller holds the shard lock.
+func (e *Engine) sealPassedLocked(st *seriesState, horizon int64, out []tsdb.DataPoint) []tsdb.DataPoint {
+	if horizon <= 0 {
+		return out
+	}
+	for i := range e.tiers {
+		spec := &e.tiers[i]
+		ts := &st.tiers[i]
+		// hA: start of the window containing the horizon — every
+		// window strictly before it has fully elapsed.
+		hA := horizon - horizon%spec.resMS
+		if hA <= ts.sealedUntil {
+			continue
+		}
+		for w, win := range ts.open {
+			if w < hA {
+				out = e.appendWindowPoints(out, st, spec, w, win)
+				delete(ts.open, w)
+			}
+		}
+		ts.sealedUntil = hA
+	}
+	return out
+}
+
+// appendWindowPoints renders one sealed window as its derived stat
+// points.
+func (e *Engine) appendWindowPoints(out []tsdb.DataPoint, st *seriesState, spec *tierSpec, start int64, win *window) []tsdb.DataPoint {
+	if len(win.vals) == 0 {
+		return out
+	}
+	e.sealedN.Add(1)
+	metric := spec.metricPrefix + st.metric
+	for _, s := range windowStats {
+		tags := make(map[string]string, len(st.tags)+1)
+		for k, v := range st.tags {
+			tags[k] = v
+		}
+		tags[StatTag] = s.name
+		out = append(out, tsdb.DataPoint{
+			Metric: metric,
+			Tags:   tags,
+			Point:  tsdb.Point{Timestamp: start, Value: s.agg.Apply(win.vals)},
+		})
+	}
+	return out
+}
+
+// writeDerived stores sealed-window points. Runs outside the engine
+// shard locks: the store's observers (including this engine, which
+// skips the rollup namespace) fire synchronously on these writes.
+func (e *Engine) writeDerived(dps []tsdb.DataPoint) {
+	if len(dps) == 0 {
+		return
+	}
+	res := e.db.AppendBatchValidated(dps)
+	e.written.Add(uint64(res.Stored))
+}
+
+// Flush seals every window that has fully elapsed by the given clock
+// (minus Grace) — how idle series' windows get sealed when no further
+// writes advance their watermark.
+func (e *Engine) Flush(now time.Time) {
+	horizon := now.UnixMilli() - e.cfg.Grace.Milliseconds()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		var flush []tsdb.DataPoint
+		sh.mu.Lock()
+		for _, st := range sh.series {
+			flush = e.sealPassedLocked(st, horizon, flush)
+		}
+		sh.mu.Unlock()
+		e.writeDerived(flush)
+	}
+}
+
+// FlushAll unconditionally seals and flushes every open window,
+// regardless of watermark or clock. Points arriving later for a
+// flushed window are dropped from the rollups (counted as late); the
+// raw series still records them.
+func (e *Engine) FlushAll() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		var flush []tsdb.DataPoint
+		sh.mu.Lock()
+		for _, st := range sh.series {
+			for ti := range e.tiers {
+				spec := &e.tiers[ti]
+				ts := &st.tiers[ti]
+				for w, win := range ts.open {
+					flush = e.appendWindowPoints(flush, st, spec, w, win)
+					delete(ts.open, w)
+					if end := w + spec.resMS; end > ts.sealedUntil {
+						ts.sealedUntil = end
+					}
+				}
+			}
+		}
+		sh.mu.Unlock()
+		e.writeDerived(flush)
+	}
+}
+
+// ApplyRetention ages out raw points and each rollup tier on their
+// configured schedules, measured back from now. Returns the number of
+// points removed.
+func (e *Engine) ApplyRetention(now time.Time) (int, error) {
+	nowMS := now.UnixMilli()
+	total := 0
+	if e.cfg.RawRetention > 0 {
+		n, err := e.db.DeleteBeforeWhere(nowMS-e.cfg.RawRetention.Milliseconds(),
+			func(metric string, _ map[string]string) bool {
+				return !strings.HasPrefix(metric, MetricPrefix)
+			})
+		total += n
+		if err != nil {
+			e.retained.Add(uint64(total))
+			return total, err
+		}
+	}
+	for i := range e.tiers {
+		spec := &e.tiers[i]
+		if spec.retention <= 0 {
+			continue
+		}
+		prefix := spec.metricPrefix
+		n, err := e.db.DeleteBeforeWhere(nowMS-spec.retention.Milliseconds(),
+			func(metric string, _ map[string]string) bool {
+				return strings.HasPrefix(metric, prefix)
+			})
+		total += n
+		if err != nil {
+			e.retained.Add(uint64(total))
+			return total, err
+		}
+	}
+	e.retained.Add(uint64(total))
+	return total, nil
+}
+
+// TierStat is the live state of one rollup level.
+type TierStat struct {
+	Name        string
+	Resolution  time.Duration
+	Retention   time.Duration
+	OpenWindows int
+	// LagMS is the largest gap, across series, between a series'
+	// watermark and its sealed horizon — how far rollup serving trails
+	// the freshest data.
+	LagMS int64
+}
+
+// Stats is a snapshot of the engine's counters and per-tier state.
+type Stats struct {
+	Observed         uint64
+	Late             uint64
+	Skipped          uint64
+	WindowsSealed    uint64
+	PointsWritten    uint64
+	QueryHits        uint64
+	QueryFallbacks   uint64
+	RetentionDeleted uint64
+	Tiers            []TierStat
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Observed:         e.observed.Load(),
+		Late:             e.late.Load(),
+		Skipped:          e.skipped.Load(),
+		WindowsSealed:    e.sealedN.Load(),
+		PointsWritten:    e.written.Load(),
+		QueryHits:        e.hits.Load(),
+		QueryFallbacks:   e.fallbacks.Load(),
+		RetentionDeleted: e.retained.Load(),
+	}
+	for i := range e.tiers {
+		st.Tiers = append(st.Tiers, TierStat{
+			Name: e.tiers[i].name, Resolution: e.tiers[i].res, Retention: e.tiers[i].retention,
+		})
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.series {
+			for ti := range s.tiers {
+				st.Tiers[ti].OpenWindows += len(s.tiers[ti].open)
+				if lag := s.watermark - s.tiers[ti].sealedUntil; lag > st.Tiers[ti].LagMS {
+					st.Tiers[ti].LagMS = lag
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// EmitMetrics appends the engine's metrics in the gateway's /metrics
+// line format — the hook ctt-server registers via AddMetricsSource.
+func (e *Engine) EmitMetrics(emit func(name string, v any)) {
+	st := e.Stats()
+	emit("ctt_rollup_points_observed_total", st.Observed)
+	emit("ctt_rollup_late_dropped_total", st.Late)
+	emit("ctt_rollup_skipped_total", st.Skipped)
+	emit("ctt_rollup_windows_sealed_total", st.WindowsSealed)
+	emit("ctt_rollup_points_written_total", st.PointsWritten)
+	emit("ctt_rollup_query_hits_total", st.QueryHits)
+	emit("ctt_rollup_query_fallbacks_total", st.QueryFallbacks)
+	emit("ctt_rollup_retention_deleted_total", st.RetentionDeleted)
+	for _, t := range st.Tiers {
+		emit(fmt.Sprintf("ctt_rollup_open_windows{tier=%q}", t.Name), t.OpenWindows)
+		emit(fmt.Sprintf("ctt_rollup_lag_ms{tier=%q}", t.Name), t.LagMS)
+	}
+}

@@ -1,0 +1,451 @@
+package rollup
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+var t0 = time.Date(2017, time.March, 1, 10, 0, 0, 0, time.UTC)
+
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// genPoints produces a jittered ~cadence stream over span with
+// out-of-order arrivals: points are shuffled within sliding groups,
+// so a later-timestamped point regularly arrives before an earlier
+// one inside the same (unsealed) window.
+func genPoints(rng *rand.Rand, metric string, tags map[string]string, span, cadence time.Duration) []tsdb.DataPoint {
+	var pts []tsdb.DataPoint
+	v := 400.0
+	for off := time.Duration(0); off < span; off += cadence {
+		jitter := time.Duration(rng.Intn(int(cadence / 2)))
+		v += rng.Float64()*4 - 2
+		pts = append(pts, tsdb.DataPoint{
+			Metric: metric, Tags: tags,
+			Point: tsdb.Point{Timestamp: t0.Add(off + jitter).UnixMilli(), Value: v},
+		})
+	}
+	// Shuffle within disjoint groups: arrivals are out of order by up
+	// to a few minutes — inside the engine's grace allowance, so no
+	// point is dropped as late.
+	for i := 0; i+6 <= len(pts); i += 6 {
+		g := pts[i : i+6]
+		rng.Shuffle(len(g), func(a, b int) { g[a], g[b] = g[b], g[a] })
+	}
+	return pts
+}
+
+// TestWindowMatchesRawReaggregation is the property test of the
+// ISSUE: every sealed rollup window must equal re-aggregating the raw
+// points it covers, for every stored statistic, including points that
+// arrived out of order inside the unsealed window.
+func TestWindowMatchesRawReaggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(db, Config{
+		Tiers:      []Tier{{Resolution: time.Minute}, {Resolution: time.Hour}},
+		Grace:      10 * time.Minute,
+		FlushEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tags := map[string]string{"sensor": "s1", "city": "trondheim"}
+	pts := genPoints(rng, "air.co2", tags, 3*time.Hour, 20*time.Second)
+	for _, dp := range pts {
+		if err := db.Put(dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if late := eng.Stats().Late; late != 0 {
+		t.Fatalf("grace window too small for shuffled arrivals: %d late drops", late)
+	}
+	eng.FlushAll()
+
+	for _, res := range []time.Duration{time.Minute, time.Hour} {
+		resMS := res.Milliseconds()
+		// Re-aggregate raw input per window.
+		expect := map[int64][]float64{}
+		for _, dp := range pts {
+			w := dp.Timestamp - dp.Timestamp%resMS
+			expect[w] = append(expect[w], dp.Value)
+		}
+		derived := MetricPrefix + formatRes(res) + ".air.co2"
+		for _, s := range windowStats {
+			st := map[string]string{"sensor": "s1", "city": "trondheim", StatTag: s.name}
+			got, err := db.SeriesWindowExact(derived, st, 0, math.MaxInt64/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(expect) {
+				t.Fatalf("%s %s: %d windows stored, want %d", res, s.name, len(got), len(expect))
+			}
+			for _, p := range got {
+				vals, ok := expect[p.Timestamp]
+				if !ok {
+					t.Fatalf("%s %s: unexpected window at %d", res, s.name, p.Timestamp)
+				}
+				if want := s.agg.Apply(vals); !approxEq(p.Value, want) {
+					t.Fatalf("%s %s window %d: got %v, want %v", res, s.name, p.Timestamp, p.Value, want)
+				}
+			}
+		}
+	}
+}
+
+// buildPair writes identical multi-series data into a plain store and
+// a rollup-backed one.
+func buildPair(t *testing.T, grace time.Duration) (*tsdb.DB, *tsdb.DB, *Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	raw, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolled, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(rolled, Config{
+		Tiers:      []Tier{{Resolution: time.Minute}, {Resolution: time.Hour}},
+		Grace:      grace,
+		FlushEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close(); raw.Close(); rolled.Close() })
+	for i := 0; i < 3; i++ {
+		tags := map[string]string{"sensor": fmt.Sprintf("s%d", i+1), "city": "vejle"}
+		for _, dp := range genPoints(rng, "air.no2", tags, 4*time.Hour, 30*time.Second) {
+			if err := raw.Put(dp); err != nil {
+				t.Fatal(err)
+			}
+			if err := rolled.Put(dp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if late := eng.Stats().Late; late != 0 {
+		t.Fatalf("test data exceeded the grace window: %d late drops", late)
+	}
+	return raw, rolled, eng
+}
+
+func sameResults(t *testing.T, label string, a, b []tsdb.ResultSeries) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d series vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Fatalf("%s series %d: %d points vs %d", label, i, len(a[i].Points), len(b[i].Points))
+		}
+		for j := range a[i].Points {
+			pa, pb := a[i].Points[j], b[i].Points[j]
+			if pa.Timestamp != pb.Timestamp || !approxEq(pa.Value, pb.Value) {
+				t.Fatalf("%s series %d point %d: (%d,%v) vs (%d,%v)",
+					label, i, j, pa.Timestamp, pa.Value, pb.Timestamp, pb.Value)
+			}
+		}
+	}
+}
+
+// TestExecuteParity: with every window sealed, rollup-served queries
+// must be bucket-for-bucket identical to raw scans, across
+// aggregators, intervals, partial edge buckets and group-bys.
+func TestExecuteParity(t *testing.T) {
+	raw, rolled, eng := buildPair(t, 10*time.Minute)
+	eng.FlushAll()
+
+	// Mid-bucket start and an end beyond the data exercise the raw
+	// head/tail edges around the tier-served middle.
+	start := t0.Add(90 * time.Second).UnixMilli()
+	end := t0.Add(5 * time.Hour).UnixMilli()
+	for _, fn := range []tsdb.Aggregator{tsdb.AggAvg, tsdb.AggSum, tsdb.AggMin, tsdb.AggMax, tsdb.AggCount, tsdb.AggP50, tsdb.AggP95, tsdb.AggP99, tsdb.AggDev} {
+		for _, iv := range []time.Duration{time.Minute, 5 * time.Minute, time.Hour} {
+			for _, tags := range []map[string]string{{"sensor": "*"}, nil} {
+				q := tsdb.Query{
+					Metric: "air.no2", Tags: tags, Start: start, End: end,
+					Aggregator: tsdb.AggAvg, Downsample: iv, DownsampleFn: fn,
+				}
+				want, err := raw.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rolled.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("fn=%s iv=%s tags=%v", fn, iv, tags), got, want)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.QueryHits == 0 {
+		t.Fatal("no query was served from rollup tiers")
+	}
+	// Percentiles at non-native intervals must have fallen back.
+	if st.QueryFallbacks == 0 {
+		t.Fatal("expected raw fallbacks for non-composable aggregators")
+	}
+}
+
+// TestUnsealedTailFallback: before any window seals nothing can be
+// served from tiers, and results still match a raw scan exactly.
+func TestUnsealedTailFallback(t *testing.T) {
+	raw, rolled, eng := buildPair(t, 24*time.Hour) // grace holds all windows open
+	q := tsdb.Query{
+		Metric: "air.no2", Tags: map[string]string{"sensor": "*"},
+		Start: t0.UnixMilli(), End: t0.Add(4 * time.Hour).UnixMilli(),
+		Aggregator: tsdb.AggAvg, Downsample: time.Minute,
+	}
+	want, err := raw.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rolled.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "unsealed", got, want)
+	st := eng.Stats()
+	if st.QueryHits != 0 {
+		t.Fatalf("served %d downsamples from tiers with every window unsealed", st.QueryHits)
+	}
+	if st.Tiers[0].OpenWindows == 0 {
+		t.Fatal("expected open windows")
+	}
+
+	eng.FlushAll()
+	got, err = rolled.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "sealed", got, want)
+	if eng.Stats().QueryHits == 0 {
+		t.Fatal("expected tier-served downsamples after FlushAll")
+	}
+}
+
+// TestTieredRetention: raw and each tier age out independently.
+func TestTieredRetention(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(db, Config{
+		Tiers: []Tier{
+			{Resolution: time.Minute, Retention: 2 * time.Hour},
+			{Resolution: time.Hour}, // keep forever
+		},
+		RawRetention: time.Hour,
+		FlushEvery:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tags := map[string]string{"sensor": "s1"}
+	for off := time.Duration(0); off < 6*time.Hour; off += time.Minute {
+		if err := db.Put(tsdb.DataPoint{
+			Metric: "air.co2", Tags: tags,
+			Point: tsdb.Point{Timestamp: t0.Add(off).UnixMilli(), Value: 400},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.FlushAll()
+	now := t0.Add(6 * time.Hour)
+	removed, err := eng.ApplyRetention(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("retention removed nothing")
+	}
+
+	countIn := func(metric string, tg map[string]string, from, to time.Time) int {
+		pts, err := db.SeriesWindowExact(metric, tg, from.UnixMilli(), to.UnixMilli()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(pts)
+	}
+	if n := countIn("air.co2", tags, t0, now.Add(-time.Hour)); n != 0 {
+		t.Fatalf("%d raw points survived raw retention", n)
+	}
+	if n := countIn("air.co2", tags, now.Add(-time.Hour), now); n == 0 {
+		t.Fatal("recent raw points were deleted")
+	}
+	mtags := map[string]string{"sensor": "s1", StatTag: "mean"}
+	if n := countIn("rollup.1m.air.co2", mtags, t0, now.Add(-2*time.Hour)); n != 0 {
+		t.Fatalf("%d 1m windows survived tier retention", n)
+	}
+	if n := countIn("rollup.1m.air.co2", mtags, now.Add(-2*time.Hour), now); n == 0 {
+		t.Fatal("recent 1m windows were deleted")
+	}
+	if n := countIn("rollup.1h.air.co2", mtags, t0, now); n == 0 {
+		t.Fatal("1h tier (infinite retention) lost windows")
+	}
+	if eng.Stats().RetentionDeleted == 0 {
+		t.Fatal("retention counter not incremented")
+	}
+}
+
+// TestLateArrivalDropped: with zero grace, a point behind the sealed
+// horizon is excluded from rollups (and counted) but stays raw.
+func TestLateArrivalDropped(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(db, Config{Tiers: []Tier{{Resolution: time.Minute}}, FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tags := map[string]string{"sensor": "s1"}
+	put := func(off time.Duration, v float64) {
+		t.Helper()
+		if err := db.Put(tsdb.DataPoint{
+			Metric: "air.co2", Tags: tags,
+			Point: tsdb.Point{Timestamp: t0.Add(off).UnixMilli(), Value: v},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(0, 400)
+	put(30*time.Second, 410)
+	put(70*time.Second, 420) // watermark passes 1m: first window seals
+	put(45*time.Second, 999) // late for the sealed window
+
+	st := eng.Stats()
+	if st.Late != 1 {
+		t.Fatalf("late = %d, want 1", st.Late)
+	}
+	got, err := db.SeriesWindowExact("rollup.1m.air.co2",
+		map[string]string{"sensor": "s1", StatTag: "count"}, t0.UnixMilli(), t0.UnixMilli())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value != 2 {
+		t.Fatalf("sealed window count = %v, want one point of value 2", got)
+	}
+	// The raw series still holds all four points.
+	raw, err := db.SeriesWindowExact("air.co2", tags, 0, math.MaxInt64/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4 {
+		t.Fatalf("raw points = %d, want 4", len(raw))
+	}
+}
+
+// TestServeSkipsDerivedAndReserved: direct queries over the derived
+// namespace and series carrying the reserved stat tag bypass rollups.
+func TestServeSkipsDerivedAndReserved(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(db, Config{Tiers: []Tier{{Resolution: time.Minute}}, FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := db.Put(tsdb.DataPoint{
+		Metric: "x", Tags: map[string]string{StatTag: "weird"},
+		Point: tsdb.Point{Timestamp: t0.UnixMilli(), Value: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Skipped != 1 || st.Observed != 0 {
+		t.Fatalf("skipped=%d observed=%d, want 1/0", st.Skipped, st.Observed)
+	}
+	if _, ok, _ := eng.ServeDownsample("rollup.1m.x", nil, 0, 1, time.Minute, tsdb.AggAvg); ok {
+		t.Fatal("served a downsample over the derived namespace")
+	}
+}
+
+// TestServeRespectsTierRetention: when a tier's retention has aged
+// out derived windows that raw points outlive, queries over the old
+// range must come from raw, not silently go empty.
+func TestServeRespectsTierRetention(t *testing.T) {
+	now := t0.Add(6 * time.Hour)
+	raw, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolled, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(rolled, Config{
+		Tiers:      []Tier{{Resolution: time.Minute, Retention: 2 * time.Hour}},
+		FlushEvery: -1,
+		Now:        func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close(); raw.Close(); rolled.Close() })
+
+	tags := map[string]string{"sensor": "s1"}
+	for off := time.Duration(0); off < 6*time.Hour; off += time.Minute {
+		dp := tsdb.DataPoint{
+			Metric: "air.co2", Tags: tags,
+			Point: tsdb.Point{Timestamp: t0.Add(off).UnixMilli(), Value: 400 + float64(off/time.Minute)},
+		}
+		if err := raw.Put(dp); err != nil {
+			t.Fatal(err)
+		}
+		if err := rolled.Put(dp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.FlushAll()
+	if _, err := eng.ApplyRetention(now); err != nil {
+		t.Fatal(err)
+	}
+
+	q := tsdb.Query{
+		Metric: "air.co2", Tags: map[string]string{"sensor": "s1"},
+		Start: t0.UnixMilli(), End: now.UnixMilli(),
+		Aggregator: tsdb.AggAvg, Downsample: time.Minute,
+	}
+	want, err := raw.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rolled.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "tier-retention", got, want)
+	if eng.Stats().QueryHits == 0 {
+		t.Fatal("recent range was not tier-served")
+	}
+}

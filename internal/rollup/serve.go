@@ -1,0 +1,225 @@
+package rollup
+
+// Query-side planner: the engine implements tsdb.RollupPlanner, so
+// Execute hands it every downsampled per-series read. The planner
+// picks the coarsest tier whose resolution divides the requested
+// interval and whose statistics can reproduce the requested
+// aggregator exactly, reads the derived stat series (no raw block
+// decode), and re-buckets them to the query interval. Three ranges
+// fall back to the raw scan so served buckets match a raw scan bucket
+// for bucket: the partial bucket at the range start, the partial
+// bucket at the range end, and everything at or after the series'
+// sealed horizon (the unsealed tail).
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// ServeDownsample implements tsdb.RollupPlanner.
+func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn tsdb.Aggregator) ([]tsdb.Point, bool, error) {
+	if strings.HasPrefix(metric, MetricPrefix) {
+		return nil, false, nil // direct reads of derived series stay raw
+	}
+	iMS := interval.Milliseconds()
+	if iMS <= 0 || start < 0 {
+		return nil, false, nil
+	}
+	ti := e.pickTier(iMS, fn)
+	if ti < 0 {
+		e.fallbacks.Add(1)
+		return nil, false, nil
+	}
+	sealedUntil, known := e.sealedHorizon(metric, tags, ti)
+	if !known {
+		e.fallbacks.Add(1)
+		return nil, false, nil
+	}
+
+	// bLo: first bucket boundary at or after start; buckets before it
+	// would cover pre-range points the query must exclude.
+	bLo := start
+	if rem := start % iMS; rem != 0 {
+		bLo += iMS - rem
+	}
+	// A tier with finite retention has nothing before its cutoff even
+	// when raw points are kept longer: clamp the tier-served range and
+	// let the head raw scan cover the older buckets.
+	if ret := e.tiers[ti].retention; ret > 0 {
+		if retLo := e.cfg.Now().UnixMilli() - ret.Milliseconds(); retLo > 0 {
+			if rem := retLo % iMS; rem != 0 {
+				retLo += iMS - rem // align up: partial buckets stay raw
+			}
+			if retLo > bLo {
+				bLo = retLo
+			}
+		}
+	}
+	// cut: first bucket boundary the tiers cannot fully cover —
+	// either because the bucket extends past the sealed horizon or
+	// past the requested end.
+	hcut := sealedUntil - sealedUntil%iMS
+	ecut := (end + 1) - (end+1)%iMS
+	cut := hcut
+	if ecut < cut {
+		cut = ecut
+	}
+	if cut <= bLo {
+		e.fallbacks.Add(1)
+		return nil, false, nil
+	}
+
+	var out []tsdb.Point
+	if bLo > start { // partial head bucket from raw
+		raw, err := e.db.SeriesWindowExact(metric, tags, start, bLo-1)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, tsdb.Downsample(raw, interval, fn)...)
+	}
+	mid, err := e.readTier(ti, metric, tags, fn, bLo, cut, iMS)
+	if err != nil {
+		return nil, false, err
+	}
+	out = append(out, mid...)
+	if cut <= end { // unsealed tail (and partial end bucket) from raw
+		raw, err := e.db.SeriesWindowExact(metric, tags, cut, end)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, tsdb.Downsample(raw, interval, fn)...)
+	}
+	e.hits.Add(1)
+	return out, true, nil
+}
+
+// pickTier returns the index of the coarsest tier that can serve a
+// downsample of interval iMS with aggregator fn exactly, or -1.
+func (e *Engine) pickTier(iMS int64, fn tsdb.Aggregator) int {
+	for i := len(e.tiers) - 1; i >= 0; i-- {
+		r := e.tiers[i].resMS
+		if r > iMS || iMS%r != 0 {
+			continue
+		}
+		switch fn {
+		case tsdb.AggSum, tsdb.AggCount, tsdb.AggMin, tsdb.AggMax, tsdb.AggAvg:
+			return i // composable across windows
+		case tsdb.AggP50, tsdb.AggP95, tsdb.AggP99:
+			// Percentiles don't compose; only an exact-resolution tier
+			// stores them directly.
+			if iMS == r {
+				return i
+			}
+		}
+		// AggDev and unknown aggregators: raw scan.
+	}
+	return -1
+}
+
+// sealedHorizon reads the series' sealed boundary for one tier.
+func (e *Engine) sealedHorizon(metric string, tags map[string]string, ti int) (int64, bool) {
+	key := tsdb.Series{Metric: metric, Tags: tags}.Key()
+	sh := &e.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.series[key]
+	if !ok {
+		return 0, false
+	}
+	return st.tiers[ti].sealedUntil, true
+}
+
+// readTier reads derived stat series over [bLo, cut) and re-buckets
+// them to the query interval.
+func (e *Engine) readTier(ti int, metric string, tags map[string]string, fn tsdb.Aggregator, bLo, cut, iMS int64) ([]tsdb.Point, error) {
+	spec := &e.tiers[ti]
+	derived := spec.metricPrefix + metric
+	read := func(stat string) ([]tsdb.Point, error) {
+		st := make(map[string]string, len(tags)+1)
+		for k, v := range tags {
+			st[k] = v
+		}
+		st[StatTag] = stat
+		return e.db.SeriesWindowExact(derived, st, bLo, cut-1)
+	}
+
+	exact := iMS == spec.resMS
+	switch fn {
+	case tsdb.AggAvg:
+		if exact {
+			return read("mean")
+		}
+		sums, err := read("sum")
+		if err != nil {
+			return nil, err
+		}
+		counts, err := read("count")
+		if err != nil {
+			return nil, err
+		}
+		return combineAvg(sums, counts, iMS), nil
+	case tsdb.AggSum:
+		pts, err := read("sum")
+		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }), err
+	case tsdb.AggCount:
+		pts, err := read("count")
+		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }), err
+	case tsdb.AggMin:
+		pts, err := read("min")
+		return rebucket(pts, iMS, math.Min), err
+	case tsdb.AggMax:
+		pts, err := read("max")
+		return rebucket(pts, iMS, math.Max), err
+	case tsdb.AggP50, tsdb.AggP95, tsdb.AggP99:
+		// exact by pickTier: each window is one query bucket already.
+		return read(string(fn))
+	}
+	return nil, nil
+}
+
+// rebucket folds window points into coarser buckets with op. With
+// iMS equal to the window resolution every bucket holds exactly one
+// point and the fold is the identity.
+func rebucket(pts []tsdb.Point, iMS int64, op func(a, b float64) float64) []tsdb.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]tsdb.Point, 0, len(pts))
+	cur := tsdb.Point{Timestamp: math.MinInt64}
+	for _, p := range pts {
+		b := p.Timestamp - p.Timestamp%iMS
+		if b != cur.Timestamp {
+			if cur.Timestamp != math.MinInt64 {
+				out = append(out, cur)
+			}
+			cur = tsdb.Point{Timestamp: b, Value: p.Value}
+			continue
+		}
+		cur.Value = op(cur.Value, p.Value)
+	}
+	out = append(out, cur)
+	return out
+}
+
+// combineAvg merges per-window sums and counts into per-bucket means.
+// The two series are written atomically per window, so they align;
+// buckets missing a count (or with a zero count) are skipped rather
+// than divided by zero.
+func combineAvg(sums, counts []tsdb.Point, iMS int64) []tsdb.Point {
+	s := rebucket(sums, iMS, func(a, b float64) float64 { return a + b })
+	c := rebucket(counts, iMS, func(a, b float64) float64 { return a + b })
+	cnt := make(map[int64]float64, len(c))
+	for _, p := range c {
+		cnt[p.Timestamp] = p.Value
+	}
+	out := make([]tsdb.Point, 0, len(s))
+	for _, p := range s {
+		if n := cnt[p.Timestamp]; n > 0 {
+			out = append(out, tsdb.Point{Timestamp: p.Timestamp, Value: p.Value / n})
+		}
+	}
+	return out
+}

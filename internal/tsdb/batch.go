@@ -79,23 +79,95 @@ func (db *DB) appendBatch(dps []DataPoint, validate bool) BatchResult {
 		}
 		sh.mu.Unlock()
 		res.Stored += len(stored)
-		if obs := db.observer.Load(); obs != nil {
+		if db.observers.Load() != nil {
 			for _, it := range stored {
-				(*obs)(dps[it.idx])
+				db.notifyObservers(dps[it.idx])
 			}
 		}
 	}
 	return res
 }
 
-// SetObserver installs a callback invoked (outside the shard locks)
-// for every point stored through Put, PutBatch or AppendBatch — the
-// hook the gateway's live stream hub subscribes to. Pass nil to
-// remove. WAL replay during Open does not trigger it.
-func (db *DB) SetObserver(fn func(DataPoint)) {
-	if fn == nil {
-		db.observer.Store(nil)
+// observerEntry wraps an observer callback so removal can compare
+// identities (func values are not comparable).
+type observerEntry struct {
+	fn func(DataPoint)
+}
+
+// notifyObservers fans a stored point out to every registered
+// observer. Called outside the shard locks, so observers may write
+// back into the store (the rollup engine flushes derived points from
+// inside its observer).
+func (db *DB) notifyObservers(dp DataPoint) {
+	obs := db.observers.Load()
+	if obs == nil {
 		return
 	}
-	db.observer.Store(&fn)
+	for _, e := range *obs {
+		e.fn(dp)
+	}
+}
+
+// AddObserver registers a callback invoked (outside the shard locks)
+// for every point stored through Put, PutBatch or AppendBatch — the
+// hook the gateway's live stream, the query-cache invalidator and the
+// rollup engine subscribe to. It returns a function that removes the
+// registration. WAL replay during Open does not trigger observers.
+func (db *DB) AddObserver(fn func(DataPoint)) (remove func()) {
+	e := &observerEntry{fn: fn}
+	db.obsMu.Lock()
+	db.addEntryLocked(e)
+	db.obsMu.Unlock()
+	return func() {
+		db.obsMu.Lock()
+		db.removeEntryLocked(e)
+		db.obsMu.Unlock()
+	}
+}
+
+func (db *DB) addEntryLocked(e *observerEntry) {
+	var cur []*observerEntry
+	if p := db.observers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*observerEntry, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, e)
+	db.observers.Store(&next)
+}
+
+func (db *DB) removeEntryLocked(e *observerEntry) {
+	p := db.observers.Load()
+	if p == nil {
+		return
+	}
+	next := make([]*observerEntry, 0, len(*p))
+	for _, o := range *p {
+		if o != e {
+			next = append(next, o)
+		}
+	}
+	if len(next) == 0 {
+		db.observers.Store(nil)
+		return
+	}
+	db.observers.Store(&next)
+}
+
+// SetObserver installs fn in a dedicated single-observer slot,
+// replacing whatever that slot held; nil clears it. Kept for callers
+// that only ever need one observer — AddObserver is the general form
+// and the two compose.
+func (db *DB) SetObserver(fn func(DataPoint)) {
+	db.obsMu.Lock()
+	defer db.obsMu.Unlock()
+	if db.legacyObs != nil {
+		db.legacyObs()
+		db.legacyObs = nil
+	}
+	if fn != nil {
+		e := &observerEntry{fn: fn}
+		db.addEntryLocked(e)
+		db.legacyObs = func() { db.removeEntryLocked(e) }
+	}
 }

@@ -95,6 +95,18 @@ const (
 	maxTS = 4102444800000
 )
 
+// NormalizeMillis interprets an epoch timestamp that may be in
+// seconds or milliseconds: positive values before the year 2100 in
+// seconds are taken as seconds and scaled to milliseconds. Every
+// network edge (HTTP put/query, telnet put) routes timestamps through
+// this one rule.
+func NormalizeMillis(n int64) int64 {
+	if n > 0 && n < maxTS/1000 {
+		return n * 1000
+	}
+	return n
+}
+
 // Validate checks a data point before storage.
 func (d *DataPoint) Validate() error {
 	if d.Metric == "" {

@@ -34,6 +34,17 @@ func (a Aggregator) Valid() bool {
 	return false
 }
 
+// Apply reduces a non-empty value slice with the aggregator — the
+// same reduction the query engine uses inside downsample buckets,
+// exported so the rollup engine computes window statistics that are
+// bit-compatible with a raw scan. Apply on an empty slice returns NaN.
+func (a Aggregator) Apply(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	return a.apply(vals)
+}
+
 // apply reduces a non-empty value slice.
 func (a Aggregator) apply(vals []float64) float64 {
 	switch a {
@@ -196,16 +207,9 @@ func (db *DB) Execute(q Query) ([]ResultSeries, error) {
 		members := groups[gk]
 		var seriesPts [][]Point
 		for _, m := range members {
-			pts, err := db.rawPoints(m.s, m.sh, q.Start, q.End)
+			pts, err := db.memberPoints(m, q)
 			if err != nil {
 				return nil, err
-			}
-			if q.Downsample > 0 {
-				fn := q.DownsampleFn
-				if fn == "" {
-					fn = q.Aggregator
-				}
-				pts = downsample(pts, q.Downsample, fn)
 			}
 			if len(pts) > 0 {
 				seriesPts = append(seriesPts, pts)
@@ -235,6 +239,62 @@ func (db *DB) Execute(q Query) ([]ResultSeries, error) {
 type matched struct {
 	s  *memSeries
 	sh *shard
+}
+
+// RollupPlanner serves a downsampled read of one series from
+// pre-aggregated rollup tiers. Implementations return ok=false when
+// the request cannot be satisfied from rollups (interval finer than
+// every tier, non-composable aggregator, unknown series, …), in which
+// case the query engine falls back to the raw block scan.
+type RollupPlanner interface {
+	ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator) (pts []Point, ok bool, err error)
+}
+
+// SetRollupPlanner installs (or, with nil, removes) the planner
+// consulted by Execute for every downsampled per-series read.
+func (db *DB) SetRollupPlanner(p RollupPlanner) {
+	if p == nil {
+		db.planner.Store(nil)
+		return
+	}
+	db.planner.Store(&p)
+}
+
+// memberPoints produces one member series' contribution to a query:
+// the rollup planner's pre-aggregated buckets when one is installed
+// and can serve the downsample, otherwise a raw scan (+ downsample).
+func (db *DB) memberPoints(m matched, q Query) ([]Point, error) {
+	fn := q.DownsampleFn
+	if fn == "" {
+		fn = q.Aggregator
+	}
+	if q.Downsample > 0 {
+		if pp := db.planner.Load(); pp != nil {
+			pts, ok, err := (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return pts, nil
+			}
+		}
+	}
+	pts, err := db.rawPoints(m.s, m.sh, q.Start, q.End)
+	if err != nil {
+		return nil, err
+	}
+	if q.Downsample > 0 {
+		pts = downsample(pts, q.Downsample, fn)
+	}
+	return pts, nil
+}
+
+// Downsample buckets points into fixed epoch-aligned intervals
+// reduced by fn — the exported form of the query engine's downsample
+// step, used by the rollup engine for raw edge windows so served and
+// scanned buckets agree exactly.
+func Downsample(pts []Point, interval time.Duration, fn Aggregator) []Point {
+	return downsample(pts, interval, fn)
 }
 
 func commonTags(first map[string]string, members []matched) map[string]string {

@@ -10,11 +10,22 @@ package tsdb
 // cutoffMS. Sealed blocks that straddle the cutoff are decoded and
 // re-sealed. It returns the number of points removed.
 func (db *DB) DeleteBefore(cutoffMS int64) (int, error) {
+	return db.DeleteBeforeWhere(cutoffMS, nil)
+}
+
+// DeleteBeforeWhere is DeleteBefore restricted to series accepted by
+// match (nil matches every series) — how the rollup engine applies a
+// different retention to each tier: raw series age out on one
+// schedule, each rollup.<res>.* namespace on its own.
+func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
 	removed := 0
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.Lock()
 		for key, s := range sh.series {
+			if match != nil && !match(s.metric, s.tags) {
+				continue
+			}
 			var blocks []sealedBlock
 			for _, b := range s.blocks {
 				switch {

@@ -11,10 +11,20 @@ import (
 // locks by series-key hash, keeps a mutable head buffer per series, and
 // seals full heads into Gorilla-compressed blocks.
 type DB struct {
-	shards   [numShards]shard
-	wal      *wal // nil when persistence is disabled
-	idx      suggestIndex
-	observer atomic.Pointer[func(DataPoint)]
+	shards [numShards]shard
+	wal    *wal // nil when persistence is disabled
+	idx    suggestIndex
+
+	// observers is a copy-on-write list so the write hot path can fan
+	// points out (live stream, rollup engine, cache invalidation)
+	// without taking a lock. obsMu serialises registration only.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]*observerEntry]
+	legacyObs func() // remove func for the SetObserver slot
+
+	// planner, when installed, serves downsampled per-series reads
+	// from pre-aggregated rollup tiers instead of raw block scans.
+	planner atomic.Pointer[RollupPlanner]
 }
 
 const (
@@ -102,9 +112,7 @@ func (db *DB) Put(dp DataPoint) error {
 		}
 	}
 	db.insert(dp)
-	if obs := db.observer.Load(); obs != nil {
-		(*obs)(dp)
-	}
+	db.notifyObservers(dp)
 	return nil
 }
 
@@ -258,6 +266,24 @@ func (db *DB) TagValues(metric, tagKey string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// SeriesWindowExact returns the raw points of the exact series
+// identified by (metric, tags) — no filter semantics, the tag set
+// must match the stored series key — within [start, end]. A missing
+// series yields a nil slice, not an error. This is the low-level read
+// the rollup engine uses to fetch derived stat series and raw edge
+// windows without paying Execute's matching and aggregation machinery.
+func (db *DB) SeriesWindowExact(metric string, tags map[string]string, start, end int64) ([]Point, error) {
+	key := seriesKey(metric, tags)
+	sh := &db.shards[shardFor(key)]
+	sh.mu.RLock()
+	s, ok := sh.series[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	return db.rawPoints(s, sh, start, end)
 }
 
 // rawPoints returns the series' points within [start, end], merging
