@@ -108,6 +108,11 @@ func BenchmarkGatewayQuery(b *testing.B) {
 	b.Run("ColdNetworkMean", func(b *testing.B) {
 		run(b, api.Config{CacheSize: -1}, "/api/query?start=1d-ago&m=avg:air.no2")
 	})
+	// Server-side selection on the streamed path: only the 5 highest-
+	// mean sensors are serialized, however many the pilot deployed.
+	b.Run("ColdTopK", func(b *testing.B) {
+		run(b, api.Config{CacheSize: -1}, "/api/query?start=3d-ago&m=topk(5,avg:1h-avg:air.co2{sensor=*})")
+	})
 }
 
 // BenchmarkGatewayQueryRollup compares a long-window downsampled

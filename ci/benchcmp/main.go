@@ -1,0 +1,232 @@
+// Command benchcmp converts `go test -bench` output into a JSON
+// report (the BENCH_gateway.json artifact CI uploads) and, given a
+// committed baseline, fails when any benchmark's median ns/op
+// regresses past a threshold — the bench-regression gate in
+// .github/workflows/ci.yml.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Gateway -benchtime 10x -count 5 . | tee bench.txt
+//	go run ./ci/benchcmp -input bench.txt -out BENCH_gateway.json \
+//	    -baseline ci/bench_baseline.json -threshold 0.30
+//
+// Omit -baseline to only convert. The median across -count runs is
+// compared, so a single noisy run cannot fail the gate on its own;
+// benchmarks present on only one side are reported but never fail
+// the build. To refresh the committed baseline after an intentional
+// perf change, rerun the two commands above and copy the new report:
+//
+//	cp BENCH_gateway.json ci/bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// report is the JSON shape of both the artifact and the baseline.
+type report struct {
+	Note       string                `json:"note,omitempty"`
+	GOOS       string                `json:"goos,omitempty"`
+	GOARCH     string                `json:"goarch,omitempty"`
+	CPU        string                `json:"cpu,omitempty"`
+	Benchmarks map[string]*benchStat `json:"benchmarks"`
+}
+
+type benchStat struct {
+	// NsPerOp is the median across runs; Samples keeps every run so a
+	// human reading the artifact can judge the spread.
+	NsPerOp float64   `json:"ns_per_op"`
+	Samples []float64 `json:"samples"`
+	// Extra carries custom units (points/s, uplinks/s), median only.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchLine matches one result line:
+// BenchmarkName/Sub-8  100  123456 ns/op  789 B/op  1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// gomaxprocsSuffix strips the trailing -N so baselines survive a
+// different runner core count.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	input := flag.String("input", "", "go test -bench output to parse (required)")
+	out := flag.String("out", "", "write the JSON report here (required)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against (optional)")
+	threshold := flag.Float64("threshold", 0.30, "fail when median ns/op regresses by more than this fraction")
+	flag.Parse()
+	if *input == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := parseBench(*input)
+	if err != nil {
+		fatalf("parse %s: %v", *input, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmark results found in %s", *input)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatalf("read baseline %s: %v", *baseline, err)
+	}
+	if compare(base, rep, *threshold) {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func readReport(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// parseBench reads raw `go test -bench` output: header lines (goos,
+// goarch, cpu) plus one line per run; -count>1 repeats names.
+func parseBench(path string) (*report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	rep := &report{Benchmarks: map[string]*benchStat{}}
+	extras := map[string]map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		st := rep.Benchmarks[name]
+		if st == nil {
+			st = &benchStat{}
+			rep.Benchmarks[name] = st
+			extras[name] = map[string][]float64{}
+		}
+		// Remaining fields come in value/unit pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				st.Samples = append(st.Samples, v)
+			} else {
+				extras[name][fields[i+1]] = append(extras[name][fields[i+1]], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, st := range rep.Benchmarks {
+		st.NsPerOp = median(st.Samples)
+		for unit, vals := range extras[name] {
+			if st.Extra == nil {
+				st.Extra = map[string]float64{}
+			}
+			st.Extra[unit] = median(vals)
+		}
+	}
+	return rep, nil
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare prints a benchstat-style table and reports whether any
+// benchmark regressed past the threshold.
+func compare(base, cur *report, threshold float64) (failed bool) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Printf("%-55s %14s %14.0f %8s\n", name, "(new)", c.NsPerOp, "-")
+			continue
+		}
+		delta := c.NsPerOp/b.NsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta*100, mark)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Printf("%-55s missing from current run\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed more than %.0f%% vs the committed baseline.\n", threshold*100)
+		fmt.Println("If the slowdown is intentional, refresh ci/bench_baseline.json (see ci/benchcmp).")
+	} else {
+		fmt.Printf("\nOK: no benchmark regressed more than %.0f%%.\n", threshold*100)
+	}
+	return failed
+}

@@ -56,6 +56,8 @@ var (
 	queueSize = flag.Int("queue", 4096, "ingest queue capacity (points)")
 	workers   = flag.Int("workers", 4, "ingest worker goroutines")
 	rateLimit = flag.Float64("rate-limit", 0, "per-client ingest limit in points/sec (0 = off)")
+	apiKey    = flag.String("api-key", "",
+		`require this key on every data request: X-API-Key header over HTTP, "auth <key>" line over telnet ("" = open)`)
 
 	telnetAddr = flag.String("telnet", "127.0.0.1:4243",
 		`line-protocol (telnet "put") listener address ("" = disabled)`)
@@ -146,6 +148,7 @@ func main() {
 		QueueSize: *queueSize,
 		Workers:   *workers,
 		RateLimit: *rateLimit,
+		APIKey:    *apiKey,
 		Now:       sys.Now,
 	})
 	defer gw.Close()
@@ -156,7 +159,7 @@ func main() {
 	// Telnet-style line-protocol ingest feeding the gateway's bounded
 	// queue — same backpressure as HTTP.
 	if *telnetAddr != "" {
-		lp := lineproto.New(gw, lineproto.Config{})
+		lp := lineproto.New(gw, lineproto.Config{APIKey: *apiKey})
 		lpAddr, err := lp.Start(*telnetAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -176,6 +179,9 @@ func main() {
 		{Name: "co2", Title: "Air quality — CO2 by sensor", Metric: core.MetricCO2,
 			Tags: map[string]string{"sensor": "*"}, Agg: tsdb.AggAvg,
 			Downsample: time.Hour, Window: window, YLabel: "ppm"},
+		{Name: "co2top", Title: "Air quality — top 5 CO2 hotspots", Metric: core.MetricCO2,
+			Tags: map[string]string{"sensor": "*"}, Agg: tsdb.AggAvg,
+			Downsample: time.Hour, Window: window, YLabel: "ppm", TopK: 5},
 		{Name: "no2", Title: "Air quality — NO2 network mean", Metric: core.MetricNO2,
 			Agg: tsdb.AggAvg, Downsample: time.Hour, Window: window, YLabel: "µg/m³"},
 		{Name: "traffic", Title: "Traffic — city jam factor", Metric: "traffic.jamfactor",

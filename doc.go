@@ -15,14 +15,27 @@
 // HTTP gateway over the internal/tsdb store with batched writes,
 // backpressure, per-client rate limiting, gzip request/response
 // bodies, a cached query engine with write invalidation, suggest
-// indexes, and a server-sent-event live stream. internal/lineproto
-// adds the OpenTSDB telnet line protocol (put <metric> <ts> <value>
-// tag=v) as a second ingest edge feeding the same bounded queue.
-// internal/rollup continuously aggregates every write into tiered
-// windows (raw → 1m → 1h, per-tier retention) and serves coarse
-// downsampled queries from those tiers instead of raw block scans.
-// cmd/ctt-server runs the simulated pilot as a live feed behind that
-// gateway together with the internal/dashboard SVG dashboards — the
-// closest analogue of the paper's deployed CTT cloud. See README.md
-// for a quickstart and an architecture sketch.
+// indexes, and a server-sent-event live stream with a backfill
+// catch-up window. Query execution is streaming end to end:
+// internal/tsdb yields result series one at a time (ExecuteStream,
+// with the internal/rollup tier planner feeding per-bucket points into
+// the same iterator), and /api/query encodes them incrementally — a
+// chunked JSON array, or NDJSON under Accept: application/x-ndjson,
+// gzip composing on top — so wide queries stream instead of buffering
+// the whole response. m=topk(K,...) / m=bottomk(K,...) select the K
+// highest/lowest-mean series on a bounded heap before anything is
+// serialized. An optional shared API key (X-API-Key over HTTP, a
+// one-line auth command over telnet) gates the data endpoints.
+// internal/lineproto adds the OpenTSDB telnet line protocol
+// (put <metric> <ts> <value> tag=v) as a second ingest edge feeding
+// the same bounded queue. internal/rollup continuously aggregates
+// every write into tiered windows (raw → 1m → 1h, per-tier retention)
+// and serves coarse downsampled queries from those tiers instead of
+// raw block scans. cmd/ctt-server runs the simulated pilot as a live
+// feed behind that gateway together with the internal/dashboard SVG
+// dashboards — the closest analogue of the paper's deployed CTT
+// cloud. CI enforces a bench-regression gate: the gateway benchmarks'
+// medians are compared against ci/bench_baseline.json (see
+// ci/benchcmp) and a >30% slowdown fails the build. See README.md for
+// a quickstart and an architecture sketch.
 package repro

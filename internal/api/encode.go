@@ -1,0 +1,207 @@
+package api
+
+// Streaming result encoding for /api/query: result series are written
+// to the client one at a time as the store yields them — chunked JSON
+// array by default, NDJSON (one series object per line) when the
+// client sends Accept: application/x-ndjson — with gzip composing on
+// top for clients that advertise it. The response is flushed after
+// every series, so the first bytes reach the client while the scan is
+// still running and no full result body is ever resident. While
+// streaming, the plain encoded bytes are teed into a bounded buffer;
+// a stream that completes under the cache's entry cap is inserted
+// into the query cache, so the next aligned poll is a plain cached
+// write.
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Media types the query path serves.
+const (
+	ctJSON   = "application/json"
+	ctNDJSON = "application/x-ndjson"
+)
+
+// wantsNDJSON reports whether the request explicitly asks for NDJSON
+// framing. Only the exact media type opts in — a wildcard Accept
+// (every browser and curl default) keeps the JSON array shape.
+func wantsNDJSON(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) != ctNDJSON {
+			continue
+		}
+		if hasQ {
+			if v := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(q), "q=")); v == "0" || v == "0.0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// streamEncoder writes query results incrementally. It is not safe
+// for concurrent use; one request owns one encoder.
+type streamEncoder struct {
+	http  http.ResponseWriter
+	flush http.Flusher // nil when the writer cannot flush
+	gzip  *gzip.Writer // nil for identity responses
+	tee   *cappedBuffer
+	json  *json.Encoder
+
+	ndjson  bool
+	started bool // response headers + array opener written
+	n       int  // series written so far
+}
+
+// newStreamEncoder builds an encoder for one request. Headers are not
+// written until the first series (or finish), so callers can still
+// answer 4xx for errors caught before any data is produced.
+func newStreamEncoder(w http.ResponseWriter, r *http.Request, cacheStatus string) *streamEncoder {
+	e := &streamEncoder{http: w, ndjson: wantsNDJSON(r), tee: &cappedBuffer{cap: maxCacheBody}}
+	ct := ctJSON
+	if e.ndjson {
+		ct = ctNDJSON
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("X-Cache", cacheStatus)
+	w.Header().Set("Vary", "Accept-Encoding, Accept")
+	if f, ok := w.(http.Flusher); ok {
+		e.flush = f
+	}
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		e.gzip = gzip.NewWriter(w)
+	}
+	return e
+}
+
+// write sends bytes to the client and the cache tee.
+func (e *streamEncoder) write(p []byte) error {
+	e.tee.Write(p)
+	var err error
+	if e.gzip != nil {
+		_, err = e.gzip.Write(p)
+	} else {
+		_, err = e.http.Write(p)
+	}
+	return err
+}
+
+// begin writes the response preamble. JSON array framing opens the
+// array; NDJSON has no preamble.
+func (e *streamEncoder) begin() error {
+	if e.started {
+		return nil
+	}
+	e.started = true
+	if !e.ndjson {
+		return e.write([]byte{'['})
+	}
+	return nil
+}
+
+// series encodes one result series and flushes it to the client.
+func (e *streamEncoder) series(qr queryResult) error {
+	if err := e.begin(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(qr)
+	if err != nil {
+		return err
+	}
+	if e.ndjson {
+		body = append(body, '\n')
+	} else if e.n > 0 {
+		if err := e.write([]byte{','}); err != nil {
+			return err
+		}
+	}
+	if err := e.write(body); err != nil {
+		return err
+	}
+	e.n++
+	e.flushNow()
+	return nil
+}
+
+// flushNow pushes buffered bytes to the wire so the client sees the
+// series before the scan finishes.
+func (e *streamEncoder) flushNow() {
+	if e.gzip != nil {
+		e.gzip.Flush()
+	}
+	if e.flush != nil {
+		e.flush.Flush()
+	}
+}
+
+// finish completes the stream. A non-nil streamErr means the store
+// failed mid-scan: by then a 200 and partial data may already be on
+// the wire, so the encoder appends an explicit truncation marker —
+// a final {"error": ...} element (JSON array) or line (NDJSON) —
+// instead of ending cleanly, and the result is not cacheable. It
+// returns the plain encoded body and whether it may be cached.
+func (e *streamEncoder) finish(streamErr error) (body []byte, cacheable bool) {
+	e.begin()
+	if streamErr != nil {
+		marker, _ := json.Marshal(map[string]any{
+			"error": map[string]any{
+				"code":    http.StatusInternalServerError,
+				"message": fmt.Sprintf("result truncated: %v", streamErr),
+			},
+		})
+		if e.ndjson {
+			marker = append(marker, '\n')
+		} else if e.n > 0 {
+			e.write([]byte{','})
+		}
+		e.write(marker)
+	}
+	if !e.ndjson {
+		e.write([]byte{']'})
+	}
+	if e.gzip != nil {
+		e.gzip.Close()
+	}
+	e.flushNow()
+	return e.tee.Bytes(), streamErr == nil && !e.tee.overflowed
+}
+
+// abort cancels a stream no byte of which has been written, clearing
+// the streaming headers so the caller can still send a plain error
+// response. Must not be called after the first series.
+func (e *streamEncoder) abort() {
+	h := e.http.Header()
+	h.Del("Content-Encoding")
+	h.Del("X-Cache")
+	h.Del("Content-Type")
+}
+
+// cappedBuffer accumulates writes up to cap bytes; one byte more and
+// it discards everything and stops buffering — the stream stays
+// cheap, the entry just isn't cached.
+type cappedBuffer struct {
+	cap        int
+	buf        []byte
+	overflowed bool
+}
+
+func (b *cappedBuffer) Write(p []byte) (int, error) {
+	if !b.overflowed {
+		if len(b.buf)+len(p) > b.cap {
+			b.overflowed = true
+			b.buf = nil
+		} else {
+			b.buf = append(b.buf, p...)
+		}
+	}
+	return len(p), nil
+}
+
+func (b *cappedBuffer) Bytes() []byte { return b.buf }

@@ -19,6 +19,7 @@
 package api
 
 import (
+	"crypto/subtle"
 	"fmt"
 	"math"
 	"net"
@@ -57,6 +58,11 @@ type Config struct {
 	StreamBuffer int
 	// Heartbeat is the SSE keep-alive comment interval. Default 15s.
 	Heartbeat time.Duration
+	// APIKey, when non-empty, requires every data request (/api/put,
+	// /api/query, /api/suggest, /api/stream) to carry the key in an
+	// X-API-Key header; mismatches are 401s, counted on /metrics.
+	// Ops endpoints (/metrics, /healthz) stay open.
+	APIKey string
 	// Now injects a clock for relative time parsing and cache
 	// alignment (simulated pilots run on simulated time). Default
 	// time.Now.
@@ -111,6 +117,11 @@ type Gateway struct {
 	cache   *queryCache
 	hub     *streamHub
 
+	// exec streams query results from the store. It defaults to
+	// db.ExecuteStream; tests substitute it to exercise mid-stream
+	// failures and flushing without corrupting a real store.
+	exec func(q tsdb.Query, yield func(tsdb.ResultSeries) error) error
+
 	// removeObservers detaches the gateway's store observers (live
 	// stream fan-out, cache invalidation) on Close.
 	removeObservers []func()
@@ -129,6 +140,7 @@ type Gateway struct {
 	putReqs     atomic.Uint64
 	queryReqs   atomic.Uint64
 	queryErrs   atomic.Uint64
+	authFails   atomic.Uint64 // requests refused: missing/wrong API key
 
 	rate ewmaRate
 
@@ -156,6 +168,7 @@ func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		cache:   newQueryCache(cfg.CacheSize),
 		hub:     newStreamHub(cfg.StreamBuffer),
+		exec:    db.ExecuteStream,
 	}
 	// Every stored point — whether it arrived over HTTP, telnet, or
 	// from an in-process writer like the simulated pilot — feeds the
@@ -186,15 +199,47 @@ func (g *Gateway) startWorkers() {
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/put", g.handlePut)
-	mux.HandleFunc("/api/query", g.handleQuery)
-	mux.HandleFunc("/api/suggest", g.handleSuggest)
-	mux.HandleFunc("/api/stream", g.handleStream)
+	mux.HandleFunc("/api/put", g.requireKey(g.handlePut))
+	mux.HandleFunc("/api/query", g.requireKey(g.handleQuery))
+	mux.HandleFunc("/api/suggest", g.requireKey(g.handleSuggest))
+	mux.HandleFunc("/api/stream", g.requireKey(g.handleStream))
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok"))
 	})
 	return mux
+}
+
+// requireKey gates a data endpoint behind Config.APIKey. With no key
+// configured it is a pass-through.
+func (g *Gateway) requireKey(h http.HandlerFunc) http.HandlerFunc {
+	if g.cfg.APIKey == "" {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !g.CheckAPIKey(r.Header.Get("X-API-Key")) {
+			g.authFails.Add(1)
+			httpError(w, http.StatusUnauthorized, "missing or invalid X-API-Key")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// RequiresAPIKey reports whether the gateway demands a key on data
+// requests. The telnet listener (internal/lineproto) consults it, so
+// configuring the gateway's key once protects both ingest edges.
+func (g *Gateway) RequiresAPIKey() bool { return g.cfg.APIKey != "" }
+
+// CheckAPIKey reports whether key matches the configured API key, in
+// constant time. With no key configured every caller is authorized.
+// Together with RequiresAPIKey this is the one auth policy shared
+// with the telnet listener.
+func (g *Gateway) CheckAPIKey(key string) bool {
+	if g.cfg.APIKey == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(key), []byte(g.cfg.APIKey)) == 1
 }
 
 // Start serves on addr until Close.
@@ -289,6 +334,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("ctt_put_requests_total", g.putReqs.Load())
 	emit("ctt_query_requests_total", g.queryReqs.Load())
 	emit("ctt_query_errors_total", g.queryErrs.Load())
+	emit("ctt_auth_failures_total", g.authFails.Load())
 	hits, misses, invalidated := g.cache.stats()
 	emit("ctt_query_cache_hits_total", hits)
 	emit("ctt_query_cache_misses_total", misses)

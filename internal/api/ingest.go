@@ -303,10 +303,21 @@ func retryAfterSeconds(d time.Duration) string {
 
 // --- small HTTP helpers shared across handlers -------------------------
 
+// errorBody is the structured error envelope every non-2xx JSON
+// response uses, OpenTSDB-style: {"error":{"code":400,"message":...}}.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

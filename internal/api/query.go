@@ -1,10 +1,16 @@
 package api
 
 // Query path: GET /api/query with OpenTSDB metric specs
-// (m=avg:1h-avg:rate:air.co2{sensor=*}) or POST with a JSON request
-// body. Results are served from an LRU cache keyed on the canonical
-// query and the time range aligned to Config.CacheAlign — repeated
-// dashboard polls within one alignment bucket cost one store read.
+// (m=avg:1h-avg:rate:air.co2{sensor=*}, optionally wrapped in
+// topk(5,...) / bottomk(5,...) server-side selection) or POST with a
+// JSON request body. Requests are validated up front (a malformed
+// query is a 400 with a structured error body, never a partial 200);
+// results then stream to the client series by series — chunked JSON
+// array or NDJSON — through internal/api/encode.go, and completed
+// streams land in an LRU cache keyed on the canonical query (including
+// K and the response framing) and the time range aligned to
+// Config.CacheAlign, so repeated dashboard polls within one alignment
+// bucket cost one store read.
 
 import (
 	"compress/gzip"
@@ -27,6 +33,11 @@ type subQuery struct {
 	Tags       map[string]string `json:"tags"`
 	Downsample string            `json:"downsample"` // "1h-avg"
 	Rate       bool              `json:"rate"`
+	// TopK/BottomK, when >0, keep only the K series ranking highest or
+	// lowest by the mean of their result points (at most one of the
+	// two). GET form: m=topk(5,sum:air.co2{sensor=*}).
+	TopK    int `json:"topk"`
+	BottomK int `json:"bottomk"`
 }
 
 // queryRequest is the POST /api/query body.
@@ -66,60 +77,92 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := g.cacheKey(start, end, subs)
+	// Convert and validate every sub-query before the first response
+	// byte: once streaming starts the status is committed, so anything
+	// malformed — unknown aggregator, bad downsample, inverted range —
+	// must 400 here, never 200 with a broken or empty stream.
+	queries := make([]tsdb.Query, len(subs))
+	for i, sq := range subs {
+		q, err := sq.toTSDB(start, end)
+		if err == nil {
+			err = q.Validate()
+		}
+		if err != nil {
+			g.queryErrs.Add(1)
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		queries[i] = q
+	}
+
+	ndjson := wantsNDJSON(r)
+	key := g.cacheKey(start, end, subs, ndjson)
 	if body, ok := g.cache.get(key); ok {
-		writeQueryBody(w, r, body, "hit")
+		writeQueryBody(w, r, body, "hit", ndjson)
 		return
 	}
 
-	var out []queryResult
-	for _, sq := range subs {
-		q, err := sq.toTSDB(start, end)
-		if err != nil {
-			g.queryErrs.Add(1)
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		res, err := g.db.Execute(q)
-		if err != nil {
-			g.queryErrs.Add(1)
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		for _, rs := range res {
-			qr := queryResult{Metric: rs.Metric, Tags: rs.Tags, DPS: make(map[string]float64, len(rs.Points))}
-			if qr.Tags == nil {
-				qr.Tags = map[string]string{}
-			}
-			for _, p := range rs.Points {
-				qr.DPS[strconv.FormatInt(p.Timestamp, 10)] = p.Value
-			}
-			out = append(out, qr)
+	// Cache miss: stream series to the client as the store yields
+	// them. The encoder flushes after every series, tees the plain
+	// bytes for the cache, and — if the store fails mid-scan, after a
+	// 200 is already on the wire — ends the stream with an explicit
+	// truncation marker instead of a silently short result.
+	enc := newStreamEncoder(w, r, "miss")
+	var streamErr error
+	for _, q := range queries {
+		if streamErr = g.exec(q, func(rs tsdb.ResultSeries) error {
+			return enc.series(toQueryResult(rs))
+		}); streamErr != nil {
+			break
 		}
 	}
-	if out == nil {
-		out = []queryResult{}
-	}
-	body, err := json.Marshal(out)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+	if streamErr != nil {
+		g.queryErrs.Add(1)
+		if !enc.started {
+			// Nothing on the wire yet: a clean error status is still
+			// possible.
+			enc.abort()
+			httpError(w, http.StatusInternalServerError, "%v", streamErr)
+			return
+		}
+		enc.finish(streamErr)
 		return
 	}
-	metrics := make([]string, 0, len(subs))
-	for _, sq := range subs {
-		metrics = append(metrics, sq.Metric)
+	body, cacheable := enc.finish(nil)
+	if cacheable {
+		metrics := make([]string, 0, len(subs))
+		for _, sq := range subs {
+			metrics = append(metrics, sq.Metric)
+		}
+		g.cache.put(key, body, start, end, metrics)
 	}
-	g.cache.put(key, body, start, end, metrics)
-	writeQueryBody(w, r, body, "miss")
 }
 
-// writeQueryBody sends a marshaled query result, gzip-compressed when
-// the client advertises support (cached bodies are stored plain and
-// compressed per response, so one entry serves both kinds of client).
-func writeQueryBody(w http.ResponseWriter, r *http.Request, body []byte, cacheStatus string) {
-	w.Header().Set("Content-Type", "application/json")
+// toQueryResult converts a store result series to the OpenTSDB wire
+// shape.
+func toQueryResult(rs tsdb.ResultSeries) queryResult {
+	qr := queryResult{Metric: rs.Metric, Tags: rs.Tags, DPS: make(map[string]float64, len(rs.Points))}
+	if qr.Tags == nil {
+		qr.Tags = map[string]string{}
+	}
+	for _, p := range rs.Points {
+		qr.DPS[strconv.FormatInt(p.Timestamp, 10)] = p.Value
+	}
+	return qr
+}
+
+// writeQueryBody sends a fully cached query result, gzip-compressed
+// when the client advertises support (cached bodies are stored plain
+// and compressed per response, so one entry serves both kinds of
+// client).
+func writeQueryBody(w http.ResponseWriter, r *http.Request, body []byte, cacheStatus string, ndjson bool) {
+	ct := ctJSON
+	if ndjson {
+		ct = ctNDJSON
+	}
+	w.Header().Set("Content-Type", ct)
 	w.Header().Set("X-Cache", cacheStatus)
-	w.Header().Set("Vary", "Accept-Encoding")
+	w.Header().Set("Vary", "Accept-Encoding, Accept")
 	if acceptsGzip(r) {
 		w.Header().Set("Content-Encoding", "gzip")
 		zw := gzip.NewWriter(w)
@@ -168,6 +211,17 @@ func (sq subQuery) toTSDB(start, end int64) (tsdb.Query, error) {
 		}
 		q.Downsample = interval
 		q.DownsampleFn = fn
+	}
+	switch {
+	case sq.TopK < 0 || sq.BottomK < 0:
+		return q, fmt.Errorf("topk/bottomk must be positive")
+	case sq.TopK > 0 && sq.BottomK > 0:
+		return q, fmt.Errorf("topk and bottomk are mutually exclusive")
+	case sq.TopK > 0:
+		q.SeriesLimit = sq.TopK
+	case sq.BottomK > 0:
+		q.SeriesLimit = sq.BottomK
+		q.LimitLowest = true
 	}
 	return q, nil
 }
@@ -294,9 +348,43 @@ func parseDownsample(s string) (time.Duration, tsdb.Aggregator, error) {
 }
 
 // parseMetricSpec parses OpenTSDB's m= syntax:
-// <agg>:[<interval>-<dsagg>:][rate:]<metric>[{k=v,k=*}].
+// <agg>:[<interval>-<dsagg>:][rate:]<metric>[{k=v,k=*}], optionally
+// wrapped in a server-side series selection: topk(<K>,<spec>) or
+// bottomk(<K>,<spec>).
 func parseMetricSpec(spec string) (subQuery, error) {
 	var sq subQuery
+	for _, wrap := range []struct {
+		prefix string
+		lowest bool
+	}{{"topk(", false}, {"bottomk(", true}} {
+		if !strings.HasPrefix(spec, wrap.prefix) {
+			continue
+		}
+		if !strings.HasSuffix(spec, ")") {
+			return sq, fmt.Errorf("unterminated %s...) in %q", wrap.prefix, spec)
+		}
+		kS, inner, ok := strings.Cut(spec[len(wrap.prefix):len(spec)-1], ",")
+		if !ok {
+			return sq, fmt.Errorf("%s...) needs a count and a metric spec in %q", wrap.prefix, spec)
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(kS))
+		if err != nil || k <= 0 {
+			return sq, fmt.Errorf("bad series count %q in %q (want a positive integer)", kS, spec)
+		}
+		sq, err = parseMetricSpec(strings.TrimSpace(inner))
+		if err != nil {
+			return sq, err
+		}
+		if sq.TopK > 0 || sq.BottomK > 0 {
+			return sq, fmt.Errorf("nested topk/bottomk in %q", spec)
+		}
+		if wrap.lowest {
+			sq.BottomK = k
+		} else {
+			sq.TopK = k
+		}
+		return sq, nil
+	}
 	parts := strings.Split(spec, ":")
 	if len(parts) < 2 {
 		return sq, fmt.Errorf("bad metric spec %q (want agg:metric)", spec)
@@ -337,15 +425,18 @@ func parseMetricSpec(spec string) (subQuery, error) {
 
 // cacheKey canonicalises a request; start/end are aligned down to the
 // cache bucket so rolling dashboard queries share entries. The
-// alignment interval bounds result staleness.
-func (g *Gateway) cacheKey(start, end int64, subs []subQuery) string {
+// alignment interval bounds result staleness. Cached bodies are
+// post-selection serialized results, so the key carries the topk/
+// bottomk count and the response framing alongside the query shape —
+// topk(3,...) and topk(5,...) of the same spec are distinct entries.
+func (g *Gateway) cacheKey(start, end int64, subs []subQuery, ndjson bool) string {
 	align := g.cfg.CacheAlign.Milliseconds()
 	if align > 0 {
 		start -= start % align
 		end -= end % align
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d", start, end)
+	fmt.Fprintf(&b, "%d|%d|%t", start, end, ndjson)
 	for _, sq := range subs {
 		keys := make([]string, 0, len(sq.Tags))
 		for k := range sq.Tags {
@@ -355,7 +446,7 @@ func (g *Gateway) cacheKey(start, end int64, subs []subQuery) string {
 		// %q-quote every free-form component so delimiter characters
 		// inside POSTed values can't make two different queries
 		// collide on one cache key.
-		fmt.Fprintf(&b, "|%q:%q:%q:%t{", sq.Aggregator, sq.Downsample, sq.Metric, sq.Rate)
+		fmt.Fprintf(&b, "|%q:%q:%q:%t:%d:%d{", sq.Aggregator, sq.Downsample, sq.Metric, sq.Rate, sq.TopK, sq.BottomK)
 		for _, k := range keys {
 			fmt.Fprintf(&b, "%q=%q,", k, sq.Tags[k])
 		}

@@ -128,9 +128,19 @@ type streamEvent struct {
 	Value     float64           `json:"value"`
 }
 
-// handleStream serves GET /api/stream?metric=<prefix>&tag.<k>=<v>.
-// Filters: metric is a prefix match; tag.* entries must all match
-// ("*" accepts any present value). No filter streams everything.
+// handleStream serves GET /api/stream?metric=<prefix>&tag.<k>=<v>
+// [&backfill=<dur>]. Filters: metric is a prefix match; tag.* entries
+// must all match ("*" accepts any present value). No filter streams
+// everything. With backfill, matching points stored in the trailing
+// window are replayed from the store first — streamed series by
+// series through tsdb.ScanSeries, flushed as they go — as
+// "event: backfill" frames, then a ": live" comment marks the switch
+// to pushed events. The subscription is created before the scan and
+// its buffer is drained between replayed series (those arrivals
+// interleave as ordinary "event: point" frames), so a long replay
+// under hot ingest keeps the same slow-consumer drop policy as the
+// live stream instead of guaranteeing loss once the buffer fills;
+// the seam can duplicate a point at the boundary.
 func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -144,6 +154,15 @@ func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 			tags[strings.TrimPrefix(key, "tag.")] = vals[0]
 		}
 	}
+	backfillStart := int64(-1)
+	if bf := q.Get("backfill"); bf != "" {
+		d, err := parseDuration(bf)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad backfill %q (want a positive duration, e.g. 15m)", bf)
+			return
+		}
+		backfillStart = g.cfg.Now().Add(-d).UnixMilli()
+	}
 	sub, ok := g.hub.subscribe(q.Get("metric"), tags)
 	if !ok {
 		httpError(w, http.StatusServiceUnavailable, "gateway closing")
@@ -156,6 +175,56 @@ func (g *Gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	fmt.Fprint(w, ": connected\n\n")
 	flusher.Flush()
+
+	if backfillStart >= 0 {
+		// drainLive forwards any live events buffered during the
+		// replay so the subscription buffer cannot fill up (and start
+		// dropping) while a long scan is still writing history.
+		drainLive := func() {
+			for {
+				select {
+				case dp, ok := <-sub.ch:
+					if !ok {
+						return // hub closed; the live loop below exits too
+					}
+					if payload, err := json.Marshal(streamEvent{
+						Metric: dp.Metric, Tags: dp.Tags,
+						Timestamp: dp.Timestamp, Value: dp.Value,
+					}); err == nil {
+						fmt.Fprintf(w, "event: point\ndata: %s\n\n", payload)
+					}
+				default:
+					return
+				}
+			}
+		}
+		err := g.db.ScanSeries(q.Get("metric"), tags, backfillStart, g.cfg.Now().UnixMilli(),
+			func(metric string, stags map[string]string, pts []tsdb.Point) error {
+				if r.Context().Err() != nil {
+					return r.Context().Err() // client went away mid-replay
+				}
+				for _, p := range pts {
+					payload, err := json.Marshal(streamEvent{
+						Metric: metric, Tags: stags,
+						Timestamp: p.Timestamp, Value: p.Value,
+					})
+					if err != nil {
+						continue
+					}
+					fmt.Fprintf(w, "event: backfill\ndata: %s\n\n", payload)
+				}
+				flusher.Flush()
+				drainLive()
+				return nil
+			})
+		if err != nil {
+			// The stream is already committed: surface the truncated
+			// replay as a comment, keep the live feed running.
+			fmt.Fprintf(w, ": backfill truncated: %v\n\n", err)
+		}
+		fmt.Fprint(w, ": live\n\n")
+		flusher.Flush()
+	}
 
 	heartbeat := time.NewTicker(g.cfg.Heartbeat)
 	defer heartbeat.Stop()

@@ -39,6 +39,10 @@ type Panel struct {
 	Window time.Duration
 	// YLabel annotates the chart.
 	YLabel string
+	// TopK, when >0, renders only the K series ranking highest by
+	// mean value — keeps a group-by panel over hundreds of sensors
+	// readable (and cheap: only K series are ever materialized).
+	TopK int
 }
 
 // Server is the dashboard HTTP server.
@@ -151,12 +155,13 @@ func (s *Server) clock() time.Time {
 func (s *Server) panelSeries(p Panel) ([]viz.Series, error) {
 	now := s.clock()
 	res, err := s.db.Execute(tsdb.Query{
-		Metric:     p.Metric,
-		Tags:       p.Tags,
-		Start:      now.Add(-p.Window).UnixMilli(),
-		End:        now.UnixMilli(),
-		Aggregator: p.Agg,
-		Downsample: p.Downsample,
+		Metric:      p.Metric,
+		Tags:        p.Tags,
+		Start:       now.Add(-p.Window).UnixMilli(),
+		End:         now.UnixMilli(),
+		Aggregator:  p.Agg,
+		Downsample:  p.Downsample,
+		SeriesLimit: p.TopK,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ package lineproto
 
 import (
 	"bufio"
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"math"
@@ -50,6 +51,45 @@ type Config struct {
 	// BatchSize caps points buffered per connection before they are
 	// flushed to the sink. Default 128.
 	BatchSize int
+	// APIKey, when non-empty, requires each connection to authenticate
+	// before its first put by sending the line "auth <key>" — the
+	// telnet analogue of the gateway's X-API-Key header. Unauthorized
+	// puts are refused with an error line and counted; version/exit
+	// stay available unauthenticated. When empty, the listener defers
+	// to the sink's own policy (api.Gateway's RequiresAPIKey /
+	// CheckAPIKey), so keying the gateway cannot leave the telnet edge
+	// accidentally open.
+	APIKey string
+}
+
+// keyPolicy is the auth policy a sink may enforce — implemented by
+// api.Gateway. A listener with no APIKey of its own defers to it.
+type keyPolicy interface {
+	RequiresAPIKey() bool
+	CheckAPIKey(key string) bool
+}
+
+// authRequired reports whether connections must auth before putting.
+func (s *Server) authRequired() bool {
+	if s.cfg.APIKey != "" {
+		return true
+	}
+	if kp, ok := s.sink.(keyPolicy); ok {
+		return kp.RequiresAPIKey()
+	}
+	return false
+}
+
+// checkKey validates an auth attempt against the explicit listener
+// key or, absent one, the sink's policy. Constant time either way.
+func (s *Server) checkKey(key string) bool {
+	if s.cfg.APIKey != "" {
+		return subtle.ConstantTimeCompare([]byte(key), []byte(s.cfg.APIKey)) == 1
+	}
+	if kp, ok := s.sink.(keyPolicy); ok {
+		return kp.CheckAPIKey(key)
+	}
+	return true
 }
 
 func (c *Config) setDefaults() {
@@ -83,6 +123,7 @@ type Server struct {
 	malformed  atomic.Uint64 // lines rejected by the parser/validator
 	dropped    atomic.Uint64 // parsed points refused by the sink
 	timeouts   atomic.Uint64 // connections closed by the read deadline
+	authFails  atomic.Uint64 // puts refused or auth attempts rejected: bad/missing key
 
 	rate ewmaRate
 }
@@ -162,11 +203,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, 4096)
 	batch := make([]tsdb.DataPoint, 0, s.cfg.BatchSize)
+	authed := !s.authRequired()
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		line, err := s.readLine(conn, r)
 		if line != "" {
-			if quit := s.handleLine(conn, line, &batch); quit {
+			if quit := s.handleLine(conn, line, &batch, &authed); quit {
 				s.flush(conn, &batch)
 				return
 			}
@@ -216,7 +258,7 @@ func (s *Server) readLine(conn net.Conn, r *bufio.Reader) (string, error) {
 
 // handleLine processes one complete line; quit requests connection
 // close (the telnet "exit" command).
-func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint) (quit bool) {
+func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint, authed *bool) (quit bool) {
 	line = strings.TrimSpace(line)
 	if line == "" {
 		return false
@@ -227,6 +269,21 @@ func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint)
 		return true
 	case line == "version":
 		s.reply(conn, "ctt-tsdb line protocol, OpenTSDB telnet compatible")
+		return false
+	case strings.HasPrefix(line, "auth ") || line == "auth":
+		key := strings.TrimSpace(strings.TrimPrefix(line, "auth"))
+		if s.checkKey(key) {
+			*authed = true
+			s.reply(conn, "auth ok")
+		} else {
+			s.authFails.Add(1)
+			s.reply(conn, "err: invalid key")
+		}
+		return false
+	}
+	if !*authed {
+		s.authFails.Add(1)
+		s.reply(conn, "err: auth required (send: auth <key>)")
 		return false
 	}
 	dp, err := ParseLine(line)
@@ -325,6 +382,7 @@ type Stats struct {
 	Malformed   uint64
 	Dropped     uint64
 	Timeouts    uint64
+	AuthFails   uint64
 	// PointsPerSecond is the exponentially-weighted ingest rate.
 	PointsPerSecond float64
 }
@@ -339,6 +397,7 @@ func (s *Server) Stats() Stats {
 		Malformed:       s.malformed.Load(),
 		Dropped:         s.dropped.Load(),
 		Timeouts:        s.timeouts.Load(),
+		AuthFails:       s.authFails.Load(),
 		PointsPerSecond: s.rate.value(time.Now()),
 	}
 }
@@ -354,6 +413,7 @@ func (s *Server) EmitMetrics(emit func(name string, v any)) {
 	emit("ctt_lineproto_malformed_total", st.Malformed)
 	emit("ctt_lineproto_dropped_total", st.Dropped)
 	emit("ctt_lineproto_read_timeouts_total", st.Timeouts)
+	emit("ctt_lineproto_auth_failures_total", st.AuthFails)
 	emit("ctt_lineproto_rate_points_per_second", fmt.Sprintf("%.3f", st.PointsPerSecond))
 }
 

@@ -198,3 +198,115 @@ func TestOversizedLine(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestTelnetAuth: with an API key configured, puts before a
+// successful "auth <key>" line are refused and counted; after auth
+// the connection behaves normally.
+func TestTelnetAuth(t *testing.T) {
+	db, _, srv, addr := testStack(t, Config{APIKey: "sekrit"})
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(conn)
+	expectReply := func(want string) {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply: %v", err)
+		}
+		if !strings.Contains(line, want) {
+			t.Fatalf("reply %q, want it to contain %q", line, want)
+		}
+	}
+
+	send := func(s string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	send("put air.co2 1488326400 415 sensor=s1") // unauthenticated
+	expectReply("auth required")
+	send("auth wrongkey")
+	expectReply("invalid key")
+	send("version") // stays available without auth
+	expectReply("line protocol")
+	send("auth sekrit")
+	expectReply("auth ok")
+	send("put air.co2 1488326400 415 sensor=s1")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Points < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("authenticated put never accepted: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.AuthFails != 2 {
+		t.Fatalf("authFails = %d, want 2 (refused put + bad key)", st.AuthFails)
+	}
+	for db.PointCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("authenticated point never stored")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTelnetAuthDefersToGateway: with no listener key configured, a
+// keyed gateway's policy still protects the telnet edge — the
+// listener defers to the sink's RequiresAPIKey/CheckAPIKey.
+func TestTelnetAuthDefersToGateway(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := api.New(db, nil, api.Config{APIKey: "gwkey"})
+	srv := New(gw, Config{}) // no listener key of its own
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); gw.Close(); db.Close() })
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(conn)
+	send := func(s string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(want string) {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply: %v", err)
+		}
+		if !strings.Contains(line, want) {
+			t.Fatalf("reply %q, want it to contain %q", line, want)
+		}
+	}
+
+	send("put air.co2 1488326400 415 sensor=s1")
+	expect("auth required")
+	send("auth gwkey")
+	expect("auth ok")
+	send("put air.co2 1488326400 415 sensor=s1")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Points < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway-keyed put never accepted: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -385,7 +385,8 @@ func TestServeSkipsDerivedAndReserved(t *testing.T) {
 	if st := eng.Stats(); st.Skipped != 1 || st.Observed != 0 {
 		t.Fatalf("skipped=%d observed=%d, want 1/0", st.Skipped, st.Observed)
 	}
-	if _, ok, _ := eng.ServeDownsample("rollup.1m.x", nil, 0, 1, time.Minute, tsdb.AggAvg); ok {
+	if ok, _ := eng.ServeDownsample("rollup.1m.x", nil, 0, 1, time.Minute, tsdb.AggAvg,
+		func(tsdb.Point) error { return nil }); ok {
 		t.Fatal("served a downsample over the derived namespace")
 	}
 }

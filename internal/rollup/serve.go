@@ -1,15 +1,16 @@
 package rollup
 
 // Query-side planner: the engine implements tsdb.RollupPlanner, so
-// Execute hands it every downsampled per-series read. The planner
-// picks the coarsest tier whose resolution divides the requested
-// interval and whose statistics can reproduce the requested
+// ExecuteStream hands it every downsampled per-series read. The
+// planner picks the coarsest tier whose resolution divides the
+// requested interval and whose statistics can reproduce the requested
 // aggregator exactly, reads the derived stat series (no raw block
-// decode), and re-buckets them to the query interval. Three ranges
-// fall back to the raw scan so served buckets match a raw scan bucket
-// for bucket: the partial bucket at the range start, the partial
-// bucket at the range end, and everything at or after the series'
-// sealed horizon (the unsealed tail).
+// decode), and re-buckets them to the query interval — streaming each
+// finished bucket to the caller's yield instead of materializing the
+// window. Three ranges fall back to the raw scan so served buckets
+// match a raw scan bucket for bucket: the partial bucket at the range
+// start, the partial bucket at the range end, and everything at or
+// after the series' sealed horizon (the unsealed tail).
 
 import (
 	"math"
@@ -19,24 +20,25 @@ import (
 	"repro/internal/tsdb"
 )
 
-// ServeDownsample implements tsdb.RollupPlanner.
-func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn tsdb.Aggregator) ([]tsdb.Point, bool, error) {
+// ServeDownsample implements tsdb.RollupPlanner. The ok=false
+// decisions all precede the first yield, as the interface requires.
+func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn tsdb.Aggregator, yield func(tsdb.Point) error) (bool, error) {
 	if strings.HasPrefix(metric, MetricPrefix) {
-		return nil, false, nil // direct reads of derived series stay raw
+		return false, nil // direct reads of derived series stay raw
 	}
 	iMS := interval.Milliseconds()
 	if iMS <= 0 || start < 0 {
-		return nil, false, nil
+		return false, nil
 	}
 	ti := e.pickTier(iMS, fn)
 	if ti < 0 {
 		e.fallbacks.Add(1)
-		return nil, false, nil
+		return false, nil
 	}
 	sealedUntil, known := e.sealedHorizon(metric, tags, ti)
 	if !known {
 		e.fallbacks.Add(1)
-		return nil, false, nil
+		return false, nil
 	}
 
 	// bLo: first bucket boundary at or after start; buckets before it
@@ -69,31 +71,38 @@ func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, e
 	}
 	if cut <= bLo {
 		e.fallbacks.Add(1)
-		return nil, false, nil
+		return false, nil
 	}
 
-	var out []tsdb.Point
 	if bLo > start { // partial head bucket from raw
-		raw, err := e.db.SeriesWindowExact(metric, tags, start, bLo-1)
-		if err != nil {
-			return nil, false, err
+		if err := e.yieldRaw(metric, tags, start, bLo-1, interval, fn, yield); err != nil {
+			return false, err
 		}
-		out = append(out, tsdb.Downsample(raw, interval, fn)...)
 	}
-	mid, err := e.readTier(ti, metric, tags, fn, bLo, cut, iMS)
-	if err != nil {
-		return nil, false, err
+	if err := e.yieldTier(ti, metric, tags, fn, bLo, cut, iMS, yield); err != nil {
+		return false, err
 	}
-	out = append(out, mid...)
 	if cut <= end { // unsealed tail (and partial end bucket) from raw
-		raw, err := e.db.SeriesWindowExact(metric, tags, cut, end)
-		if err != nil {
-			return nil, false, err
+		if err := e.yieldRaw(metric, tags, cut, end, interval, fn, yield); err != nil {
+			return false, err
 		}
-		out = append(out, tsdb.Downsample(raw, interval, fn)...)
 	}
 	e.hits.Add(1)
-	return out, true, nil
+	return true, nil
+}
+
+// yieldRaw downsamples a raw window and streams its buckets.
+func (e *Engine) yieldRaw(metric string, tags map[string]string, start, end int64, interval time.Duration, fn tsdb.Aggregator, yield func(tsdb.Point) error) error {
+	raw, err := e.db.SeriesWindowExact(metric, tags, start, end)
+	if err != nil {
+		return err
+	}
+	for _, p := range tsdb.Downsample(raw, interval, fn) {
+		if err := yield(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pickTier returns the index of the coarsest tier that can serve a
@@ -132,9 +141,9 @@ func (e *Engine) sealedHorizon(metric string, tags map[string]string, ti int) (i
 	return st.tiers[ti].sealedUntil, true
 }
 
-// readTier reads derived stat series over [bLo, cut) and re-buckets
-// them to the query interval.
-func (e *Engine) readTier(ti int, metric string, tags map[string]string, fn tsdb.Aggregator, bLo, cut, iMS int64) ([]tsdb.Point, error) {
+// yieldTier reads derived stat series over [bLo, cut), re-buckets
+// them to the query interval, and streams the buckets.
+func (e *Engine) yieldTier(ti int, metric string, tags map[string]string, fn tsdb.Aggregator, bLo, cut, iMS int64, yield func(tsdb.Point) error) error {
 	spec := &e.tiers[ti]
 	derived := spec.metricPrefix + metric
 	read := func(stat string) ([]tsdb.Point, error) {
@@ -150,76 +159,112 @@ func (e *Engine) readTier(ti int, metric string, tags map[string]string, fn tsdb
 	switch fn {
 	case tsdb.AggAvg:
 		if exact {
-			return read("mean")
+			pts, err := read("mean")
+			return yieldAll(pts, err, yield)
 		}
 		sums, err := read("sum")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		counts, err := read("count")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return combineAvg(sums, counts, iMS), nil
+		return combineAvg(sums, counts, iMS, yield)
 	case tsdb.AggSum:
 		pts, err := read("sum")
-		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }), err
+		if err != nil {
+			return err
+		}
+		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }, yield)
 	case tsdb.AggCount:
 		pts, err := read("count")
-		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }), err
+		if err != nil {
+			return err
+		}
+		return rebucket(pts, iMS, func(a, b float64) float64 { return a + b }, yield)
 	case tsdb.AggMin:
 		pts, err := read("min")
-		return rebucket(pts, iMS, math.Min), err
+		if err != nil {
+			return err
+		}
+		return rebucket(pts, iMS, math.Min, yield)
 	case tsdb.AggMax:
 		pts, err := read("max")
-		return rebucket(pts, iMS, math.Max), err
+		if err != nil {
+			return err
+		}
+		return rebucket(pts, iMS, math.Max, yield)
 	case tsdb.AggP50, tsdb.AggP95, tsdb.AggP99:
 		// exact by pickTier: each window is one query bucket already.
-		return read(string(fn))
+		pts, err := read(string(fn))
+		return yieldAll(pts, err, yield)
 	}
-	return nil, nil
+	return nil
 }
 
-// rebucket folds window points into coarser buckets with op. With
-// iMS equal to the window resolution every bucket holds exactly one
-// point and the fold is the identity.
-func rebucket(pts []tsdb.Point, iMS int64, op func(a, b float64) float64) []tsdb.Point {
+// yieldAll streams a read result, propagating the read error first.
+func yieldAll(pts []tsdb.Point, err error, yield func(tsdb.Point) error) error {
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := yield(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebucket folds window points into coarser buckets with op,
+// streaming each bucket as soon as its boundary passes. With iMS
+// equal to the window resolution every bucket holds exactly one point
+// and the fold is the identity.
+func rebucket(pts []tsdb.Point, iMS int64, op func(a, b float64) float64, yield func(tsdb.Point) error) error {
 	if len(pts) == 0 {
 		return nil
 	}
-	out := make([]tsdb.Point, 0, len(pts))
 	cur := tsdb.Point{Timestamp: math.MinInt64}
 	for _, p := range pts {
 		b := p.Timestamp - p.Timestamp%iMS
 		if b != cur.Timestamp {
 			if cur.Timestamp != math.MinInt64 {
-				out = append(out, cur)
+				if err := yield(cur); err != nil {
+					return err
+				}
 			}
 			cur = tsdb.Point{Timestamp: b, Value: p.Value}
 			continue
 		}
 		cur.Value = op(cur.Value, p.Value)
 	}
-	out = append(out, cur)
-	return out
+	return yield(cur)
 }
 
-// combineAvg merges per-window sums and counts into per-bucket means.
-// The two series are written atomically per window, so they align;
-// buckets missing a count (or with a zero count) are skipped rather
-// than divided by zero.
-func combineAvg(sums, counts []tsdb.Point, iMS int64) []tsdb.Point {
-	s := rebucket(sums, iMS, func(a, b float64) float64 { return a + b })
-	c := rebucket(counts, iMS, func(a, b float64) float64 { return a + b })
+// combineAvg merges per-window sums and counts into per-bucket means,
+// streamed in timestamp order. The two series are written atomically
+// per window, so they align; buckets missing a count (or with a zero
+// count) are skipped rather than divided by zero.
+func combineAvg(sums, counts []tsdb.Point, iMS int64, yield func(tsdb.Point) error) error {
+	var s, c []tsdb.Point
+	if err := rebucket(sums, iMS, func(a, b float64) float64 { return a + b },
+		func(p tsdb.Point) error { s = append(s, p); return nil }); err != nil {
+		return err
+	}
+	if err := rebucket(counts, iMS, func(a, b float64) float64 { return a + b },
+		func(p tsdb.Point) error { c = append(c, p); return nil }); err != nil {
+		return err
+	}
 	cnt := make(map[int64]float64, len(c))
 	for _, p := range c {
 		cnt[p.Timestamp] = p.Value
 	}
-	out := make([]tsdb.Point, 0, len(s))
 	for _, p := range s {
 		if n := cnt[p.Timestamp]; n > 0 {
-			out = append(out, tsdb.Point{Timestamp: p.Timestamp, Value: p.Value / n})
+			if err := yield(tsdb.Point{Timestamp: p.Timestamp, Value: p.Value / n}); err != nil {
+				return err
+			}
 		}
 	}
-	return out
+	return nil
 }

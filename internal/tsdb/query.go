@@ -131,6 +131,13 @@ type Query struct {
 	DownsampleFn Aggregator
 	// Rate converts the result to a per-second first derivative.
 	Rate bool
+	// SeriesLimit, when >0, keeps only the K result series ranking
+	// highest (or, with LimitLowest, lowest) by the mean of their
+	// result points — the server side of topk/bottomk. Selection runs
+	// on a bounded heap, so memory stays O(K) no matter how many
+	// series the filter matches.
+	SeriesLimit int
+	LimitLowest bool
 }
 
 // ResultSeries is one output series of a query.
@@ -146,12 +153,15 @@ type ResultSeries struct {
 var (
 	ErrBadAggregator = errors.New("tsdb: unknown aggregator")
 	ErrBadRange      = errors.New("tsdb: query start after end")
+	ErrBadLimit      = errors.New("tsdb: series limit must be positive")
 )
 
-// Execute runs the query.
-func (db *DB) Execute(q Query) ([]ResultSeries, error) {
+// Validate checks the query's shape without touching the store — the
+// same checks Execute runs, exported so network edges can answer a
+// malformed query with a 400 before any response bytes are written.
+func (q Query) Validate() error {
 	if !q.Aggregator.Valid() {
-		return nil, fmt.Errorf("%w: %q", ErrBadAggregator, q.Aggregator)
+		return fmt.Errorf("%w: %q", ErrBadAggregator, q.Aggregator)
 	}
 	if q.Downsample > 0 {
 		fn := q.DownsampleFn
@@ -159,14 +169,49 @@ func (db *DB) Execute(q Query) ([]ResultSeries, error) {
 			fn = q.Aggregator
 		}
 		if !fn.Valid() {
-			return nil, fmt.Errorf("%w: %q", ErrBadAggregator, q.DownsampleFn)
+			return fmt.Errorf("%w: %q", ErrBadAggregator, q.DownsampleFn)
 		}
 	}
 	if q.Start > q.End {
-		return nil, ErrBadRange
+		return ErrBadRange
+	}
+	if q.SeriesLimit < 0 {
+		return fmt.Errorf("%w: series limit %d", ErrBadLimit, q.SeriesLimit)
+	}
+	return nil
+}
+
+// Execute runs the query and materializes every result series. It is
+// a convenience wrapper over ExecuteStream for callers that need the
+// whole result at once (dashboard panels, examples); response paths
+// that fan out to many series should consume ExecuteStream directly
+// so only one group's points are resident at a time.
+func (db *DB) Execute(q Query) ([]ResultSeries, error) {
+	var out []ResultSeries
+	if err := db.ExecuteStream(q, func(rs ResultSeries) error {
+		out = append(out, rs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecuteStream runs the query, yielding result series one at a time
+// in deterministic order (group key order; with SeriesLimit, rank
+// order). Only the group currently being reduced has its points
+// materialized — with SeriesLimit additionally the K retained series —
+// so a wide query's memory is bounded by its largest single group, not
+// the whole result. A non-nil error from yield aborts the scan and is
+// returned unchanged.
+func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
+	if err := q.Validate(); err != nil {
+		return err
 	}
 
-	// Collect matching series grouped by group-by tag values.
+	// Collect matching series grouped by group-by tag values. Only
+	// series pointers are gathered here; point data is read lazily,
+	// group by group.
 	groups := map[string][]matched{}
 	groupTags := map[string]map[string]string{}
 	var groupKeys []string
@@ -202,37 +247,53 @@ func (db *DB) Execute(q Query) ([]ResultSeries, error) {
 	}
 	sort.Strings(groupKeys)
 
-	var out []ResultSeries
+	if q.SeriesLimit > 0 {
+		return db.streamLimited(q, groups, groupTags, groupKeys, yield)
+	}
 	for _, gk := range groupKeys {
-		members := groups[gk]
-		var seriesPts [][]Point
-		for _, m := range members {
-			pts, err := db.memberPoints(m, q)
-			if err != nil {
-				return nil, err
-			}
-			if len(pts) > 0 {
-				seriesPts = append(seriesPts, pts)
-			}
+		rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk])
+		if err != nil {
+			return err
 		}
-		if len(seriesPts) == 0 {
+		if !ok {
 			continue
 		}
-		merged := aggregateSeries(seriesPts, q.Aggregator)
-		if q.Rate {
-			merged = rate(merged)
+		if err := yield(rs); err != nil {
+			return err
 		}
-		// Result tags: group-by tags plus tags common to all members.
-		tags := map[string]string{}
-		for k, v := range groupTags[gk] {
-			tags[k] = v
-		}
-		for k, v := range commonTags(members[0].s.tags, members) {
-			tags[k] = v
-		}
-		out = append(out, ResultSeries{Metric: q.Metric, Tags: tags, Points: merged})
 	}
-	return out, nil
+	return nil
+}
+
+// groupSeries reduces one group's member series to its result series.
+// ok is false when no member has points in range.
+func (db *DB) groupSeries(q Query, members []matched, gt map[string]string) (ResultSeries, bool, error) {
+	var seriesPts [][]Point
+	for _, m := range members {
+		pts, err := db.memberPoints(m, q)
+		if err != nil {
+			return ResultSeries{}, false, err
+		}
+		if len(pts) > 0 {
+			seriesPts = append(seriesPts, pts)
+		}
+	}
+	if len(seriesPts) == 0 {
+		return ResultSeries{}, false, nil
+	}
+	merged := aggregateSeries(seriesPts, q.Aggregator)
+	if q.Rate {
+		merged = rate(merged)
+	}
+	// Result tags: group-by tags plus tags common to all members.
+	tags := map[string]string{}
+	for k, v := range gt {
+		tags[k] = v
+	}
+	for k, v := range commonTags(members[0].s.tags, members) {
+		tags[k] = v
+	}
+	return ResultSeries{Metric: q.Metric, Tags: tags, Points: merged}, true, nil
 }
 
 // matched pairs a series with its shard for later lock-free reads.
@@ -242,12 +303,15 @@ type matched struct {
 }
 
 // RollupPlanner serves a downsampled read of one series from
-// pre-aggregated rollup tiers. Implementations return ok=false when
-// the request cannot be satisfied from rollups (interval finer than
-// every tier, non-composable aggregator, unknown series, …), in which
-// case the query engine falls back to the raw block scan.
+// pre-aggregated rollup tiers, streaming buckets to yield in timestamp
+// order. Implementations return ok=false — before yielding anything —
+// when the request cannot be satisfied from rollups (interval finer
+// than every tier, non-composable aggregator, unknown series, …), in
+// which case the query engine falls back to the raw block scan. A
+// non-nil error from yield must abort the read and be returned
+// unchanged.
 type RollupPlanner interface {
-	ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator) (pts []Point, ok bool, err error)
+	ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (ok bool, err error)
 }
 
 // SetRollupPlanner installs (or, with nil, removes) the planner
@@ -270,7 +334,9 @@ func (db *DB) memberPoints(m matched, q Query) ([]Point, error) {
 	}
 	if q.Downsample > 0 {
 		if pp := db.planner.Load(); pp != nil {
-			pts, ok, err := (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn)
+			var pts []Point
+			ok, err := (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn,
+				func(p Point) error { pts = append(pts, p); return nil })
 			if err != nil {
 				return nil, err
 			}

@@ -3,6 +3,7 @@ package tsdb
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -284,6 +285,51 @@ func (db *DB) SeriesWindowExact(metric string, tags map[string]string, start, en
 		return nil, nil
 	}
 	return db.rawPoints(s, sh, start, end)
+}
+
+// ScanSeries streams the raw points of every series whose metric has
+// the given prefix and whose tags match filter ("*" accepts any
+// present value; an empty prefix matches every metric), one series at
+// a time in series-key order — the catch-up read /api/stream uses to
+// replay a window of history without materializing more than one
+// series' points. A non-nil error from yield aborts the scan and is
+// returned unchanged.
+func (db *DB) ScanSeries(metricPrefix string, filter map[string]string, start, end int64, yield func(metric string, tags map[string]string, pts []Point) error) error {
+	// Collect matches first (pointers only) so yields run in a stable
+	// order and without any shard lock held.
+	type match struct {
+		s  *memSeries
+		sh *shard
+	}
+	var keys []string
+	bySeriesKey := map[string]match{}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for key, s := range sh.series {
+			if !strings.HasPrefix(s.metric, metricPrefix) || !tagsMatch(filter, s.tags) {
+				continue
+			}
+			keys = append(keys, key)
+			bySeriesKey[key] = match{s, sh}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		m := bySeriesKey[key]
+		pts, err := db.rawPoints(m.s, m.sh, start, end)
+		if err != nil {
+			return err
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		if err := yield(m.s.metric, m.s.tags, pts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rawPoints returns the series' points within [start, end], merging

@@ -1,0 +1,115 @@
+package tsdb
+
+// Server-side topk/bottomk: Query.SeriesLimit keeps only the K result
+// series ranking highest (or lowest) by score. Selection runs over the
+// same lazy per-group reduction as a plain streamed query, holding at
+// most K finished series in a bounded heap — a wide fan-out query
+// serializes (and the caller ever sees) exactly K series, no matter
+// how many the filter matched.
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// SeriesScore ranks a result series for topk/bottomk selection: the
+// arithmetic mean of its result points, computed after downsampling,
+// cross-series aggregation and rate conversion. Exported so reference
+// implementations (tests, clients predicting selection) rank exactly
+// like the engine. An empty series scores NaN and is never selected.
+func SeriesScore(pts []Point) float64 {
+	if len(pts) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, p := range pts {
+		s += p.Value
+	}
+	return s / float64(len(pts))
+}
+
+// rankedSeries pairs a finished result series with its rank inputs.
+type rankedSeries struct {
+	rs    ResultSeries
+	score float64
+	gk    string // group key: the deterministic tie-break
+}
+
+// limitHeap is a bounded heap of the K best series seen so far. The
+// root is always the *worst* retained entry, so a better candidate
+// replaces it in O(log K). worse() defines "worst" for the requested
+// direction (topk evicts the lowest score, bottomk the highest).
+type limitHeap struct {
+	entries []rankedSeries
+	lowest  bool // bottomk: keep lowest scores
+}
+
+func (h *limitHeap) Len() int { return len(h.entries) }
+
+// Less orders by "worse first": the heap root is the eviction victim.
+func (h *limitHeap) Less(i, j int) bool {
+	return h.worse(h.entries[i], h.entries[j])
+}
+
+// worse reports whether a ranks strictly worse than b for retention.
+// Ties on score break on group key so selection is deterministic: the
+// lexicographically later key is evicted first.
+func (h *limitHeap) worse(a, b rankedSeries) bool {
+	if a.score != b.score {
+		if h.lowest {
+			return a.score > b.score
+		}
+		return a.score < b.score
+	}
+	return a.gk > b.gk
+}
+
+func (h *limitHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *limitHeap) Push(x any)    { h.entries = append(h.entries, x.(rankedSeries)) }
+func (h *limitHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}
+
+// streamLimited runs topk/bottomk selection over the grouped matches
+// and yields the K winners best-first. Groups are still reduced one at
+// a time; only the retained K series stay resident.
+func (db *DB) streamLimited(q Query, groups map[string][]matched, groupTags map[string]map[string]string, groupKeys []string, yield func(ResultSeries) error) error {
+	h := &limitHeap{lowest: q.LimitLowest}
+	for _, gk := range groupKeys {
+		rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		score := SeriesScore(rs.Points)
+		if math.IsNaN(score) {
+			continue // empty series (e.g. rate over one point) never rank
+		}
+		cand := rankedSeries{rs: rs, score: score, gk: gk}
+		if h.Len() < q.SeriesLimit {
+			heap.Push(h, cand)
+			continue
+		}
+		if h.worse(h.entries[0], cand) {
+			h.entries[0] = cand
+			heap.Fix(h, 0)
+		}
+	}
+	// Yield best-first: sort the survivors by rank (best = what worse()
+	// orders last).
+	winners := h.entries
+	sort.Slice(winners, func(i, j int) bool { return h.worse(winners[j], winners[i]) })
+	for _, w := range winners {
+		if err := yield(w.rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
