@@ -1,22 +1,28 @@
 // Command benchcmp converts `go test -bench` output into a JSON
-// report (the BENCH_gateway.json artifact CI uploads) and, given a
-// committed baseline, fails when any benchmark's median ns/op
-// regresses past a threshold — the bench-regression gate in
-// .github/workflows/ci.yml.
+// report (the BENCH_gateway.json / BENCH_tsdb.json artifacts CI
+// uploads) and, given a committed baseline, fails when any
+// benchmark's median ns/op — or, for benches run with -benchmem,
+// median allocs/op — regresses past a threshold: the bench-regression
+// gate in .github/workflows/ci.yml.
 //
 // Usage:
 //
-//	go test -run '^$' -bench Gateway -benchtime 10x -count 5 . | tee bench.txt
+//	go test -run '^$' -bench Gateway -benchtime 10x -count 5 -benchmem . | tee bench.txt
 //	go run ./ci/benchcmp -input bench.txt -out BENCH_gateway.json \
 //	    -baseline ci/bench_baseline.json -threshold 0.30
 //
 // Omit -baseline to only convert. The median across -count runs is
 // compared, so a single noisy run cannot fail the gate on its own;
 // benchmarks present on only one side are reported but never fail
-// the build. To refresh the committed baseline after an intentional
-// perf change, rerun the two commands above and copy the new report:
-//
-//	cp BENCH_gateway.json ci/bench_baseline.json
+// the build. allocs/op is only gated when both sides report it and
+// the baseline is at least minGatedAllocs — tiny counts flap by ±1
+// under sync.Pool/GC timing and would make the gate noisy. One
+// baseline file may hold the union of several bench runs (gateway +
+// tsdb): each comparison only judges the benchmarks in its input. To
+// refresh the committed baseline after an intentional perf change,
+// rerun the bench commands and merge the new reports into
+// ci/bench_baseline.json (jq -s '.[0] * .[1]' works, as does copying
+// a single report over it wholesale when it covers every benchmark).
 package main
 
 import (
@@ -192,8 +198,14 @@ func median(vals []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// minGatedAllocs: baselines below this many allocs/op are reported
+// but not gated — a ±1 wobble on a 5-alloc benchmark is noise, on a
+// 500-alloc one it is a leak.
+const minGatedAllocs = 64
+
 // compare prints a benchstat-style table and reports whether any
-// benchmark regressed past the threshold.
+// benchmark regressed past the threshold, on median ns/op or (when
+// both sides carry -benchmem data) median allocs/op.
 func compare(base, cur *report, threshold float64) (failed bool) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -214,6 +226,13 @@ func compare(base, cur *report, threshold float64) (failed bool) {
 		if delta > threshold {
 			mark = "  << REGRESSION"
 			failed = true
+		}
+		baseAllocs, curAllocs := b.Extra["allocs/op"], c.Extra["allocs/op"]
+		if baseAllocs >= minGatedAllocs && curAllocs > 0 {
+			if aDelta := curAllocs/baseAllocs - 1; aDelta > threshold {
+				mark = fmt.Sprintf("  << ALLOC REGRESSION (%.0f -> %.0f allocs/op)", baseAllocs, curAllocs)
+				failed = true
+			}
 		}
 		fmt.Printf("%-55s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta*100, mark)
 	}

@@ -34,8 +34,23 @@
 // raw block scans. cmd/ctt-server runs the simulated pilot as a live
 // feed behind that gateway together with the internal/dashboard SVG
 // dashboards — the closest analogue of the paper's deployed CTT
-// cloud. CI enforces a bench-regression gate: the gateway benchmarks'
-// medians are compared against ci/bench_baseline.json (see
-// ci/benchcmp) and a >30% slowdown fails the build. See README.md for
-// a quickstart and an architecture sketch.
+// cloud.
+//
+// Performance: the storage engine's Gorilla codec does word-granular
+// bit I/O (a 64-bit buffered word, one masked shift per field; byte
+// stream unchanged and fuzz-pinned to a bit-at-a-time reference), and
+// the query path reads through per-point cursors — sealed blocks
+// decode directly into the downsample fold and the k-way
+// interpolating cross-series merge, with one per-query scratch buffer
+// replacing per-bucket percentile sort copies. ExecuteStream reduces
+// result groups concurrently on a bounded worker pool while
+// delivering them in deterministic group-key order, and topk/bottomk
+// candidates are ranked by folding member cursors (served from rollup
+// tier statistics when a tier covers the range) so only the K winners
+// ever materialize. CI enforces a bench-regression gate: gateway and
+// tsdb benchmark medians (ns/op and allocs/op) are compared against
+// ci/bench_baseline.json (see ci/benchcmp) and a >30% slowdown fails
+// the build; BENCH_tsdb.json records the storage-engine trajectory.
+// See README.md ("Performance") for numbers, a quickstart and an
+// architecture sketch.
 package repro

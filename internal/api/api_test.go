@@ -175,7 +175,7 @@ func TestEndToEndIngestQuery(t *testing.T) {
 	if got := resp.Header.Get("X-Cache"); got != "miss" {
 		t.Errorf("first query X-Cache = %q, want miss", got)
 	}
-	var res []queryResult
+	var res []wireResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestEndToEndIngestQuery(t *testing.T) {
 	if resp3.StatusCode != http.StatusOK {
 		t.Fatalf("POST query status = %d", resp3.StatusCode)
 	}
-	var res3 []queryResult
+	var res3 []wireResult
 	if err := json.NewDecoder(resp3.Body).Decode(&res3); err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestPutQuotedNumerics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var res []queryResult
+	var res []wireResult
 	if err := json.NewDecoder(resp2.Body).Decode(&res); err != nil {
 		t.Fatal(err)
 	}
@@ -719,7 +719,7 @@ func TestQueryGzipResponse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out []queryResult
+		var out []wireResult
 		if err := json.Unmarshal(plain, &out); err != nil {
 			t.Fatalf("%s: gunzipped body is not the query result: %v", cache, err)
 		}
@@ -732,7 +732,7 @@ func TestQueryGzipResponse(t *testing.T) {
 	if enc := resp2.Header.Get("Content-Encoding"); enc != "" {
 		t.Fatalf("plain client got Content-Encoding %q", enc)
 	}
-	var out []queryResult
+	var out []wireResult
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatalf("plain body: %v", err)
 	}
@@ -759,7 +759,7 @@ func TestCacheInvalidationOnWrite(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var out []queryResult
+		var out []wireResult
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
 		}

@@ -52,7 +52,6 @@ type streamEncoder struct {
 	flush http.Flusher // nil when the writer cannot flush
 	gzip  *gzip.Writer // nil for identity responses
 	tee   *cappedBuffer
-	json  *json.Encoder
 
 	ndjson  bool
 	started bool // response headers + array opener written
@@ -111,7 +110,9 @@ func (e *streamEncoder) series(qr queryResult) error {
 	if err := e.begin(); err != nil {
 		return err
 	}
-	body, err := json.Marshal(qr)
+	// Call the marshaler directly: json.Marshal would re-parse the
+	// output to compact it, doubling the encoding cost for nothing.
+	body, err := qr.MarshalJSON()
 	if err != nil {
 		return err
 	}

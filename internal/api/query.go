@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -48,11 +49,80 @@ type queryRequest struct {
 }
 
 // queryResult is one output series, OpenTSDB-style: dps maps the
-// timestamp (milliseconds, as a string key) to the value.
+// timestamp (milliseconds, as a string key) to the value. The result
+// keeps the store's point slice and serializes it directly — building
+// the dps object append-only in timestamp order instead of through a
+// map[string]float64, whose per-key string allocations and marshal-
+// time key sort dominated cold-query encoding cost.
 type queryResult struct {
-	Metric string             `json:"metric"`
-	Tags   map[string]string  `json:"tags"`
-	DPS    map[string]float64 `json:"dps"`
+	Metric string
+	Tags   map[string]string
+	Points []tsdb.Point
+}
+
+// MarshalJSON renders the OpenTSDB wire shape. Duplicate timestamps
+// keep the last value, matching the old map semantics.
+func (qr queryResult) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 64+len(qr.Points)*24)
+	b = append(b, `{"metric":`...)
+	mb, err := json.Marshal(qr.Metric)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, mb...)
+	b = append(b, `,"tags":`...)
+	tags := qr.Tags
+	if tags == nil {
+		tags = map[string]string{}
+	}
+	tb, err := json.Marshal(tags)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, tb...)
+	b = append(b, `,"dps":{`...)
+	first := true
+	for i, p := range qr.Points {
+		if i+1 < len(qr.Points) && qr.Points[i+1].Timestamp == p.Timestamp {
+			continue // duplicate key: last wins, like the old map
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '"')
+		b = strconv.AppendInt(b, p.Timestamp, 10)
+		b = append(b, '"', ':')
+		b, err = appendJSONFloat(b, p.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b = append(b, '}', '}')
+	return b, nil
+}
+
+// appendJSONFloat appends a float the way encoding/json renders
+// float64 values ('f' format, switching to exponent form outside
+// [1e-6, 1e21) and trimming the two-digit exponent's leading zero),
+// so streamed bodies stay byte-compatible with reflective marshaling.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("unsupported value: %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
 }
 
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -139,16 +209,9 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // toQueryResult converts a store result series to the OpenTSDB wire
-// shape.
+// shape; the point slice is carried through and serialized directly.
 func toQueryResult(rs tsdb.ResultSeries) queryResult {
-	qr := queryResult{Metric: rs.Metric, Tags: rs.Tags, DPS: make(map[string]float64, len(rs.Points))}
-	if qr.Tags == nil {
-		qr.Tags = map[string]string{}
-	}
-	for _, p := range rs.Points {
-		qr.DPS[strconv.FormatInt(p.Timestamp, 10)] = p.Value
-	}
-	return qr
+	return queryResult{Metric: rs.Metric, Tags: rs.Tags, Points: rs.Points}
 }
 
 // writeQueryBody sends a fully cached query result, gzip-compressed

@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -64,9 +65,29 @@ func seedWide(t *testing.T, db *tsdb.DB, sensors, points int) {
 
 const wideQuery = "/api/query?start=1488326400&end=1488330000&m=avg:air.co2{sensor=*}"
 
+// wireResult is the decoded /api/query response shape: dps as the
+// timestamp-keyed map the OpenTSDB wire format uses.
+type wireResult struct {
+	Metric string             `json:"metric"`
+	Tags   map[string]string  `json:"tags"`
+	DPS    map[string]float64 `json:"dps"`
+}
+
+// toWire converts a store result to the decoded wire shape.
+func toWire(rs tsdb.ResultSeries) wireResult {
+	w := wireResult{Metric: rs.Metric, Tags: rs.Tags, DPS: make(map[string]float64, len(rs.Points))}
+	if w.Tags == nil {
+		w.Tags = map[string]string{}
+	}
+	for _, p := range rs.Points {
+		w.DPS[strconv.FormatInt(p.Timestamp, 10)] = p.Value
+	}
+	return w
+}
+
 // referenceResults materializes the query the buffered path would
 // have produced, through the same store.
-func referenceResults(t *testing.T, db *tsdb.DB) []queryResult {
+func referenceResults(t *testing.T, db *tsdb.DB) []wireResult {
 	t.Helper()
 	res, err := db.Execute(tsdb.Query{
 		Metric: "air.co2", Tags: map[string]string{"sensor": "*"},
@@ -75,15 +96,15 @@ func referenceResults(t *testing.T, db *tsdb.DB) []queryResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make([]queryResult, 0, len(res))
+	out := make([]wireResult, 0, len(res))
 	for _, rs := range res {
-		out = append(out, toQueryResult(rs))
+		out = append(out, toWire(rs))
 	}
 	return out
 }
 
 // sortResults orders series for comparison.
-func sortResults(rs []queryResult) {
+func sortResults(rs []wireResult) {
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Tags["sensor"] < rs[j].Tags["sensor"] })
 }
 
@@ -112,7 +133,7 @@ func TestQueryStreamedParity(t *testing.T) {
 	if resp.ContentLength != -1 {
 		t.Errorf("ContentLength = %d, want -1 (chunked stream)", resp.ContentLength)
 	}
-	var got []queryResult
+	var got []wireResult
 	if err := json.Unmarshal(body, &got); err != nil {
 		t.Fatalf("streamed body is not a JSON array: %v", err)
 	}
@@ -145,9 +166,9 @@ func TestQueryNDJSON(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("%d NDJSON lines, want 5:\n%s", len(lines), body)
 	}
-	var got []queryResult
+	var got []wireResult
 	for i, ln := range lines {
-		var qr queryResult
+		var qr wireResult
 		if err := json.Unmarshal([]byte(ln), &qr); err != nil {
 			t.Fatalf("line %d is not a JSON object: %v (%q)", i, err, ln)
 		}
@@ -202,7 +223,7 @@ func TestQueryNDJSONGzip(t *testing.T) {
 		t.Fatalf("gunzipped NDJSON has %d lines, want 5", len(lines))
 	}
 	for _, ln := range lines {
-		var qr queryResult
+		var qr wireResult
 		if err := json.Unmarshal([]byte(ln), &qr); err != nil {
 			t.Fatalf("bad NDJSON line after gunzip: %v", err)
 		}
@@ -268,7 +289,7 @@ func TestQueryStreamsBeforeScanCompletes(t *testing.T) {
 	if flushedAtYield[2] <= flushedAtYield[1] {
 		t.Fatalf("flushed bytes did not grow per series: %v", flushedAtYield)
 	}
-	var out []queryResult
+	var out []wireResult
 	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out) != 3 {
 		t.Fatalf("final body invalid: %v (%d series)", err, len(out))
 	}
@@ -358,7 +379,7 @@ func TestQueryTopK(t *testing.T) {
 	db, _, srv := newStreamTestGateway(t, Config{CacheAlign: time.Hour})
 	seedWide(t, db, 8, 30) // sensor w007 has the highest values, w000 the lowest
 
-	get := func(m string) []queryResult {
+	get := func(m string) []wireResult {
 		t.Helper()
 		resp, err := http.Get(srv.URL + "/api/query?start=1488326400&end=1488330000&m=" + m)
 		if err != nil {
@@ -369,7 +390,7 @@ func TestQueryTopK(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("m=%s status %d: %s", m, resp.StatusCode, body)
 		}
-		var out []queryResult
+		var out []wireResult
 		if err := json.Unmarshal(body, &out); err != nil {
 			t.Fatal(err)
 		}
@@ -399,7 +420,7 @@ func TestQueryTopK(t *testing.T) {
 		}
 		scores[qr.Tags["sensor"]] = tsdb.SeriesScore(pts)
 	}
-	ref := append([]queryResult(nil), full...)
+	ref := append([]wireResult(nil), full...)
 	sort.Slice(ref, func(i, j int) bool {
 		return scores[ref[i].Tags["sensor"]] > scores[ref[j].Tags["sensor"]]
 	})
@@ -425,13 +446,13 @@ func TestQueryTopK(t *testing.T) {
 	if c := resp.Header.Get("X-Cache"); c != "hit" {
 		t.Fatalf("repeat topk(2) X-Cache = %s, want hit", c)
 	}
-	var hit []queryResult
+	var hit []wireResult
 	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil || len(hit) != 2 {
 		t.Fatalf("cached topk(2) returned %d series (%v)", len(hit), err)
 	}
 }
 
-func tagsOf(rs []queryResult) []string {
+func tagsOf(rs []wireResult) []string {
 	var out []string
 	for _, r := range rs {
 		out = append(out, r.Tags["sensor"])
@@ -450,7 +471,7 @@ func TestQueryTopKPost(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out []queryResult
+	var out []wireResult
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,12 @@ package rollup
 // match a raw scan bucket for bucket: the partial bucket at the range
 // start, the partial bucket at the range end, and everything at or
 // after the series' sealed horizon (the unsealed tail).
+//
+// The same ServeDownsample path also ranks topk/bottomk selection:
+// the query engine folds a candidate series' score straight off the
+// streamed buckets, so when a tier covers the range, selection is
+// served entirely from tier sums/counts and never decodes a raw
+// member block.
 
 import (
 	"math"
@@ -244,7 +250,9 @@ func rebucket(pts []tsdb.Point, iMS int64, op func(a, b float64) float64, yield 
 // combineAvg merges per-window sums and counts into per-bucket means,
 // streamed in timestamp order. The two series are written atomically
 // per window, so they align; buckets missing a count (or with a zero
-// count) are skipped rather than divided by zero.
+// count) are skipped rather than divided by zero. Both rebucketed
+// series are in timestamp order already, so the pairing is a merge
+// join — no timestamp map.
 func combineAvg(sums, counts []tsdb.Point, iMS int64, yield func(tsdb.Point) error) error {
 	var s, c []tsdb.Point
 	if err := rebucket(sums, iMS, func(a, b float64) float64 { return a + b },
@@ -255,13 +263,13 @@ func combineAvg(sums, counts []tsdb.Point, iMS int64, yield func(tsdb.Point) err
 		func(p tsdb.Point) error { c = append(c, p); return nil }); err != nil {
 		return err
 	}
-	cnt := make(map[int64]float64, len(c))
-	for _, p := range c {
-		cnt[p.Timestamp] = p.Value
-	}
+	ci := 0
 	for _, p := range s {
-		if n := cnt[p.Timestamp]; n > 0 {
-			if err := yield(tsdb.Point{Timestamp: p.Timestamp, Value: p.Value / n}); err != nil {
+		for ci < len(c) && c[ci].Timestamp < p.Timestamp {
+			ci++
+		}
+		if ci < len(c) && c[ci].Timestamp == p.Timestamp && c[ci].Value > 0 {
+			if err := yield(tsdb.Point{Timestamp: p.Timestamp, Value: p.Value / c[ci].Value}); err != nil {
 				return err
 			}
 		}

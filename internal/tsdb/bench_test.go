@@ -131,6 +131,159 @@ func BenchmarkGorillaDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkColdGroupQuery is the read-path headline: a cold (fully
+// sealed, no cache) downsampled group-by query over a week of
+// 12-sensor data, decoding through the fused cursor pipeline. The
+// p95 variant exercises the percentile sort scratch. Run with
+// -benchmem: allocs/op here is gated by ci/benchcmp.
+func BenchmarkColdGroupQuery(b *testing.B) {
+	db, _ := Open("")
+	defer db.Close()
+	for _, p := range benchPoints(12 * 288 * 7) {
+		db.Put(p)
+	}
+	db.SetScanParallelism(1) // isolate the single-thread decode cost
+	defer db.SetScanParallelism(0)
+	for _, fn := range []Aggregator{AggAvg, AggP95} {
+		b.Run(string(fn), func(b *testing.B) {
+			q := Query{
+				Metric:       "air.co2",
+				Tags:         map[string]string{"sensor": "*"},
+				Start:        baseTS,
+				End:          baseTS + 7*24*3600*1000,
+				Aggregator:   AggAvg,
+				Downsample:   time.Hour,
+				DownsampleFn: fn,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := db.ExecuteStream(q, func(rs ResultSeries) error { n++; return nil })
+				if err != nil || n != 12 {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelScan measures how the bounded worker pool scales
+// the same 48-series cold scan from one worker to eight.
+func BenchmarkParallelScan(b *testing.B) {
+	db, _ := Open("")
+	defer db.Close()
+	for i := 0; i < 48*288*2; i++ {
+		db.Put(DataPoint{
+			Metric: "air.co2",
+			Tags:   map[string]string{"sensor": fmt.Sprintf("n%02d", i%48), "city": "trondheim"},
+			Point: Point{
+				Timestamp: baseTS + int64(i/48)*300000,
+				Value:     410 + 10*math.Sin(float64(i)/50),
+			},
+		})
+	}
+	q := Query{
+		Metric:     "air.co2",
+		Tags:       map[string]string{"sensor": "*"},
+		Start:      baseTS,
+		End:        baseTS + 2*24*3600*1000,
+		Aggregator: AggP95,
+		Downsample: time.Hour,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			db.SetScanParallelism(workers)
+			defer db.SetScanParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := db.ExecuteStream(q, func(rs ResultSeries) error { n++; return nil })
+				if err != nil || n != 48 {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// benchPlanner serves downsamples from pre-aggregated buckets, the
+// shape the rollup engine provides — so BenchmarkTopKRollup measures
+// selection that never touches member points.
+type benchPlanner struct {
+	buckets map[string][]Point
+}
+
+func (p *benchPlanner) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (bool, error) {
+	pts, ok := p.buckets[tags["sensor"]]
+	if !ok {
+		return false, nil
+	}
+	for _, pt := range pts {
+		if err := yield(pt); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// BenchmarkTopKRollup ranks a 48-way group-by with SeriesLimit=3:
+// RawScan scores every candidate through the fused decode path,
+// RollupTier through planner-served buckets (no member decode at all).
+func BenchmarkTopKRollup(b *testing.B) {
+	db, _ := Open("")
+	defer db.Close()
+	for i := 0; i < 48*288*2; i++ {
+		db.Put(DataPoint{
+			Metric: "air.co2",
+			Tags:   map[string]string{"sensor": fmt.Sprintf("n%02d", i%48), "city": "trondheim"},
+			Point: Point{
+				Timestamp: baseTS + int64(i/48)*300000,
+				Value:     410 + 10*math.Sin(float64(i)/50),
+			},
+		})
+	}
+	db.SetScanParallelism(1)
+	defer db.SetScanParallelism(0)
+	q := Query{
+		Metric:      "air.co2",
+		Tags:        map[string]string{"sensor": "*"},
+		Start:       baseTS,
+		End:         baseTS + 2*24*3600*1000,
+		Aggregator:  AggAvg,
+		Downsample:  time.Hour,
+		SeriesLimit: 3,
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := db.ExecuteStream(q, func(rs ResultSeries) error { n++; return nil })
+			if err != nil || n != 3 {
+				b.Fatalf("n=%d err=%v", n, err)
+			}
+		}
+	}
+	b.Run("RawScan", run)
+	b.Run("RollupTier", func(b *testing.B) {
+		// Precompute the per-sensor hourly buckets a rollup tier would
+		// hold (setup cost, not measured).
+		planner := &benchPlanner{buckets: map[string][]Point{}}
+		err := db.ScanSeries("air.co2", nil, q.Start, q.End, func(metric string, tags map[string]string, pts []Point) error {
+			planner.buckets[tags["sensor"]] = Downsample(pts, time.Hour, AggAvg)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.SetRollupPlanner(planner)
+		defer db.SetRollupPlanner(nil)
+		run(b)
+	})
+}
+
 func BenchmarkWALReplay(b *testing.B) {
 	dir := b.TempDir()
 	db, err := Open(dir)

@@ -1,0 +1,251 @@
+package tsdb
+
+import "sort"
+
+// Per-point cursors over stored series: the read hot path hands
+// points one at a time from sealed blocks (via blockCursor) through
+// range filtering, head merging and downsample folding, so a scan
+// never materializes a series-sized []Point unless the caller asks
+// for one. Every source yields points in non-decreasing timestamp
+// order.
+
+// pointSource is a pull iterator over points in timestamp order.
+type pointSource interface {
+	// next returns the next point; ok is false when the source is
+	// exhausted. After !ok or an error the source must not be reused.
+	next() (Point, bool, error)
+}
+
+// sliceSource streams an already-materialized, sorted point slice.
+type sliceSource struct {
+	pts []Point
+	i   int
+}
+
+func (s *sliceSource) next() (Point, bool, error) {
+	if s.i >= len(s.pts) {
+		return Point{}, false, nil
+	}
+	p := s.pts[s.i]
+	s.i++
+	return p, true, nil
+}
+
+// blockSource streams the in-range points of a run of sealed blocks
+// that are time-ordered and non-overlapping, decoding one point at a
+// time and stopping as soon as the range end passes.
+type blockSource struct {
+	blocks     []sealedBlock
+	bi         int
+	cur        blockCursor
+	open       bool
+	start, end int64
+}
+
+func (b *blockSource) next() (Point, bool, error) {
+	for {
+		if !b.open {
+			if b.bi >= len(b.blocks) {
+				return Point{}, false, nil
+			}
+			blk := b.blocks[b.bi]
+			b.bi++
+			b.cur.reset(blk.data, blk.n)
+			b.open = true
+		}
+		p, ok, err := b.cur.next()
+		if err != nil {
+			return Point{}, false, err
+		}
+		if !ok {
+			b.open = false
+			continue
+		}
+		if p.Timestamp > b.end {
+			// Blocks are ordered and non-overlapping: everything after
+			// this point is out of range too.
+			return Point{}, false, nil
+		}
+		if p.Timestamp < b.start {
+			continue
+		}
+		return p, true, nil
+	}
+}
+
+// mergeSource interleaves two sorted sources; ties go to a, so block
+// points precede same-timestamp head points.
+type mergeSource struct {
+	a, b     pointSource
+	ap, bp   Point
+	aok, bok bool
+	primed   bool
+}
+
+func (m *mergeSource) prime() error {
+	var err error
+	if m.ap, m.aok, err = m.a.next(); err != nil {
+		return err
+	}
+	if m.bp, m.bok, err = m.b.next(); err != nil {
+		return err
+	}
+	m.primed = true
+	return nil
+}
+
+func (m *mergeSource) next() (Point, bool, error) {
+	if !m.primed {
+		if err := m.prime(); err != nil {
+			return Point{}, false, err
+		}
+	}
+	switch {
+	case !m.aok && !m.bok:
+		return Point{}, false, nil
+	case m.aok && (!m.bok || m.ap.Timestamp <= m.bp.Timestamp):
+		p := m.ap
+		var err error
+		if m.ap, m.aok, err = m.a.next(); err != nil {
+			return Point{}, false, err
+		}
+		return p, true, nil
+	default:
+		p := m.bp
+		var err error
+		if m.bp, m.bok, err = m.b.next(); err != nil {
+			return Point{}, false, err
+		}
+		return p, true, nil
+	}
+}
+
+// seriesSource builds a cursor over one series' points within
+// [start, end], merging sealed blocks with the head buffer. The shard
+// lock is taken only to snapshot the block list and copy the in-range
+// slice of the head; decoding runs lock-free. The returned estimate
+// is an upper bound on the number of points the source can yield.
+func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64) (pointSource, int, error) {
+	sh.mu.RLock()
+	blocks := s.blocks
+	// head is sorted: copy just the in-range subrange.
+	lo := sort.Search(len(s.head), func(i int) bool { return s.head[i].Timestamp >= start })
+	hi := sort.Search(len(s.head), func(i int) bool { return s.head[i].Timestamp > end })
+	var head []Point
+	if lo < hi {
+		head = append(head, s.head[lo:hi]...)
+	}
+	sh.mu.RUnlock()
+
+	est := len(head)
+	inRange := blocks[:0:0]
+	ordered := true
+	for _, b := range blocks {
+		if b.maxTS < start || b.minTS > end {
+			continue
+		}
+		if n := len(inRange); n > 0 && b.minTS < inRange[n-1].maxTS {
+			ordered = false
+		}
+		inRange = append(inRange, b)
+		est += b.n
+	}
+
+	var blockSrc pointSource
+	switch {
+	case len(inRange) == 0:
+		return &sliceSource{pts: head}, est, nil
+	case ordered:
+		blockSrc = &blockSource{blocks: inRange, start: start, end: end}
+	default:
+		// Out-of-order ingest sealed overlapping blocks (rare): decode
+		// and sort them once, then stream the result.
+		var pts []Point
+		for _, b := range inRange {
+			dec, err := decodeBlock(b.data, b.n)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, p := range dec {
+				if p.Timestamp >= start && p.Timestamp <= end {
+					pts = append(pts, p)
+				}
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Timestamp < pts[j].Timestamp })
+		blockSrc = &sliceSource{pts: pts}
+	}
+	if len(head) == 0 {
+		return blockSrc, est, nil
+	}
+	return &mergeSource{a: blockSrc, b: &sliceSource{pts: head}}, est, nil
+}
+
+// downsampleSource folds a raw source into fixed epoch-aligned
+// buckets reduced by fn, holding one bucket's values at a time. The
+// value buffer is reused across buckets; percentile sorting borrows
+// the shared per-worker scratch.
+type downsampleSource struct {
+	src  pointSource
+	ms   int64
+	fn   Aggregator
+	sc   *execScratch
+	vals []float64
+	pend Point
+	pOK  bool
+	done bool
+}
+
+func (d *downsampleSource) next() (Point, bool, error) {
+	if d.done {
+		return Point{}, false, nil
+	}
+	d.vals = d.vals[:0]
+	var bucket int64
+	if d.pOK {
+		bucket = d.pend.Timestamp - d.pend.Timestamp%d.ms
+		d.vals = append(d.vals, d.pend.Value)
+		d.pOK = false
+	} else {
+		p, ok, err := d.src.next()
+		if err != nil {
+			return Point{}, false, err
+		}
+		if !ok {
+			d.done = true
+			return Point{}, false, nil
+		}
+		bucket = p.Timestamp - p.Timestamp%d.ms
+		d.vals = append(d.vals, p.Value)
+	}
+	for {
+		p, ok, err := d.src.next()
+		if err != nil {
+			return Point{}, false, err
+		}
+		if !ok {
+			d.done = true
+			break
+		}
+		if b := p.Timestamp - p.Timestamp%d.ms; b != bucket {
+			d.pend, d.pOK = p, true
+			break
+		}
+		d.vals = append(d.vals, p.Value)
+	}
+	return Point{Timestamp: bucket, Value: d.fn.applyWith(d.vals, d.sc)}, true, nil
+}
+
+// drainSource appends everything a source yields to out.
+func drainSource(src pointSource, out []Point) ([]Point, error) {
+	for {
+		p, ok, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, p)
+	}
+}

@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/bits"
@@ -13,67 +14,129 @@ import (
 // stored with leading/trailing-zero headers. Sensor series — slowly
 // changing values at a fixed 5-minute cadence — compress to a few bits
 // per point.
+//
+// Bit I/O is word-granular: both writer and reader buffer a 64-bit
+// word so a multi-bit field costs one masked shift instead of one
+// call per bit. The emitted byte stream is identical to the original
+// bit-at-a-time codec (MSB-first, zero-padded final byte); the fuzz
+// target in gorilla_fuzz_test.go locks the two implementations
+// together byte for byte.
 
-// bitWriter appends bits to a byte slice, MSB first.
+// bitWriter appends bits to a byte slice, MSB first. Pending bits
+// accumulate in the low end of acc and spill to buf eight bytes at a
+// time.
 type bitWriter struct {
-	buf  []byte
-	nBit uint8 // bits used in the last byte (0..7); 0 means last byte full/absent
+	buf []byte
+	acc uint64 // pending bits, low-aligned: first-written bit highest
+	n   uint   // number of pending bits in acc (0..63)
+}
+
+// lowMask returns a mask of the low n bits (n ≤ 64).
+func lowMask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
 }
 
 func (w *bitWriter) writeBit(b bool) {
-	if w.nBit == 0 {
-		w.buf = append(w.buf, 0)
-		w.nBit = 8
-	}
+	var v uint64
 	if b {
-		w.buf[len(w.buf)-1] |= 1 << (w.nBit - 1)
+		v = 1
 	}
-	w.nBit--
+	w.writeBits(v, 1)
 }
 
+// writeBits appends the low n bits of v, most significant first.
 func (w *bitWriter) writeBits(v uint64, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.writeBit(v&(1<<uint(i)) != 0)
+	if n == 0 {
+		return
 	}
+	v &= lowMask(n)
+	if free := 64 - w.n; n >= free {
+		// Fill the word and spill it; the remainder starts a new one.
+		w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc<<(free%64)|v>>(n-free))
+		w.acc = v & lowMask(n-free)
+		w.n = n - free
+		return
+	}
+	w.acc = w.acc<<n | v
+	w.n += n
 }
 
-// bitReader consumes bits written by bitWriter.
+// bytes flushes the pending word and returns the finished stream. The
+// final partial byte is zero-padded, exactly like bit-at-a-time
+// writes into fresh bytes.
+func (w *bitWriter) bytes() []byte {
+	word := w.acc << (64 - w.n) // MSB-align the n pending bits
+	for done := uint(0); done < w.n; done += 8 {
+		w.buf = append(w.buf, byte(word>>(56-done)))
+	}
+	w.acc, w.n = 0, 0
+	return w.buf
+}
+
+// bitReader consumes bits written by bitWriter. Bits are prefetched
+// into acc a word (or trailing byte run) at a time and handed out
+// with one shift per field.
 type bitReader struct {
 	buf []byte
-	pos int   // byte index
-	bit uint8 // next bit within buf[pos], 7..0
+	pos int    // next unread byte
+	acc uint64 // prefetched bits, MSB-aligned: top n bits valid
+	n   uint   // valid bits in acc
 }
 
-func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf, bit: 7} }
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
 
 var errOutOfBits = errors.New("tsdb: compressed block truncated")
 
-func (r *bitReader) readBit() (bool, error) {
-	if r.pos >= len(r.buf) {
-		return false, errOutOfBits
+// refill tops the accumulator up from buf: a whole word when the
+// accumulator is empty and eight bytes remain, byte by byte otherwise.
+func (r *bitReader) refill() {
+	if r.n == 0 && r.pos+8 <= len(r.buf) {
+		r.acc = binary.BigEndian.Uint64(r.buf[r.pos:])
+		r.pos += 8
+		r.n = 64
+		return
 	}
-	b := r.buf[r.pos]&(1<<r.bit) != 0
-	if r.bit == 0 {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << (56 - r.n)
 		r.pos++
-		r.bit = 7
-	} else {
-		r.bit--
+		r.n += 8
 	}
-	return b, nil
 }
 
+func (r *bitReader) readBit() (bool, error) {
+	v, err := r.readBits(1)
+	return v == 1, err
+}
+
+// readBits returns the next n bits (n ≤ 64), MSB first.
 func (r *bitReader) readBits(n uint) (uint64, error) {
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.readBit()
-		if err != nil {
-			return 0, err
-		}
-		v <<= 1
-		if b {
-			v |= 1
+	if r.n < n {
+		r.refill()
+		if r.n < n {
+			if r.pos < len(r.buf) {
+				// A field wider than refill can top up in one go (an
+				// unaligned accumulator caps out below 64): drain the
+				// accumulator, then read the rest from a fresh word.
+				k := r.n
+				hi, err := r.readBits(k)
+				if err != nil {
+					return 0, err
+				}
+				lo, err := r.readBits(n - k)
+				if err != nil {
+					return 0, err
+				}
+				return hi<<(n-k) | lo, nil
+			}
+			return 0, errOutOfBits
 		}
 	}
+	v := r.acc >> (64 - n)
+	r.acc <<= n
+	r.n -= n
 	return v, nil
 }
 
@@ -120,7 +183,7 @@ func (e *blockEncoder) add(ts int64, v float64) {
 // writeVarDelta stores the first delta as a 33-bit signed value
 // (sufficient for ~24 days in ms).
 func (e *blockEncoder) writeVarDelta(d int64) {
-	e.w.writeBits(uint64(d)&((1<<33)-1), 33)
+	e.w.writeBits(uint64(d), 33)
 }
 
 // writeDoD uses the Gorilla bucket scheme scaled for millisecond
@@ -131,14 +194,11 @@ func (e *blockEncoder) writeDoD(dod int64) {
 	case dod == 0:
 		e.w.writeBit(false)
 	case dod >= -8191 && dod <= 8192:
-		e.w.writeBits(0b10, 2)
-		e.w.writeBits(uint64(dod+8191)&((1<<14)-1), 14)
+		e.w.writeBits(0b10<<14|uint64(dod+8191)&lowMask(14), 16)
 	case dod >= -65535 && dod <= 65536:
-		e.w.writeBits(0b110, 3)
-		e.w.writeBits(uint64(dod+65535)&((1<<17)-1), 17)
+		e.w.writeBits(0b110<<17|uint64(dod+65535)&lowMask(17), 20)
 	case dod >= -524287 && dod <= 524288:
-		e.w.writeBits(0b1110, 4)
-		e.w.writeBits(uint64(dod+524287)&((1<<20)-1), 20)
+		e.w.writeBits(0b1110<<20|uint64(dod+524287)&lowMask(20), 24)
 	default:
 		e.w.writeBits(0b1111, 4)
 		e.w.writeBits(uint64(dod), 64)
@@ -164,17 +224,106 @@ func (e *blockEncoder) writeXOR(v uint64) {
 		return
 	}
 	e.leading, e.trailing = leading, trailing
-	e.w.writeBit(true)
-	e.w.writeBits(uint64(leading), 5)
 	sig := 64 - leading - trailing
-	// Store sig-1 in 6 bits (sig in 1..64).
-	e.w.writeBits(uint64(sig-1), 6)
+	// '1' marker, 5 bits of leading, then sig-1 in 6 bits (sig in 1..64).
+	e.w.writeBits(1<<11|uint64(leading)<<6|uint64(sig-1), 12)
 	e.w.writeBits(xor>>trailing, uint(sig))
 }
 
 // finish returns the compressed block bytes and point count.
 func (e *blockEncoder) finish() ([]byte, int) {
-	return e.w.buf, e.n
+	return e.w.bytes(), e.n
+}
+
+// blockCursor decodes a compressed block one point per next() call —
+// the read primitive under every scan, so a downsample fold or k-way
+// merge consumes points without the block ever materializing.
+type blockCursor struct {
+	r        bitReader
+	n        int // total points in the block
+	i        int // points decoded so far
+	ts       int64
+	delta    int64
+	val      uint64
+	leading  uint8
+	trailing uint8
+}
+
+// reset points the cursor at a block, reusing its storage.
+func (c *blockCursor) reset(data []byte, n int) {
+	*c = blockCursor{r: bitReader{buf: data}, n: n}
+}
+
+// next decodes the next point; ok is false at the end of the block.
+func (c *blockCursor) next() (Point, bool, error) {
+	if c.i >= c.n {
+		return Point{}, false, nil
+	}
+	switch c.i {
+	case 0:
+		tsBits, err := c.r.readBits(64)
+		if err != nil {
+			return Point{}, false, err
+		}
+		valBits, err := c.r.readBits(64)
+		if err != nil {
+			return Point{}, false, err
+		}
+		c.ts, c.val = int64(tsBits), valBits
+	case 1:
+		d, err := c.r.readBits(33)
+		if err != nil {
+			return Point{}, false, err
+		}
+		// Sign-extend the 33-bit first delta.
+		c.delta = int64(d<<31) >> 31
+		c.ts += c.delta
+		if err := c.readXOR(); err != nil {
+			return Point{}, false, err
+		}
+	default:
+		dod, err := readDoD(&c.r)
+		if err != nil {
+			return Point{}, false, err
+		}
+		c.delta += dod
+		c.ts += c.delta
+		if err := c.readXOR(); err != nil {
+			return Point{}, false, err
+		}
+	}
+	c.i++
+	return Point{Timestamp: c.ts, Value: math.Float64frombits(c.val)}, true, nil
+}
+
+// readXOR applies one XOR-encoded value delta to the cursor state.
+func (c *blockCursor) readXOR() error {
+	nonzero, err := c.r.readBit()
+	if err != nil {
+		return err
+	}
+	if !nonzero {
+		return nil
+	}
+	newWindow, err := c.r.readBit()
+	if err != nil {
+		return err
+	}
+	if newWindow {
+		hdr, err := c.r.readBits(11) // 5 bits leading + 6 bits sig-1
+		if err != nil {
+			return err
+		}
+		c.leading = uint8(hdr >> 6)
+		sig := uint8(hdr&lowMask(6)) + 1
+		c.trailing = 64 - c.leading - sig
+	}
+	x, err := c.r.readBits(uint(64 - c.leading - c.trailing))
+	if err != nil {
+		return err
+	}
+	c.val ^= x << c.trailing
+	return nil
 }
 
 // decodeBlock expands a compressed block back into points.
@@ -182,80 +331,19 @@ func decodeBlock(buf []byte, n int) ([]Point, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	r := newBitReader(buf)
+	var c blockCursor
+	c.reset(buf, n)
 	out := make([]Point, 0, n)
-
-	tsBits, err := r.readBits(64)
-	if err != nil {
-		return nil, err
-	}
-	valBits, err := r.readBits(64)
-	if err != nil {
-		return nil, err
-	}
-	ts := int64(tsBits)
-	val := valBits
-	out = append(out, Point{Timestamp: ts, Value: math.Float64frombits(val)})
-
-	var delta int64
-	leading, trailing := uint8(0), uint8(0)
-
-	readXOR := func() error {
-		nonzero, err := r.readBit()
+	for {
+		p, ok, err := c.next()
 		if err != nil {
-			return err
-		}
-		if !nonzero {
-			return nil
-		}
-		newWindow, err := r.readBit()
-		if err != nil {
-			return err
-		}
-		if newWindow {
-			l, err := r.readBits(5)
-			if err != nil {
-				return err
-			}
-			s, err := r.readBits(6)
-			if err != nil {
-				return err
-			}
-			leading = uint8(l)
-			sig := uint8(s) + 1
-			trailing = 64 - leading - sig
-		}
-		sig := 64 - leading - trailing
-		x, err := r.readBits(uint(sig))
-		if err != nil {
-			return err
-		}
-		val ^= x << trailing
-		return nil
-	}
-
-	for i := 1; i < n; i++ {
-		if i == 1 {
-			d, err := r.readBits(33)
-			if err != nil {
-				return nil, err
-			}
-			// Sign-extend 33-bit value.
-			delta = int64(d<<31) >> 31
-		} else {
-			dod, err := readDoD(r)
-			if err != nil {
-				return nil, err
-			}
-			delta += dod
-		}
-		ts += delta
-		if err := readXOR(); err != nil {
 			return nil, err
 		}
-		out = append(out, Point{Timestamp: ts, Value: math.Float64frombits(val)})
+		if !ok {
+			return out, nil
+		}
+		out = append(out, p)
 	}
-	return out, nil
 }
 
 func readDoD(r *bitReader) (int64, error) {

@@ -1,0 +1,103 @@
+package tsdb
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel group scan: ExecuteStream reduces result groups
+// concurrently on a bounded worker pool but delivers them in group-key
+// order, so callers observe exactly the serial order (and, with the
+// deterministic member ordering in ExecuteStream, bitwise-identical
+// values). Flow control is strict: a group only starts once a pool
+// slot is free, and a slot is freed only after the group's result has
+// been consumed — at most `workers` decoded groups are ever resident,
+// no matter how unevenly group sizes are distributed.
+
+// SetScanParallelism bounds the number of groups ExecuteStream
+// reduces concurrently. n ≤ 0 restores the default (GOMAXPROCS).
+func (db *DB) SetScanParallelism(n int) {
+	db.scanPar.Store(int32(n))
+}
+
+// scanWorkers resolves the worker count for a scan over n groups.
+func (db *DB) scanWorkers(n int) int {
+	w := int(db.scanPar.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// scratchPool recycles per-worker scratch buffers across scans.
+var scratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+// scanOrdered runs compute(i) for i in [0, n) on a pool of at most
+// `workers` goroutines and calls consume(i, v) strictly in index
+// order. The first error — compute errors in index order, or a
+// consume error — aborts the scan and is returned; remaining workers
+// drain into their buffered slots and exit. With workers ≤ 1 the scan
+// degenerates to a plain loop with zero goroutines.
+func scanOrdered[T any](workers, n int, compute func(i int, sc *execScratch) (T, error), consume func(i int, v T) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		sc := scratchPool.Get().(*execScratch)
+		defer scratchPool.Put(sc)
+		for i := 0; i < n; i++ {
+			v, err := compute(i, sc)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	res := make([]chan slot, n)
+	for i := range res {
+		res[i] = make(chan slot, 1)
+	}
+	done := make(chan struct{})
+	defer close(done)
+	// sem tickets bound in-flight groups: acquired by the dispatcher
+	// before a group starts, released by the consumer loop after its
+	// result is handed over.
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				return
+			}
+			go func(i int) {
+				sc := scratchPool.Get().(*execScratch)
+				v, err := compute(i, sc)
+				scratchPool.Put(sc)
+				res[i] <- slot{v, err}
+			}(i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		out := <-res[i]
+		<-sem
+		if out.err != nil {
+			return out.err
+		}
+		if err := consume(i, out.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

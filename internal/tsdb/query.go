@@ -47,6 +47,22 @@ func (a Aggregator) Apply(vals []float64) float64 {
 
 // apply reduces a non-empty value slice.
 func (a Aggregator) apply(vals []float64) float64 {
+	return a.applyWith(vals, nil)
+}
+
+// execScratch holds the reusable buffers one query worker carries
+// through a scan: percentile reductions sort into sorted instead of
+// allocating and copying per bucket, and the cross-series merge
+// collects each timestamp's contributions into vals. One scratch
+// serves one goroutine at a time.
+type execScratch struct {
+	sorted []float64
+	vals   []float64
+}
+
+// applyWith reduces a non-empty value slice, borrowing sc (when
+// non-nil) for reductions that need working memory.
+func (a Aggregator) applyWith(vals []float64, sc *execScratch) float64 {
 	switch a {
 	case AggSum:
 		s := 0.0
@@ -79,13 +95,13 @@ func (a Aggregator) apply(vals []float64) float64 {
 	case AggCount:
 		return float64(len(vals))
 	case AggP50:
-		return percentile(vals, 0.50)
+		return percentile(vals, 0.50, sc)
 	case AggP95:
-		return percentile(vals, 0.95)
+		return percentile(vals, 0.95, sc)
 	case AggP99:
-		return percentile(vals, 0.99)
+		return percentile(vals, 0.99, sc)
 	case AggDev:
-		mean := AggAvg.apply(vals)
+		mean := AggAvg.applyWith(vals, sc)
 		ss := 0.0
 		for _, v := range vals {
 			d := v - mean
@@ -97,8 +113,18 @@ func (a Aggregator) apply(vals []float64) float64 {
 	}
 }
 
-func percentile(vals []float64, p float64) float64 {
-	s := append([]float64(nil), vals...)
+// percentile computes the linearly-interpolated p-quantile. The sort
+// runs on a copy of vals — taken from the scratch when one is
+// available, so a query sorts into one buffer instead of allocating
+// per bucket.
+func percentile(vals []float64, p float64, sc *execScratch) float64 {
+	var s []float64
+	if sc != nil {
+		sc.sorted = append(sc.sorted[:0], vals...)
+		s = sc.sorted
+	} else {
+		s = append([]float64(nil), vals...)
+	}
 	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]
@@ -199,11 +225,13 @@ func (db *DB) Execute(q Query) ([]ResultSeries, error) {
 
 // ExecuteStream runs the query, yielding result series one at a time
 // in deterministic order (group key order; with SeriesLimit, rank
-// order). Only the group currently being reduced has its points
-// materialized — with SeriesLimit additionally the K retained series —
-// so a wide query's memory is bounded by its largest single group, not
-// the whole result. A non-nil error from yield aborts the scan and is
-// returned unchanged.
+// order). Groups are reduced concurrently on a bounded worker pool
+// (see SetScanParallelism) but always delivered in key order, so
+// output is identical to a serial scan. Only the groups currently in
+// flight have points materialized — with SeriesLimit additionally the
+// K retained series — so a wide query's memory is bounded by a few
+// groups, not the whole result. A non-nil error from yield aborts the
+// scan and is returned unchanged.
 func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 	if err := q.Validate(); err != nil {
 		return err
@@ -227,7 +255,7 @@ func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
-		for _, s := range sh.series {
+		for key, s := range sh.series {
 			if s.metric != q.Metric || !tagsMatch(q.Tags, s.tags) {
 				continue
 			}
@@ -241,47 +269,87 @@ func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 				groupKeys = append(groupKeys, gk)
 				groupTags[gk] = gt
 			}
-			groups[gk] = append(groups[gk], matched{s, sh})
+			groups[gk] = append(groups[gk], matched{s, sh, key})
 		}
 		sh.mu.RUnlock()
 	}
 	sort.Strings(groupKeys)
+	// Deterministic member order (shard map iteration is not): the
+	// cross-series reduction then applies floating-point operations in
+	// a stable order, so repeated and parallel runs agree bitwise.
+	for _, ms := range groups {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].key < ms[j].key })
+	}
 
 	if q.SeriesLimit > 0 {
 		return db.streamLimited(q, groups, groupTags, groupKeys, yield)
 	}
-	for _, gk := range groupKeys {
-		rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk])
+	type groupOut struct {
+		rs ResultSeries
+		ok bool
+	}
+	return scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys),
+		func(i int, sc *execScratch) (groupOut, error) {
+			gk := groupKeys[i]
+			rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk], sc)
+			return groupOut{rs, ok}, err
+		},
+		func(i int, g groupOut) error {
+			if !g.ok {
+				return nil
+			}
+			return yield(g.rs)
+		})
+}
+
+// groupSeries reduces one group's member series to its result series,
+// streaming every member through per-point cursors: points decode
+// straight into the downsample fold and the k-way interpolating
+// merge, so only the merged result is ever materialized. ok is false
+// when no member has points in range.
+func (db *DB) groupSeries(q Query, members []matched, gt map[string]string, sc *execScratch) (ResultSeries, bool, error) {
+	// Prime one cursor per member, dropping members with nothing in
+	// range — a group with a single live member passes its points
+	// through unreduced, matching the materializing semantics.
+	live := make([]memberCursor, 0, len(members))
+	maxEst := 0
+	for _, m := range members {
+		src, est, err := db.memberSource(m, q, sc)
 		if err != nil {
-			return err
+			return ResultSeries{}, false, err
+		}
+		p, ok, err := src.next()
+		if err != nil {
+			return ResultSeries{}, false, err
 		}
 		if !ok {
 			continue
 		}
-		if err := yield(rs); err != nil {
-			return err
+		if est > maxEst {
+			maxEst = est
 		}
+		live = append(live, memberCursor{src: src, head: p, hasHead: true})
 	}
-	return nil
-}
-
-// groupSeries reduces one group's member series to its result series.
-// ok is false when no member has points in range.
-func (db *DB) groupSeries(q Query, members []matched, gt map[string]string) (ResultSeries, bool, error) {
-	var seriesPts [][]Point
-	for _, m := range members {
-		pts, err := db.memberPoints(m, q)
-		if err != nil {
-			return ResultSeries{}, false, err
-		}
-		if len(pts) > 0 {
-			seriesPts = append(seriesPts, pts)
-		}
-	}
-	if len(seriesPts) == 0 {
+	if len(live) == 0 {
 		return ResultSeries{}, false, nil
 	}
-	merged := aggregateSeries(seriesPts, q.Aggregator)
+
+	// Preallocate the merged result from the cursor estimate (capped:
+	// it is a guess, not a commitment).
+	if maxEst > 1<<14 {
+		maxEst = 1 << 14
+	}
+	merged := make([]Point, 0, maxEst)
+	var err error
+	if len(live) == 1 {
+		merged = append(merged, live[0].head)
+		merged, err = drainSource(live[0].src, merged)
+	} else {
+		merged, err = mergeAggregate(live, q.Aggregator, sc, merged)
+	}
+	if err != nil {
+		return ResultSeries{}, false, err
+	}
 	if q.Rate {
 		merged = rate(merged)
 	}
@@ -298,8 +366,9 @@ func (db *DB) groupSeries(q Query, members []matched, gt map[string]string) (Res
 
 // matched pairs a series with its shard for later lock-free reads.
 type matched struct {
-	s  *memSeries
-	sh *shard
+	s   *memSeries
+	sh  *shard
+	key string
 }
 
 // RollupPlanner serves a downsampled read of one series from
@@ -324,35 +393,86 @@ func (db *DB) SetRollupPlanner(p RollupPlanner) {
 	db.planner.Store(&p)
 }
 
-// memberPoints produces one member series' contribution to a query:
-// the rollup planner's pre-aggregated buckets when one is installed
-// and can serve the downsample, otherwise a raw scan (+ downsample).
-func (db *DB) memberPoints(m matched, q Query) ([]Point, error) {
-	fn := q.DownsampleFn
+// memberPlan is the one place the member read policy lives: it
+// resolves the effective downsample fn and interval, and when a
+// rollup planner is installed and can serve the downsample, streams
+// the served buckets to each and reports served=true. memberSource
+// and memberEach both dispatch through it, so planner fallback and
+// downsample gating cannot drift between the query path and the
+// topk scoring path.
+func (db *DB) memberPlan(m matched, q Query, each func(Point) error) (fn Aggregator, ds int64, served bool, err error) {
+	fn = q.DownsampleFn
 	if fn == "" {
 		fn = q.Aggregator
 	}
-	if q.Downsample > 0 {
+	ds = q.Downsample.Milliseconds()
+	if ds > 0 {
 		if pp := db.planner.Load(); pp != nil {
-			var pts []Point
-			ok, err := (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn,
-				func(p Point) error { pts = append(pts, p); return nil })
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				return pts, nil
-			}
+			served, err = (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn, each)
 		}
 	}
-	pts, err := db.rawPoints(m.s, m.sh, q.Start, q.End)
+	return fn, ds, served, err
+}
+
+// memberSource builds one member series' contribution to a query as
+// a point cursor: the rollup planner's pre-aggregated buckets when
+// one is installed and can serve the downsample, otherwise the raw
+// block cursor fused straight into the downsample fold — no
+// intermediate []Point between decode and bucket reduction. est is an
+// upper bound on the points the source can yield, for output
+// preallocation.
+func (db *DB) memberSource(m matched, q Query, sc *execScratch) (pointSource, int, error) {
+	var pts []Point
+	fn, ds, served, err := db.memberPlan(m, q, func(p Point) error { pts = append(pts, p); return nil })
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if q.Downsample > 0 {
-		pts = downsample(pts, q.Downsample, fn)
+	if served {
+		return &sliceSource{pts: pts}, len(pts), nil
 	}
-	return pts, nil
+	src, est, err := db.seriesSource(m.s, m.sh, q.Start, q.End)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ds > 0 {
+		if buckets := (q.End-q.Start)/ds + 2; buckets < int64(est) {
+			est = int(buckets)
+		}
+		src = &downsampleSource{src: src, ms: ds, fn: fn, sc: sc}
+	}
+	return src, est, nil
+}
+
+// memberEach streams one member series' post-downsample points to
+// each without materializing them anywhere: planner-served buckets
+// pass straight through, raw scans fold inside the cursor. This is
+// the read under topk/bottomk scoring — ranking a series touches no
+// member point slice, and when a rollup tier covers the range, no raw
+// block either.
+func (db *DB) memberEach(m matched, q Query, sc *execScratch, each func(Point) error) error {
+	fn, ds, served, err := db.memberPlan(m, q, each)
+	if err != nil || served {
+		return err
+	}
+	src, _, err := db.seriesSource(m.s, m.sh, q.Start, q.End)
+	if err != nil {
+		return err
+	}
+	if ds > 0 {
+		src = &downsampleSource{src: src, ms: ds, fn: fn, sc: sc}
+	}
+	for {
+		p, ok, err := src.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := each(p); err != nil {
+			return err
+		}
+	}
 }
 
 // Downsample buckets points into fixed epoch-aligned intervals
@@ -425,68 +545,70 @@ func downsample(pts []Point, interval time.Duration, fn Aggregator) []Point {
 	return out
 }
 
-// aggregateSeries combines multiple series into one by aggregating at
-// the union of timestamps, linearly interpolating series that lack an
-// exact sample (OpenTSDB semantics). Series contribute only within
-// their own [first, last] time span.
-func aggregateSeries(series [][]Point, agg Aggregator) []Point {
-	if len(series) == 1 {
-		return series[0]
-	}
-	// Union of timestamps.
-	tsSet := map[int64]bool{}
-	for _, s := range series {
-		for _, p := range s {
-			tsSet[p.Timestamp] = true
-		}
-	}
-	tss := make([]int64, 0, len(tsSet))
-	for ts := range tsSet {
-		tss = append(tss, ts)
-	}
-	sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
-
-	idx := make([]int, len(series))
-	out := make([]Point, 0, len(tss))
-	vals := make([]float64, 0, len(series))
-	for _, ts := range tss {
-		vals = vals[:0]
-		for si, s := range series {
-			// Advance the cursor to the last point ≤ ts.
-			for idx[si]+1 < len(s) && s[idx[si]+1].Timestamp <= ts {
-				idx[si]++
-			}
-			v, ok := valueAt(s, idx[si], ts)
-			if ok {
-				vals = append(vals, v)
-			}
-		}
-		if len(vals) > 0 {
-			out = append(out, Point{Timestamp: ts, Value: agg.apply(vals)})
-		}
-	}
-	return out
+// memberCursor is one member's window into the k-way merge: prev is
+// the last point at or before the current union timestamp, head the
+// first one after it — the two points interpolation needs, and all a
+// member ever keeps resident.
+type memberCursor struct {
+	src     pointSource
+	prev    Point
+	head    Point
+	hasPrev bool
+	hasHead bool
 }
 
-// valueAt returns the series value at ts, interpolating between the
-// cursor point and the next; ok is false outside the series span.
-func valueAt(s []Point, cursor int, ts int64) (float64, bool) {
-	if len(s) == 0 {
-		return 0, false
+// mergeAggregate combines the primed member cursors into one series
+// by aggregating at the union of timestamps, linearly interpolating
+// members that lack an exact sample (OpenTSDB semantics). Members
+// contribute only within their own [first, last] time span. It is the
+// streaming equivalent of the classic materialize-then-walk
+// reduction: each union timestamp is found as the minimum of the
+// member heads, so one pass over K cursors replaces the timestamp-set
+// map, its sort, and K materialized member slices.
+func mergeAggregate(members []memberCursor, agg Aggregator, sc *execScratch, out []Point) ([]Point, error) {
+	for {
+		// Next union timestamp: the earliest unconsumed head.
+		ts, any := int64(0), false
+		for i := range members {
+			if members[i].hasHead && (!any || members[i].head.Timestamp < ts) {
+				ts, any = members[i].head.Timestamp, true
+			}
+		}
+		if !any {
+			return out, nil
+		}
+		// Advance members so prev is the last point ≤ ts.
+		for i := range members {
+			m := &members[i]
+			for m.hasHead && m.head.Timestamp <= ts {
+				m.prev, m.hasPrev = m.head, true
+				p, ok, err := m.src.next()
+				if err != nil {
+					return nil, err
+				}
+				m.head, m.hasHead = p, ok
+			}
+		}
+		// Collect contributions at ts, in member order.
+		sc.vals = sc.vals[:0]
+		for i := range members {
+			m := &members[i]
+			switch {
+			case !m.hasPrev:
+				// Before the member's first point: no contribution.
+			case m.prev.Timestamp == ts:
+				sc.vals = append(sc.vals, m.prev.Value)
+			case !m.hasHead:
+				// After the member's last point: no contribution.
+			default:
+				frac := float64(ts-m.prev.Timestamp) / float64(m.head.Timestamp-m.prev.Timestamp)
+				sc.vals = append(sc.vals, m.prev.Value+frac*(m.head.Value-m.prev.Value))
+			}
+		}
+		if len(sc.vals) > 0 {
+			out = append(out, Point{Timestamp: ts, Value: agg.applyWith(sc.vals, sc)})
+		}
 	}
-	p := s[cursor]
-	if p.Timestamp == ts {
-		return p.Value, true
-	}
-	if p.Timestamp > ts {
-		return 0, false // before first point
-	}
-	if cursor+1 >= len(s) {
-		return 0, false // after last point
-	}
-	next := s[cursor+1]
-	frac := float64(ts-p.Timestamp) / float64(next.Timestamp-p.Timestamp)
-	return p.Value + frac*(next.Value-p.Value), true
 }
 
 // rate converts a series to per-second first differences.

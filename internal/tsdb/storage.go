@@ -26,6 +26,9 @@ type DB struct {
 	// planner, when installed, serves downsampled per-series reads
 	// from pre-aggregated rollup tiers instead of raw block scans.
 	planner atomic.Pointer[RollupPlanner]
+
+	// scanPar bounds the parallel group scan; ≤0 means GOMAXPROCS.
+	scanPar atomic.Int32
 }
 
 const (
@@ -333,33 +336,22 @@ func (db *DB) ScanSeries(metricPrefix string, filter map[string]string, start, e
 }
 
 // rawPoints returns the series' points within [start, end], merging
-// sealed blocks and head. Caller must NOT hold the shard lock.
+// sealed blocks and head through the streaming cursor. Caller must
+// NOT hold the shard lock.
 func (db *DB) rawPoints(s *memSeries, sh *shard, start, end int64) ([]Point, error) {
-	sh.mu.RLock()
-	blocks := s.blocks
-	head := append([]Point(nil), s.head...)
-	sh.mu.RUnlock()
-
-	var out []Point
-	for _, b := range blocks {
-		if b.maxTS < start || b.minTS > end {
-			continue
-		}
-		pts, err := decodeBlock(b.data, b.n)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
-			if p.Timestamp >= start && p.Timestamp <= end {
-				out = append(out, p)
-			}
-		}
+	src, est, err := db.seriesSource(s, sh, start, end)
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range head {
-		if p.Timestamp >= start && p.Timestamp <= end {
-			out = append(out, p)
-		}
+	if est == 0 {
+		return nil, nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	out, err := drainSource(src, make([]Point, 0, est))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
 	return out, nil
 }

@@ -1,11 +1,16 @@
 package tsdb
 
 // Server-side topk/bottomk: Query.SeriesLimit keeps only the K result
-// series ranking highest (or lowest) by score. Selection runs over the
-// same lazy per-group reduction as a plain streamed query, holding at
-// most K finished series in a bounded heap — a wide fan-out query
-// serializes (and the caller ever sees) exactly K series, no matter
-// how many the filter matched.
+// series ranking highest (or lowest) by score. Ranking is lazy: a
+// group's score is folded straight off its member cursor — served
+// from rollup tier statistics (sums/counts) when a tier covers the
+// range, so selection touches no member points — and only the K
+// winning groups are ever materialized into result series. Groups
+// that need cross-series aggregation or rate conversion fall back to
+// a full reduction for scoring. Selection runs on a bounded heap, so
+// retention is O(K); peak residency adds the scan pool's in-flight
+// window (at most scanWorkers full reductions awaiting in-order
+// consumption), never the whole fan-out.
 
 import (
 	"container/heap"
@@ -29,19 +34,22 @@ func SeriesScore(pts []Point) float64 {
 	return s / float64(len(pts))
 }
 
-// rankedSeries pairs a finished result series with its rank inputs.
-type rankedSeries struct {
+// scoredGroup is one group's rank entry. rs is only populated when
+// scoring required a full reduction (full=true); cheaply-scored
+// winners materialize after selection.
+type scoredGroup struct {
 	rs    ResultSeries
+	full  bool
 	score float64
 	gk    string // group key: the deterministic tie-break
 }
 
-// limitHeap is a bounded heap of the K best series seen so far. The
+// limitHeap is a bounded heap of the K best groups seen so far. The
 // root is always the *worst* retained entry, so a better candidate
 // replaces it in O(log K). worse() defines "worst" for the requested
 // direction (topk evicts the lowest score, bottomk the highest).
 type limitHeap struct {
-	entries []rankedSeries
+	entries []scoredGroup
 	lowest  bool // bottomk: keep lowest scores
 }
 
@@ -55,7 +63,7 @@ func (h *limitHeap) Less(i, j int) bool {
 // worse reports whether a ranks strictly worse than b for retention.
 // Ties on score break on group key so selection is deterministic: the
 // lexicographically later key is evicted first.
-func (h *limitHeap) worse(a, b rankedSeries) bool {
+func (h *limitHeap) worse(a, b scoredGroup) bool {
 	if a.score != b.score {
 		if h.lowest {
 			return a.score > b.score
@@ -66,7 +74,7 @@ func (h *limitHeap) worse(a, b rankedSeries) bool {
 }
 
 func (h *limitHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *limitHeap) Push(x any)    { h.entries = append(h.entries, x.(rankedSeries)) }
+func (h *limitHeap) Push(x any)    { h.entries = append(h.entries, x.(scoredGroup)) }
 func (h *limitHeap) Pop() any {
 	old := h.entries
 	n := len(old)
@@ -76,38 +84,75 @@ func (h *limitHeap) Pop() any {
 }
 
 // streamLimited runs topk/bottomk selection over the grouped matches
-// and yields the K winners best-first. Groups are still reduced one at
-// a time; only the retained K series stay resident.
+// and yields the K winners best-first. Scoring runs on the same
+// bounded parallel scan as a plain query, with candidates considered
+// in group-key order so selection is deterministic.
 func (db *DB) streamLimited(q Query, groups map[string][]matched, groupTags map[string]map[string]string, groupKeys []string, yield func(ResultSeries) error) error {
 	h := &limitHeap{lowest: q.LimitLowest}
-	for _, gk := range groupKeys {
-		rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk])
-		if err != nil {
-			return err
-		}
-		if !ok {
-			continue
-		}
-		score := SeriesScore(rs.Points)
-		if math.IsNaN(score) {
-			continue // empty series (e.g. rate over one point) never rank
-		}
-		cand := rankedSeries{rs: rs, score: score, gk: gk}
-		if h.Len() < q.SeriesLimit {
-			heap.Push(h, cand)
-			continue
-		}
-		if h.worse(h.entries[0], cand) {
-			h.entries[0] = cand
-			heap.Fix(h, 0)
-		}
+	err := scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys),
+		func(i int, sc *execScratch) (scoredGroup, error) {
+			gk := groupKeys[i]
+			members := groups[gk]
+			if len(members) == 1 && !q.Rate {
+				// Single-member, non-rate group: the result series is the
+				// member's post-downsample stream unchanged, so its score
+				// folds straight off the cursor — rollup tier statistics
+				// when the planner covers the range, the fused decode
+				// path otherwise. Nothing is materialized.
+				sum, n := 0.0, 0
+				err := db.memberEach(members[0], q, sc, func(p Point) error {
+					sum += p.Value
+					n++
+					return nil
+				})
+				if err != nil || n == 0 {
+					return scoredGroup{score: math.NaN(), gk: gk}, err
+				}
+				return scoredGroup{score: sum / float64(n), gk: gk}, nil
+			}
+			rs, ok, err := db.groupSeries(q, members, groupTags[gk], sc)
+			if err != nil || !ok {
+				return scoredGroup{score: math.NaN(), gk: gk}, err
+			}
+			return scoredGroup{rs: rs, full: true, score: SeriesScore(rs.Points), gk: gk}, nil
+		},
+		func(i int, cand scoredGroup) error {
+			if math.IsNaN(cand.score) {
+				return nil // empty series (e.g. rate over one point) never rank
+			}
+			if h.Len() < q.SeriesLimit {
+				heap.Push(h, cand)
+				return nil
+			}
+			if h.worse(h.entries[0], cand) {
+				h.entries[0] = cand
+				heap.Fix(h, 0)
+			}
+			return nil
+		})
+	if err != nil {
+		return err
 	}
 	// Yield best-first: sort the survivors by rank (best = what worse()
-	// orders last).
+	// orders last), materializing the lazily-scored winners now — only
+	// K reductions, each typically rollup-served.
 	winners := h.entries
 	sort.Slice(winners, func(i, j int) bool { return h.worse(winners[j], winners[i]) })
+	sc := scratchPool.Get().(*execScratch)
+	defer scratchPool.Put(sc)
 	for _, w := range winners {
-		if err := yield(w.rs); err != nil {
+		rs := w.rs
+		if !w.full {
+			var ok bool
+			rs, ok, err = db.groupSeries(q, groups[w.gk], groupTags[w.gk], sc)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // aged out since scoring (concurrent retention)
+			}
+		}
+		if err := yield(rs); err != nil {
 			return err
 		}
 	}
