@@ -74,6 +74,50 @@ func BenchmarkGatewayIngest(b *testing.B) {
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "points/s")
 }
 
+// BenchmarkIngestE2E measures the ingest hot path end to end — raw
+// /api/put body bytes → pooled streaming decode → edge interning →
+// bounded queue → worker group-commit into the store — without TCP in
+// the way: the handler is driven directly, and the run does not
+// finish until every point is stored. allocs/op here is the
+// zero-allocation-ingest headline the CI gate watches.
+func BenchmarkIngestE2E(b *testing.B) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	gw := api.New(db, nil, api.Config{QueueSize: 1 << 16})
+	defer gw.Close()
+	handler := gw.Handler()
+
+	const batch = 100
+	startMS := time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	bodies := make([][]byte, 8)
+	for i := range bodies {
+		bodies[i] = gatewayPutBatch(batch, fmt.Sprintf("e2e-%02d", i), startMS)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/put", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := req.Clone(req.Context())
+		r.Body = io.NopCloser(bytes.NewReader(bodies[i%len(bodies)]))
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, r)
+		if w.Code != http.StatusNoContent {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	// The batch is only "ingested" once a worker stored it: include
+	// the drain in the measured window so points/s is true throughput.
+	want := b.N * batch
+	for db.PointCount() < want {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(want)/b.Elapsed().Seconds(), "points/s")
+}
+
 // BenchmarkGatewayQuery measures /api/query latency over a 3-day
 // Trondheim pilot store, cold (cache disabled) and cached.
 func BenchmarkGatewayQuery(b *testing.B) {

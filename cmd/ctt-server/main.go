@@ -47,12 +47,14 @@ import (
 )
 
 var (
-	city      = flag.String("city", "trondheim", "pilot deployment: trondheim or vejle")
-	days      = flag.Int("days", 3, "simulated days of history to fast-forward before serving")
-	addr      = flag.String("addr", "127.0.0.1:4242", "listen address for gateway + dashboard")
-	seed      = flag.Int64("seed", 1, "simulation seed")
-	tick      = flag.Duration("tick", time.Second, "wall-clock time per simulated reporting interval (0 = freeze)")
-	walDir    = flag.String("wal", "", "enable TSDB persistence in this directory")
+	city    = flag.String("city", "trondheim", "pilot deployment: trondheim or vejle")
+	days    = flag.Int("days", 3, "simulated days of history to fast-forward before serving")
+	addr    = flag.String("addr", "127.0.0.1:4242", "listen address for gateway + dashboard")
+	seed    = flag.Int64("seed", 1, "simulation seed")
+	tick    = flag.Duration("tick", time.Second, "wall-clock time per simulated reporting interval (0 = freeze)")
+	walDir  = flag.String("wal", "", "enable TSDB persistence in this directory")
+	walSync = flag.Duration("wal-sync-interval", time.Second,
+		"fsync the WAL this often (0 = only on shutdown); group commits buffer between syncs")
 	queueSize = flag.Int("queue", 4096, "ingest queue capacity (points)")
 	workers   = flag.Int("workers", 4, "ingest worker goroutines")
 	rateLimit = flag.Float64("rate-limit", 0, "per-client ingest limit in points/sec (0 = off)")
@@ -223,6 +225,26 @@ func main() {
 	// and dashboard panels see fresh data.
 	stop := make(chan struct{})
 	var stepper sync.WaitGroup
+	// Periodic WAL fsync: group commits land in the OS buffer per
+	// batch; this bounds how much a power loss can lose.
+	if *walDir != "" && *walSync > 0 {
+		stepper.Add(1)
+		go func() {
+			defer stepper.Done()
+			ticker := time.NewTicker(*walSync)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					if err := sys.DB.Sync(); err != nil {
+						log.Printf("wal sync: %v", err)
+					}
+				}
+			}
+		}()
+	}
 	if *tick > 0 {
 		stepper.Add(1)
 		go func() {

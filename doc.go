@@ -36,21 +36,37 @@
 // dashboards — the closest analogue of the paper's deployed CTT
 // cloud.
 //
-// Performance: the storage engine's Gorilla codec does word-granular
-// bit I/O (a 64-bit buffered word, one masked shift per field; byte
-// stream unchanged and fuzz-pinned to a bit-at-a-time reference), and
-// the query path reads through per-point cursors — sealed blocks
-// decode directly into the downsample fold and the k-way
-// interpolating cross-series merge, with one per-query scratch buffer
-// replacing per-bucket percentile sort copies. ExecuteStream reduces
-// result groups concurrently on a bounded worker pool while
+// Performance, write path: ingest is zero-allocation per point for
+// previously-seen series. A sharded interning registry resolves
+// (metric, tags) to a stable handle (tsdb.Ref: SeriesID, canonical
+// tags, storage slot) via an order-independent tag hash — no tag
+// sorting, no key strings — and that one resolution is carried
+// through the whole pipeline: the HTTP edge decodes /api/put arrays
+// streamingly into pooled scratch and interns from raw bytes, the
+// telnet edge parses put lines zero-copy, the bounded ingest queue
+// moves compact (Ref, Point) pairs, the WAL group-commits a batch
+// with one lock acquisition and one buffered write (series identity
+// as dictionary records, points as packed 20-byte entries; legacy
+// per-point logs replay and migrate on open; retention passes rewrite
+// the log from live state so it stops growing), observers get one
+// batch-granular fan-out call, and the rollup engine keys its windows
+// by SeriesID.
+//
+// Performance, read path: the storage engine's Gorilla codec does
+// word-granular bit I/O (a 64-bit buffered word, one masked shift per
+// field; byte stream unchanged and fuzz-pinned to a bit-at-a-time
+// reference), and the query path reads through per-point cursors —
+// sealed blocks decode directly into the downsample fold and the
+// k-way interpolating cross-series merge, with one per-query scratch
+// buffer replacing per-bucket percentile sort copies. ExecuteStream
+// reduces result groups concurrently on a bounded worker pool while
 // delivering them in deterministic group-key order, and topk/bottomk
 // candidates are ranked by folding member cursors (served from rollup
 // tier statistics when a tier covers the range) so only the K winners
-// ever materialize. CI enforces a bench-regression gate: gateway and
-// tsdb benchmark medians (ns/op and allocs/op) are compared against
-// ci/bench_baseline.json (see ci/benchcmp) and a >30% slowdown fails
-// the build; BENCH_tsdb.json records the storage-engine trajectory.
-// See README.md ("Performance") for numbers, a quickstart and an
-// architecture sketch.
+// ever materialize. CI enforces a bench-regression gate: gateway,
+// tsdb and lineproto benchmark medians (ns/op and allocs/op) are
+// compared against ci/bench_baseline.json (see ci/benchcmp) and a
+// >30% slowdown fails the build; BENCH_tsdb.json records the
+// storage-engine trajectory. See README.md ("Performance") for
+// numbers, a quickstart and an architecture sketch.
 package repro

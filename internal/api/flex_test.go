@@ -1,0 +1,75 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestFlexStrictQuoting: the flexible number decoders accept a bare
+// number or one fully quoted one — nothing else. The old
+// strings.Trim-based unquoting accepted malformed tokens like
+// `""12""` (trimming both quote pairs) and `12"` (trimming the stray
+// quote); both must now be 400s.
+func TestFlexStrictQuoting(t *testing.T) {
+	cases := []struct {
+		raw string
+		ok  bool
+	}{
+		{`1488326400`, true},
+		{`"1488326400"`, true},
+		{`""12""`, false},
+		{`12"`, false},
+		{`"12`, false},
+		{`"`, false},
+		{`""`, false},
+		{`"12"12"`, false},
+		{`"  12"`, false}, // inner whitespace is not a number
+	}
+	for _, c := range cases {
+		var i flexInt64
+		if err := i.UnmarshalJSON([]byte(c.raw)); (err == nil) != c.ok {
+			t.Errorf("flexInt64(%s): ok=%v, want %v", c.raw, err == nil, c.ok)
+		}
+		var f flexFloat64
+		if err := f.UnmarshalJSON([]byte(c.raw)); (err == nil) != c.ok {
+			t.Errorf("flexFloat64(%s): ok=%v, want %v", c.raw, err == nil, c.ok)
+		}
+	}
+	// Float-only shapes.
+	var f flexFloat64
+	if err := f.UnmarshalJSON([]byte(`"412.5"`)); err != nil || float64(f) != 412.5 {
+		t.Errorf("flexFloat64 quoted float: %v %v", f, err)
+	}
+	if err := f.UnmarshalJSON([]byte(`412.5"`)); err == nil {
+		t.Error(`flexFloat64 accepted 412.5"`)
+	}
+}
+
+// TestPutRejectsMalformedQuotedNumbers: the strictness reaches the
+// HTTP edge — a batch whose timestamp wears mismatched quotes is a
+// 400, not a stored point.
+func TestPutRejectsMalformedQuotedNumbers(t *testing.T) {
+	g, srv := newTestGateway(t, Config{})
+
+	body := `[{"metric":"air.co2","timestamp":"1488326400","value":"415","tags":{"sensor":"ok"}}]`
+	resp, err := http.Post(srv.URL+"/api/put", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("fully-quoted numbers must still work: status %d", resp.StatusCode)
+	}
+	waitIngested(t, g, 1)
+
+	bad := `[{"metric":"air.co2","timestamp":"1488326400\"","value":415,"tags":{"sensor":"bad"}}]`
+	resp, err = http.Post(srv.URL+"/api/put", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed quoted timestamp accepted: status %d", resp.StatusCode)
+	}
+}

@@ -108,7 +108,7 @@ type Gateway struct {
 	dp  *dataport.Dataport // optional; enriches /metrics
 	cfg Config
 
-	queue  chan tsdb.DataPoint
+	queue  chan tsdb.RefPoint
 	qmu    sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
@@ -164,7 +164,7 @@ func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
 		db:      db,
 		dp:      dp,
 		cfg:     cfg,
-		queue:   make(chan tsdb.DataPoint, cfg.QueueSize),
+		queue:   make(chan tsdb.RefPoint, cfg.QueueSize),
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		cache:   newQueryCache(cfg.CacheSize),
 		hub:     newStreamHub(cfg.StreamBuffer),
@@ -173,9 +173,15 @@ func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
 	// Every stored point — whether it arrived over HTTP, telnet, or
 	// from an in-process writer like the simulated pilot — feeds the
 	// live stream and invalidates cached queries covering its range.
+	// One batch-granular observer serves both: a 256-point batch costs
+	// one fan-out call, not 512.
 	g.removeObservers = append(g.removeObservers,
-		db.AddObserver(g.hub.publish),
-		db.AddObserver(func(dp tsdb.DataPoint) { g.cache.invalidate(dp.Metric, dp.Timestamp) }),
+		db.AddBatchObserver(func(rps []tsdb.RefPoint) {
+			for _, rp := range rps {
+				g.cache.invalidate(rp.Ref.Metric(), rp.Timestamp)
+			}
+			g.hub.publishBatch(rps)
+		}),
 	)
 	return g
 }
@@ -353,6 +359,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	emit("ctt_tsdb_series", series)
 	emit("ctt_tsdb_points", points)
 	emit("ctt_tsdb_compressed_bytes", compressed)
+	emit("ctt_wal_bytes", g.db.WALBytes())
 	// Raw size baseline: 16 bytes per point (int64 ts + float64 value).
 	if compressed > 0 {
 		emit("ctt_tsdb_compression_ratio", fmt.Sprintf("%.3f", float64(points*16)/float64(compressed)))

@@ -1,13 +1,18 @@
 package api
 
 // Ingest path: POST /api/put accepts a single OpenTSDB-style JSON
-// data point or an array of them. Points pass a per-client token
-// bucket, then an all-or-nothing reservation on the bounded ingest
-// queue; worker goroutines drain the queue in batches into
-// tsdb.AppendBatch. A full queue answers 429 with Retry-After instead
-// of blocking the producer or dropping silently.
+// data point or an array of them. The body is decoded streamingly —
+// one array element at a time into pooled scratch (body buffer,
+// element struct, tag map), each element resolved to an interned
+// tsdb series at the edge — so a 100-point batch costs a handful of
+// pooled buffers instead of a map and struct per point. Points pass a
+// per-client token bucket, then an all-or-nothing reservation on the
+// bounded ingest queue; worker goroutines drain the queue in batches
+// into tsdb.AppendRefs. A full queue answers 429 with Retry-After
+// instead of blocking the producer or dropping silently.
 
 import (
+	"bytes"
 	"compress/gzip"
 	"encoding/json"
 	"errors"
@@ -17,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/tsdb"
@@ -30,20 +36,36 @@ var (
 
 // putPoint is the OpenTSDB /api/put JSON shape. Timestamp and value
 // use flexible decoders because real OpenTSDB accepts both bare and
-// string-quoted numbers.
+// string-quoted numbers. Metric and tags stay raw: RawMessage reuses
+// its backing array across decodes of the same struct, and the raw
+// bytes feed tsdb.InternBytes directly — a previously-seen series
+// resolves without materializing a single string or map entry.
 type putPoint struct {
-	Metric    string            `json:"metric"`
-	Timestamp flexInt64         `json:"timestamp"`
-	Value     flexFloat64       `json:"value"`
-	Tags      map[string]string `json:"tags"`
+	Metric    json.RawMessage `json:"metric"`
+	Timestamp flexInt64       `json:"timestamp"`
+	Value     flexFloat64     `json:"value"`
+	Tags      json.RawMessage `json:"tags"`
+}
+
+// unquoteNumber strips exactly one matched pair of surrounding quotes
+// from a raw JSON token. Anything else — stray, unbalanced or nested
+// quotes like `""12""` or `12"` — is left for the numeric parser to
+// reject, so lax trimming cannot turn a malformed token into a number.
+func unquoteNumber(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		inner := s[1 : len(s)-1]
+		if !strings.Contains(inner, `"`) {
+			return inner
+		}
+	}
+	return s
 }
 
 // flexInt64 decodes 1488326400 or "1488326400".
 type flexInt64 int64
 
 func (v *flexInt64) UnmarshalJSON(b []byte) error {
-	s := strings.Trim(string(b), `"`)
-	n, err := strconv.ParseInt(s, 10, 64)
+	n, err := strconv.ParseInt(unquoteNumber(string(b)), 10, 64)
 	if err != nil {
 		return fmt.Errorf("bad integer %s", b)
 	}
@@ -55,23 +77,12 @@ func (v *flexInt64) UnmarshalJSON(b []byte) error {
 type flexFloat64 float64
 
 func (v *flexFloat64) UnmarshalJSON(b []byte) error {
-	s := strings.Trim(string(b), `"`)
-	f, err := strconv.ParseFloat(s, 64)
+	f, err := strconv.ParseFloat(unquoteNumber(string(b)), 64)
 	if err != nil {
 		return fmt.Errorf("bad number %s", b)
 	}
 	*v = flexFloat64(f)
 	return nil
-}
-
-// toDataPoint normalises an HTTP point: second-precision timestamps
-// (OpenTSDB's default) are scaled to the store's milliseconds.
-func (p putPoint) toDataPoint() tsdb.DataPoint {
-	return tsdb.DataPoint{
-		Metric: p.Metric,
-		Tags:   p.Tags,
-		Point:  tsdb.Point{Timestamp: normalizeMillis(int64(p.Timestamp)), Value: float64(p.Value)},
-	}
 }
 
 // normalizeMillis routes timestamps through the store's one
@@ -80,6 +91,64 @@ func normalizeMillis(n int64) int64 { return tsdb.NormalizeMillis(n) }
 
 // maxPutBody bounds a single /api/put request body (8 MiB).
 const maxPutBody = 8 << 20
+
+// putScratch is the pooled per-request decode state: the body buffer,
+// the one reused element struct (whose RawMessage fields keep their
+// backing arrays), the key/value slice fed to InternBytes, and the
+// interned point slice handed to the queue. Everything is reused
+// across requests; nothing per-point escapes to the heap once the
+// pool is warm.
+type putScratch struct {
+	body     []byte
+	point    putPoint
+	kvs      [][]byte
+	fallback map[string]string // escaped-tags rarity: stdlib decode target
+	pts      []tsdb.RefPoint
+	failures []string
+}
+
+var putScratchPool = sync.Pool{New: func() any {
+	return &putScratch{body: make([]byte, 0, 64<<10)}
+}}
+
+// reset prepares the scratch for one request.
+func (sc *putScratch) reset() {
+	sc.body = sc.body[:0]
+	sc.pts = sc.pts[:0]
+	sc.failures = sc.failures[:0]
+}
+
+// resetPoint clears the reused element between decodes; the
+// RawMessage fields are reset to length zero so their capacity
+// carries over.
+func (sc *putScratch) resetPoint() {
+	p := &sc.point
+	if p.Metric != nil {
+		p.Metric = p.Metric[:0]
+	}
+	p.Timestamp = 0
+	p.Value = 0
+	if p.Tags != nil {
+		p.Tags = p.Tags[:0]
+	}
+}
+
+// readAllInto is io.ReadAll into a reused buffer.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
 
 func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -105,54 +174,30 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnsupportedMediaType, "unsupported Content-Encoding %q", enc)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(reader, maxPutBody+1))
+	sc := putScratchPool.Get().(*putScratch)
+	defer putScratchPool.Put(sc)
+	sc.reset()
+	var err error
+	sc.body, err = readAllInto(sc.body, io.LimitReader(reader, maxPutBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	if len(body) > maxPutBody {
+	if len(sc.body) > maxPutBody {
 		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxPutBody)
 		return
 	}
-	pts, err := decodePutBody(body)
+	total, err := g.decodePutBody(sc)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(pts) == 0 {
+	if total == 0 {
 		httpError(w, http.StatusBadRequest, "no data points")
 		return
 	}
-
-	// Validate up front so the response can report bad points; only
-	// valid ones cost rate-limit tokens and contend for queue space.
-	var (
-		dps      []tsdb.DataPoint
-		failures []string
-	)
-	for i, p := range pts {
-		// The store accepts timestamp 0 (the epoch), but over HTTP a
-		// missing/zero timestamp is almost always an omitted field —
-		// reject it instead of silently burying the point in 1970.
-		if p.Timestamp <= 0 {
-			failures = append(failures, fmt.Sprintf("point %d: timestamp required", i))
-			continue
-		}
-		// A stored NaN/Inf (reachable via quoted "NaN") would make
-		// every query over its range fail to marshal — reject at the
-		// edge.
-		if math.IsNaN(float64(p.Value)) || math.IsInf(float64(p.Value), 0) {
-			failures = append(failures, fmt.Sprintf("point %d: value must be finite", i))
-			continue
-		}
-		dp := p.toDataPoint()
-		if err := dp.Validate(); err != nil {
-			failures = append(failures, fmt.Sprintf("point %d: %v", i, err))
-			continue
-		}
-		dps = append(dps, dp)
-	}
-	g.invalid.Add(uint64(len(failures)))
+	g.invalid.Add(uint64(len(sc.failures)))
+	dps, failures := sc.pts, sc.failures
 
 	// An all-invalid batch stores nothing but still cost a parse and
 	// validation pass; charge one token so a flood of garbage can't
@@ -187,7 +232,7 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
 			return
 		}
-		if err := g.Enqueue(dps); err != nil {
+		if err := g.EnqueueRefs(dps); err != nil {
 			// Nothing was stored: hand the spent tokens back so the
 			// retry the 429 invites isn't then rate-limited.
 			g.limiter.refund(client, float64(len(dps)))
@@ -219,33 +264,216 @@ type putResponse struct {
 	Errors  []string `json:"errors"`
 }
 
-// decodePutBody accepts either one JSON object or a JSON array.
-func decodePutBody(body []byte) ([]putPoint, error) {
+// decodePutBody accepts either one JSON object or a JSON array,
+// decoding array elements one at a time into the scratch's reused
+// element and resolving each to an interned series immediately, so
+// the only per-request products are the RefPoint slice and the
+// failure messages. Returns the total number of elements seen.
+func (g *Gateway) decodePutBody(sc *putScratch) (int, error) {
+	body := sc.body
 	i := 0
 	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' || body[i] == '\r') {
 		i++
 	}
-	if i < len(body) && body[i] == '[' {
-		var pts []putPoint
-		if err := json.Unmarshal(body, &pts); err != nil {
-			return nil, fmt.Errorf("bad JSON array: %v", err)
+	if i < len(body) && body[i] != '[' {
+		sc.resetPoint()
+		if err := json.Unmarshal(body, &sc.point); err != nil {
+			return 0, fmt.Errorf("bad JSON object: %v", err)
 		}
-		return pts, nil
+		if err := g.appendPoint(sc, 0); err != nil {
+			return 0, fmt.Errorf("bad JSON object: %v", err)
+		}
+		return 1, nil
 	}
-	var p putPoint
-	if err := json.Unmarshal(body, &p); err != nil {
-		return nil, fmt.Errorf("bad JSON object: %v", err)
+	dec := json.NewDecoder(bytes.NewReader(body[i:]))
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, fmt.Errorf("bad JSON array: %v", err)
 	}
-	return []putPoint{p}, nil
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return 0, fmt.Errorf("bad JSON array: unexpected %v", tok)
+	}
+	n := 0
+	for dec.More() {
+		sc.resetPoint()
+		if err := dec.Decode(&sc.point); err != nil {
+			return 0, fmt.Errorf("bad JSON array: %v", err)
+		}
+		if err := g.appendPoint(sc, n); err != nil {
+			return 0, fmt.Errorf("bad JSON array: %v", err)
+		}
+		n++
+	}
+	if _, err := dec.Token(); err != nil {
+		return 0, fmt.Errorf("bad JSON array: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return 0, fmt.Errorf("bad JSON array: trailing data after ]")
+	}
+	return n, nil
 }
 
-// Enqueue reserves queue space for the whole batch and enqueues it —
-// all points or none, so callers can retry a 429 without partial
-// writes. Safe for concurrent use. Every point must already have
-// passed DataPoint.Validate (the HTTP handler validates at the edge;
-// in-process feeders must do the same): workers store the queue's
-// contents without re-checking.
-func (g *Gateway) Enqueue(dps []tsdb.DataPoint) error {
+// appendPoint validates the scratch's decoded element and either
+// interns it onto sc.pts or records a per-point failure message for
+// index i. The returned error is reserved for malformed JSON shapes
+// (metric or tags of the wrong type), which reject the whole batch
+// like any other syntax error.
+func (g *Gateway) appendPoint(sc *putScratch, i int) error {
+	p := &sc.point
+	// The store accepts timestamp 0 (the epoch), but over HTTP a
+	// missing/zero timestamp is almost always an omitted field —
+	// reject it instead of silently burying the point in 1970.
+	if p.Timestamp <= 0 {
+		sc.failures = append(sc.failures, fmt.Sprintf("point %d: timestamp required", i))
+		return nil
+	}
+	// A stored NaN/Inf (reachable via quoted "NaN") would make
+	// every query over its range fail to marshal — reject at the
+	// edge.
+	if math.IsNaN(float64(p.Value)) || math.IsInf(float64(p.Value), 0) {
+		sc.failures = append(sc.failures, fmt.Sprintf("point %d: value must be finite", i))
+		return nil
+	}
+	ts := normalizeMillis(int64(p.Timestamp))
+	if !tsdb.ValidTimestamp(ts) {
+		sc.failures = append(sc.failures, fmt.Sprintf("point %d: %v", i, fmt.Errorf("%w: %d", tsdb.ErrBadTimestamp, ts)))
+		return nil
+	}
+	ref, perPoint, err := g.resolveSeries(sc)
+	if err != nil {
+		return err
+	}
+	if perPoint != nil {
+		sc.failures = append(sc.failures, fmt.Sprintf("point %d: %v", i, perPoint))
+		return nil
+	}
+	sc.pts = append(sc.pts, tsdb.RefPoint{
+		Ref:   ref,
+		Point: tsdb.Point{Timestamp: ts, Value: float64(p.Value)},
+	})
+	return nil
+}
+
+// resolveSeries interns the element's raw metric and tags. perPoint
+// carries validation rejections (empty metric, no tags, bad
+// characters); err carries JSON shape violations. The common path —
+// plain strings, no escapes — feeds raw bytes straight to
+// InternBytes; anything carrying escape sequences takes the stdlib
+// route once.
+func (g *Gateway) resolveSeries(sc *putScratch) (ref *tsdb.Ref, perPoint, err error) {
+	p := &sc.point
+	mraw, traw := []byte(p.Metric), []byte(p.Tags)
+	if len(mraw) == 0 || string(mraw) == "null" {
+		return nil, tsdb.ErrEmptyMetric, nil
+	}
+	if len(traw) == 0 || string(traw) == "null" {
+		return nil, tsdb.ErrNoTags, nil
+	}
+	if bytes.IndexByte(mraw, '\\') >= 0 || bytes.IndexByte(traw, '\\') >= 0 {
+		var metric string
+		if uerr := json.Unmarshal(mraw, &metric); uerr != nil {
+			return nil, nil, fmt.Errorf("metric must be a string")
+		}
+		if sc.fallback == nil {
+			sc.fallback = make(map[string]string, 8)
+		} else {
+			clear(sc.fallback)
+		}
+		if uerr := json.Unmarshal(traw, &sc.fallback); uerr != nil {
+			return nil, nil, fmt.Errorf("tags must be an object of strings")
+		}
+		ref, ierr := g.db.Intern(metric, sc.fallback)
+		return ref, ierr, nil
+	}
+	if len(mraw) < 2 || mraw[0] != '"' || mraw[len(mraw)-1] != '"' {
+		return nil, nil, fmt.Errorf("metric must be a string")
+	}
+	kvs, serr := scanTagsObject(traw, sc.kvs[:0])
+	sc.kvs = kvs
+	if serr != nil {
+		return nil, nil, serr
+	}
+	ref, ierr := g.db.InternBytes(mraw[1:len(mraw)-1], kvs)
+	return ref, ierr, nil
+}
+
+// scanTagsObject splits a raw, escape-free, syntax-valid JSON object
+// of string values into alternating key/value byte subslices. The
+// decoder already validated the syntax; this only rejects non-string
+// shapes.
+func scanTagsObject(raw []byte, kvs [][]byte) ([][]byte, error) {
+	errShape := fmt.Errorf("tags must be an object of strings")
+	i := skipJSONSpace(raw, 0)
+	if i >= len(raw) || raw[i] != '{' {
+		return kvs, errShape
+	}
+	i = skipJSONSpace(raw, i+1)
+	if i < len(raw) && raw[i] == '}' {
+		return kvs, nil
+	}
+	for {
+		k, next, ok := scanPlainJSONString(raw, i)
+		if !ok {
+			return kvs, errShape
+		}
+		i = skipJSONSpace(raw, next)
+		if i >= len(raw) || raw[i] != ':' {
+			return kvs, errShape
+		}
+		i = skipJSONSpace(raw, i+1)
+		v, next, ok := scanPlainJSONString(raw, i)
+		if !ok {
+			return kvs, errShape
+		}
+		kvs = append(kvs, k, v)
+		i = skipJSONSpace(raw, next)
+		switch {
+		case i < len(raw) && raw[i] == ',':
+			i = skipJSONSpace(raw, i+1)
+		case i < len(raw) && raw[i] == '}':
+			return kvs, nil
+		default:
+			return kvs, errShape
+		}
+	}
+}
+
+func skipJSONSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanPlainJSONString returns the unquoted bytes of an escape-free
+// string starting at i and the index past its closing quote.
+func scanPlainJSONString(b []byte, i int) ([]byte, int, bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	j := i + 1
+	for j < len(b) && b[j] != '"' {
+		j++
+	}
+	if j >= len(b) {
+		return nil, 0, false
+	}
+	return b[i+1 : j], j + 1, true
+}
+
+// Intern resolves a series against the gateway's store from raw byte
+// fields — the hook the telnet listener's zero-copy parser uses so
+// both edges intern at the wire.
+func (g *Gateway) Intern(metric []byte, kvs [][]byte) (*tsdb.Ref, error) {
+	return g.db.InternBytes(metric, kvs)
+}
+
+// EnqueueRefs reserves queue space for the whole batch of interned
+// points and enqueues it — all points or none, so callers can retry a
+// 429 without partial writes. Safe for concurrent use. Timestamps
+// must already be validated; workers store the queue's contents
+// without re-checking.
+func (g *Gateway) EnqueueRefs(rps []tsdb.RefPoint) error {
 	g.qmu.Lock()
 	defer g.qmu.Unlock()
 	if g.closed {
@@ -253,14 +481,30 @@ func (g *Gateway) Enqueue(dps []tsdb.DataPoint) error {
 	}
 	// Producers all hold qmu and consumers only free space, so the
 	// capacity check cannot be invalidated before the sends below.
-	if cap(g.queue)-len(g.queue) < len(dps) {
-		g.rejectFull.Add(uint64(len(dps)))
+	if cap(g.queue)-len(g.queue) < len(rps) {
+		g.rejectFull.Add(uint64(len(rps)))
 		return ErrQueueFull
 	}
-	for _, dp := range dps {
-		g.queue <- dp
+	for _, rp := range rps {
+		g.queue <- rp
 	}
 	return nil
+}
+
+// Enqueue is EnqueueRefs for callers still holding DataPoints (the
+// MQTT ingestor, tests): each point is resolved to its interned
+// series here at the edge. Every point must already have passed
+// DataPoint.Validate.
+func (g *Gateway) Enqueue(dps []tsdb.DataPoint) error {
+	rps := make([]tsdb.RefPoint, len(dps))
+	for i := range dps {
+		ref, err := g.db.Intern(dps[i].Metric, dps[i].Tags)
+		if err != nil {
+			return err
+		}
+		rps[i] = tsdb.RefPoint{Ref: ref, Point: dps[i].Point}
+	}
+	return g.EnqueueRefs(rps)
 }
 
 // QueueDepth reports the current ingest backlog.
@@ -269,9 +513,9 @@ func (g *Gateway) QueueDepth() int { return len(g.queue) }
 // worker drains the queue in batches into the store.
 func (g *Gateway) worker() {
 	defer g.wg.Done()
-	batch := make([]tsdb.DataPoint, 0, g.cfg.BatchSize)
-	for dp := range g.queue {
-		batch = append(batch[:0], dp)
+	batch := make([]tsdb.RefPoint, 0, g.cfg.BatchSize)
+	for rp := range g.queue {
+		batch = append(batch[:0], rp)
 	fill:
 		for len(batch) < g.cfg.BatchSize {
 			select {
@@ -284,8 +528,10 @@ func (g *Gateway) worker() {
 				break fill
 			}
 		}
-		// Points were validated at the HTTP edge before enqueueing.
-		res := g.db.AppendBatchValidated(batch)
+		// Points were validated at the edge before enqueueing; the
+		// whole batch WAL-commits with one lock acquisition and fans
+		// out to observers as one call.
+		res := g.db.AppendRefs(batch)
 		g.ingested.Add(uint64(res.Stored))
 		g.storeErrors.Add(uint64(len(res.Errors)))
 		g.rate.observe(res.Stored, time.Now())

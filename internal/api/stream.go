@@ -41,9 +41,10 @@ func newStreamHub(buffer int) *streamHub {
 	return &streamHub{buffer: buffer, subs: make(map[*subscriber]struct{})}
 }
 
-// publish fans a stored point out to matching subscribers without
-// blocking: a full subscriber buffer drops the event.
-func (h *streamHub) publish(dp tsdb.DataPoint) {
+// publishBatch fans a stored batch out to matching subscribers
+// without blocking (a full subscriber buffer drops the event), with
+// one subscriber-set lock acquisition for the whole batch.
+func (h *streamHub) publishBatch(rps []tsdb.RefPoint) {
 	if h.nsubs.Load() == 0 {
 		return
 	}
@@ -52,14 +53,17 @@ func (h *streamHub) publish(dp tsdb.DataPoint) {
 	// safe in parallel.
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	for sub := range h.subs {
-		if !sub.matches(dp) {
-			continue
-		}
-		select {
-		case sub.ch <- dp:
-		default:
-			h.dropped.Add(1)
+	for _, rp := range rps {
+		dp := tsdb.DataPoint{Metric: rp.Ref.Metric(), Tags: rp.Ref.Tags(), Point: rp.Point}
+		for sub := range h.subs {
+			if !sub.matches(dp) {
+				continue
+			}
+			select {
+			case sub.ch <- dp:
+			default:
+				h.dropped.Add(1)
+			}
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package lineproto
+
+import (
+	"testing"
+
+	"repro/internal/tsdb"
+)
+
+// TestParsePutFastMatchesParseLine: the zero-copy parser and the
+// exported string parser agree on every accepted point and every
+// rejection message, line for line.
+func TestParsePutFastMatchesParseLine(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	sink := &benchSink{db: db}
+	s := New(sink, Config{})
+	st := &connState{rs: sink}
+
+	lines := []string{
+		"put air.co2 1488326400 415.5 sensor=n01 city=trondheim",
+		"put air.co2 1488326400123 415.5 sensor=n01", // already milliseconds
+		"put air.co2 1488326400 -3.25 a=b",
+		"get air.co2 1 2 a=b",
+		"put air.co2",
+		"put air.co2 notatime 415 a=b",
+		"put air.co2 -5 415 a=b",
+		"put air.co2 1488326400 notanumber a=b",
+		"put air.co2 1488326400 NaN a=b",
+		"put air.co2 1488326400 415 badtag",
+		"put air.co2 1488326400 415 =v",
+		"put air.co2 1488326400 415 k=",
+		"put air.c$2 1488326400 415 a=b", // invalid metric char
+		"put air.co2 1488326400 415 a=b c=",
+	}
+	for _, line := range lines {
+		st.refs = st.refs[:0]
+		fastErr := s.parsePutFast([]byte(line), st)
+		dp, slowErr := ParseLine(line)
+		if (fastErr == nil) != (slowErr == nil) {
+			t.Fatalf("%q: fast err=%v, slow err=%v", line, fastErr, slowErr)
+		}
+		if fastErr != nil {
+			if fastErr.Error() != slowErr.Error() {
+				t.Errorf("%q: message diverged:\n fast: %v\n slow: %v", line, fastErr, slowErr)
+			}
+			continue
+		}
+		if len(st.refs) != 1 {
+			t.Fatalf("%q: fast path produced %d points", line, len(st.refs))
+		}
+		rp := st.refs[0]
+		if rp.Ref.Metric() != dp.Metric || rp.Point != dp.Point {
+			t.Errorf("%q: fast point %+v (metric %s) != slow %+v", line, rp.Point, rp.Ref.Metric(), dp)
+		}
+		tags := rp.Ref.Tags()
+		if len(tags) != len(dp.Tags) {
+			t.Errorf("%q: tag counts diverge", line)
+		}
+		for k, v := range dp.Tags {
+			if tags[k] != v {
+				t.Errorf("%q: tag %s=%s missing from fast path", line, k, v)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ package lineproto
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/subtle"
 	"errors"
 	"fmt"
@@ -38,6 +39,16 @@ import (
 // inherits.
 type Sink interface {
 	Enqueue(dps []tsdb.DataPoint) error
+}
+
+// refSink is the zero-copy fast path a sink may additionally offer —
+// api.Gateway does: put lines are parsed as raw byte fields, resolved
+// to interned series at the wire (strings and tag maps materialize
+// only for never-before-seen series), and enqueued as compact
+// (SeriesID, Point) batches.
+type refSink interface {
+	Intern(metric []byte, kvs [][]byte) (*tsdb.Ref, error)
+	EnqueueRefs(rps []tsdb.RefPoint) error
 }
 
 // Config tunes the listener. Zero values select the defaults.
@@ -191,6 +202,21 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// connState is the per-connection scratch the zero-copy path reuses
+// line after line: the line buffer, the split fields, the tag
+// key/value slices, and the outgoing batch. Nothing here escapes per
+// point on the fast path.
+type connState struct {
+	rs     refSink // non-nil when the sink offers the interned path
+	line   []byte
+	fields [][]byte
+	kvs    [][]byte
+	refs   []tsdb.RefPoint
+	dps    []tsdb.DataPoint // fallback batch for plain sinks
+}
+
+func (st *connState) batchLen() int { return len(st.refs) + len(st.dps) }
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.active.Add(-1)
@@ -202,21 +228,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	r := bufio.NewReaderSize(conn, 4096)
-	batch := make([]tsdb.DataPoint, 0, s.cfg.BatchSize)
+	st := &connState{}
+	if rs, ok := s.sink.(refSink); ok {
+		st.rs = rs
+	}
 	authed := !s.authRequired()
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		line, err := s.readLine(conn, r)
-		if line != "" {
-			if quit := s.handleLine(conn, line, &batch, &authed); quit {
-				s.flush(conn, &batch)
+		line, err := s.readLine(conn, r, st)
+		if len(line) != 0 {
+			if quit := s.handleLine(conn, line, st, &authed); quit {
+				s.flush(conn, st)
 				return
 			}
 		}
 		// Flush when the batch is full or no more input is already
 		// buffered (the next read would block).
-		if len(batch) >= s.cfg.BatchSize || (len(batch) > 0 && r.Buffered() == 0) {
-			s.flush(conn, &batch)
+		if st.batchLen() >= s.cfg.BatchSize || (st.batchLen() > 0 && r.Buffered() == 0) {
+			s.flush(conn, st)
 		}
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
@@ -227,19 +256,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// readLine reads one newline-terminated line via ReadSlice, so memory
-// stays bounded by the reader's buffer no matter how long the peer's
-// line is: once a line overflows MaxLineLen its bytes are discarded
-// as they stream in, and the line is counted malformed.
-func (s *Server) readLine(conn net.Conn, r *bufio.Reader) (string, error) {
-	var buf []byte
+// readLine reads one newline-terminated line via ReadSlice into the
+// connection's reused buffer, so memory stays bounded by the reader's
+// buffer no matter how long the peer's line is: once a line overflows
+// MaxLineLen its bytes are discarded as they stream in, and the line
+// is counted malformed. The returned slice is valid until the next
+// call.
+func (s *Server) readLine(conn net.Conn, r *bufio.Reader, st *connState) ([]byte, error) {
+	buf := st.line[:0]
 	overflow := false
 	for {
 		frag, err := r.ReadSlice('\n')
 		if !overflow {
 			if len(buf)+len(frag) > s.cfg.MaxLineLen+1 { // +1: the trailing \n
 				overflow = true
-				buf = nil
+				buf = buf[:0]
 			} else {
 				buf = append(buf, frag...)
 			}
@@ -247,30 +278,70 @@ func (s *Server) readLine(conn net.Conn, r *bufio.Reader) (string, error) {
 		if err == bufio.ErrBufferFull {
 			continue // same line keeps streaming; frag already consumed
 		}
+		st.line = buf
 		if overflow {
 			s.malformed.Add(1)
 			s.reply(conn, "err: line exceeds %d bytes", s.cfg.MaxLineLen)
-			return "", err
+			return nil, err
 		}
-		return strings.TrimRight(string(buf), "\r\n"), err
+		return bytes.TrimRight(buf, "\r\n"), err
 	}
 }
 
 // handleLine processes one complete line; quit requests connection
-// close (the telnet "exit" command).
-func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint, authed *bool) (quit bool) {
-	line = strings.TrimSpace(line)
-	if line == "" {
+// close (the telnet "exit" command). put lines take the zero-copy
+// interned path when the sink supports it; command lines (rare) fall
+// back to string handling.
+func (s *Server) handleLine(conn net.Conn, line []byte, st *connState, authed *bool) (quit bool) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
 		return false
 	}
 	s.lines.Add(1)
+	if isCommandLine(line) {
+		return s.handleCommand(conn, string(line), authed)
+	}
+	if !*authed {
+		s.authFails.Add(1)
+		s.reply(conn, "err: auth required (send: auth <key>)")
+		return false
+	}
+	if st.rs != nil {
+		if err := s.parsePutFast(line, st); err != nil {
+			s.malformed.Add(1)
+			s.reply(conn, "err: %v", err)
+		}
+		return false
+	}
+	dp, err := ParseLine(string(line))
+	if err != nil {
+		s.malformed.Add(1)
+		s.reply(conn, "err: %v", err)
+		return false
+	}
+	st.dps = append(st.dps, dp)
+	return false
+}
+
+// isCommandLine recognizes the non-put control lines. The string
+// conversions in the comparisons do not allocate.
+func isCommandLine(line []byte) bool {
+	switch string(line) {
+	case "exit", "quit", "version", "auth":
+		return true
+	}
+	return bytes.HasPrefix(line, []byte("auth "))
+}
+
+// handleCommand runs one control line; quit requests connection close.
+func (s *Server) handleCommand(conn net.Conn, line string, authed *bool) (quit bool) {
 	switch {
 	case line == "exit" || line == "quit":
 		return true
 	case line == "version":
 		s.reply(conn, "ctt-tsdb line protocol, OpenTSDB telnet compatible")
 		return false
-	case strings.HasPrefix(line, "auth ") || line == "auth":
+	default: // auth
 		key := strings.TrimSpace(strings.TrimPrefix(line, "auth"))
 		if s.checkKey(key) {
 			*authed = true
@@ -281,29 +352,103 @@ func (s *Server) handleLine(conn net.Conn, line string, batch *[]tsdb.DataPoint,
 		}
 		return false
 	}
-	if !*authed {
-		s.authFails.Add(1)
-		s.reply(conn, "err: auth required (send: auth <key>)")
-		return false
+}
+
+// parsePutFast parses one put line as raw byte fields and resolves it
+// to an interned series — the zero-copy path: no strings, no tag map,
+// no DataPoint unless the series is new. Mirrors ParseLine's grammar
+// and error messages exactly.
+func (s *Server) parsePutFast(line []byte, st *connState) error {
+	fields := splitFieldsBytes(line, st.fields[:0])
+	st.fields = fields
+	if len(fields) == 0 || string(fields[0]) != "put" {
+		return fmt.Errorf("unknown command %q (want: put <metric> <ts> <value> <tag=value> ...)", firstWordBytes(line))
 	}
-	dp, err := ParseLine(line)
+	if len(fields) < 5 {
+		return fmt.Errorf("put needs metric, timestamp, value and at least one tag (got %d fields)", len(fields)-1)
+	}
+	ts, err := strconv.ParseInt(string(fields[2]), 10, 64)
 	if err != nil {
-		s.malformed.Add(1)
-		s.reply(conn, "err: %v", err)
-		return false
+		return fmt.Errorf("bad timestamp %q", fields[2])
 	}
-	*batch = append(*batch, dp)
-	return false
+	if ts <= 0 {
+		return fmt.Errorf("timestamp must be positive, got %q", fields[2])
+	}
+	val, err := strconv.ParseFloat(string(fields[3]), 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", fields[3])
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return fmt.Errorf("value must be finite, got %q", fields[3])
+	}
+	kvs := st.kvs[:0]
+	for _, kv := range fields[4:] {
+		eq := bytes.IndexByte(kv, '=')
+		if eq <= 0 || eq == len(kv)-1 {
+			st.kvs = kvs
+			return fmt.Errorf("bad tag %q (want key=value)", kv)
+		}
+		kvs = append(kvs, kv[:eq], kv[eq+1:])
+	}
+	st.kvs = kvs
+	tsMS := tsdb.NormalizeMillis(ts)
+	if !tsdb.ValidTimestamp(tsMS) {
+		return fmt.Errorf("%w: %d", tsdb.ErrBadTimestamp, tsMS)
+	}
+	ref, err := st.rs.Intern(fields[1], kvs)
+	if err != nil {
+		return err
+	}
+	st.refs = append(st.refs, tsdb.RefPoint{Ref: ref, Point: tsdb.Point{Timestamp: tsMS, Value: val}})
+	return nil
+}
+
+// splitFieldsBytes splits on runs of ASCII whitespace, appending the
+// subslices to out — strings.Fields without the strings.
+func splitFieldsBytes(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && !asciiSpace(line[j]) {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+func firstWordBytes(line []byte) []byte {
+	if i := bytes.IndexByte(line, ' '); i > 0 {
+		return line[:i]
+	}
+	return line
 }
 
 // flush hands the batch to the sink, translating queue refusal into a
 // counted drop plus an error line — the telnet analogue of HTTP 429.
-func (s *Server) flush(conn net.Conn, batch *[]tsdb.DataPoint) {
-	if len(*batch) == 0 {
+func (s *Server) flush(conn net.Conn, st *connState) {
+	n := st.batchLen()
+	if n == 0 {
 		return
 	}
-	n := len(*batch)
-	if err := s.sink.Enqueue(*batch); err != nil {
+	var err error
+	if st.rs != nil {
+		err = st.rs.EnqueueRefs(st.refs)
+	} else {
+		err = s.sink.Enqueue(st.dps)
+	}
+	if err != nil {
 		s.dropped.Add(uint64(n))
 		if errors.Is(err, api.ErrQueueFull) {
 			s.reply(conn, "err: ingest queue full, %d points dropped; slow down", n)
@@ -314,7 +459,8 @@ func (s *Server) flush(conn net.Conn, batch *[]tsdb.DataPoint) {
 		s.points.Add(uint64(n))
 		s.rate.observe(n, time.Now())
 	}
-	*batch = (*batch)[:0]
+	st.refs = st.refs[:0]
+	st.dps = st.dps[:0]
 }
 
 // reply best-effort writes one diagnostic line back to the peer.

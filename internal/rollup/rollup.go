@@ -116,6 +116,7 @@ type Engine struct {
 	hits      atomic.Uint64 // per-series downsamples served from tiers
 	fallbacks atomic.Uint64 // per-series downsamples that fell back to raw
 	retained  atomic.Uint64 // points removed by retention
+	retErrs   atomic.Uint64 // background retention/compaction passes that failed
 }
 
 // tierSpec is a Tier with its derived values precomputed.
@@ -129,13 +130,16 @@ type tierSpec struct {
 
 type engineShard struct {
 	mu     sync.Mutex
-	series map[string]*seriesState
+	series map[tsdb.SeriesID]*seriesState
 }
 
 type seriesState struct {
+	ref       *tsdb.Ref // interned handle; dead ⇒ prunable once drained
 	metric    string
-	tags      map[string]string
-	watermark int64 // newest event timestamp seen (ms)
+	tags      map[string]string // interned canonical map: read-only
+	skip      bool              // derived series / reserved stat tag: never rolled up
+	countSkip bool              // reserved stat tag: count on the skipped counter
+	watermark int64             // newest event timestamp seen (ms)
 	tiers     []tierState
 }
 
@@ -202,9 +206,9 @@ func New(db *tsdb.DB, cfg Config) (*Engine, error) {
 		}
 	}
 	for i := range e.shards {
-		e.shards[i].series = make(map[string]*seriesState)
+		e.shards[i].series = make(map[tsdb.SeriesID]*seriesState)
 	}
-	e.removeObs = db.AddObserver(e.observe)
+	e.removeObs = db.AddBatchObserver(e.observeBatch)
 	db.SetRollupPlanner(e)
 	if cfg.FlushEvery > 0 {
 		e.wg.Add(1)
@@ -238,57 +242,67 @@ func (e *Engine) loop() {
 			now := e.cfg.Now()
 			e.Flush(now)
 			if _, err := e.ApplyRetention(now); err != nil {
-				// The store only fails retention on a corrupt block;
-				// nothing the loop can do but keep serving.
+				// A corrupt block or a failed WAL compaction; nothing
+				// the loop can do but keep serving — count it so the
+				// failure is visible on /metrics instead of silent.
+				e.retErrs.Add(1)
 				continue
 			}
 		}
 	}
 }
 
-func shardFor(key string) uint32 {
-	var h uint32 = 2166136261
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
+// observeBatch is the store write hook, batch-granular: one call per
+// stored batch, one engine-shard lock acquisition per shard touched
+// by the batch, windows keyed by interned SeriesID — no key strings,
+// no tag hashing, and the derived-series / reserved-tag skip decision
+// is made once per series instead of once per point.
+func (e *Engine) observeBatch(rps []tsdb.RefPoint) {
+	var flush []tsdb.DataPoint
+	for si := uint64(0); si < engineShards; si++ {
+		sh := &e.shards[si]
+		locked := false
+		for i := range rps {
+			id := uint64(rps[i].Ref.ID())
+			if id%engineShards != si {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			flush = e.observeOneLocked(sh, rps[i], flush)
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
 	}
-	return h % engineShards
+	e.writeDerived(flush)
 }
 
-// observe is the store write hook: fold the point into every tier's
-// open window and seal whatever the advancing watermark has passed.
-func (e *Engine) observe(dp tsdb.DataPoint) {
-	if strings.HasPrefix(dp.Metric, MetricPrefix) {
-		return // derived write: never roll up rollups
+// observeOneLocked folds one point into every tier's open window of
+// its series and seals whatever the advancing watermark has passed.
+// Caller holds the shard lock.
+func (e *Engine) observeOneLocked(sh *engineShard, rp tsdb.RefPoint, flush []tsdb.DataPoint) []tsdb.DataPoint {
+	st, ok := sh.series[rp.Ref.ID()]
+	if !ok {
+		st = e.newSeriesState(rp.Ref)
+		sh.series[rp.Ref.ID()] = st
 	}
-	if _, reserved := dp.Tags[StatTag]; reserved {
-		e.skipped.Add(1)
-		return
+	if st.skip {
+		if st.countSkip {
+			e.skipped.Add(1)
+		}
+		return flush
 	}
 	e.observed.Add(1)
-	key := tsdb.Series{Metric: dp.Metric, Tags: dp.Tags}.Key()
-	sh := &e.shards[shardFor(key)]
-
-	var flush []tsdb.DataPoint
-	sh.mu.Lock()
-	st, ok := sh.series[key]
-	if !ok {
-		tags := make(map[string]string, len(dp.Tags))
-		for k, v := range dp.Tags {
-			tags[k] = v
-		}
-		st = &seriesState{metric: dp.Metric, tags: tags, tiers: make([]tierState, len(e.tiers))}
-		for i := range st.tiers {
-			st.tiers[i].open = make(map[int64]*window)
-		}
-		sh.series[key] = st
-	}
-	if dp.Timestamp > st.watermark {
-		st.watermark = dp.Timestamp
+	if rp.Timestamp > st.watermark {
+		st.watermark = rp.Timestamp
 	}
 	lateAny := false
 	for i := range e.tiers {
 		ts := &st.tiers[i]
-		w := dp.Timestamp - dp.Timestamp%e.tiers[i].resMS
+		w := rp.Timestamp - rp.Timestamp%e.tiers[i].resMS
 		if w < ts.sealedUntil {
 			lateAny = true
 			continue
@@ -298,22 +312,41 @@ func (e *Engine) observe(dp tsdb.DataPoint) {
 			win = &window{}
 			ts.open[w] = win
 		}
-		win.vals = append(win.vals, dp.Value)
+		win.vals = append(win.vals, rp.Value)
 	}
 	if lateAny {
 		e.late.Add(1)
 	}
-	flush = e.sealPassedLocked(st, st.watermark-e.cfg.Grace.Milliseconds(), flush)
-	sh.mu.Unlock()
+	return e.sealPassedLocked(st, st.watermark-e.cfg.Grace.Milliseconds(), flush)
+}
 
-	e.writeDerived(flush)
+// newSeriesState builds the tracking state for a first-seen series,
+// deciding once whether it is ever rolled up. Derived (rollup.*)
+// writes and series carrying the reserved stat tag keep a skip-only
+// state so the per-point path is a single map hit.
+func (e *Engine) newSeriesState(ref *tsdb.Ref) *seriesState {
+	metric, tags := ref.Metric(), ref.Tags()
+	st := &seriesState{ref: ref, metric: metric, tags: tags}
+	if strings.HasPrefix(metric, MetricPrefix) {
+		st.skip = true // derived write: never roll up rollups
+		return st
+	}
+	if _, reserved := tags[StatTag]; reserved {
+		st.skip, st.countSkip = true, true
+		return st
+	}
+	st.tiers = make([]tierState, len(e.tiers))
+	for i := range st.tiers {
+		st.tiers[i].open = make(map[int64]*window)
+	}
+	return st
 }
 
 // sealPassedLocked seals, for every tier of st, each open window that
 // ends at or before horizon, appending the derived points to out.
 // Caller holds the shard lock.
 func (e *Engine) sealPassedLocked(st *seriesState, horizon int64, out []tsdb.DataPoint) []tsdb.DataPoint {
-	if horizon <= 0 {
+	if st.skip || horizon <= 0 {
 		return out
 	}
 	for i := range e.tiers {
@@ -379,12 +412,28 @@ func (e *Engine) Flush(now time.Time) {
 		sh := &e.shards[i]
 		var flush []tsdb.DataPoint
 		sh.mu.Lock()
-		for _, st := range sh.series {
+		for id, st := range sh.series {
 			flush = e.sealPassedLocked(st, horizon, flush)
+			// A series retention removed gets a fresh SeriesID if it
+			// ever returns; once this state has nothing left to seal,
+			// drop it so dead IDs don't accumulate forever.
+			if st.ref != nil && !st.ref.Live() && openWindowsLocked(st) == 0 {
+				delete(sh.series, id)
+			}
 		}
 		sh.mu.Unlock()
 		e.writeDerived(flush)
 	}
+}
+
+// openWindowsLocked counts st's open windows across tiers. Caller
+// holds the shard lock.
+func openWindowsLocked(st *seriesState) int {
+	n := 0
+	for i := range st.tiers {
+		n += len(st.tiers[i].open)
+	}
+	return n
 }
 
 // FlushAll unconditionally seals and flushes every open window,
@@ -397,6 +446,9 @@ func (e *Engine) FlushAll() {
 		var flush []tsdb.DataPoint
 		sh.mu.Lock()
 		for _, st := range sh.series {
+			if st.skip {
+				continue
+			}
 			for ti := range e.tiers {
 				spec := &e.tiers[ti]
 				ts := &st.tiers[ti]
@@ -448,6 +500,14 @@ func (e *Engine) ApplyRetention(now time.Time) (int, error) {
 		}
 	}
 	e.retained.Add(uint64(total))
+	if total > 0 {
+		// Rewrite the WAL from the post-retention state (a no-op
+		// without persistence) so the log tracks the live data instead
+		// of growing forever.
+		if err := e.db.CompactWAL(); err != nil {
+			return total, err
+		}
+	}
 	return total, nil
 }
 
@@ -473,6 +533,7 @@ type Stats struct {
 	QueryHits        uint64
 	QueryFallbacks   uint64
 	RetentionDeleted uint64
+	RetentionErrors  uint64
 	Tiers            []TierStat
 }
 
@@ -487,6 +548,7 @@ func (e *Engine) Stats() Stats {
 		QueryHits:        e.hits.Load(),
 		QueryFallbacks:   e.fallbacks.Load(),
 		RetentionDeleted: e.retained.Load(),
+		RetentionErrors:  e.retErrs.Load(),
 	}
 	for i := range e.tiers {
 		st.Tiers = append(st.Tiers, TierStat{
@@ -521,6 +583,7 @@ func (e *Engine) EmitMetrics(emit func(name string, v any)) {
 	emit("ctt_rollup_query_hits_total", st.QueryHits)
 	emit("ctt_rollup_query_fallbacks_total", st.QueryFallbacks)
 	emit("ctt_rollup_retention_deleted_total", st.RetentionDeleted)
+	emit("ctt_rollup_retention_errors_total", st.RetentionErrors)
 	for _, t := range st.Tiers {
 		emit(fmt.Sprintf("ctt_rollup_open_windows{tier=%q}", t.Name), t.OpenWindows)
 		emit(fmt.Sprintf("ctt_rollup_lag_ms{tier=%q}", t.Name), t.LagMS)

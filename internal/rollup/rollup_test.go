@@ -385,7 +385,11 @@ func TestServeSkipsDerivedAndReserved(t *testing.T) {
 	if st := eng.Stats(); st.Skipped != 1 || st.Observed != 0 {
 		t.Fatalf("skipped=%d observed=%d, want 1/0", st.Skipped, st.Observed)
 	}
-	if ok, _ := eng.ServeDownsample("rollup.1m.x", nil, 0, 1, time.Minute, tsdb.AggAvg,
+	derivedRef, err := db.Intern("rollup.1m.x", map[string]string{StatTag: "mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := eng.ServeDownsample(derivedRef, 0, 1, time.Minute, tsdb.AggAvg,
 		func(tsdb.Point) error { return nil }); ok {
 		t.Fatal("served a downsample over the derived namespace")
 	}
@@ -448,5 +452,64 @@ func TestServeRespectsTierRetention(t *testing.T) {
 	sameResults(t, "tier-retention", got, want)
 	if eng.Stats().QueryHits == 0 {
 		t.Fatal("recent range was not tier-served")
+	}
+}
+
+// TestPruneDeadSeriesState: a series fully aged out by retention gets
+// a new SeriesID if it ever returns, so the engine must drop its
+// drained state instead of accumulating one entry per kill/revive
+// cycle.
+func TestPruneDeadSeriesState(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng, err := New(db, Config{Tiers: []Tier{{Resolution: time.Minute}}, FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tags := map[string]string{"sensor": "prune"}
+	if err := db.Put(tsdb.DataPoint{Metric: "pr.m", Tags: tags,
+		Point: tsdb.Point{Timestamp: t0.UnixMilli(), Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Count tracked (non-skip) states: sealing writes derived series,
+	// whose skip-only states are expected and live.
+	states := func() int {
+		n := 0
+		for i := range eng.shards {
+			eng.shards[i].mu.Lock()
+			for _, st := range eng.shards[i].series {
+				if !st.skip {
+					n++
+				}
+			}
+			eng.shards[i].mu.Unlock()
+		}
+		return n
+	}
+	if states() == 0 {
+		t.Fatal("observer did not create tracking state")
+	}
+	// Age the raw series out entirely (the derived windows too), then
+	// flush far past the window end so everything seals and the dead
+	// state drains.
+	if _, err := db.DeleteBefore(t0.Add(time.Hour).UnixMilli()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Flush(t0.Add(2 * time.Hour))
+	if n := states(); n != 0 {
+		t.Fatalf("dead series state not pruned: %d entries remain", n)
+	}
+	// The series coming back (new SeriesID) tracks again.
+	if err := db.Put(tsdb.DataPoint{Metric: "pr.m", Tags: tags,
+		Point: tsdb.Point{Timestamp: t0.Add(3 * time.Hour).UnixMilli(), Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if states() == 0 {
+		t.Fatal("revived series not tracked")
 	}
 }

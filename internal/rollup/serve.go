@@ -28,7 +28,8 @@ import (
 
 // ServeDownsample implements tsdb.RollupPlanner. The ok=false
 // decisions all precede the first yield, as the interface requires.
-func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn tsdb.Aggregator, yield func(tsdb.Point) error) (bool, error) {
+func (e *Engine) ServeDownsample(series *tsdb.Ref, start, end int64, interval time.Duration, fn tsdb.Aggregator, yield func(tsdb.Point) error) (bool, error) {
+	metric, tags := series.Metric(), series.Tags()
 	if strings.HasPrefix(metric, MetricPrefix) {
 		return false, nil // direct reads of derived series stay raw
 	}
@@ -41,7 +42,7 @@ func (e *Engine) ServeDownsample(metric string, tags map[string]string, start, e
 		e.fallbacks.Add(1)
 		return false, nil
 	}
-	sealedUntil, known := e.sealedHorizon(metric, tags, ti)
+	sealedUntil, known := e.sealedHorizon(series.ID(), ti)
 	if !known {
 		e.fallbacks.Add(1)
 		return false, nil
@@ -135,13 +136,12 @@ func (e *Engine) pickTier(iMS int64, fn tsdb.Aggregator) int {
 }
 
 // sealedHorizon reads the series' sealed boundary for one tier.
-func (e *Engine) sealedHorizon(metric string, tags map[string]string, ti int) (int64, bool) {
-	key := tsdb.Series{Metric: metric, Tags: tags}.Key()
-	sh := &e.shards[shardFor(key)]
+func (e *Engine) sealedHorizon(id tsdb.SeriesID, ti int) (int64, bool) {
+	sh := &e.shards[uint64(id)%engineShards]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	st, ok := sh.series[key]
-	if !ok {
+	st, ok := sh.series[id]
+	if !ok || st.skip {
 		return 0, false
 	}
 	return st.tiers[ti].sealedUntil, true

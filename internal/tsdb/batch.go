@@ -2,8 +2,10 @@ package tsdb
 
 // Batch ingestion: the HTTP gateway accepts whole JSON arrays of data
 // points per request, so the store offers an append path that
-// validates everything up front, groups points by shard, and takes
-// each shard lock once per batch instead of once per point.
+// resolves every point to its interned series up front, commits the
+// whole batch to the WAL with one lock acquisition and one buffered
+// write, groups inserts by shard so each shard lock is taken once,
+// and fans the stored batch out to observers with a single call.
 
 import "fmt"
 
@@ -25,95 +27,154 @@ type BatchResult struct {
 
 // AppendBatch stores every valid point of the batch and reports the
 // invalid ones, OpenTSDB /api/put-style: one bad point does not reject
-// its neighbours. Points are grouped by shard so each shard lock is
-// taken once per batch.
+// its neighbours.
 func (db *DB) AppendBatch(dps []DataPoint) BatchResult {
 	return db.appendBatch(dps, true)
 }
 
-// AppendBatchValidated is AppendBatch minus the per-point Validate
-// pass, for callers that already validated every point (the HTTP
+// AppendBatchValidated is AppendBatch minus the per-point timestamp
+// check, for callers that already validated every point (the HTTP
 // gateway validates at the edge so it can answer synchronously).
-// Unvalidated garbage passed here would be stored as-is.
+// Series-shaped validation still happens, once per new series, inside
+// Intern.
 func (db *DB) AppendBatchValidated(dps []DataPoint) BatchResult {
 	return db.appendBatch(dps, false)
 }
 
 func (db *DB) appendBatch(dps []DataPoint, validate bool) BatchResult {
 	var res BatchResult
-	type item struct {
-		key string
-		idx int
-	}
-	var groups [numShards][]item
+	rps := make([]RefPoint, 0, len(dps))
+	idxs := make([]int, 0, len(dps)) // original index per surviving point
 	for i := range dps {
-		if validate {
-			if err := dps[i].Validate(); err != nil {
-				res.Errors = append(res.Errors, PointError{Index: i, Err: err})
-				continue
-			}
-		}
-		key := seriesKey(dps[i].Metric, dps[i].Tags)
-		sh := shardFor(key)
-		groups[sh] = append(groups[sh], item{key: key, idx: i})
-	}
-	for si := range groups {
-		if len(groups[si]) == 0 {
+		if validate && (dps[i].Timestamp < minTS || dps[i].Timestamp > maxTS) {
+			res.Errors = append(res.Errors, PointError{Index: i, Err: fmt.Errorf("%w: %d", ErrBadTimestamp, dps[i].Timestamp)})
 			continue
 		}
-		// WAL first (it has its own lock), then the in-memory insert.
-		stored := groups[si][:0]
-		for _, it := range groups[si] {
-			if db.wal != nil {
-				if err := db.wal.append(dps[it.idx]); err != nil {
-					res.Errors = append(res.Errors, PointError{Index: it.idx, Err: fmt.Errorf("tsdb: wal append: %w", err)})
-					continue
-				}
+		ref, err := db.Intern(dps[i].Metric, dps[i].Tags)
+		if err != nil {
+			res.Errors = append(res.Errors, PointError{Index: i, Err: err})
+			continue
+		}
+		rps = append(rps, RefPoint{Ref: ref, Point: dps[i].Point})
+		idxs = append(idxs, i)
+	}
+	sub := db.AppendRefs(rps)
+	res.Stored = sub.Stored
+	for _, pe := range sub.Errors {
+		res.Errors = append(res.Errors, PointError{Index: idxs[pe.Index], Err: pe.Err})
+	}
+	return res
+}
+
+// AppendRefs stores a batch of points on interned series — the
+// zero-resolution fast path the ingest queue drains through. The
+// whole batch is WAL-committed with one lock acquisition and one
+// buffered write (series metric+tags travel as dictionary records,
+// logged once per series per log), inserted shard by shard, and
+// announced to observers in a single batch call. Timestamps must
+// already be validated. Error indexes refer to positions in rps.
+func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
+	var res BatchResult
+	if len(rps) == 0 {
+		return res
+	}
+	if db.wal != nil {
+		db.walGate.RLock()
+		if err := db.wal.appendRefs(rps); err != nil {
+			db.walGate.RUnlock()
+			// Group commit is all-or-nothing: an append error means the
+			// batch is not durable, so nothing is stored.
+			err = fmt.Errorf("tsdb: wal append: %w", err)
+			for i := range rps {
+				res.Errors = append(res.Errors, PointError{Index: i, Err: err})
 			}
-			stored = append(stored, it)
+			return res
+		}
+		db.insertRefBatch(rps)
+		db.walGate.RUnlock()
+	} else {
+		db.insertRefBatch(rps)
+	}
+	res.Stored = len(rps)
+	if db.observers.Load() != nil {
+		db.notifyObserversBatch(rps)
+	}
+	return res
+}
+
+// insertRefBatch groups the batch by storage shard and takes each
+// shard lock once. Dead refs (series removed by retention between
+// resolution and insert) are rare; they fall back to the re-interning
+// single-point path.
+func (db *DB) insertRefBatch(rps []RefPoint) {
+	var counts [numShards]int
+	for i := range rps {
+		counts[rps[i].Ref.shard]++
+	}
+	for si := 0; si < numShards; si++ {
+		if counts[si] == 0 {
+			continue
 		}
 		sh := &db.shards[si]
 		sh.mu.Lock()
-		for _, it := range stored {
-			db.insertLocked(sh, it.key, dps[it.idx])
+		for i := range rps {
+			if int(rps[i].Ref.shard) != si {
+				continue
+			}
+			if rps[i].Ref.dead.Load() {
+				// Resurrect outside the shard lock, below.
+				continue
+			}
+			db.insertSeriesLocked(rps[i].Ref.s, rps[i].Point)
+			counts[si]--
 		}
 		sh.mu.Unlock()
-		res.Stored += len(stored)
-		if db.observers.Load() != nil {
-			for _, it := range stored {
-				db.notifyObservers(dps[it.idx])
+		if counts[si] > 0 {
+			for i := range rps {
+				if int(rps[i].Ref.shard) == si && rps[i].Ref.dead.Load() {
+					db.insertRef(rps[i])
+				}
 			}
 		}
 	}
-	return res
 }
 
 // observerEntry wraps an observer callback so removal can compare
 // identities (func values are not comparable).
 type observerEntry struct {
-	fn func(DataPoint)
+	fn func([]RefPoint)
 }
 
-// notifyObservers fans a stored point out to every registered
-// observer. Called outside the shard locks, so observers may write
-// back into the store (the rollup engine flushes derived points from
-// inside its observer).
-func (db *DB) notifyObservers(dp DataPoint) {
+// notifyObserversBatch fans a stored batch out to every registered
+// observer with one call per observer. Runs outside the shard locks,
+// so observers may write back into the store (the rollup engine
+// flushes derived points from inside its observer).
+func (db *DB) notifyObserversBatch(rps []RefPoint) {
 	obs := db.observers.Load()
 	if obs == nil {
 		return
 	}
 	for _, e := range *obs {
-		e.fn(dp)
+		e.fn(rps)
 	}
 }
 
-// AddObserver registers a callback invoked (outside the shard locks)
-// for every point stored through Put, PutBatch or AppendBatch — the
-// hook the gateway's live stream, the query-cache invalidator and the
-// rollup engine subscribe to. It returns a function that removes the
-// registration. WAL replay during Open does not trigger observers.
-func (db *DB) AddObserver(fn func(DataPoint)) (remove func()) {
+// notifyObserversOne is the single-point form; the one-element batch
+// escapes to the heap only on this path, keeping observer-less Put
+// allocation-free.
+func (db *DB) notifyObserversOne(rp RefPoint) {
+	one := [1]RefPoint{rp}
+	db.notifyObserversBatch(one[:])
+}
+
+// AddBatchObserver registers a callback invoked (outside the shard
+// locks) once per stored batch — the batch-granular hook the rollup
+// engine and the gateway's stream/cache fan-out subscribe to, so a
+// 256-point batch costs one observer call instead of 256. The slice
+// and the Refs' tag maps are shared state: observers must not mutate
+// or retain them past the call. It returns a removal function. WAL
+// replay during Open does not trigger observers.
+func (db *DB) AddBatchObserver(fn func([]RefPoint)) (remove func()) {
 	e := &observerEntry{fn: fn}
 	db.obsMu.Lock()
 	db.addEntryLocked(e)
@@ -123,6 +184,21 @@ func (db *DB) AddObserver(fn func(DataPoint)) (remove func()) {
 		db.removeEntryLocked(e)
 		db.obsMu.Unlock()
 	}
+}
+
+// AddObserver registers a per-point callback for every point stored
+// through Put, PutBatch, AppendBatch or AppendRefs. It adapts onto the
+// batch feed: per-batch observers (AddBatchObserver) are the
+// efficient form; this one exists for subscribers that genuinely want
+// single points, like the SSE stream hub. The DataPoint's tag map is
+// the interned canonical map — read-only. It returns a function that
+// removes the registration.
+func (db *DB) AddObserver(fn func(DataPoint)) (remove func()) {
+	return db.AddBatchObserver(func(rps []RefPoint) {
+		for _, rp := range rps {
+			fn(DataPoint{Metric: rp.Ref.metric, Tags: rp.Ref.tags, Point: rp.Point})
+		}
+	})
 }
 
 func (db *DB) addEntryLocked(e *observerEntry) {
@@ -166,7 +242,11 @@ func (db *DB) SetObserver(fn func(DataPoint)) {
 		db.legacyObs = nil
 	}
 	if fn != nil {
-		e := &observerEntry{fn: fn}
+		e := &observerEntry{fn: func(rps []RefPoint) {
+			for _, rp := range rps {
+				fn(DataPoint{Metric: rp.Ref.metric, Tags: rp.Ref.tags, Point: rp.Point})
+			}
+		}}
 		db.addEntryLocked(e)
 		db.legacyObs = func() { db.removeEntryLocked(e) }
 	}

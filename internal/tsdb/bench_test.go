@@ -215,8 +215,8 @@ type benchPlanner struct {
 	buckets map[string][]Point
 }
 
-func (p *benchPlanner) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (bool, error) {
-	pts, ok := p.buckets[tags["sensor"]]
+func (p *benchPlanner) ServeDownsample(series *Ref, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (bool, error) {
+	pts, ok := p.buckets[series.Tags()["sensor"]]
 	if !ok {
 		return false, nil
 	}

@@ -95,6 +95,12 @@ const (
 	maxTS = 4102444800000
 )
 
+// ValidTimestamp reports whether a millisecond timestamp is inside
+// the store's accepted range — the per-point half of Validate, for
+// edges that resolve series through Intern and so never build a
+// DataPoint.
+func ValidTimestamp(ms int64) bool { return ms >= minTS && ms <= maxTS }
+
 // NormalizeMillis interprets an epoch timestamp that may be in
 // seconds or milliseconds: positive values before the year 2100 in
 // seconds are taken as seconds and scaled to milliseconds. Every

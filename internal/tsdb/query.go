@@ -373,14 +373,15 @@ type matched struct {
 
 // RollupPlanner serves a downsampled read of one series from
 // pre-aggregated rollup tiers, streaming buckets to yield in timestamp
-// order. Implementations return ok=false — before yielding anything —
-// when the request cannot be satisfied from rollups (interval finer
-// than every tier, non-composable aggregator, unknown series, …), in
-// which case the query engine falls back to the raw block scan. A
-// non-nil error from yield must abort the read and be returned
-// unchanged.
+// order. The series arrives as its interned handle, so planners key
+// their state by SeriesID instead of re-deriving key strings.
+// Implementations return ok=false — before yielding anything — when
+// the request cannot be satisfied from rollups (interval finer than
+// every tier, non-composable aggregator, unknown series, …), in which
+// case the query engine falls back to the raw block scan. A non-nil
+// error from yield must abort the read and be returned unchanged.
 type RollupPlanner interface {
-	ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (ok bool, err error)
+	ServeDownsample(series *Ref, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (ok bool, err error)
 }
 
 // SetRollupPlanner installs (or, with nil, removes) the planner
@@ -406,9 +407,9 @@ func (db *DB) memberPlan(m matched, q Query, each func(Point) error) (fn Aggrega
 		fn = q.Aggregator
 	}
 	ds = q.Downsample.Milliseconds()
-	if ds > 0 {
+	if ds > 0 && m.s.ref != nil {
 		if pp := db.planner.Load(); pp != nil {
-			served, err = (*pp).ServeDownsample(m.s.metric, m.s.tags, q.Start, q.End, q.Downsample, fn, each)
+			served, err = (*pp).ServeDownsample(m.s.ref, q.Start, q.End, q.Downsample, fn, each)
 		}
 	}
 	return fn, ds, served, err

@@ -19,6 +19,15 @@ func (db *DB) DeleteBefore(cutoffMS int64) (int, error) {
 // schedule, each rollup.<res>.* namespace on its own.
 func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
 	removed := 0
+	// Refs of fully-removed series: marked dead under the shard lock
+	// (writers re-intern on sight), dropped from the registry after —
+	// the registry and shard locks are never nested.
+	var deadRefs []*Ref
+	defer func() {
+		for _, ref := range deadRefs {
+			db.dropRef(ref)
+		}
+	}()
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.Lock()
@@ -74,6 +83,10 @@ func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags m
 			if len(s.blocks) == 0 && len(s.head) == 0 {
 				delete(sh.series, key)
 				db.idx.removeSeries(s.metric, s.tags)
+				if s.ref != nil {
+					s.ref.dead.Store(true)
+					deadRefs = append(deadRefs, s.ref)
+				}
 			}
 		}
 		sh.mu.Unlock()

@@ -10,11 +10,20 @@ import (
 
 // DB is the time-series store. It shards series across a fixed set of
 // locks by series-key hash, keeps a mutable head buffer per series, and
-// seals full heads into Gorilla-compressed blocks.
+// seals full heads into Gorilla-compressed blocks. Writers resolve
+// series through the interning registry (see intern.go) so the hot
+// path never sorts tags or builds key strings for a known series.
 type DB struct {
 	shards [numShards]shard
+	reg    registry
 	wal    *wal // nil when persistence is disabled
 	idx    suggestIndex
+
+	// walGate serializes WAL compaction (write lock) against in-flight
+	// append+insert sequences (read lock), so a compaction snapshot can
+	// never miss a point that was logged but not yet inserted. Taken
+	// only when a WAL is attached.
+	walGate sync.RWMutex
 
 	// observers is a copy-on-write list so the write hot path can fan
 	// points out (live stream, rollup engine, cache invalidation)
@@ -46,6 +55,7 @@ type shard struct {
 type memSeries struct {
 	metric string
 	tags   map[string]string
+	ref    *Ref // back-pointer so retention can invalidate the handle
 	blocks []sealedBlock
 	head   []Point // sorted by timestamp
 }
@@ -62,6 +72,7 @@ type sealedBlock struct {
 func Open(dir string) (*DB, error) {
 	db := &DB{}
 	db.idx.init()
+	db.reg.init()
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*memSeries)
 	}
@@ -70,13 +81,22 @@ func Open(dir string) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := w.replay(func(dp DataPoint) {
-			db.insert(dp) // bypass WAL during replay
-		}); err != nil {
+		legacy, err := db.replayWAL(w)
+		if err != nil {
 			w.close()
 			return nil, err
 		}
 		db.wal = w
+		if legacy {
+			// The file was in the old one-record-per-point format:
+			// rewrite it as a compacted current-format log so appends
+			// can group-commit against the series dictionary.
+			if err := db.CompactWAL(); err != nil {
+				w.close()
+				db.wal = nil
+				return nil, err
+			}
+		}
 	}
 	return db, nil
 }
@@ -105,18 +125,39 @@ func shardFor(key string) uint32 {
 	return h % numShards
 }
 
-// Put validates and stores one data point.
+// Put validates and stores one data point. The series half of the
+// validation is paid only when the series is first interned; repeat
+// writers pay a hash, two map probes and the insert.
 func (db *DB) Put(dp DataPoint) error {
-	if err := dp.Validate(); err != nil {
+	if dp.Timestamp < minTS || dp.Timestamp > maxTS {
+		return fmt.Errorf("%w: %d", ErrBadTimestamp, dp.Timestamp)
+	}
+	ref, err := db.Intern(dp.Metric, dp.Tags)
+	if err != nil {
 		return err
 	}
+	return db.PutRef(RefPoint{Ref: ref, Point: dp.Point})
+}
+
+// PutRef stores one point on an interned series, skipping every
+// per-point resolution cost. The timestamp must be in range (callers
+// resolving through Intern at a network edge validate there).
+func (db *DB) PutRef(rp RefPoint) error {
 	if db.wal != nil {
-		if err := db.wal.append(dp); err != nil {
+		db.walGate.RLock()
+		err := db.wal.appendOne(rp)
+		if err != nil {
+			db.walGate.RUnlock()
 			return fmt.Errorf("tsdb: wal append: %w", err)
 		}
+		db.insertRef(rp)
+		db.walGate.RUnlock()
+	} else {
+		db.insertRef(rp)
 	}
-	db.insert(dp)
-	db.notifyObservers(dp)
+	if db.observers.Load() != nil {
+		db.notifyObserversOne(rp)
+	}
 	return nil
 }
 
@@ -130,28 +171,26 @@ func (db *DB) PutBatch(dps []DataPoint) error {
 	return nil
 }
 
-func (db *DB) insert(dp DataPoint) {
-	key := seriesKey(dp.Metric, dp.Tags)
-	sh := &db.shards[shardFor(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	db.insertLocked(sh, key, dp)
+// insertRef stores one point on its interned series, re-interning if
+// retention removed the series after the caller resolved it.
+func (db *DB) insertRef(rp RefPoint) {
+	ref := rp.Ref
+	for {
+		sh := &db.shards[ref.shard]
+		sh.mu.Lock()
+		if !ref.dead.Load() {
+			db.insertSeriesLocked(ref.s, rp.Point)
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+		ref = db.resurrect(ref)
+	}
 }
 
-// insertLocked stores one validated point. Caller holds sh.mu.
-func (db *DB) insertLocked(sh *shard, key string, dp DataPoint) {
-	s, ok := sh.series[key]
-	if !ok {
-		tags := make(map[string]string, len(dp.Tags))
-		for k, v := range dp.Tags {
-			tags[k] = v
-		}
-		s = &memSeries{metric: dp.Metric, tags: tags}
-		sh.series[key] = s
-		db.idx.addSeries(dp.Metric, tags)
-	}
-	// Insert keeping the head sorted; most writes are appends.
-	p := dp.Point
+// insertSeriesLocked appends one point keeping the head sorted; most
+// writes are appends. Caller holds the series' shard lock.
+func (db *DB) insertSeriesLocked(s *memSeries, p Point) {
 	if n := len(s.head); n == 0 || s.head[n-1].Timestamp <= p.Timestamp {
 		s.head = append(s.head, p)
 	} else {
@@ -181,7 +220,11 @@ func (s *memSeries) seal() {
 		n:     n,
 		data:  data,
 	})
-	s.head = nil
+	// Keep the head array: an actively-written series reuses its
+	// buffer every seal cycle instead of regrowing it from nil —
+	// readers only ever see copies of the in-range head, never the
+	// backing array.
+	s.head = s.head[:0]
 }
 
 // SeriesCount returns the number of distinct stored series.

@@ -350,9 +350,9 @@ type countingPlanner struct {
 	calls atomic.Int64
 }
 
-func (p *countingPlanner) ServeDownsample(metric string, tags map[string]string, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (bool, error) {
+func (p *countingPlanner) ServeDownsample(series *Ref, start, end int64, interval time.Duration, fn Aggregator, yield func(Point) error) (bool, error) {
 	p.calls.Add(1)
-	raw, err := p.db.SeriesWindowExact(metric, tags, start, end)
+	raw, err := p.db.SeriesWindowExact(series.Metric(), series.Tags(), start, end)
 	if err != nil {
 		return false, err
 	}

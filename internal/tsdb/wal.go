@@ -12,29 +12,78 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // wal is a single-file append-only write-ahead log. Records are
 // length-prefixed and CRC-protected; replay stops cleanly at the first
 // torn record (partial final write after a crash).
 //
-// Record layout:
+// Current format ("v2"): the file opens with an 8-byte magic header,
+// followed by typed records designed around group commit — a batch of
+// points costs one lock acquisition and one buffered write, and series
+// identity travels as a dictionary instead of per point:
 //
 //	crc32(4) | len(4) | payload
 //
-// Payload:
+// where payload[0] is the record type:
 //
-//	metric(str) | nTags(2) | (key(str) value(str))* | ts(8) | value(8)
+//	series (1):  fileID(4) | metric(str) | nTags(2) | (key(str) value(str))*
+//	points (2):  count(2) | count × ( fileID(4) | ts(8) | value(8) )
+//	block  (3):  fileID(4) | minTS(8) | maxTS(8) | n(4) | dataLen(4) | data
 //
-// where str is a 16-bit length prefix + bytes.
+// str is a 16-bit length prefix + bytes. fileIDs are local to one log
+// file session: every series is (re-)announced by a series record
+// before its first points record after an open, so replay never
+// depends on process-lifetime SeriesIDs. block records are written by
+// compaction (CompactWAL): a retention pass rewrites the log from the
+// store's state — sealed blocks verbatim, heads as points — so the
+// file tracks the data instead of growing forever.
+//
+// Files written before this format (no magic; one
+// metric+tags+ts+value record per point) are detected and replayed,
+// then rewritten in the current format on open.
 type wal struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	path string
+
+	// fileIDs maps interned series to the dictionary id announced in
+	// this file session; absent means the series record must be logged
+	// before its first point. Guarded by mu.
+	fileIDs    map[SeriesID]uint32
+	nextFileID uint32
+
+	// scratch is the group-commit build buffer, reused under mu.
+	scratch []byte
+
+	// broken is set when the log handle is no longer writing to the
+	// on-disk file (compaction renamed the path but could not reopen
+	// it): every subsequent append and sync fails with it, so writers
+	// see the durability loss instead of filling an unlinked inode.
+	broken error
+
+	// size is the current logical file size in bytes (including any
+	// not-yet-flushed buffered tail) — the ctt_wal_bytes gauge.
+	size atomic.Int64
 }
 
-const walFileName = "tsdb.wal"
+const (
+	walFileName = "tsdb.wal"
+	walMagic    = "CTTWAL2\n"
+
+	walRecSeries = 1
+	walRecPoints = 2
+	walRecBlock  = 3
+
+	// maxWALPointsPerRecord chunks huge batches so the 16-bit count
+	// always fits with slack.
+	maxWALPointsPerRecord = 8192
+
+	// maxWALScratch bounds the retained build buffer.
+	maxWALScratch = 1 << 20
+)
 
 var errWALCorrupt = errors.New("tsdb: wal record corrupt")
 
@@ -47,14 +96,200 @@ func openWAL(dir string) (*wal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: wal open: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), path: path}, nil
+	return &wal{
+		f:          f,
+		w:          bufio.NewWriterSize(f, 64<<10),
+		path:       path,
+		fileIDs:    make(map[SeriesID]uint32),
+		nextFileID: 1,
+	}, nil
 }
 
-// replay streams every intact record to fn, then positions the file
-// for appends (truncating any torn tail).
-func (l *wal) replay(fn func(DataPoint)) error {
+// replayWAL streams every intact record of the log into the store
+// (bypassing the WAL and observers), then positions the file for
+// appends, truncating any torn tail. It reports whether the file was
+// in the legacy format, in which case the caller should CompactWAL to
+// migrate it.
+func (db *DB) replayWAL(l *wal) (legacy bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return false, err
+	}
+	var magic [8]byte
+	n, err := io.ReadFull(l.f, magic[:])
+	switch {
+	case n == 0:
+		// Empty file: stamp the magic and start fresh.
+		if _, err := l.f.Write([]byte(walMagic)); err != nil {
+			return false, err
+		}
+		l.w.Reset(l.f)
+		l.size.Store(int64(len(walMagic)))
+		return false, nil
+	case err == nil && string(magic[:]) == walMagic:
+		return false, db.replayV2Locked(l)
+	default:
+		return true, db.replayLegacyLocked(l)
+	}
+}
+
+// replayV2Locked replays a current-format file. Caller holds l.mu and
+// has consumed the magic header.
+func (db *DB) replayV2Locked(l *wal) error {
+	r := bufio.NewReaderSize(l.f, 64<<10)
+	validEnd := int64(len(walMagic))
+	refs := map[uint32]*Ref{}
+	var maxFid uint32
+	var header [8]byte
+scan:
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			break // clean EOF or torn header
+		}
+		crc := binary.LittleEndian.Uint32(header[0:4])
+		n := binary.LittleEndian.Uint32(header[4:8])
+		if n == 0 || n > 16<<20 {
+			break // implausible length: treat as torn
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		switch payload[0] {
+		case walRecSeries:
+			fid, ref, err := db.applySeriesRecord(payload[1:])
+			if err != nil {
+				break scan
+			}
+			refs[fid] = ref
+			if fid > maxFid {
+				maxFid = fid
+			}
+		case walRecPoints:
+			if !db.applyPointsRecord(payload[1:], refs) {
+				break scan
+			}
+		case walRecBlock:
+			if !db.applyBlockRecord(payload[1:], refs) {
+				break scan
+			}
+		default:
+			break scan // unknown record type: stop cleanly
+		}
+		validEnd += int64(8 + n)
+	}
+	if err := l.f.Truncate(validEnd); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(validEnd, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.size.Store(validEnd)
+	// A fresh session re-announces every series it touches: fileIDs
+	// starts empty and new ids start past everything replayed, so ids
+	// never collide within one file.
+	l.fileIDs = make(map[SeriesID]uint32)
+	l.nextFileID = maxFid + 1
+	return nil
+}
+
+func (db *DB) applySeriesRecord(p []byte) (uint32, *Ref, error) {
+	if len(p) < 4 {
+		return 0, nil, errWALCorrupt
+	}
+	fid := binary.LittleEndian.Uint32(p)
+	off := 4
+	metric, off, err := readWALString(p, off)
+	if err != nil {
+		return 0, nil, err
+	}
+	if off+2 > len(p) {
+		return 0, nil, errWALCorrupt
+	}
+	nTags := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	tags := make(map[string]string, nTags)
+	for i := 0; i < nTags; i++ {
+		var k, v string
+		if k, off, err = readWALString(p, off); err != nil {
+			return 0, nil, err
+		}
+		if v, off, err = readWALString(p, off); err != nil {
+			return 0, nil, err
+		}
+		tags[k] = v
+	}
+	ref, err := db.Intern(metric, tags)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", errWALCorrupt, err)
+	}
+	return fid, ref, nil
+}
+
+// applyPointsRecord inserts every point of a points record; false
+// means the record is corrupt (including a fileID with no preceding
+// series record) and replay must stop. Records are validated in full
+// before any point is applied.
+func (db *DB) applyPointsRecord(p []byte, refs map[uint32]*Ref) bool {
+	if len(p) < 2 {
+		return false
+	}
+	count := int(binary.LittleEndian.Uint16(p))
+	if len(p) != 2+count*20 {
+		return false
+	}
+	for i := 0; i < count; i++ {
+		if refs[binary.LittleEndian.Uint32(p[2+i*20:])] == nil {
+			return false
+		}
+	}
+	for i := 0; i < count; i++ {
+		rec := p[2+i*20:]
+		db.insertRef(RefPoint{
+			Ref: refs[binary.LittleEndian.Uint32(rec)],
+			Point: Point{
+				Timestamp: int64(binary.LittleEndian.Uint64(rec[4:])),
+				Value:     math.Float64frombits(binary.LittleEndian.Uint64(rec[12:])),
+			},
+		})
+	}
+	return true
+}
+
+// applyBlockRecord restores one sealed block verbatim (written by
+// compaction); false means corrupt.
+func (db *DB) applyBlockRecord(p []byte, refs map[uint32]*Ref) bool {
+	if len(p) < 4+8+8+4+4 {
+		return false
+	}
+	ref := refs[binary.LittleEndian.Uint32(p)]
+	if ref == nil {
+		return false
+	}
+	minTS := int64(binary.LittleEndian.Uint64(p[4:]))
+	maxTS := int64(binary.LittleEndian.Uint64(p[12:]))
+	n := int(binary.LittleEndian.Uint32(p[20:]))
+	dataLen := int(binary.LittleEndian.Uint32(p[24:]))
+	if n <= 0 || len(p) != 28+dataLen {
+		return false
+	}
+	data := make([]byte, dataLen)
+	copy(data, p[28:])
+	sh := &db.shards[ref.shard]
+	sh.mu.Lock()
+	ref.s.blocks = append(ref.s.blocks, sealedBlock{minTS: minTS, maxTS: maxTS, n: n, data: data})
+	sh.mu.Unlock()
+	return true
+}
+
+// replayLegacyLocked replays a pre-dictionary file: one
+// metric+tags+ts+value record per point, no header. Caller holds l.mu.
+func (db *DB) replayLegacyLocked(l *wal) error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
@@ -81,10 +316,13 @@ func (l *wal) replay(fn func(DataPoint)) error {
 		if err != nil {
 			break
 		}
-		fn(dp)
+		ref, err := db.Intern(dp.Metric, dp.Tags)
+		if err != nil {
+			break
+		}
+		db.insertRef(RefPoint{Ref: ref, Point: dp.Point})
 		validEnd += int64(8 + n)
 	}
-	// Truncate any torn tail so appends start at a clean boundary.
 	if err := l.f.Truncate(validEnd); err != nil {
 		return err
 	}
@@ -92,26 +330,248 @@ func (l *wal) replay(fn func(DataPoint)) error {
 		return err
 	}
 	l.w.Reset(l.f)
+	l.size.Store(validEnd)
 	return nil
 }
 
-func (l *wal) append(dp DataPoint) error {
-	payload := encodeWALPayload(dp)
-	var header [8]byte
-	binary.LittleEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(payload))
-	binary.LittleEndian.PutUint32(header[4:8], uint32(len(payload)))
+// appendOne logs a single point; the one-element batch stays on the
+// caller's stack.
+func (l *wal) appendOne(rp RefPoint) error {
+	one := [1]RefPoint{rp}
+	return l.appendRefs(one[:])
+}
+
+// appendRefs group-commits a batch: dictionary records for any series
+// this file has not announced yet, then packed points records, built
+// in the reused scratch buffer and handed to the OS with a single
+// buffered write under a single lock acquisition.
+func (l *wal) appendRefs(pts []RefPoint) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.w.Write(header[:]); err != nil {
+	if l.broken != nil {
+		return l.broken
+	}
+	buf := l.scratch[:0]
+	for i := range pts {
+		if _, ok := l.fileIDs[pts[i].Ref.id]; !ok {
+			fid := l.nextFileID
+			l.nextFileID++
+			l.fileIDs[pts[i].Ref.id] = fid
+			buf = encodeSeriesRecord(buf, fid, pts[i].Ref)
+		}
+	}
+	for start := 0; start < len(pts); start += maxWALPointsPerRecord {
+		end := start + maxWALPointsPerRecord
+		if end > len(pts) {
+			end = len(pts)
+		}
+		buf = l.encodePointsRecordLocked(buf, pts[start:end])
+	}
+	_, err := l.w.Write(buf)
+	l.size.Add(int64(len(buf)))
+	if cap(buf) <= maxWALScratch {
+		l.scratch = buf[:0]
+	} else {
+		l.scratch = nil
+	}
+	return err
+}
+
+// beginWALRecord reserves the 8-byte header; finishWALRecord patches
+// crc and length over whatever was appended since.
+func beginWALRecord(buf []byte) ([]byte, int) {
+	off := len(buf)
+	return append(buf, 0, 0, 0, 0, 0, 0, 0, 0), off
+}
+
+func finishWALRecord(buf []byte, off int) []byte {
+	payload := buf[off+8:]
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(len(payload)))
+	return buf
+}
+
+func encodeSeriesRecord(buf []byte, fid uint32, ref *Ref) []byte {
+	buf, off := beginWALRecord(buf)
+	buf = append(buf, walRecSeries)
+	buf = binary.LittleEndian.AppendUint32(buf, fid)
+	buf = appendWALString(buf, ref.metric)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ref.tags)))
+	for k, v := range ref.tags {
+		buf = appendWALString(buf, k)
+		buf = appendWALString(buf, v)
+	}
+	return finishWALRecord(buf, off)
+}
+
+// encodePointsRecordLocked packs ≤ maxWALPointsPerRecord points as one
+// record. Caller holds l.mu (fileIDs access).
+func (l *wal) encodePointsRecordLocked(buf []byte, pts []RefPoint) []byte {
+	buf, off := beginWALRecord(buf)
+	buf = append(buf, walRecPoints)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(pts)))
+	for i := range pts {
+		buf = binary.LittleEndian.AppendUint32(buf, l.fileIDs[pts[i].Ref.id])
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pts[i].Timestamp))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pts[i].Value))
+	}
+	return finishWALRecord(buf, off)
+}
+
+func encodeBlockRecord(buf []byte, fid uint32, b sealedBlock) []byte {
+	buf, off := beginWALRecord(buf)
+	buf = append(buf, walRecBlock)
+	buf = binary.LittleEndian.AppendUint32(buf, fid)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.minTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.maxTS))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.data)))
+	buf = append(buf, b.data...)
+	return finishWALRecord(buf, off)
+}
+
+// CompactWAL rewrites the log from the store's current state — one
+// dictionary record per live series, its sealed blocks verbatim, its
+// head as points records — and atomically swaps it in. Retention
+// passes call this so deleted points leave the file instead of
+// accumulating; opening a legacy-format file triggers it once to
+// migrate. A no-op without a WAL.
+func (db *DB) CompactWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	// Writers hold the read side around append+insert, so the snapshot
+	// below can never miss a logged-but-not-yet-inserted point.
+	db.walGate.Lock()
+	defer db.walGate.Unlock()
+	return db.wal.compact(db)
+}
+
+func (l *wal) compact(db *DB) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	// Complete the old file first: if anything below fails, the
+	// existing log remains a full record.
+	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	_, err := l.w.Write(payload)
-	return err
+	tmpPath := l.path + ".tmp"
+	tf, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal compact: %w", err)
+	}
+	fail := func(err error) error {
+		tf.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("tsdb: wal compact: %w", err)
+	}
+	w := bufio.NewWriterSize(tf, 1<<20)
+	if _, err := w.WriteString(walMagic); err != nil {
+		return fail(err)
+	}
+	size := int64(len(walMagic))
+	fileIDs := make(map[SeriesID]uint32)
+	next := uint32(1)
+	var buf []byte
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if s.ref == nil {
+				continue
+			}
+			fid := next
+			next++
+			fileIDs[s.ref.id] = fid
+			buf = encodeSeriesRecord(buf[:0], fid, s.ref)
+			for _, b := range s.blocks {
+				buf = encodeBlockRecord(buf, fid, b)
+			}
+			for start := 0; start < len(s.head); start += maxWALPointsPerRecord {
+				end := start + maxWALPointsPerRecord
+				if end > len(s.head) {
+					end = len(s.head)
+				}
+				buf = encodeRawPointsRecord(buf, fid, s.head[start:end])
+			}
+			if _, err := w.Write(buf); err != nil {
+				sh.mu.RUnlock()
+				return fail(err)
+			}
+			size += int64(len(buf))
+		}
+		sh.mu.RUnlock()
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tf.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("tsdb: wal compact: %w", err)
+	}
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename landed but the reopen failed: the compacted log
+		// on disk is complete, but this handle now points at the
+		// renamed-over inode — anything appended to it would silently
+		// vanish. Poison the log so every later append fails loudly.
+		l.broken = fmt.Errorf("tsdb: wal compact reopen: %w", err)
+		return l.broken
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		l.broken = fmt.Errorf("tsdb: wal compact seek: %w", err)
+		return l.broken
+	}
+	old.Close()
+	l.f = f
+	l.w.Reset(f)
+	l.fileIDs = fileIDs
+	l.nextFileID = next
+	l.size.Store(size)
+	return nil
+}
+
+// encodeRawPointsRecord is encodePointsRecordLocked for a plain point
+// slice with a known fileID (the compaction path).
+func encodeRawPointsRecord(buf []byte, fid uint32, pts []Point) []byte {
+	buf, off := beginWALRecord(buf)
+	buf = append(buf, walRecPoints)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(pts)))
+	for i := range pts {
+		buf = binary.LittleEndian.AppendUint32(buf, fid)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pts[i].Timestamp))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pts[i].Value))
+	}
+	return finishWALRecord(buf, off)
+}
+
+// WALBytes reports the current WAL file size in bytes (0 without
+// persistence) — the ctt_wal_bytes gauge, and the number retention
+// compaction exists to keep bounded.
+func (db *DB) WALBytes() int64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.size.Load()
 }
 
 func (l *wal) sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -128,6 +588,11 @@ func (l *wal) close() error {
 	return l.f.Close()
 }
 
+// --- legacy (pre-dictionary) record codec ------------------------------
+
+// encodeWALPayload renders one legacy record payload. The writer no
+// longer produces this format; it is kept (with the decoder) so the
+// format-compatibility tests can fabricate old files.
 func encodeWALPayload(dp DataPoint) []byte {
 	buf := make([]byte, 0, 64)
 	buf = appendWALString(buf, dp.Metric)
@@ -136,44 +601,36 @@ func encodeWALPayload(dp DataPoint) []byte {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var nTags [2]byte
-	binary.LittleEndian.PutUint16(nTags[:], uint16(len(keys)))
-	buf = append(buf, nTags[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(keys)))
 	for _, k := range keys {
 		buf = appendWALString(buf, k)
 		buf = appendWALString(buf, dp.Tags[k])
 	}
-	var num [8]byte
-	binary.LittleEndian.PutUint64(num[:], uint64(dp.Timestamp))
-	buf = append(buf, num[:]...)
-	binary.LittleEndian.PutUint64(num[:], math.Float64bits(dp.Value))
-	buf = append(buf, num[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(dp.Timestamp))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(dp.Value))
 	return buf
 }
 
 func appendWALString(buf []byte, s string) []byte {
-	var n [2]byte
-	binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
-	buf = append(buf, n[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
 	return append(buf, s...)
+}
+
+func readWALString(buf []byte, off int) (string, int, error) {
+	if off+2 > len(buf) {
+		return "", off, errWALCorrupt
+	}
+	n := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if off+n > len(buf) {
+		return "", off, errWALCorrupt
+	}
+	return string(buf[off : off+n]), off + n, nil
 }
 
 func decodeWALPayload(buf []byte) (DataPoint, error) {
 	off := 0
-	readString := func() (string, error) {
-		if off+2 > len(buf) {
-			return "", errWALCorrupt
-		}
-		n := int(binary.LittleEndian.Uint16(buf[off:]))
-		off += 2
-		if off+n > len(buf) {
-			return "", errWALCorrupt
-		}
-		s := string(buf[off : off+n])
-		off += n
-		return s, nil
-	}
-	metric, err := readString()
+	metric, off, err := readWALString(buf, off)
 	if err != nil {
 		return DataPoint{}, err
 	}
@@ -184,12 +641,11 @@ func decodeWALPayload(buf []byte) (DataPoint, error) {
 	off += 2
 	tags := make(map[string]string, nTags)
 	for i := 0; i < nTags; i++ {
-		k, err := readString()
-		if err != nil {
+		var k, v string
+		if k, off, err = readWALString(buf, off); err != nil {
 			return DataPoint{}, err
 		}
-		v, err := readString()
-		if err != nil {
+		if v, off, err = readWALString(buf, off); err != nil {
 			return DataPoint{}, err
 		}
 		tags[k] = v

@@ -1,0 +1,320 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeLegacyWAL fabricates a pre-dictionary log file: one
+// crc|len|metric+tags+ts+value record per point, no magic header —
+// exactly what the previous writer produced.
+func writeLegacyWAL(t *testing.T, dir string, dps []DataPoint) string {
+	t.Helper()
+	var buf []byte
+	for _, dp := range dps {
+		payload := encodeWALPayload(dp)
+		var header [8]byte
+		binary.LittleEndian.PutUint32(header[0:4], crc32.ChecksumIEEE(payload))
+		binary.LittleEndian.PutUint32(header[4:8], uint32(len(payload)))
+		buf = append(buf, header[:]...)
+		buf = append(buf, payload...)
+	}
+	path := filepath.Join(dir, walFileName)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func legacyPoints(n int) []DataPoint {
+	out := make([]DataPoint, n)
+	for i := range out {
+		out[i] = DataPoint{
+			Metric: "wal.compat",
+			Tags:   map[string]string{"sensor": "s1", "city": "aarhus"},
+			Point:  Point{Timestamp: baseTS + int64(i)*1000, Value: float64(i) * 1.5},
+		}
+	}
+	return out
+}
+
+func allPoints(t *testing.T, db *DB, metric string, tags map[string]string) []Point {
+	t.Helper()
+	pts, err := db.SeriesWindowExact(metric, tags, 0, maxTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// TestWALLegacyReplay: a file written by the old code replays into
+// the new engine, is migrated to the dictionary format on open, and
+// keeps accepting (and replaying) new group-committed writes.
+func TestWALLegacyReplay(t *testing.T) {
+	dir := t.TempDir()
+	dps := legacyPoints(50)
+	path := writeLegacyWAL(t, dir, dps)
+
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := allPoints(t, db, "wal.compat", dps[0].Tags)
+	if len(got) != len(dps) {
+		t.Fatalf("replayed %d points, want %d", len(got), len(dps))
+	}
+	for i, p := range got {
+		if p != dps[i].Point {
+			t.Fatalf("point %d: %+v != %+v", i, p, dps[i].Point)
+		}
+	}
+	// The open migrated the file: it now carries the magic header.
+	head := make([]byte, 8)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Read(head)
+	f.Close()
+	if string(head) != walMagic {
+		t.Fatalf("legacy file not migrated: header %q", head)
+	}
+
+	// New writes append in the new format and survive a reopen.
+	if err := db.Put(DataPoint{
+		Metric: "wal.compat", Tags: dps[0].Tags,
+		Point: Point{Timestamp: baseTS + 10_000_000, Value: 99},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := allPoints(t, db2, "wal.compat", dps[0].Tags); len(got) != len(dps)+1 || got[len(got)-1].Value != 99 {
+		t.Fatalf("mixed-format replay lost data: %d points", len(got))
+	}
+}
+
+// TestWALLegacyTornTail: a legacy file with a truncated final record
+// replays its intact prefix and truncates the tail, exactly as the
+// old replayer did.
+func TestWALLegacyTornTail(t *testing.T) {
+	dir := t.TempDir()
+	dps := legacyPoints(10)
+	path := writeLegacyWAL(t, dir, dps)
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := allPoints(t, db, "wal.compat", dps[0].Tags); len(got) != 9 {
+		t.Fatalf("replayed %d points from torn legacy file, want 9", len(got))
+	}
+}
+
+// TestWALDictRoundTrip: group-committed batches — dictionary records
+// plus packed point records — replay byte-identically, through both a
+// clean reopen and a post-compaction reopen.
+func TestWALDictRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagsA := map[string]string{"sensor": "a"}
+	tagsB := map[string]string{"sensor": "b"}
+	refA, err := db.Intern("wal.dict", tagsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := db.Intern("wal.dict", tagsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []RefPoint
+	for i := 0; i < 600; i++ { // crosses a seal boundary on each series
+		ref := refA
+		if i%2 == 1 {
+			ref = refB
+		}
+		batch = append(batch, RefPoint{Ref: ref, Point: Point{Timestamp: baseTS + int64(i)*500, Value: float64(i)}})
+	}
+	if res := db.AppendRefs(batch); res.Stored != len(batch) {
+		t.Fatalf("stored %d, want %d", res.Stored, len(batch))
+	}
+	wantA := allPoints(t, db, "wal.dict", tagsA)
+	wantB := allPoints(t, db, "wal.dict", tagsB)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allPoints(t, db2, "wal.dict", tagsA); !reflect.DeepEqual(got, wantA) {
+		t.Fatalf("series a diverged after replay: %d vs %d points", len(got), len(wantA))
+	}
+	if got := allPoints(t, db2, "wal.dict", tagsB); !reflect.DeepEqual(got, wantB) {
+		t.Fatalf("series b diverged after replay: %d vs %d points", len(got), len(wantB))
+	}
+
+	// Compaction rewrites sealed blocks as block records and heads as
+	// points records; a third open must see the same data again.
+	if err := db2.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := allPoints(t, db3, "wal.dict", tagsA); !reflect.DeepEqual(got, wantA) {
+		t.Fatal("series a diverged after compaction replay")
+	}
+	if got := allPoints(t, db3, "wal.dict", tagsB); !reflect.DeepEqual(got, wantB) {
+		t.Fatal("series b diverged after compaction replay")
+	}
+}
+
+// TestWALTornDictRecord: a dictionary record cut mid-write must stop
+// replay cleanly at the intact prefix — and so must a points record
+// referencing a series whose dictionary record never made it.
+func TestWALTornDictRecord(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := db.Intern("wal.torn", map[string]string{"s": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutRef(RefPoint{Ref: ref, Point: Point{Timestamp: baseTS, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walFileName)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate a full dictionary record for a second series, then cut
+	// it mid-payload.
+	other := &Ref{metric: "wal.torn2", tags: map[string]string{"s": "2"}}
+	rec := encodeSeriesRecord(nil, 7, other)
+	torn := append(append([]byte{}, intact...), rec[:len(rec)-3]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allPoints(t, db2, "wal.torn", map[string]string{"s": "1"}); len(got) != 1 {
+		t.Fatalf("intact prefix lost: %d points", len(got))
+	}
+	if db2.SeriesCount() != 1 {
+		t.Fatalf("torn dictionary record materialized a series: %d series", db2.SeriesCount())
+	}
+	// Replay truncated the torn tail so appends restart at a clean
+	// boundary.
+	if int64(len(intact)) != db2.WALBytes() {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", db2.WALBytes(), len(intact))
+	}
+	db2.Close()
+
+	// A points record whose series id has no dictionary record (the
+	// dict record was torn away entirely) must also stop replay.
+	orphan := encodeRawPointsRecord(nil, 42, []Point{{Timestamp: baseTS, Value: 9}})
+	bad := append(append([]byte{}, intact...), orphan...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if got := db3.PointCount(); got != 1 {
+		t.Fatalf("orphan points record applied: %d points", got)
+	}
+}
+
+// TestWALCompactedByRetention: after retention deletes points, the
+// compacted log shrinks and a reopen sees exactly the surviving data
+// — the file stops growing forever.
+func TestWALCompactedByRetention(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := map[string]string{"sensor": "r"}
+	for i := 0; i < 1000; i++ {
+		if err := db.Put(DataPoint{Metric: "wal.ret", Tags: tags,
+			Point: Point{Timestamp: baseTS + int64(i)*1000, Value: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.WALBytes()
+	cutoff := baseTS + 900*1000
+	if n, err := db.DeleteBefore(cutoff); err != nil || n != 900 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if err := db.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.WALBytes()
+	if after >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before, after)
+	}
+	fi, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != after {
+		t.Fatalf("WALBytes %d != file size %d", after, fi.Size())
+	}
+	// Writes after compaction append to the rewritten log.
+	if err := db.Put(DataPoint{Metric: "wal.ret", Tags: tags,
+		Point: Point{Timestamp: baseTS + 2_000_000, Value: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	pts := allPoints(t, db2, "wal.ret", tags)
+	if len(pts) != 101 {
+		t.Fatalf("replayed %d points, want 101 (100 survivors + 1 new)", len(pts))
+	}
+	for _, p := range pts[:100] {
+		if p.Timestamp < cutoff {
+			t.Fatalf("deleted point resurrected at %d", p.Timestamp)
+		}
+	}
+}
