@@ -13,8 +13,16 @@
 //	GET  /api/suggest  metric and tag discovery
 //	GET  /api/stream   live server-sent-event feed
 //	GET  /metrics      gateway + rollup + line-protocol instrumentation
+//	                   (Prometheus text format, with latency histograms)
+//	GET  /healthz      queue headroom, WAL fsync age, rollup lag (503
+//	                   when the ingest queue is saturated)
+//	GET  /api/inflight live requests with elapsed time + current stage
 //	GET  /             dashboards, /wall, /live, /network.svg
 //	tcp  -telnet addr  OpenTSDB telnet ingest: put <metric> <ts> <v> k=v
+//
+// Logs are structured (-log-level, -log-json); queries slower than
+// -slow-query log their full per-stage span tree. -pprof-addr starts
+// net/http/pprof on a separate ops listener, off by default.
 //
 // The pilot fast-forwards -days of history (rolled up as it streams
 // in), then keeps stepping one reporting interval every -tick of wall
@@ -30,8 +38,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,7 +78,36 @@ var (
 		"age out raw points older than this (0 = keep forever; rollup tiers keep serving older history)")
 	rollupGrace = flag.Duration("rollup-grace", time.Minute,
 		"out-of-order allowance before a rollup window seals")
+
+	logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+	slowQuery = flag.Duration("slow-query", time.Second,
+		"log queries slower than this with their full per-stage span tree (0 = off)")
+	traceSample = flag.Int("trace-sample", 0,
+		"collect per-point detail timing (block decode, head scan) on every Nth query (0 = off)")
+	pprofAddr = flag.String("pprof-addr", "",
+		`serve net/http/pprof on this separate ops address ("" = disabled)`)
 )
+
+// newLogger builds the process logger from -log-level / -log-json.
+func newLogger() (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", *logLevel, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if *logJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+// fatal logs the error and exits — the structured replacement for
+// log.Fatal during startup, before the server is accepting traffic.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}
 
 // parseTiers parses "1m:168h,1h:2160h" ("res" alone keeps forever).
 func parseTiers(spec string) ([]rollup.Tier, error) {
@@ -97,6 +135,12 @@ func parseTiers(spec string) ([]rollup.Tier, error) {
 
 func main() {
 	flag.Parse()
+	logger, err := newLogger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 	var cfg core.Config
 	switch *city {
 	case "trondheim":
@@ -104,14 +148,14 @@ func main() {
 	case "vejle":
 		cfg = core.VejleConfig(*seed)
 	default:
-		log.Fatalf("unknown city %q", *city)
+		fatal(logger, "unknown city", fmt.Errorf("%q", *city))
 	}
 	cfg.Start = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
 	cfg.WALDir = *walDir
 
 	sys, err := core.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "pilot init", err)
 	}
 	defer sys.Close()
 
@@ -121,7 +165,7 @@ func main() {
 	if *rollupSpec != "off" {
 		tiers, err := parseTiers(*rollupSpec)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "rollup tiers", err)
 		}
 		eng, err = rollup.New(sys.DB, rollup.Config{
 			Tiers:        tiers,
@@ -130,32 +174,47 @@ func main() {
 			Now:          sys.Now, // retention/sealing follow simulated time
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "rollup init", err)
 		}
 		defer eng.Close()
 	}
 
-	fmt.Printf("fast-forwarding %d days of the %s pilot (%d sensors) ...\n",
-		*days, *city, len(sys.Nodes))
+	logger.Info("fast-forwarding pilot history",
+		"days", *days, "city", *city, "sensors", len(sys.Nodes))
 	t0 := time.Now()
 	if _, err := sys.Run(time.Duration(*days) * 24 * time.Hour); err != nil {
-		log.Fatal(err)
+		fatal(logger, "pilot fast-forward", err)
 	}
-	fmt.Printf("done in %v: %d uplinks, %d points, %d series\n",
-		time.Since(t0).Round(time.Millisecond),
-		sys.IngestCount(), sys.DB.PointCount(), sys.DB.SeriesCount())
+	logger.Info("fast-forward done",
+		"took", time.Since(t0).Round(time.Millisecond).String(),
+		"uplinks", sys.IngestCount(), "points", sys.DB.PointCount(), "series", sys.DB.SeriesCount())
 
 	// Gateway over the pilot's store and monitoring state.
 	gw := api.New(sys.DB, sys.Dataport, api.Config{
-		QueueSize: *queueSize,
-		Workers:   *workers,
-		RateLimit: *rateLimit,
-		APIKey:    *apiKey,
-		Now:       sys.Now,
+		QueueSize:   *queueSize,
+		Workers:     *workers,
+		RateLimit:   *rateLimit,
+		APIKey:      *apiKey,
+		Now:         sys.Now,
+		SlowQuery:   *slowQuery,
+		TraceSample: *traceSample,
+		Logger:      logger,
 	})
 	defer gw.Close()
 	if eng != nil {
 		gw.AddMetricsSource(eng.EmitMetrics)
+		// Rollup fold latency lands next to the gateway's histograms,
+		// and the engine's worst watermark lag shows up on /healthz.
+		eng.SetObserveHistogram(gw.Registry().Histogram("ctt_rollup_observe_seconds", "", nil))
+		gw.AddHealthSource(func(m map[string]any) {
+			var lag int64
+			for _, t := range eng.Stats().Tiers {
+				if t.LagMS > lag {
+					lag = t.LagMS
+				}
+			}
+			m["rollup_watermark_lag_ms"] = lag
+		})
 	}
 
 	// Telnet-style line-protocol ingest feeding the gateway's bounded
@@ -164,12 +223,31 @@ func main() {
 		lp := lineproto.New(gw, lineproto.Config{APIKey: *apiKey})
 		lpAddr, err := lp.Start(*telnetAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "line-protocol listener", err)
 		}
 		defer lp.Close()
 		gw.AddMetricsSource(lp.EmitMetrics)
-		fmt.Printf("line protocol on %s — try: echo \"put ctt.co2 $(date +%%s) 415 sensor=cli\" | nc %s\n",
-			lpAddr, strings.ReplaceAll(lpAddr.String(), ":", " "))
+		lp.SetFlushHistogram(gw.Registry().Histogram("ctt_lineproto_flush_seconds", "", nil))
+		logger.Info("line protocol listening", "addr", lpAddr.String(),
+			"try", fmt.Sprintf("echo \"put ctt.co2 $(date +%%s) 415 sensor=cli\" | nc %s",
+				strings.ReplaceAll(lpAddr.String(), ":", " ")))
+	}
+
+	// Opt-in pprof on its own listener, so profiling never shares a
+	// port (or an auth story) with the data-plane endpoints.
+	if *pprofAddr != "" {
+		ops := http.NewServeMux()
+		ops.HandleFunc("/debug/pprof/", pprof.Index)
+		ops.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		ops.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		ops.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		ops.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, ops); err != nil {
+				logger.Error("pprof listener", "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	// Dashboard over the same store.
@@ -193,7 +271,7 @@ func main() {
 			Downsample: time.Hour, Window: window, YLabel: "%"},
 	} {
 		if err := dash.AddPanel(p); err != nil {
-			log.Fatal(err)
+			fatal(logger, "dashboard panel", err)
 		}
 	}
 
@@ -205,7 +283,7 @@ func main() {
 	// pages calls it; standalone ctt-demo still serves the old shape).
 	gwH := gw.Handler()
 	root := http.NewServeMux()
-	for _, p := range []string{"/api/put", "/api/query", "/api/suggest", "/api/stream", "/metrics"} {
+	for _, p := range []string{"/api/put", "/api/query", "/api/suggest", "/api/stream", "/api/inflight", "/metrics", "/healthz"} {
 		root.Handle(p, gwH)
 	}
 	root.Handle("/", dash.Handler())
@@ -239,7 +317,7 @@ func main() {
 					return
 				case <-ticker.C:
 					if err := sys.DB.Sync(); err != nil {
-						log.Printf("wal sync: %v", err)
+						logger.Error("wal sync", "err", err)
 					}
 				}
 			}
@@ -257,14 +335,14 @@ func main() {
 					return
 				case <-ticker.C:
 					if err := sys.Step(); err != nil {
-						log.Printf("step: %v", err)
+						logger.Error("pilot step", "err", err)
 					}
 				}
 			}
 		}()
 	}
 
-	fmt.Printf("\ngateway     http://%s/api/put · /api/query · /api/suggest · /api/stream · /metrics\n", *addr)
+	fmt.Printf("\ngateway     http://%s/api/put · /api/query · /api/suggest · /api/stream · /metrics · /healthz\n", *addr)
 	fmt.Printf("dashboards  http://%s/  ·  wall http://%s/wall  ·  live http://%s/live\n", *addr, *addr, *addr)
 	fmt.Printf("stepping %v of simulated time every %v — Ctrl-C to stop\n", sys.Interval, *tick)
 
@@ -273,7 +351,7 @@ func main() {
 	select {
 	case <-sig:
 	case err := <-serveErr:
-		log.Printf("serve: %v", err)
+		logger.Error("serve", "err", err)
 	}
 	close(stop)
 	// Join the stepper before the deferred closes tear down the WAL

@@ -64,9 +64,23 @@
 // candidates are ranked by folding member cursors (served from rollup
 // tier statistics when a tier covers the range) so only the K winners
 // ever materialize. CI enforces a bench-regression gate: gateway,
-// tsdb and lineproto benchmark medians (ns/op and allocs/op) are
+// tsdb, lineproto and obs benchmark medians (ns/op and allocs/op) are
 // compared against ci/bench_baseline.json (see ci/benchcmp) and a
 // >30% slowdown fails the build; BENCH_tsdb.json records the
 // storage-engine trajectory. See README.md ("Performance") for
 // numbers, a quickstart and an architecture sketch.
+//
+// Observability: internal/obs is a dependency-free metrics registry
+// (atomic counters, gauge closures, lock-free fixed-bucket
+// histograms in Prometheus exposition format) plus a pooled span
+// tracer threaded through both hot paths — query execution (parse →
+// series match → block decode / head scan → k-way merge → downsample
+// fold → parallel group reduce → serialize → flush) and ingest
+// (decode → enqueue → WAL append/fsync → shard insert → observer
+// fan-out). The gateway surfaces it as /metrics stage histograms, a
+// structured slow-query log with the full span tree (-slow-query,
+// -trace-sample), a live /api/inflight listing, a deep /healthz
+// (WAL fsync age, queue depth, rollup watermark lag; 503 on
+// saturation), and an opt-in pprof ops listener (-pprof-addr). See
+// README.md ("Observability").
 package repro

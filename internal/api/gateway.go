@@ -14,23 +14,34 @@
 //	GET  /api/suggest  — metric/tag-key/tag-value discovery
 //	GET  /api/stream   — server-sent events pushing matching points to
 //	                     live dashboard subscribers
-//	GET  /metrics      — self-instrumentation (ingest rate, queue depth,
-//	                     cache hit ratio, compression ratio)
+//	GET  /metrics      — Prometheus text exposition: the pre-existing
+//	                     counters and gauges plus latency histograms for
+//	                     every pipeline stage (request, ingest batch,
+//	                     queue wait, WAL append/fsync, insert, fan-out)
+//	GET  /healthz      — liveness with saturation detail: queue headroom,
+//	                     WAL size and fsync age, subsystem lag; 503 with
+//	                     a reason when the ingest queue is near capacity
+//	GET  /api/inflight — live requests with elapsed time, current stage
+//
+// Every query carries an obs.Trace through the store's streaming
+// executor; queries slower than Config.SlowQuery log their full span
+// tree as one structured line.
 package api
 
 import (
 	"crypto/subtle"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dataport"
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -67,6 +78,17 @@ type Config struct {
 	// alignment (simulated pilots run on simulated time). Default
 	// time.Now.
 	Now func() time.Time
+	// SlowQuery, when >0, logs every query whose total handling time
+	// exceeds it: one structured line with the full span tree,
+	// per-stage durations, result sizes and the planner decision.
+	SlowQuery time.Duration
+	// TraceSample turns on per-point detail timing (block decode, head
+	// scan, downsample fold) for every Nth query; 0 disables detail.
+	// The coarse per-stage numbers are always collected.
+	TraceSample int
+	// Logger receives the gateway's structured output (slow queries).
+	// Default slog.Default().
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -100,6 +122,9 @@ func (c *Config) setDefaults() {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 }
 
 // Gateway is the HTTP ingest/query service.
@@ -126,10 +151,31 @@ type Gateway struct {
 	// stream fan-out, cache invalidation) on Close.
 	removeObservers []func()
 
-	// extraMetrics are additional /metrics emitters registered by
-	// sibling subsystems (rollup engine, line-protocol listener).
-	emMu         sync.RWMutex
-	extraMetrics []func(emit func(name string, v any))
+	// reg is the metrics registry behind /metrics; inflight the live
+	// request table behind /api/inflight.
+	reg      *obs.Registry
+	inflight *obs.Inflight
+
+	// per-endpoint request latency plus the ingest queue-wait
+	// histogram (marks recorded in EnqueueRefs, popped in worker).
+	histQuery     *obs.Histogram // ctt_http_request_seconds{endpoint="query"}
+	histPut       *obs.Histogram // ctt_http_request_seconds{endpoint="put"}
+	histSuggest   *obs.Histogram // ctt_http_request_seconds{endpoint="suggest"}
+	histQueueWait *obs.Histogram // ctt_ingest_queue_wait_seconds
+
+	// queue-wait marks: enqueue timestamps tagged with the cumulative
+	// enqueue sequence; a worker whose dequeue counter passes a mark's
+	// sequence observes its age. Bounded, so a stalled consumer costs
+	// sampling coverage, never memory.
+	markMu sync.Mutex
+	marks  []queueMark
+	enqSeq int64
+	deqSeq atomic.Int64
+
+	// healthSources contribute subsystem detail (rollup watermark lag)
+	// to /healthz without the gateway importing those packages.
+	hsMu          sync.Mutex
+	healthSources []func(m map[string]any)
 
 	// counters
 	ingested    atomic.Uint64 // points stored
@@ -183,16 +229,91 @@ func newGateway(db *tsdb.DB, dp *dataport.Dataport, cfg Config) *Gateway {
 			g.hub.publishBatch(rps)
 		}),
 	)
+	g.initObs()
 	return g
 }
+
+// initObs builds the metrics registry: gauges over the gateway's and
+// store's existing counters (names and order preserved from the
+// pre-registry /metrics), the latency histograms, and the store-side
+// ingest instrumentation.
+func (g *Gateway) initObs() {
+	reg := obs.NewRegistry()
+	g.reg = reg
+	g.inflight = obs.NewInflight()
+
+	reg.Gauge("ctt_ingest_queue_depth", func() float64 { return float64(len(g.queue)) })
+	reg.Gauge("ctt_ingest_queue_capacity", func() float64 { return float64(cap(g.queue)) })
+	reg.Gauge("ctt_ingest_points_total", func() float64 { return float64(g.ingested.Load()) })
+	reg.Gauge("ctt_ingest_store_errors_total", func() float64 { return float64(g.storeErrors.Load()) })
+	reg.Gauge(`ctt_ingest_rejected_total{reason="queue_full"}`, func() float64 { return float64(g.rejectFull.Load()) })
+	reg.Gauge(`ctt_ingest_rejected_total{reason="rate_limited"}`, func() float64 { return float64(g.rejectRate.Load()) })
+	reg.Gauge(`ctt_ingest_rejected_total{reason="invalid"}`, func() float64 { return float64(g.invalid.Load()) })
+	reg.Gauge("ctt_ingest_rate_points_per_second", func() float64 { return g.rate.value(time.Now()) })
+	reg.Gauge("ctt_put_requests_total", func() float64 { return float64(g.putReqs.Load()) })
+	reg.Gauge("ctt_query_requests_total", func() float64 { return float64(g.queryReqs.Load()) })
+	reg.Gauge("ctt_query_errors_total", func() float64 { return float64(g.queryErrs.Load()) })
+	reg.Gauge("ctt_auth_failures_total", func() float64 { return float64(g.authFails.Load()) })
+	reg.Gauge("ctt_query_cache_hits_total", func() float64 { h, _, _ := g.cache.stats(); return float64(h) })
+	reg.Gauge("ctt_query_cache_misses_total", func() float64 { _, m, _ := g.cache.stats(); return float64(m) })
+	reg.Gauge("ctt_query_cache_invalidations_total", func() float64 { _, _, inv := g.cache.stats(); return float64(inv) })
+	reg.Gauge("ctt_query_cache_hit_ratio", func() float64 {
+		h, m, _ := g.cache.stats()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	reg.Gauge("ctt_stream_subscribers", func() float64 { return float64(g.hub.subscriberCount()) })
+	reg.Gauge("ctt_stream_dropped_total", func() float64 { return float64(g.hub.droppedCount()) })
+	reg.Gauge("ctt_tsdb_series", func() float64 { return float64(g.db.SeriesCount()) })
+	reg.Gauge("ctt_tsdb_points", func() float64 { return float64(g.db.PointCount()) })
+	reg.Gauge("ctt_tsdb_compressed_bytes", func() float64 { return float64(g.db.CompressedBytes()) })
+	reg.Gauge("ctt_wal_bytes", func() float64 { return float64(g.db.WALBytes()) })
+	reg.Gauge("ctt_tsdb_compression_ratio", func() float64 {
+		// Raw size baseline: 16 bytes/point (int64 ts + float64 value).
+		c := g.db.CompressedBytes()
+		if c == 0 {
+			return 0
+		}
+		return float64(g.db.PointCount()*16) / float64(c)
+	})
+	if g.dp != nil {
+		reg.Gauge("ctt_dataport_sensors", func() float64 { return float64(g.dp.Stats().Sensors) })
+		reg.Gauge("ctt_dataport_gateways", func() float64 { return float64(g.dp.Stats().Gateways) })
+		reg.Gauge("ctt_dataport_alarms_total", func() float64 { return float64(g.dp.Stats().Alarms) })
+	}
+
+	g.histQuery = reg.Histogram("ctt_http_request_seconds", `endpoint="query"`, nil)
+	g.histPut = reg.Histogram("ctt_http_request_seconds", `endpoint="put"`, nil)
+	g.histSuggest = reg.Histogram("ctt_http_request_seconds", `endpoint="suggest"`, nil)
+	g.histQueueWait = reg.Histogram("ctt_ingest_queue_wait_seconds", "", nil)
+	g.db.SetInstrumentation(&tsdb.Instrumentation{
+		IngestBatch: reg.Histogram("ctt_ingest_batch_seconds", "", nil),
+		WALAppend:   reg.Histogram("ctt_wal_append_seconds", "", nil),
+		WALFsync:    reg.Histogram("ctt_wal_fsync_seconds", "", nil),
+		Insert:      reg.Histogram("ctt_tsdb_insert_seconds", "", nil),
+		Fanout:      reg.Histogram("ctt_tsdb_fanout_seconds", "", nil),
+	})
+}
+
+// Registry exposes the gateway's metrics registry so sibling
+// subsystems can register their own histograms next to the gateway's.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
 
 // AddMetricsSource registers fn to append lines to /metrics — how the
 // rollup engine and line-protocol listener surface their counters on
 // the gateway's one instrumentation endpoint.
 func (g *Gateway) AddMetricsSource(fn func(emit func(name string, v any))) {
-	g.emMu.Lock()
-	g.extraMetrics = append(g.extraMetrics, fn)
-	g.emMu.Unlock()
+	g.reg.AddSource(fn)
+}
+
+// AddHealthSource registers fn to fold subsystem detail into the
+// /healthz body (the rollup engine reports its watermark lag here).
+func (g *Gateway) AddHealthSource(fn func(m map[string]any)) {
+	g.hsMu.Lock()
+	g.healthSources = append(g.healthSources, fn)
+	g.hsMu.Unlock()
 }
 
 func (g *Gateway) startWorkers() {
@@ -209,10 +330,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/query", g.requireKey(g.handleQuery))
 	mux.HandleFunc("/api/suggest", g.requireKey(g.handleSuggest))
 	mux.HandleFunc("/api/stream", g.requireKey(g.handleStream))
+	mux.HandleFunc("/api/inflight", g.handleInflight)
 	mux.HandleFunc("/metrics", g.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok"))
-	})
+	mux.HandleFunc("/healthz", g.handleHealthz)
 	return mux
 }
 
@@ -292,6 +412,7 @@ func clientKey(r *http.Request) string {
 // --- /api/suggest ------------------------------------------------------
 
 func (g *Gateway) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	defer g.histSuggest.ObserveSince(time.Now())
 	q := r.URL.Query()
 	max := 25
 	if v := q.Get("max"); v != "" {
@@ -323,59 +444,53 @@ func (g *Gateway) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 // --- /metrics ----------------------------------------------------------
 
+// handleMetrics serves the registry. Expose snapshots every value and
+// formats entirely outside the registry lock, so a slow scrape can
+// never stall registration or another scrape.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
-	emit := func(name string, v any) {
-		fmt.Fprintf(&b, "%s %v\n", name, v)
-	}
-	emit("ctt_ingest_queue_depth", len(g.queue))
-	emit("ctt_ingest_queue_capacity", cap(g.queue))
-	emit("ctt_ingest_points_total", g.ingested.Load())
-	emit("ctt_ingest_store_errors_total", g.storeErrors.Load())
-	emit(`ctt_ingest_rejected_total{reason="queue_full"}`, g.rejectFull.Load())
-	emit(`ctt_ingest_rejected_total{reason="rate_limited"}`, g.rejectRate.Load())
-	emit(`ctt_ingest_rejected_total{reason="invalid"}`, g.invalid.Load())
-	emit("ctt_ingest_rate_points_per_second", fmt.Sprintf("%.3f", g.rate.value(time.Now())))
-	emit("ctt_put_requests_total", g.putReqs.Load())
-	emit("ctt_query_requests_total", g.queryReqs.Load())
-	emit("ctt_query_errors_total", g.queryErrs.Load())
-	emit("ctt_auth_failures_total", g.authFails.Load())
-	hits, misses, invalidated := g.cache.stats()
-	emit("ctt_query_cache_hits_total", hits)
-	emit("ctt_query_cache_misses_total", misses)
-	emit("ctt_query_cache_invalidations_total", invalidated)
-	ratio := 0.0
-	if hits+misses > 0 {
-		ratio = float64(hits) / float64(hits+misses)
-	}
-	emit("ctt_query_cache_hit_ratio", fmt.Sprintf("%.3f", ratio))
-	emit("ctt_stream_subscribers", g.hub.subscriberCount())
-	emit("ctt_stream_dropped_total", g.hub.droppedCount())
+	w.Write(g.reg.Expose())
+}
 
-	series := g.db.SeriesCount()
-	points := g.db.PointCount()
-	compressed := g.db.CompressedBytes()
-	emit("ctt_tsdb_series", series)
-	emit("ctt_tsdb_points", points)
-	emit("ctt_tsdb_compressed_bytes", compressed)
-	emit("ctt_wal_bytes", g.db.WALBytes())
-	// Raw size baseline: 16 bytes per point (int64 ts + float64 value).
-	if compressed > 0 {
-		emit("ctt_tsdb_compression_ratio", fmt.Sprintf("%.3f", float64(points*16)/float64(compressed)))
+// --- /healthz ----------------------------------------------------------
+
+// healthSaturation is the queue-occupancy fraction at which /healthz
+// flips to 503: ingest is still accepting, but the next burst will 429,
+// so load balancers should stop routing new producers here.
+const healthSaturation = 0.95
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	depth, capacity := len(g.queue), cap(g.queue)
+	m := map[string]any{
+		"status":                "ok",
+		"ingest_queue_depth":    depth,
+		"ingest_queue_capacity": capacity,
+		"wal_bytes":             g.db.WALBytes(),
 	}
-	if g.dp != nil {
-		st := g.dp.Stats()
-		emit("ctt_dataport_sensors", st.Sensors)
-		emit("ctt_dataport_gateways", st.Gateways)
-		emit("ctt_dataport_alarms_total", st.Alarms)
+	if t, ok := g.db.WALLastSync(); ok {
+		m["wal_last_fsync_age_ms"] = time.Since(t).Milliseconds()
 	}
-	g.emMu.RLock()
-	for _, src := range g.extraMetrics {
-		src(emit)
+	g.hsMu.Lock()
+	srcs := g.healthSources
+	g.hsMu.Unlock()
+	for _, fn := range srcs {
+		fn(m)
 	}
-	g.emMu.RUnlock()
-	w.Write([]byte(b.String()))
+	code := http.StatusOK
+	if capacity > 0 && float64(depth) >= healthSaturation*float64(capacity) {
+		m["status"] = "saturated"
+		m["reason"] = fmt.Sprintf("ingest queue %d/%d is over %.0f%% full", depth, capacity, healthSaturation*100)
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, m)
+}
+
+// --- /api/inflight -----------------------------------------------------
+
+// handleInflight lists live requests, longest-running first, each with
+// its elapsed time and the pipeline stage it last entered.
+func (g *Gateway) handleInflight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.inflight.Snapshot())
 }
 
 // ewmaRate tracks an exponentially-weighted ingest rate.

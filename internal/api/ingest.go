@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -156,6 +157,13 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.putReqs.Add(1)
+	tr := obs.NewTrace("put", r.URL.Path)
+	untrack := g.inflight.Track(tr)
+	defer func() {
+		g.histPut.Observe(tr.Elapsed().Seconds())
+		untrack()
+		tr.Release()
+	}()
 	// Constrained producers may gzip the batch; the size cap applies
 	// to the decompressed bytes, so a compressed bomb cannot buy more
 	// buffer than a plain request.
@@ -178,7 +186,9 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 	defer putScratchPool.Put(sc)
 	sc.reset()
 	var err error
+	sp := tr.StartSpan("read_body")
 	sc.body, err = readAllInto(sc.body, io.LimitReader(reader, maxPutBody+1))
+	sp.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
@@ -187,7 +197,9 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxPutBody)
 		return
 	}
+	sp = tr.StartSpan("decode")
 	total, err := g.decodePutBody(sc)
+	sp.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -232,7 +244,10 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
 			return
 		}
-		if err := g.EnqueueRefs(dps); err != nil {
+		sp = tr.StartSpan("enqueue")
+		err := g.EnqueueRefs(dps)
+		sp.End()
+		if err != nil {
 			// Nothing was stored: hand the spent tokens back so the
 			// retry the 429 invites isn't then rate-limited.
 			g.limiter.refund(client, float64(len(dps)))
@@ -488,7 +503,44 @@ func (g *Gateway) EnqueueRefs(rps []tsdb.RefPoint) error {
 	for _, rp := range rps {
 		g.queue <- rp
 	}
+	g.recordQueueMark(len(rps))
 	return nil
+}
+
+// queueMark tags the enqueue time of a batch's last point with the
+// cumulative enqueue sequence. Workers observe a mark's age into the
+// queue-wait histogram once their dequeue counter passes its sequence
+// — batch-granular queue-wait sampling with no per-point timestamps.
+type queueMark struct {
+	seq int64
+	t   time.Time
+}
+
+// maxQueueMarks bounds the mark backlog: past it, waits go unsampled
+// (workers stalled that long are visible on the histogram already).
+const maxQueueMarks = 1024
+
+func (g *Gateway) recordQueueMark(n int) {
+	g.markMu.Lock()
+	g.enqSeq += int64(n)
+	if len(g.marks) < maxQueueMarks {
+		g.marks = append(g.marks, queueMark{seq: g.enqSeq, t: time.Now()})
+	}
+	g.markMu.Unlock()
+}
+
+// drainQueueMarks observes every mark the dequeue counter has passed.
+func (g *Gateway) drainQueueMarks(deq int64) {
+	g.markMu.Lock()
+	i := 0
+	for i < len(g.marks) && g.marks[i].seq <= deq {
+		g.histQueueWait.ObserveSince(g.marks[i].t)
+		i++
+	}
+	if i > 0 {
+		g.marks = append(g.marks[:0], g.marks[i:]...)
+	}
+	g.markMu.Unlock()
 }
 
 // Enqueue is EnqueueRefs for callers still holding DataPoints (the
@@ -528,6 +580,7 @@ func (g *Gateway) worker() {
 				break fill
 			}
 		}
+		g.drainQueueMarks(g.deqSeq.Add(int64(len(batch))))
 		// Points were validated at the edge before enqueueing; the
 		// whole batch WAL-commits with one lock acquisition and fans
 		// out to observers as one call.

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -125,8 +126,30 @@ func appendJSONFloat(b []byte, f float64) ([]byte, error) {
 	return b, nil
 }
 
+// queryState carries what the slow-query log needs out of a request.
+type queryState struct {
+	cacheStatus string
+	series      int
+	points      int
+}
+
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
-	g.queryReqs.Add(1)
+	nreq := g.queryReqs.Add(1)
+	tr := obs.NewTrace("query", r.URL.RequestURI())
+	if s := g.cfg.TraceSample; s > 0 && nreq%uint64(s) == 0 {
+		tr.SetDetailed(true)
+	}
+	untrack := g.inflight.Track(tr)
+	st := queryState{cacheStatus: "miss"}
+	defer func() {
+		elapsed := tr.Elapsed()
+		g.histQuery.Observe(elapsed.Seconds())
+		untrack()
+		g.maybeLogSlow(tr, r, &st, elapsed)
+		tr.Release()
+	}()
+
+	sp := tr.StartSpan("parse")
 	var (
 		start, end int64
 		subs       []subQuery
@@ -138,10 +161,12 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		start, end, subs, err = parseQueryBody(r, g.cfg.Now)
 	default:
+		sp.End()
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
 	if err != nil {
+		sp.End()
 		g.queryErrs.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -153,21 +178,25 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// must 400 here, never 200 with a broken or empty stream.
 	queries := make([]tsdb.Query, len(subs))
 	for i, sq := range subs {
-		q, err := sq.toTSDB(start, end)
-		if err == nil {
-			err = q.Validate()
+		q, qerr := sq.toTSDB(start, end)
+		if qerr == nil {
+			qerr = q.Validate()
 		}
-		if err != nil {
+		if qerr != nil {
+			sp.End()
 			g.queryErrs.Add(1)
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, "%v", qerr)
 			return
 		}
+		q.Trace = tr
 		queries[i] = q
 	}
+	sp.End()
 
 	ndjson := wantsNDJSON(r)
 	key := g.cacheKey(start, end, subs, ndjson)
 	if body, ok := g.cache.get(key); ok {
+		st.cacheStatus = "hit"
 		writeQueryBody(w, r, body, "hit", ndjson)
 		return
 	}
@@ -177,15 +206,23 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// bytes for the cache, and — if the store fails mid-scan, after a
 	// 200 is already on the wire — ends the stream with an explicit
 	// truncation marker instead of a silently short result.
+	scan := tr.StartSpan("scan")
+	serialize := tr.Stage("serialize")
 	enc := newStreamEncoder(w, r, "miss")
 	var streamErr error
 	for _, q := range queries {
 		if streamErr = g.exec(q, func(rs tsdb.ResultSeries) error {
-			return enc.series(toQueryResult(rs))
+			st.series++
+			st.points += len(rs.Points)
+			t0 := time.Now()
+			err := enc.series(toQueryResult(rs))
+			serialize.Add(time.Since(t0))
+			return err
 		}); streamErr != nil {
 			break
 		}
 	}
+	scan.End()
 	if streamErr != nil {
 		g.queryErrs.Add(1)
 		if !enc.started {
@@ -198,7 +235,9 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		enc.finish(streamErr)
 		return
 	}
+	sp = tr.StartSpan("flush")
 	body, cacheable := enc.finish(nil)
+	sp.End()
 	if cacheable {
 		metrics := make([]string, 0, len(subs))
 		for _, sq := range subs {
@@ -206,6 +245,33 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		g.cache.put(key, body, start, end, metrics)
 	}
+}
+
+// maybeLogSlow emits the slow-query record: one structured line with
+// the full span tree (per-stage durations and counts), result sizes,
+// cache status and the planner decision — whether the range was served
+// from rollup tiers, raw block scans, or a mix.
+func (g *Gateway) maybeLogSlow(tr *obs.Trace, r *http.Request, st *queryState, elapsed time.Duration) {
+	if g.cfg.SlowQuery <= 0 || elapsed < g.cfg.SlowQuery {
+		return
+	}
+	served, raw := tr.StageCount("rollup_serve"), tr.StageCount("rollup_fallback")
+	planner := "raw"
+	switch {
+	case served > 0 && raw > 0:
+		planner = "mixed"
+	case served > 0:
+		planner = "rollup"
+	}
+	g.cfg.Logger.Warn("slow query",
+		"uri", r.URL.RequestURI(),
+		"elapsed", elapsed.Round(time.Microsecond).String(),
+		"cache", st.cacheStatus,
+		"series", st.series,
+		"points", st.points,
+		"planner", planner,
+		"trace", tr.RenderTree(),
+	)
 }
 
 // toQueryResult converts a store result series to the OpenTSDB wire

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -136,7 +137,17 @@ type Server struct {
 	timeouts   atomic.Uint64 // connections closed by the read deadline
 	authFails  atomic.Uint64 // puts refused or auth attempts rejected: bad/missing key
 
+	// flushHist, when installed, times each batch flush into the sink
+	// — queue reservation included, so it shows telnet backpressure.
+	flushHist atomic.Pointer[obs.Histogram]
+
 	rate ewmaRate
+}
+
+// SetFlushHistogram installs a histogram receiving the duration of
+// every batch flush into the sink. Nil-safe to leave uninstalled.
+func (s *Server) SetFlushHistogram(h *obs.Histogram) {
+	s.flushHist.Store(h)
 }
 
 // New builds a server feeding sink. Call Start, then Close.
@@ -441,6 +452,9 @@ func (s *Server) flush(conn net.Conn, st *connState) {
 	n := st.batchLen()
 	if n == 0 {
 		return
+	}
+	if h := s.flushHist.Load(); h != nil {
+		defer h.ObserveSince(time.Now())
 	}
 	var err error
 	if st.rs != nil {

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The instrumentation-overhead guard: these primitives sit on ingest
+// and query hot paths, so their per-op cost is benchmarked and gated
+// alongside the paths they instrument.
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkStageAdd(b *testing.B) {
+	tr := NewTrace("bench", "")
+	defer tr.Release()
+	st := tr.Stage("group_reduce")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Add(time.Microsecond)
+	}
+}
+
+func BenchmarkTraceSpans(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace("query", "/api/query")
+		sp := tr.StartSpan("parse")
+		sp.End()
+		scan := tr.StartSpan("scan")
+		scan.StartSpan("decode").End()
+		scan.End()
+		tr.Release()
+	}
+}
+
+func BenchmarkNilTraceOverhead(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("scan")
+		tr.Stage("group_reduce").Add(0)
+		sp.End()
+	}
+}
+
+func BenchmarkRegistryExpose(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter("c" + string(rune('a'+i)) + "_total").Add(uint64(i))
+	}
+	r.Gauge("g_depth", func() float64 { return 12 })
+	h := r.Histogram("lat_seconds", "", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(r.Expose()) == 0 {
+			b.Fatal("empty body")
+		}
+	}
+}

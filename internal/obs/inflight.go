@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Inflight tracks live traces so an ops endpoint can list what the
+// server is doing right now. Track/untrack are a mutex'd map insert
+// and delete — request-granular, not hot-path.
+type Inflight struct {
+	mu  sync.Mutex
+	set map[*Trace]struct{}
+}
+
+// NewInflight returns an empty tracker.
+func NewInflight() *Inflight {
+	return &Inflight{set: make(map[*Trace]struct{})}
+}
+
+// Track registers a live trace and returns its untrack function. The
+// caller must untrack before releasing the trace.
+func (f *Inflight) Track(t *Trace) func() {
+	if f == nil || t == nil {
+		return func() {}
+	}
+	f.mu.Lock()
+	f.set[t] = struct{}{}
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		delete(f.set, t)
+		f.mu.Unlock()
+	}
+}
+
+// InflightEntry is one live request in a Snapshot.
+type InflightEntry struct {
+	Name      string  `json:"name"`
+	Detail    string  `json:"detail"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Stage     string  `json:"stage"`
+}
+
+// Snapshot lists live traces, longest-running first. The traces stay
+// live while being read; only published span state is touched.
+func (f *Inflight) Snapshot() []InflightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	traces := make([]*Trace, 0, len(f.set))
+	for t := range f.set {
+		traces = append(traces, t)
+	}
+	f.mu.Unlock()
+	out := make([]InflightEntry, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, InflightEntry{
+			Name:      t.Name(),
+			Detail:    t.Detail(),
+			ElapsedMS: float64(t.Elapsed().Microseconds()) / 1000,
+			Stage:     t.CurrentStage(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedMS > out[j].ElapsedMS })
+	return out
+}

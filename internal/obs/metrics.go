@@ -1,0 +1,340 @@
+// Package obs is the zero-dependency observability core of the CTT
+// cloud: atomic counters and gauges, lock-cheap fixed-bucket
+// histograms, and a pooled span tracer, rendered through a registry in
+// Prometheus text exposition format. Everything here is stdlib-only
+// and built for the hot path: counters and histogram observations are
+// single atomic operations, registries snapshot values before any
+// formatting happens, and the tracer costs nothing when no trace is
+// attached (every method is nil-receiver safe).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefBuckets are the default latency buckets, in seconds: 100µs .. 10s
+// exponentially, covering everything from a WAL fsync to a pathological
+// cold scan.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are lock-free:
+// one atomic add on the bucket counter plus a CAS loop folding the
+// value into the float64 sum. Bucket bounds are immutable after
+// construction.
+type Histogram struct {
+	name   string // family name, e.g. "ctt_http_request_seconds"
+	labels string // inline label pairs without braces, e.g. `endpoint="query"`
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+}
+
+func newHistogram(name, labels string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		name:   name,
+		labels: labels,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Nil-safe so partially-wired
+// instrumentation costs nothing.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// histSnapshot is one histogram's values, read once before formatting.
+type histSnapshot struct {
+	name, labels string
+	bounds       []float64
+	counts       []uint64
+	sum          float64
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	s := histSnapshot{
+		name:   h.name,
+		labels: h.labels,
+		bounds: h.bounds,
+		counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	s.sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Registry holds metrics and renders them in Prometheus text
+// exposition format. Registration order is preserved for counters and
+// gauges; histograms render after them, grouped by family so each
+// family gets exactly one `# TYPE` header. Legacy emit-style sources
+// (AddSource) render last. Expose snapshots every value first and
+// formats entirely outside the registry lock.
+type Registry struct {
+	mu      sync.RWMutex
+	scalars []scalarEntry
+	hists   []*Histogram
+	sources []func(emit func(name string, v any))
+}
+
+type scalarEntry struct {
+	name    string // full name including any inline {labels}
+	counter *Counter
+	gauge   func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a counter. name may carry inline
+// labels, e.g. `ctt_ingest_rejected_total{reason="queue_full"}`.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.mu.Lock()
+	r.scalars = append(r.scalars, scalarEntry{name: name, counter: c})
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	r.scalars = append(r.scalars, scalarEntry{name: name, gauge: fn})
+	r.mu.Unlock()
+}
+
+// Histogram registers and returns a histogram. labels are inline label
+// pairs without braces (`endpoint="query"`), empty for none; nil
+// bounds select DefBuckets. Histograms sharing a family name share one
+// `# TYPE` header in the rendered output.
+func (r *Registry) Histogram(name, labels string, bounds []float64) *Histogram {
+	h := newHistogram(name, labels, bounds)
+	r.mu.Lock()
+	r.hists = append(r.hists, h)
+	r.mu.Unlock()
+	return h
+}
+
+// AddSource registers a legacy emit-style metrics source (the form the
+// rollup engine and line-protocol listener already speak). Sources run
+// at scrape time, after the registry's own metrics, outside any
+// registry lock.
+func (r *Registry) AddSource(fn func(emit func(name string, v any))) {
+	r.mu.Lock()
+	r.sources = append(r.sources, fn)
+	r.mu.Unlock()
+}
+
+// Expose renders the registry in Prometheus text exposition format.
+// The registry lock is held only to copy the (append-only) entry
+// slices; every value is snapshotted and formatted lock-free.
+func (r *Registry) Expose() []byte {
+	r.mu.RLock()
+	scalars := r.scalars
+	hists := r.hists
+	sources := r.sources
+	r.mu.RUnlock()
+
+	// Snapshot phase: read every value before formatting anything.
+	type scalarVal struct {
+		name      string
+		isCounter bool
+		u         uint64
+		f         float64
+	}
+	svals := make([]scalarVal, len(scalars))
+	for i, e := range scalars {
+		if e.counter != nil {
+			svals[i] = scalarVal{name: e.name, isCounter: true, u: e.counter.Value()}
+		} else {
+			svals[i] = scalarVal{name: e.name, f: e.gauge()}
+		}
+	}
+	hvals := make([]histSnapshot, len(hists))
+	for i, h := range hists {
+		hvals[i] = h.snapshot()
+	}
+
+	// Format phase.
+	b := make([]byte, 0, 4096)
+	for _, v := range svals {
+		b = append(b, v.name...)
+		b = append(b, ' ')
+		if v.isCounter {
+			b = strconv.AppendUint(b, v.u, 10)
+		} else {
+			b = appendMetricFloat(b, v.f)
+		}
+		b = append(b, '\n')
+	}
+	// Histograms grouped by family, in first-registration order, so
+	// each family gets exactly one TYPE header.
+	seen := map[string]bool{}
+	for i := range hvals {
+		fam := hvals[i].name
+		if seen[fam] {
+			continue
+		}
+		seen[fam] = true
+		b = append(b, "# TYPE "...)
+		b = append(b, fam...)
+		b = append(b, " histogram\n"...)
+		for j := i; j < len(hvals); j++ {
+			if hvals[j].name == fam {
+				b = appendHistogram(b, &hvals[j])
+			}
+		}
+	}
+	for _, src := range sources {
+		src(func(name string, v any) {
+			b = append(b, name...)
+			b = append(b, ' ')
+			b = appendEmitValue(b, v)
+			b = append(b, '\n')
+		})
+	}
+	return b
+}
+
+// appendHistogram renders one histogram's _bucket/_sum/_count lines
+// from its snapshot. Bucket counts are cumulative; the +Inf bucket
+// equals _count by construction, so monotonicity holds even against
+// concurrent observations.
+func appendHistogram(b []byte, s *histSnapshot) []byte {
+	appendLabeled := func(b []byte, suffix, extra string) []byte {
+		b = append(b, s.name...)
+		b = append(b, suffix...)
+		if s.labels != "" || extra != "" {
+			b = append(b, '{')
+			b = append(b, s.labels...)
+			if s.labels != "" && extra != "" {
+				b = append(b, ',')
+			}
+			b = append(b, extra...)
+			b = append(b, '}')
+		}
+		return b
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.bounds) {
+			le = strconv.FormatFloat(s.bounds[i], 'g', -1, 64)
+		}
+		b = appendLabeled(b, "_bucket", `le="`+le+`"`)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	b = appendLabeled(b, "_sum", "")
+	b = append(b, ' ')
+	b = appendMetricFloat(b, s.sum)
+	b = append(b, '\n')
+	b = appendLabeled(b, "_count", "")
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cum, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// appendMetricFloat renders a gauge value: integral floats print as
+// integers (matching the pre-registry /metrics output the tests pin),
+// everything else in shortest-roundtrip form.
+func appendMetricFloat(b []byte, f float64) []byte {
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendEmitValue renders a legacy source value: ints and uints
+// directly, floats via appendMetricFloat, strings verbatim (sources
+// pre-format ratios), everything else through strconv-compatible
+// fallbacks.
+func appendEmitValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return appendMetricFloat(b, x)
+	case string:
+		return append(b, x...)
+	default:
+		return fmt.Append(b, v)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace("query", "/api/query?m=avg:air.co2")
+	defer tr.Release()
+	parse := tr.StartSpan("parse")
+	parse.End()
+	scan := tr.StartSpan("scan")
+	inner := scan.StartSpan("decode")
+	inner.End()
+	scan.End()
+	tree := tr.RenderTree()
+	if !strings.HasPrefix(tree, "query ") {
+		t.Errorf("tree %q does not start with trace name", tree)
+	}
+	// decode must render nested inside scan's braces.
+	si := strings.Index(tree, "scan ")
+	di := strings.Index(tree, "decode ")
+	if si < 0 || di < 0 || di < si {
+		t.Fatalf("nesting broken in %q", tree)
+	}
+	if !strings.Contains(tree[si:], "{decode") {
+		t.Errorf("decode not nested under scan in %q", tree)
+	}
+	pi := strings.Index(tree, "parse ")
+	if pi < 0 || pi > si {
+		t.Errorf("parse should render before scan in %q", tree)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("query", "")
+	defer tr.Release()
+	scan := tr.StartSpan("scan")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := scan.StartSpan("group")
+			tr.Stage("group_reduce").Add(time.Microsecond)
+			sp.End()
+		}()
+	}
+	// Render while children are racing in: must not crash, must only
+	// show published spans.
+	for i := 0; i < 50; i++ {
+		_ = tr.RenderTree()
+		_ = tr.CurrentStage()
+	}
+	wg.Wait()
+	scan.End()
+	if got := tr.StageCount("group_reduce"); got != 8 {
+		t.Fatalf("group_reduce count = %d, want 8", got)
+	}
+	if n := strings.Count(tr.RenderTree(), "group "); n != 8 {
+		t.Fatalf("rendered %d group spans, want 8:\n%s", n, tr.RenderTree())
+	}
+}
+
+func TestTracePoolReuse(t *testing.T) {
+	tr := NewTrace("query", "first")
+	tr.StartSpan("parse").End()
+	tr.Stage("serialize").Add(time.Millisecond)
+	tr.Release()
+	// A fresh trace (possibly the same pooled object) must carry
+	// nothing over.
+	tr2 := NewTrace("put", "second")
+	defer tr2.Release()
+	if tr2.StageCount("serialize") != 0 {
+		t.Fatal("stage leaked through the pool")
+	}
+	tree := tr2.RenderTree()
+	if strings.Contains(tree, "parse") || strings.Contains(tree, "first") {
+		t.Fatalf("span leaked through the pool: %q", tree)
+	}
+	if !strings.HasPrefix(tree, "put ") {
+		t.Fatalf("bad fresh tree %q", tree)
+	}
+}
+
+func TestSpanOverflowDrops(t *testing.T) {
+	tr := NewTrace("query", "")
+	defer tr.Release()
+	for i := 0; i < maxSpans+10; i++ {
+		tr.StartSpan("s").End()
+	}
+	tree := tr.RenderTree()
+	if !strings.Contains(tree, "dropped=10") {
+		t.Errorf("overflow not reported in %q", tree)
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.End()
+	child := sp.StartSpan("y")
+	child.End()
+	tr.Stage("s").Add(time.Second)
+	if tr.RenderTree() != "" || tr.CurrentStage() != "" || tr.Elapsed() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	tr.SetDetailed(true)
+	if tr.Detailed() {
+		t.Fatal("nil trace detailed")
+	}
+	tr.Release()
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTrace("query", "")
+	defer tr.Release()
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom lost the trace")
+	}
+	ctx2, scan := StartSpan(ctx, "scan")
+	_, decode := StartSpan(ctx2, "decode")
+	decode.End()
+	scan.End()
+	tree := tr.RenderTree()
+	if !strings.Contains(tree, "scan") || !strings.Contains(tree, "{decode") {
+		t.Fatalf("context spans not nested: %q", tree)
+	}
+	// No trace attached: a no-op.
+	_, sp := StartSpan(context.Background(), "x")
+	sp.End()
+}
+
+func TestInflightSnapshot(t *testing.T) {
+	inf := NewInflight()
+	tr := NewTrace("query", "/api/query?m=sum:x")
+	defer tr.Release()
+	untrack := inf.Track(tr)
+	sp := tr.StartSpan("scan")
+	snap := inf.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d, want 1", len(snap))
+	}
+	e := snap[0]
+	if e.Name != "query" || e.Detail != "/api/query?m=sum:x" || e.Stage != "scan" {
+		t.Fatalf("bad entry %+v", e)
+	}
+	sp.End()
+	untrack()
+	if len(inf.Snapshot()) != 0 {
+		t.Fatal("untrack did not remove the trace")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -117,6 +118,17 @@ type Engine struct {
 	fallbacks atomic.Uint64 // per-series downsamples that fell back to raw
 	retained  atomic.Uint64 // points removed by retention
 	retErrs   atomic.Uint64 // background retention/compaction passes that failed
+
+	// obsHist, when installed, times each observeBatch call — the
+	// rollup fold is on the store's observer fan-out path, so this is
+	// the engine's share of ingest latency.
+	obsHist atomic.Pointer[obs.Histogram]
+}
+
+// SetObserveHistogram installs a histogram receiving the duration of
+// every observeBatch call. Nil-safe to leave uninstalled.
+func (e *Engine) SetObserveHistogram(h *obs.Histogram) {
+	e.obsHist.Store(h)
 }
 
 // tierSpec is a Tier with its derived values precomputed.
@@ -258,6 +270,9 @@ func (e *Engine) loop() {
 // no tag hashing, and the derived-series / reserved-tag skip decision
 // is made once per series instead of once per point.
 func (e *Engine) observeBatch(rps []tsdb.RefPoint) {
+	if h := e.obsHist.Load(); h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	var flush []tsdb.DataPoint
 	for si := uint64(0); si < engineShards; si++ {
 		sh := &e.shards[si]

@@ -7,7 +7,10 @@ package tsdb
 // write, groups inserts by shard so each shard lock is taken once,
 // and fans the stored batch out to observers with a single call.
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // PointError locates one rejected point within a batch.
 type PointError struct {
@@ -78,9 +81,21 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 	if len(rps) == 0 {
 		return res
 	}
+	// Stage-relay timing (wal append → insert → fan-out) when
+	// instrumentation is installed; one atomic load otherwise.
+	ins := db.instr.Load()
+	var t0, mark time.Time
+	if ins != nil {
+		t0 = time.Now()
+		mark = t0
+	}
 	if db.wal != nil {
 		db.walGate.RLock()
-		if err := db.wal.appendRefs(rps); err != nil {
+		err := db.wal.appendRefs(rps)
+		if ins != nil {
+			relay(ins.WALAppend, &mark)
+		}
+		if err != nil {
 			db.walGate.RUnlock()
 			// Group commit is all-or-nothing: an append error means the
 			// batch is not durable, so nothing is stored.
@@ -95,9 +110,18 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 	} else {
 		db.insertRefBatch(rps)
 	}
+	if ins != nil {
+		relay(ins.Insert, &mark)
+	}
 	res.Stored = len(rps)
 	if db.observers.Load() != nil {
 		db.notifyObserversBatch(rps)
+		if ins != nil {
+			ins.Fanout.ObserveSince(mark)
+		}
+	}
+	if ins != nil {
+		ins.IngestBatch.ObserveSince(t0)
 	}
 	return res
 }

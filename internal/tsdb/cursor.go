@@ -1,6 +1,11 @@
 package tsdb
 
-import "sort"
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Per-point cursors over stored series: the read hot path hands
 // points one at a time from sealed blocks (via blockCursor) through
@@ -120,12 +125,33 @@ func (m *mergeSource) next() (Point, bool, error) {
 	}
 }
 
+// timedSource accrues the wall time of every next() call into a stage
+// accumulator — the opt-in per-point detail mode behind
+// Trace.SetDetailed. Timing is inclusive of the wrapped chain: a
+// downsample_fold wrapper includes the block_decode below it, so
+// attribution subtracts inner stages from outer ones.
+type timedSource struct {
+	src pointSource
+	st  *obs.Stage
+}
+
+func (t *timedSource) next() (Point, bool, error) {
+	t0 := time.Now()
+	p, ok, err := t.src.next()
+	t.st.Add(time.Since(t0))
+	return p, ok, err
+}
+
 // seriesSource builds a cursor over one series' points within
 // [start, end], merging sealed blocks with the head buffer. The shard
 // lock is taken only to snapshot the block list and copy the in-range
 // slice of the head; decoding runs lock-free. The returned estimate
 // is an upper bound on the number of points the source can yield.
-func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64) (pointSource, int, error) {
+// With a detailed trace, the block and head legs are wrapped in
+// per-point timers (block_decode / head_scan stages); a nil or
+// undetailed trace adds nothing to the chain.
+func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64, tr *obs.Trace) (pointSource, int, error) {
+	detailed := tr.Detailed()
 	sh.mu.RLock()
 	blocks := s.blocks
 	// head is sorted: copy just the in-range subrange.
@@ -154,7 +180,11 @@ func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64) (pointSour
 	var blockSrc pointSource
 	switch {
 	case len(inRange) == 0:
-		return &sliceSource{pts: head}, est, nil
+		var src pointSource = &sliceSource{pts: head}
+		if detailed {
+			src = &timedSource{src: src, st: tr.Stage("head_scan")}
+		}
+		return src, est, nil
 	case ordered:
 		blockSrc = &blockSource{blocks: inRange, start: start, end: end}
 	default:
@@ -175,10 +205,17 @@ func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64) (pointSour
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Timestamp < pts[j].Timestamp })
 		blockSrc = &sliceSource{pts: pts}
 	}
+	if detailed {
+		blockSrc = &timedSource{src: blockSrc, st: tr.Stage("block_decode")}
+	}
 	if len(head) == 0 {
 		return blockSrc, est, nil
 	}
-	return &mergeSource{a: blockSrc, b: &sliceSource{pts: head}}, est, nil
+	var headSrc pointSource = &sliceSource{pts: head}
+	if detailed {
+		headSrc = &timedSource{src: headSrc, st: tr.Stage("head_scan")}
+	}
+	return &mergeSource{a: blockSrc, b: headSrc}, est, nil
 }
 
 // downsampleSource folds a raw source into fixed epoch-aligned

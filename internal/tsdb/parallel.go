@@ -3,6 +3,9 @@ package tsdb
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Parallel group scan: ExecuteStream reduces result groups
@@ -41,15 +44,35 @@ var scratchPool = sync.Pool{New: func() any { return new(execScratch) }}
 // consume error — aborts the scan and is returned; remaining workers
 // drain into their buffered slots and exit. With workers ≤ 1 the scan
 // degenerates to a plain loop with zero goroutines.
-func scanOrdered[T any](workers, n int, compute func(i int, sc *execScratch) (T, error), consume func(i int, v T) error) error {
+//
+// With a trace attached, three stages time the pool itself at group
+// granularity: group_reduce is compute time (summed across workers, so
+// it can exceed wall time), sched_wait is dispatcher time blocked on a
+// free pool slot, and group_wait is consumer time blocked on the
+// in-order result — the number that shows whether parallelism pays or
+// the consumer just waits on the slowest group.
+func scanOrdered[T any](workers, n int, tr *obs.Trace, compute func(i int, sc *execScratch) (T, error), consume func(i int, v T) error) error {
 	if n == 0 {
 		return nil
+	}
+	var stReduce, stSched, stWait *obs.Stage
+	if tr != nil {
+		stReduce = tr.Stage("group_reduce")
+		stSched = tr.Stage("sched_wait")
+		stWait = tr.Stage("group_wait")
 	}
 	if workers <= 1 || n == 1 {
 		sc := scratchPool.Get().(*execScratch)
 		defer scratchPool.Put(sc)
 		for i := 0; i < n; i++ {
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
 			v, err := compute(i, sc)
+			if tr != nil {
+				stReduce.Add(time.Since(t0))
+			}
 			if err != nil {
 				return err
 			}
@@ -76,22 +99,43 @@ func scanOrdered[T any](workers, n int, compute func(i int, sc *execScratch) (T,
 	sem := make(chan struct{}, workers)
 	go func() {
 		for i := 0; i < n; i++ {
+			var t0 time.Time
+			if tr != nil {
+				t0 = time.Now()
+			}
 			select {
 			case sem <- struct{}{}:
+				if tr != nil {
+					stSched.Add(time.Since(t0))
+				}
 			case <-done:
 				return
 			}
 			go func(i int) {
 				sc := scratchPool.Get().(*execScratch)
+				var t0 time.Time
+				if tr != nil {
+					t0 = time.Now()
+				}
 				v, err := compute(i, sc)
+				if tr != nil {
+					stReduce.Add(time.Since(t0))
+				}
 				scratchPool.Put(sc)
 				res[i] <- slot{v, err}
 			}(i)
 		}
 	}()
 	for i := 0; i < n; i++ {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		out := <-res[i]
 		<-sem
+		if tr != nil {
+			stWait.Add(time.Since(t0))
+		}
 		if out.err != nil {
 			return out.err
 		}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Aggregator combines values, both across series and within downsample
@@ -164,6 +166,12 @@ type Query struct {
 	// series the filter matches.
 	SeriesLimit int
 	LimitLowest bool
+	// Trace, when non-nil, receives per-stage timings for this
+	// execution (series matching, member priming, k-way merge, group
+	// reduction, scheduling and ordered-delivery waits, rollup serving;
+	// with Trace.Detailed also per-point block-decode/head-scan/
+	// downsample-fold attribution). Nil costs nothing.
+	Trace *obs.Trace
 }
 
 // ResultSeries is one output series of a query.
@@ -244,6 +252,12 @@ func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 	groupTags := map[string]map[string]string{}
 	var groupKeys []string
 
+	tr := q.Trace
+	var tMatch time.Time
+	if tr != nil {
+		tMatch = time.Now()
+	}
+
 	var groupBy []string
 	for k, v := range q.Tags {
 		if v == "*" {
@@ -280,6 +294,9 @@ func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 	for _, ms := range groups {
 		sort.Slice(ms, func(i, j int) bool { return ms[i].key < ms[j].key })
 	}
+	if tr != nil {
+		tr.Stage("match_series").Add(time.Since(tMatch))
+	}
 
 	if q.SeriesLimit > 0 {
 		return db.streamLimited(q, groups, groupTags, groupKeys, yield)
@@ -288,7 +305,7 @@ func (db *DB) ExecuteStream(q Query, yield func(ResultSeries) error) error {
 		rs ResultSeries
 		ok bool
 	}
-	return scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys),
+	return scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys), tr,
 		func(i int, sc *execScratch) (groupOut, error) {
 			gk := groupKeys[i]
 			rs, ok, err := db.groupSeries(q, groups[gk], groupTags[gk], sc)
@@ -311,6 +328,11 @@ func (db *DB) groupSeries(q Query, members []matched, gt map[string]string, sc *
 	// Prime one cursor per member, dropping members with nothing in
 	// range — a group with a single live member passes its points
 	// through unreduced, matching the materializing semantics.
+	tr := q.Trace
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	live := make([]memberCursor, 0, len(members))
 	maxEst := 0
 	for _, m := range members {
@@ -329,6 +351,12 @@ func (db *DB) groupSeries(q Query, members []matched, gt map[string]string, sc *
 			maxEst = est
 		}
 		live = append(live, memberCursor{src: src, head: p, hasHead: true})
+	}
+	if tr != nil {
+		// Priming covers planner dispatch and each cursor's first point
+		// (first block decode); the merge below pulls the rest.
+		tr.Stage("member_prime").Add(time.Since(t0))
+		t0 = time.Now()
 	}
 	if len(live) == 0 {
 		return ResultSeries{}, false, nil
@@ -349,6 +377,11 @@ func (db *DB) groupSeries(q Query, members []matched, gt map[string]string, sc *
 	}
 	if err != nil {
 		return ResultSeries{}, false, err
+	}
+	if tr != nil {
+		// The k-way interpolating merge, including the member cursors'
+		// decode work it pulls through.
+		tr.Stage("kway_merge").Add(time.Since(t0))
 	}
 	if q.Rate {
 		merged = rate(merged)
@@ -409,7 +442,21 @@ func (db *DB) memberPlan(m matched, q Query, each func(Point) error) (fn Aggrega
 	ds = q.Downsample.Milliseconds()
 	if ds > 0 && m.s.ref != nil {
 		if pp := db.planner.Load(); pp != nil {
-			served, err = (*pp).ServeDownsample(m.s.ref, q.Start, q.End, q.Downsample, fn, each)
+			if tr := q.Trace; tr != nil {
+				// Per-member planner attribution: rollup_serve counts the
+				// members a tier answered, rollup_fallback the ones that
+				// fell through to the raw block scan — the slow-query
+				// log's "rollup vs raw" planner decision.
+				t0 := time.Now()
+				served, err = (*pp).ServeDownsample(m.s.ref, q.Start, q.End, q.Downsample, fn, each)
+				if served {
+					tr.Stage("rollup_serve").Add(time.Since(t0))
+				} else {
+					tr.Stage("rollup_fallback").Add(time.Since(t0))
+				}
+			} else {
+				served, err = (*pp).ServeDownsample(m.s.ref, q.Start, q.End, q.Downsample, fn, each)
+			}
 		}
 	}
 	return fn, ds, served, err
@@ -431,7 +478,7 @@ func (db *DB) memberSource(m matched, q Query, sc *execScratch) (pointSource, in
 	if served {
 		return &sliceSource{pts: pts}, len(pts), nil
 	}
-	src, est, err := db.seriesSource(m.s, m.sh, q.Start, q.End)
+	src, est, err := db.seriesSource(m.s, m.sh, q.Start, q.End, q.Trace)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -440,6 +487,11 @@ func (db *DB) memberSource(m matched, q Query, sc *execScratch) (pointSource, in
 			est = int(buckets)
 		}
 		src = &downsampleSource{src: src, ms: ds, fn: fn, sc: sc}
+		if tr := q.Trace; tr.Detailed() {
+			// Inclusive of the decode chain below it; subtract
+			// block_decode/head_scan to attribute the fold alone.
+			src = &timedSource{src: src, st: tr.Stage("downsample_fold")}
+		}
 	}
 	return src, est, nil
 }
@@ -455,12 +507,15 @@ func (db *DB) memberEach(m matched, q Query, sc *execScratch, each func(Point) e
 	if err != nil || served {
 		return err
 	}
-	src, _, err := db.seriesSource(m.s, m.sh, q.Start, q.End)
+	src, _, err := db.seriesSource(m.s, m.sh, q.Start, q.End, q.Trace)
 	if err != nil {
 		return err
 	}
 	if ds > 0 {
 		src = &downsampleSource{src: src, ms: ds, fn: fn, sc: sc}
+		if tr := q.Trace; tr.Detailed() {
+			src = &timedSource{src: src, st: tr.Stage("downsample_fold")}
+		}
 	}
 	for {
 		p, ok, err := src.next()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DB is the time-series store. It shards series across a fixed set of
@@ -38,6 +39,10 @@ type DB struct {
 
 	// scanPar bounds the parallel group scan; ≤0 means GOMAXPROCS.
 	scanPar atomic.Int32
+
+	// instr, when installed, receives per-stage ingest timings (see
+	// instrument.go). Nil costs one atomic load on the batch path.
+	instr atomic.Pointer[Instrumentation]
 }
 
 const (
@@ -111,10 +116,17 @@ func (db *DB) Close() error {
 
 // Sync forces WAL contents to stable storage.
 func (db *DB) Sync() error {
-	if db.wal != nil {
+	if db.wal == nil {
+		return nil
+	}
+	ins := db.instr.Load()
+	if ins == nil {
 		return db.wal.sync()
 	}
-	return nil
+	t0 := time.Now()
+	err := db.wal.sync()
+	ins.WALFsync.ObserveSince(t0)
+	return err
 }
 
 func shardFor(key string) uint32 {
@@ -382,7 +394,7 @@ func (db *DB) ScanSeries(metricPrefix string, filter map[string]string, start, e
 // sealed blocks and head through the streaming cursor. Caller must
 // NOT hold the shard lock.
 func (db *DB) rawPoints(s *memSeries, sh *shard, start, end int64) ([]Point, error) {
-	src, est, err := db.seriesSource(s, sh, start, end)
+	src, est, err := db.seriesSource(s, sh, start, end, nil)
 	if err != nil {
 		return nil, err
 	}

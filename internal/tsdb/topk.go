@@ -89,7 +89,7 @@ func (h *limitHeap) Pop() any {
 // in group-key order so selection is deterministic.
 func (db *DB) streamLimited(q Query, groups map[string][]matched, groupTags map[string]map[string]string, groupKeys []string, yield func(ResultSeries) error) error {
 	h := &limitHeap{lowest: q.LimitLowest}
-	err := scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys),
+	err := scanOrdered(db.scanWorkers(len(groupKeys)), len(groupKeys), q.Trace,
 		func(i int, sc *execScratch) (scoredGroup, error) {
 			gk := groupKeys[i]
 			members := groups[gk]

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // wal is a single-file append-only write-ahead log. Records are
@@ -67,6 +68,10 @@ type wal struct {
 	// size is the current logical file size in bytes (including any
 	// not-yet-flushed buffered tail) — the ctt_wal_bytes gauge.
 	size atomic.Int64
+
+	// lastSync is the wall-clock UnixNano of the last successful fsync
+	// (the open time before any) — /healthz reports its age.
+	lastSync atomic.Int64
 }
 
 const (
@@ -96,13 +101,16 @@ func openWAL(dir string) (*wal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: wal open: %w", err)
 	}
-	return &wal{
+	l := &wal{
 		f:          f,
 		w:          bufio.NewWriterSize(f, 64<<10),
 		path:       path,
 		fileIDs:    make(map[SeriesID]uint32),
 		nextFileID: 1,
-	}, nil
+	}
+	// Fsync age counts from open until the first explicit sync.
+	l.lastSync.Store(time.Now().UnixNano())
+	return l, nil
 }
 
 // replayWAL streams every intact record of the log into the store
@@ -566,6 +574,16 @@ func (db *DB) WALBytes() int64 {
 	return db.wal.size.Load()
 }
 
+// WALLastSync reports when the WAL last reached stable storage (the
+// open time until the first explicit Sync). ok is false when
+// persistence is disabled.
+func (db *DB) WALLastSync() (time.Time, bool) {
+	if db.wal == nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, db.wal.lastSync.Load()), true
+}
+
 func (l *wal) sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -575,7 +593,11 @@ func (l *wal) sync() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.lastSync.Store(time.Now().UnixNano())
+	return nil
 }
 
 func (l *wal) close() error {
