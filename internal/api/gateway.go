@@ -330,7 +330,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/query", g.requireKey(g.handleQuery))
 	mux.HandleFunc("/api/suggest", g.requireKey(g.handleSuggest))
 	mux.HandleFunc("/api/stream", g.requireKey(g.handleStream))
-	mux.HandleFunc("/api/inflight", g.handleInflight)
+	mux.HandleFunc("/api/inflight", g.requireKey(g.handleInflight))
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	return mux

@@ -529,6 +529,14 @@ func TestAPIKeyAuth(t *testing.T) {
 	if r := do(http.MethodGet, "/api/query?start=1&m=avg:air.co2", "sekrit", ""); r.StatusCode != http.StatusOK {
 		t.Fatalf("authenticated query = %d, want 200", r.StatusCode)
 	}
+	// /api/inflight exposes live request URIs (query params and all),
+	// so it is gated like the data endpoints, not open like /healthz.
+	if r := do(http.MethodGet, "/api/inflight", "", ""); r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated inflight = %d, want 401", r.StatusCode)
+	}
+	if r := do(http.MethodGet, "/api/inflight", "sekrit", ""); r.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated inflight = %d, want 200", r.StatusCode)
+	}
 	if r := do(http.MethodGet, "/healthz", "", ""); r.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz gated = %d, want open", r.StatusCode)
 	}
@@ -539,7 +547,7 @@ func TestAPIKeyAuth(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	buf.ReadFrom(mr.Body)
-	if !strings.Contains(buf.String(), "ctt_auth_failures_total 2") {
+	if !strings.Contains(buf.String(), "ctt_auth_failures_total 3") {
 		t.Fatalf("/metrics missing auth failure count:\n%s", buf.String())
 	}
 }

@@ -42,20 +42,18 @@ type InflightEntry struct {
 	Stage     string  `json:"stage"`
 }
 
-// Snapshot lists live traces, longest-running first. The traces stay
-// live while being read; only published span state is touched.
+// Snapshot lists live traces, longest-running first. Entries are built
+// while f.mu is held: untrack also takes f.mu and handlers untrack
+// before Release, so a trace read here cannot be reset and repooled
+// underneath us (its plain name/detail fields are only written by
+// NewTrace/Release).
 func (f *Inflight) Snapshot() []InflightEntry {
 	if f == nil {
 		return nil
 	}
 	f.mu.Lock()
-	traces := make([]*Trace, 0, len(f.set))
+	out := make([]InflightEntry, 0, len(f.set))
 	for t := range f.set {
-		traces = append(traces, t)
-	}
-	f.mu.Unlock()
-	out := make([]InflightEntry, 0, len(traces))
-	for _, t := range traces {
 		out = append(out, InflightEntry{
 			Name:      t.Name(),
 			Detail:    t.Detail(),
@@ -63,6 +61,7 @@ func (f *Inflight) Snapshot() []InflightEntry {
 			Stage:     t.CurrentStage(),
 		})
 	}
+	f.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ElapsedMS > out[j].ElapsedMS })
 	return out
 }

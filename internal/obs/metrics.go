@@ -123,6 +123,12 @@ type histSnapshot struct {
 	sum          float64
 }
 
+// snapshot reads the histogram without locking Observe out. Under
+// concurrent observation the counts and sum are not read atomically as
+// a pair, so one scrape can show a _sum that leads or trails
+// _bucket/_count by the in-flight observations. Rates and quantiles —
+// the values Prometheus derives — are unaffected; exact point-in-time
+// _sum/_count agreement is deliberately not guaranteed.
 func (h *Histogram) snapshot() histSnapshot {
 	s := histSnapshot{
 		name:   h.name,

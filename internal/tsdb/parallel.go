@@ -41,9 +41,10 @@ var scratchPool = sync.Pool{New: func() any { return new(execScratch) }}
 // scanOrdered runs compute(i) for i in [0, n) on a pool of at most
 // `workers` goroutines and calls consume(i, v) strictly in index
 // order. The first error — compute errors in index order, or a
-// consume error — aborts the scan and is returned; remaining workers
-// drain into their buffered slots and exit. With workers ≤ 1 the scan
-// degenerates to a plain loop with zero goroutines.
+// consume error — aborts the scan and is returned; outstanding workers
+// are drained before the call returns, so the caller may release tr
+// (and pooled state generally) immediately after. With workers ≤ 1 the
+// scan degenerates to a plain loop with zero goroutines.
 //
 // With a trace attached, three stages time the pool itself at group
 // granularity: group_reduce is compute time (summed across workers, so
@@ -91,13 +92,24 @@ func scanOrdered[T any](workers, n int, tr *obs.Trace, compute func(i int, sc *e
 	for i := range res {
 		res[i] = make(chan slot, 1)
 	}
+	// On an early return (compute or consume error) up to workers-1
+	// goroutines are still inside compute(), writing into tr's stage
+	// accumulators — and the caller releases the trace to its pool as
+	// soon as we return. Drain them first: close(done) stops the
+	// dispatcher, then wg.Wait blocks until every launched worker has
+	// finished (result channels are buffered, so none blocks on send).
+	// Defers run LIFO, so wg.Wait is registered before close(done).
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	done := make(chan struct{})
 	defer close(done)
 	// sem tickets bound in-flight groups: acquired by the dispatcher
 	// before a group starts, released by the consumer loop after its
 	// result is handed over.
 	sem := make(chan struct{}, workers)
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		for i := 0; i < n; i++ {
 			var t0 time.Time
 			if tr != nil {
@@ -111,7 +123,9 @@ func scanOrdered[T any](workers, n int, tr *obs.Trace, compute func(i int, sc *e
 			case <-done:
 				return
 			}
+			wg.Add(1)
 			go func(i int) {
+				defer wg.Done()
 				sc := scratchPool.Get().(*execScratch)
 				var t0 time.Time
 				if tr != nil {

@@ -17,6 +17,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // refAggregateSeries is the original materializing cross-series
@@ -304,6 +306,30 @@ func TestParallelScanYieldError(t *testing.T) {
 	}
 	if n != 2 {
 		t.Fatalf("yield ran %d times, want 2", n)
+	}
+}
+
+// TestParallelScanAbortDrainsWorkers: an aborted scan must not return
+// while pool workers are still crediting the query's trace. The API
+// handler releases the trace to its pool as soon as ExecuteStream
+// returns, so a straggling worker would write into a reset (or
+// already-reused) trace — a data race this test exposes under -race
+// by releasing immediately after each aborted scan.
+func TestParallelScanAbortDrainsWorkers(t *testing.T) {
+	db := mustOpen(t)
+	seedRagged(t, db)
+	db.SetScanParallelism(4)
+	defer db.SetScanParallelism(0)
+	sentinel := errors.New("client went away")
+	for run := 0; run < 20; run++ {
+		tr := obs.NewTrace("query", "abort-drain")
+		q := Query{Metric: "par.m", Tags: map[string]string{"sensor": "*"},
+			Start: baseTS, End: baseTS + 12*3600*1000, Aggregator: AggAvg, Trace: tr}
+		err := db.ExecuteStream(q, func(rs ResultSeries) error { return sentinel })
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("run %d: want sentinel error, got %v", run, err)
+		}
+		tr.Release()
 	}
 }
 
