@@ -17,12 +17,18 @@
 //	GET  /healthz      queue headroom, WAL fsync age, rollup lag (503
 //	                   when the ingest queue is saturated)
 //	GET  /api/inflight live requests with elapsed time + current stage
-//	GET  /             dashboards, /wall, /live, /network.svg
+//	GET  /api/traces   retained slow/sampled request traces (full span
+//	                   trees under /api/traces/{id})
+//	GET  /             dashboards, /wall, /live, /ops, /network.svg
 //	tcp  -telnet addr  OpenTSDB telnet ingest: put <metric> <ts> <v> k=v
 //
 // Logs are structured (-log-level, -log-json); queries slower than
-// -slow-query log their full per-stage span tree. -pprof-addr starts
-// net/http/pprof on a separate ops listener, off by default.
+// -slow-query log their full per-stage span tree and are retained for
+// /api/traces (-trace-retain sizes the ring). -pprof-addr starts
+// net/http/pprof on a separate ops listener, off by default. Every
+// -self-scrape interval the server writes its own /metrics gauges into
+// the store under -self-prefix, so server health history is queryable
+// like any other series and charted on /ops.
 //
 // The pilot fast-forwards -days of history (rolled up as it streams
 // in), then keeps stepping one reporting interval every -tick of wall
@@ -85,8 +91,15 @@ var (
 		"log queries slower than this with their full per-stage span tree (0 = off)")
 	traceSample = flag.Int("trace-sample", 0,
 		"collect per-point detail timing (block decode, head scan) on every Nth query (0 = off)")
+	traceRetain = flag.Int("trace-retain", 0,
+		"retain the last N slow/sampled request traces for /api/traces (0 = default 256, negative = off)")
 	pprofAddr = flag.String("pprof-addr", "",
 		`serve net/http/pprof on this separate ops address ("" = disabled)`)
+
+	selfScrape = flag.Duration("self-scrape", 15*time.Second,
+		"write the server's own /metrics gauges into the store this often (0 = off)")
+	selfPrefix = flag.String("self-prefix", "ctt.self",
+		"metric namespace for self-scraped series (charted on /ops, queryable via /api/query)")
 )
 
 // newLogger builds the process logger from -log-level / -log-json.
@@ -198,9 +211,22 @@ func main() {
 		Now:         sys.Now,
 		SlowQuery:   *slowQuery,
 		TraceSample: *traceSample,
+		TraceRetain: *traceRetain,
 		Logger:      logger,
 	})
 	defer gw.Close()
+
+	// Self-scrape: the server's own health gauges become ordinary
+	// series under -self-prefix, so /api/query and the rollup tiers
+	// serve server history exactly like sensor history.
+	if *selfScrape > 0 {
+		scraper := api.NewSelfScraper(gw, api.SelfScrapeConfig{
+			Prefix:   *selfPrefix,
+			Interval: *selfScrape,
+		})
+		scraper.Start()
+		defer scraper.Close()
+	}
 	if eng != nil {
 		gw.AddMetricsSource(eng.EmitMetrics)
 		// Rollup fold latency lands next to the gateway's histograms,
@@ -253,6 +279,7 @@ func main() {
 	// Dashboard over the same store.
 	dash := dashboard.New(sys.DB, sys.Dataport)
 	dash.SetNow(sys.Now)
+	dash.SetSelfPrefix(*selfPrefix)
 	dash.SendCommand = sys.SendCommand
 	window := time.Duration(*days) * 24 * time.Hour
 	for _, p := range []dashboard.Panel{
@@ -283,7 +310,7 @@ func main() {
 	// pages calls it; standalone ctt-demo still serves the old shape).
 	gwH := gw.Handler()
 	root := http.NewServeMux()
-	for _, p := range []string{"/api/put", "/api/query", "/api/suggest", "/api/stream", "/api/inflight", "/metrics", "/healthz"} {
+	for _, p := range []string{"/api/put", "/api/query", "/api/suggest", "/api/stream", "/api/inflight", "/api/traces", "/api/traces/", "/metrics", "/healthz"} {
 		root.Handle(p, gwH)
 	}
 	root.Handle("/", dash.Handler())

@@ -81,6 +81,19 @@
 // structured slow-query log with the full span tree (-slow-query,
 // -trace-sample), a live /api/inflight listing, a deep /healthz
 // (WAL fsync age, queue depth, rollup watermark lag; 503 on
-// saturation), and an opt-in pprof ops listener (-pprof-addr). See
-// README.md ("Observability").
+// saturation), and an opt-in pprof ops listener (-pprof-addr).
+//
+// Traces & self-metrics: every request carries a random 16-hex trace
+// ID shared across surfaces. Slow and sampled traces are snapshotted
+// into a lock-free flight-recorder ring (-trace-retain) and served by
+// GET /api/traces (list) and /api/traces/{id} (full span tree as
+// nested JSON); /metrics?format=openmetrics renders the same
+// histogram families with per-bucket exemplars —
+// `# {trace_id="..."} value ts` — whose IDs resolve on /api/traces,
+// plus runtime/metrics gauges (goroutines, heap, GC) and
+// ctt_build_info. A self-scrape loop (-self-scrape, -self-prefix)
+// writes the registry's values back into the store as ordinary
+// ctt.self.* series tagged src=self, so server health history is
+// queryable via /api/query, rolled up like sensor data, and charted
+// on the dashboard's /ops page. See README.md ("Observability").
 package repro

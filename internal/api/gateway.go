@@ -22,10 +22,18 @@
 //	                     WAL size and fsync age, subsystem lag; 503 with
 //	                     a reason when the ingest queue is near capacity
 //	GET  /api/inflight — live requests with elapsed time, current stage
+//	                     and trace ID
+//	GET  /api/traces   — the trace flight recorder: recently retained
+//	                     request traces (slow or sampled), and
+//	                     /api/traces/{id} for one full span tree
 //
 // Every query carries an obs.Trace through the store's streaming
 // executor; queries slower than Config.SlowQuery log their full span
-// tree as one structured line.
+// tree as one structured line and are captured — along with every
+// TraceSample'd query — into a bounded flight recorder, so the span
+// tree stays fetchable after the request completes. The request
+// histograms attach those trace IDs as OpenMetrics exemplars
+// (GET /metrics?format=openmetrics).
 package api
 
 import (
@@ -36,6 +44,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,8 +93,14 @@ type Config struct {
 	SlowQuery time.Duration
 	// TraceSample turns on per-point detail timing (block decode, head
 	// scan, downsample fold) for every Nth query; 0 disables detail.
-	// The coarse per-stage numbers are always collected.
+	// The coarse per-stage numbers are always collected. Sampled
+	// queries are also captured into the trace flight recorder.
 	TraceSample int
+	// TraceRetain sizes the trace flight recorder ring — how many
+	// completed request traces /api/traces can serve after the fact.
+	// 0 selects the default (obs.DefaultRecorderSize); negative
+	// disables retention entirely.
+	TraceRetain int
 	// Logger receives the gateway's structured output (slow queries).
 	// Default slog.Default().
 	Logger *slog.Logger
@@ -152,9 +167,11 @@ type Gateway struct {
 	removeObservers []func()
 
 	// reg is the metrics registry behind /metrics; inflight the live
-	// request table behind /api/inflight.
+	// request table behind /api/inflight; recorder the trace flight
+	// recorder behind /api/traces (nil when disabled).
 	reg      *obs.Registry
 	inflight *obs.Inflight
+	recorder *obs.Recorder
 
 	// per-endpoint request latency plus the ingest queue-wait
 	// histogram (marks recorded in EnqueueRefs, popped in worker).
@@ -241,6 +258,13 @@ func (g *Gateway) initObs() {
 	reg := obs.NewRegistry()
 	g.reg = reg
 	g.inflight = obs.NewInflight()
+	if g.cfg.TraceRetain >= 0 {
+		g.recorder = obs.NewRecorder(g.cfg.TraceRetain)
+	}
+
+	obs.RegisterProcessMetrics(reg)
+	obs.NewRuntimeCollector().Register(reg)
+	reg.Gauge("ctt_traces_retained", func() float64 { return float64(g.recorder.Len()) })
 
 	reg.Gauge("ctt_ingest_queue_depth", func() float64 { return float64(len(g.queue)) })
 	reg.Gauge("ctt_ingest_queue_capacity", func() float64 { return float64(cap(g.queue)) })
@@ -331,6 +355,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/suggest", g.requireKey(g.handleSuggest))
 	mux.HandleFunc("/api/stream", g.requireKey(g.handleStream))
 	mux.HandleFunc("/api/inflight", g.requireKey(g.handleInflight))
+	mux.HandleFunc("/api/traces", g.requireKey(g.handleTraces))
+	mux.HandleFunc("/api/traces/", g.requireKey(g.handleTraces))
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	return mux
@@ -446,10 +472,27 @@ func (g *Gateway) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the registry. Expose snapshots every value and
 // formats entirely outside the registry lock, so a slow scrape can
-// never stall registration or another scrape.
+// never stall registration or another scrape. ?format=openmetrics
+// (or an Accept header naming application/openmetrics-text) selects
+// the OpenMetrics flavor, whose histogram buckets carry trace-linked
+// exemplars.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.Write(g.reg.ExposeOpenMetrics())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(g.reg.Expose())
+}
+
+// wantsOpenMetrics reports whether the scrape asked for the
+// OpenMetrics exposition, by query parameter or Accept header.
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
 }
 
 // --- /healthz ----------------------------------------------------------

@@ -160,7 +160,8 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 	tr := obs.NewTrace("put", r.URL.Path)
 	untrack := g.inflight.Track(tr)
 	defer func() {
-		g.histPut.Observe(tr.Elapsed().Seconds())
+		// Slow puts land in the flight recorder like slow queries do.
+		g.recordTrace(tr, g.histPut, tr.Elapsed())
 		untrack()
 		tr.Release()
 	}()

@@ -143,7 +143,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	st := queryState{cacheStatus: "miss"}
 	defer func() {
 		elapsed := tr.Elapsed()
-		g.histQuery.Observe(elapsed.Seconds())
+		g.recordTrace(tr, g.histQuery, elapsed)
 		untrack()
 		g.maybeLogSlow(tr, r, &st, elapsed)
 		tr.Release()
@@ -265,6 +265,7 @@ func (g *Gateway) maybeLogSlow(tr *obs.Trace, r *http.Request, st *queryState, e
 	}
 	g.cfg.Logger.Warn("slow query",
 		"uri", r.URL.RequestURI(),
+		"trace_id", tr.ID(),
 		"elapsed", elapsed.Round(time.Microsecond).String(),
 		"cache", st.cacheStatus,
 		"series", st.series,

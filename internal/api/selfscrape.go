@@ -1,0 +1,179 @@
+package api
+
+// Self-scrape: the server dogfoods its own store. A SelfScraper
+// periodically walks the gateway's obs Registry (which includes the
+// runtime collector's gauges — goroutines, heap, GC — next to queue
+// depth, WAL bytes and cache hit ratio) and writes every numeric value
+// as an ordinary data point under a configurable metric prefix,
+// straight through tsdb.AppendRefs. The points ride the normal write
+// path — batch observers fan them out to /api/stream subscribers and
+// the rollup engine, so the server's own health history is queryable
+// via /api/query, downsampled by internal/rollup, and chartable on the
+// dashboard's /ops page.
+//
+// Series refs are interned once and cached, so a steady-state scrape
+// is a registry walk plus one AppendRefs batch — no per-scrape string
+// or map construction. Writes bypass the bounded ingest queue on
+// purpose: when the queue saturates is exactly when the self-telemetry
+// of the saturation must still be recorded.
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// SelfScrapeConfig tunes a SelfScraper. Zero values select defaults.
+type SelfScrapeConfig struct {
+	// Prefix is the metric namespace self points land under; a
+	// registry entry "ctt_ingest_queue_depth" becomes
+	// "<prefix>.ingest_queue_depth". Default "ctt.self".
+	Prefix string
+	// Interval between scrapes. Default 15s.
+	Interval time.Duration
+}
+
+func (c *SelfScrapeConfig) setDefaults() {
+	if c.Prefix == "" {
+		c.Prefix = "ctt.self"
+	}
+	if c.Interval <= 0 {
+		c.Interval = 15 * time.Second
+	}
+}
+
+// SelfScraper samples a gateway's metrics registry into its store.
+type SelfScraper struct {
+	g   *Gateway
+	cfg SelfScrapeConfig
+
+	// refs caches the interned series per registry entry name. Entries
+	// that cannot form a valid tsdb series (label values outside the
+	// store's charset, e.g. ctt_build_info's "(devel)") cache nil and
+	// are skipped thereafter.
+	mu   sync.Mutex
+	refs map[string]*tsdb.Ref
+	pts  []tsdb.RefPoint // reused scratch batch
+
+	scrapes atomic.Uint64
+	points  atomic.Uint64
+	skipped atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSelfScraper builds a scraper over the gateway's registry and
+// store and registers its own meta-counters on that registry. Call
+// Start to begin the loop (or ScrapeOnce directly).
+func NewSelfScraper(g *Gateway, cfg SelfScrapeConfig) *SelfScraper {
+	cfg.setDefaults()
+	s := &SelfScraper{
+		g:    g,
+		cfg:  cfg,
+		refs: make(map[string]*tsdb.Ref),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	g.reg.Gauge("ctt_self_scrapes_total", func() float64 { return float64(s.scrapes.Load()) })
+	g.reg.Gauge("ctt_self_scrape_points_total", func() float64 { return float64(s.points.Load()) })
+	g.reg.Gauge("ctt_self_scrape_skipped_total", func() float64 { return float64(s.skipped.Load()) })
+	return s
+}
+
+// Start launches the scrape loop. Close stops it.
+func (s *SelfScraper) Start() {
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.ScrapeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the loop and waits for an in-flight scrape to finish.
+// Safe to call more than once; a scraper that was never Started must
+// not be Closed.
+func (s *SelfScraper) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// ScrapeOnce samples the registry now and appends the batch, stamping
+// every point with the gateway's clock (the simulated pilot's time
+// when one is wired, so self series line up with the pilot's data on
+// queries and dashboards). Returns the number of points stored.
+func (s *SelfScraper) ScrapeOnce() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.g.cfg.Now().UnixMilli()
+	s.pts = s.pts[:0]
+	s.g.reg.Each(func(name string, v float64) {
+		// NaN/Inf gauges (idle ratios) would be rejected by queries
+		// later; a dead ref means the series failed validation once.
+		if v != v {
+			s.skipped.Add(1)
+			return
+		}
+		ref := s.refFor(name)
+		if ref == nil {
+			s.skipped.Add(1)
+			return
+		}
+		s.pts = append(s.pts, tsdb.RefPoint{Ref: ref, Point: tsdb.Point{Timestamp: ts, Value: v}})
+	})
+	res := s.g.db.AppendRefs(s.pts)
+	s.scrapes.Add(1)
+	s.points.Add(uint64(res.Stored))
+	return res.Stored
+}
+
+// refFor resolves (and caches) the interned series for one registry
+// entry name. "ctt_ingest_rejected_total{reason="queue_full"}" maps to
+// metric "<prefix>.ingest_rejected_total" with tags
+// {reason: queue_full, src: self}; the src tag satisfies the store's
+// at-least-one-tag rule and marks the series as self-telemetry.
+func (s *SelfScraper) refFor(name string) *tsdb.Ref {
+	if ref, ok := s.refs[name]; ok {
+		return ref
+	}
+	base, rawLabels, hasLabels := strings.Cut(name, "{")
+	tags := map[string]string{"src": "self"}
+	ok := true
+	if hasLabels {
+		ok = parseInlineLabels(strings.TrimSuffix(rawLabels, "}"), tags)
+	}
+	var ref *tsdb.Ref
+	if ok {
+		metric := s.cfg.Prefix + "." + strings.TrimPrefix(base, "ctt_")
+		// Intern validates the charset; anything unrepresentable (build
+		// info versions and the like) caches as a permanent skip.
+		ref, _ = s.g.db.Intern(metric, tags)
+	}
+	s.refs[name] = ref
+	return ref
+}
+
+// parseInlineLabels splits `k="v",k2="v2"` into tags. Returns false on
+// anything malformed rather than guessing.
+func parseInlineLabels(raw string, tags map[string]string) bool {
+	for _, pair := range strings.Split(raw, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return false
+		}
+		tags[strings.TrimSpace(k)] = v[1 : len(v)-1]
+	}
+	return true
+}

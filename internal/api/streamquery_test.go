@@ -537,6 +537,13 @@ func TestAPIKeyAuth(t *testing.T) {
 	if r := do(http.MethodGet, "/api/inflight", "sekrit", ""); r.StatusCode != http.StatusOK {
 		t.Fatalf("authenticated inflight = %d, want 200", r.StatusCode)
 	}
+	// /api/traces replays full request URIs too — same gate.
+	if r := do(http.MethodGet, "/api/traces", "", ""); r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated traces = %d, want 401", r.StatusCode)
+	}
+	if r := do(http.MethodGet, "/api/traces", "sekrit", ""); r.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated traces = %d, want 200", r.StatusCode)
+	}
 	if r := do(http.MethodGet, "/healthz", "", ""); r.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz gated = %d, want open", r.StatusCode)
 	}
@@ -547,7 +554,7 @@ func TestAPIKeyAuth(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	buf.ReadFrom(mr.Body)
-	if !strings.Contains(buf.String(), "ctt_auth_failures_total 3") {
+	if !strings.Contains(buf.String(), "ctt_auth_failures_total 4") {
 		t.Fatalf("/metrics missing auth failure count:\n%s", buf.String())
 	}
 }

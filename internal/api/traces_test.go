@@ -1,0 +1,266 @@
+package api
+
+// Flight-recorder and self-scrape tests: /api/traces serves retained
+// traces whose IDs match what the OpenMetrics exemplars advertise, the
+// openmetrics exposition flavor is opt-in and well-formed, and the
+// self-scrape loop lands ctt.self.* series that /api/query can read
+// back like any sensor data.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	// TraceSample=1 marks every query detailed, so every query is
+	// retained regardless of speed.
+	g, srv := newTestGateway(t, Config{TraceSample: 1})
+	resp := putJSON(t, srv.URL+"/api/put", putBody(10, "tr.test", "s1", 1488326400000))
+	resp.Body.Close()
+	waitIngested(t, g, 10)
+	qr, err := http.Get(srv.URL + "/api/query?start=1488326000000&end=1488327000000&m=avg:tr.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, qr.Body)
+	qr.Body.Close()
+
+	// Retention happens in the handler's deferred epilogue; poll briefly.
+	var list []map[string]any
+	deadline := time.Now().Add(5 * time.Second)
+	for len(list) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no trace retained after a sampled query")
+		}
+		time.Sleep(time.Millisecond)
+		getJSON(t, srv.URL+"/api/traces", &list)
+	}
+
+	row := list[0]
+	id, _ := row["id"].(string)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("listed trace id = %q, want 16 hex digits", id)
+	}
+	if row["name"] != "query" || row["detailed"] != true {
+		t.Fatalf("trace summary = %+v", row)
+	}
+	if !strings.Contains(row["detail"].(string), "tr.test") {
+		t.Fatalf("trace detail = %q, want the query URI", row["detail"])
+	}
+
+	var detail struct {
+		ID    string `json:"id"`
+		Spans []struct {
+			Name     string          `json:"name"`
+			Children json.RawMessage `json:"children"`
+		} `json:"spans"`
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"stages"`
+	}
+	if r := getJSON(t, srv.URL+"/api/traces/"+id, &detail); r.StatusCode != http.StatusOK {
+		t.Fatalf("trace detail status = %d", r.StatusCode)
+	}
+	if detail.ID != id || len(detail.Spans) == 0 {
+		t.Fatalf("trace detail = %+v, want the span tree", detail)
+	}
+	spanNames := map[string]bool{}
+	for _, sp := range detail.Spans {
+		spanNames[sp.Name] = true
+	}
+	if !spanNames["parse"] {
+		t.Fatalf("detail spans %v missing the parse phase", spanNames)
+	}
+	stageNames := map[string]bool{}
+	for _, st := range detail.Stages {
+		stageNames[st.Name] = true
+	}
+	if !stageNames["match_series"] {
+		t.Fatalf("detail stages %v missing match_series", stageNames)
+	}
+
+	if r := getJSON(t, srv.URL+"/api/traces/ffffffffffffffff", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id status = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestTracesDisabled(t *testing.T) {
+	_, srv := newTestGateway(t, Config{TraceRetain: -1})
+	if r := getJSON(t, srv.URL+"/api/traces", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled recorder status = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestOpenMetricsExemplarsResolve is the cross-surface contract: scrape
+// /metrics in OpenMetrics flavor after a slow query, and every exemplar
+// trace_id must resolve on /api/traces/{id}.
+func TestOpenMetricsExemplarsResolve(t *testing.T) {
+	g, srv := newTestGateway(t, Config{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	resp := putJSON(t, srv.URL+"/api/put", putBody(10, "om.test", "s1", 1488326400000))
+	resp.Body.Close()
+	waitIngested(t, g, 10)
+	qr, err := http.Get(srv.URL + "/api/query?start=1488326000000&end=1488327000000&m=avg:om.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, qr.Body)
+	qr.Body.Close()
+
+	var body string
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(body, "trace_id") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no exemplar after a slow query; body:\n%s", body)
+		}
+		time.Sleep(time.Millisecond)
+		mr, err := http.Get(srv.URL + "/metrics?format=openmetrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text; version=1.0.0") {
+			t.Fatalf("openmetrics content type = %q", ct)
+		}
+		b, _ := io.ReadAll(mr.Body)
+		mr.Body.Close()
+		body = string(b)
+	}
+
+	p := parseExposition(t, body)
+	p.checkHistograms(t)
+	if !p.sawEOF {
+		t.Fatal("openmetrics body missing # EOF terminator")
+	}
+	if len(p.exemplars) == 0 {
+		t.Fatal("parser saw no exemplars")
+	}
+	resolved := map[string]bool{}
+	for bucket, id := range p.exemplars {
+		if resolved[id] {
+			continue
+		}
+		if r := getJSON(t, srv.URL+"/api/traces/"+id, nil); r.StatusCode != http.StatusOK {
+			t.Errorf("exemplar on %s: trace %s not retained (status %d)", bucket, id, r.StatusCode)
+		}
+		resolved[id] = true
+	}
+
+	// The Accept header selects the same flavor; the classic endpoint
+	// stays classic (no EOF, no exemplars) for existing scrapers.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	ar, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if !strings.HasSuffix(string(ab), "# EOF\n") {
+		t.Error("Accept negotiation did not select OpenMetrics")
+	}
+	classic := scrape(t, srv.URL)
+	if strings.Contains(classic, "trace_id") || strings.Contains(classic, "# EOF") {
+		t.Error("classic /metrics leaked OpenMetrics syntax")
+	}
+}
+
+// TestSelfScrape soaks the self-ingestion loop: a few scrapes must
+// produce ctt.self.* series readable through /api/query with the
+// src=self tag, including runtime collector values.
+func TestSelfScrape(t *testing.T) {
+	base := time.Date(2017, time.March, 1, 12, 0, 0, 0, time.UTC)
+	now := base
+	g, srv := newTestGateway(t, Config{Now: func() time.Time { return now }})
+	g.reg.Counter(`ctt_selftest_total{reason="soak"}`).Add(9)
+	s := NewSelfScraper(g, SelfScrapeConfig{Interval: time.Hour}) // loop not started; scrape by hand
+
+	for i := 0; i < 3; i++ {
+		now = base.Add(time.Duration(i) * 15 * time.Second)
+		if stored := s.ScrapeOnce(); stored == 0 {
+			t.Fatalf("scrape %d stored no points", i)
+		}
+	}
+
+	for _, metric := range []string{
+		"ctt.self.go_goroutines",
+		"ctt.self.ingest_queue_depth",
+	} {
+		var res []struct {
+			Metric string             `json:"metric"`
+			Tags   map[string]string  `json:"tags"`
+			DPS    map[string]float64 `json:"dps"`
+		}
+		url := fmt.Sprintf("%s/api/query?start=%d&end=%d&m=avg:%s",
+			srv.URL, base.Add(-time.Minute).UnixMilli(), base.Add(time.Minute).UnixMilli(), metric)
+		if r := getJSON(t, url, &res); r.StatusCode != http.StatusOK {
+			t.Fatalf("query %s status = %d", metric, r.StatusCode)
+		}
+		if len(res) != 1 {
+			t.Fatalf("query %s returned %d series, want 1", metric, len(res))
+		}
+		if res[0].Tags["src"] != "self" {
+			t.Fatalf("%s tags = %v, want src=self", metric, res[0].Tags)
+		}
+		if len(res[0].DPS) != 3 {
+			t.Fatalf("%s has %d points, want 3", metric, len(res[0].DPS))
+		}
+	}
+
+	// Inline-labeled registry entries become tags on the self series.
+	var res []struct {
+		Tags map[string]string  `json:"tags"`
+		DPS  map[string]float64 `json:"dps"`
+	}
+	url := fmt.Sprintf("%s/api/query?start=%d&end=%d&m=avg:ctt.self.selftest_total",
+		srv.URL, base.Add(-time.Minute).UnixMilli(), base.Add(time.Minute).UnixMilli())
+	if r := getJSON(t, url, &res); r.StatusCode != http.StatusOK || len(res) != 1 {
+		t.Fatalf("labeled self series query status=%d res=%v", r.StatusCode, res)
+	}
+	if res[0].Tags["reason"] != "soak" || res[0].Tags["src"] != "self" {
+		t.Fatalf("labeled self series tags = %v, want reason=soak src=self", res[0].Tags)
+	}
+	for _, v := range res[0].DPS {
+		if v != 9 {
+			t.Fatalf("labeled self series value = %v, want 9", v)
+		}
+	}
+
+	// A second scraper pass reuses interned refs; the skip counter only
+	// grows for permanently unrepresentable entries (none twice over).
+	skippedBefore := s.skipped.Load()
+	now = base.Add(time.Minute)
+	s.ScrapeOnce()
+	if s.skipped.Load() < skippedBefore {
+		t.Fatal("skip counter went backwards")
+	}
+	if got := s.scrapes.Load(); got != 4 {
+		t.Fatalf("scrapes counter = %d, want 4", got)
+	}
+}

@@ -54,6 +54,10 @@ type Server struct {
 	panels []Panel
 	now    func() time.Time
 
+	// selfPrefix is the metric namespace the /ops page charts — the
+	// self-scrape loop's -self-prefix. Empty selects "ctt.self".
+	selfPrefix string
+
 	// SendCommand, when set, enables the C&C endpoint
 	// POST /api/command — the dashboard becomes the command-and-
 	// control surface the paper's pipeline feeds ("up to C&C
@@ -75,6 +79,14 @@ func (s *Server) SetNow(now func() time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.now = now
+}
+
+// SetSelfPrefix points the /ops page at the metric namespace the
+// self-scrape loop writes under.
+func (s *Server) SetSelfPrefix(prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.selfPrefix = prefix
 }
 
 // AddPanel registers a panel. Panels render in registration order.
@@ -114,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/network.svg", s.handleNetworkSVG)
 	mux.HandleFunc("/wall", s.handleWall)
 	mux.HandleFunc("/live", s.handleLive)
+	mux.HandleFunc("/ops", s.handleOps)
 	mux.HandleFunc("/api/query", s.handleQuery)
 	mux.HandleFunc("/api/panels", s.handlePanels)
 	mux.HandleFunc("/api/alarms", s.handleAlarms)
@@ -198,7 +211,7 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <style>body{font-family:sans-serif;margin:20px}.panel{margin-bottom:24px}</style>
 </head><body>
 <h1>CTT — air quality &amp; traffic dashboards</h1>
-<p><a href="/wall">wall display</a> · <a href="/live">live feed</a> · <a href="/network.svg">network map</a> · <a href="/api/alarms">alarms</a></p>
+<p><a href="/wall">wall display</a> · <a href="/live">live feed</a> · <a href="/ops">ops</a> · <a href="/network.svg">network map</a> · <a href="/api/alarms">alarms</a></p>
 {{range .}}<div class="panel"><h2>{{.Title}}</h2><img src="/panel/{{.Name}}.svg" alt="{{.Title}}"/></div>
 {{end}}</body></html>`))
 

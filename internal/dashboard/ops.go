@@ -1,0 +1,149 @@
+package dashboard
+
+// Ops view: charts the server's own health series — the points the
+// self-scrape loop writes under its metric prefix (goroutines, heap,
+// GC, ingest queue depth, WAL bytes, cache hit ratio, request latency
+// counts). Like /live it rides the gateway's /api/stream SSE endpoint,
+// so it needs no new API surface: each self-scrape batch fans out to
+// stream subscribers the moment AppendRefs stores it, and the page
+// keeps a rolling sparkline per series.
+
+import (
+	"net/http"
+	"strings"
+)
+
+const opsPage = `<!DOCTYPE html>
+<html><head><title>CTT ops</title>
+<style>
+body{font-family:sans-serif;margin:20px;background:#111;color:#eee}
+#status{padding:4px 8px;border-radius:4px;background:#633}
+#status.ok{background:#363}
+#charts{display:grid;grid-template-columns:repeat(auto-fill,minmax(320px,1fr));gap:12px;margin-top:16px}
+.chart{background:#1a1a1a;border:1px solid #333;border-radius:6px;padding:8px 10px}
+.chart h3{margin:0 0 2px;font-size:13px;font-weight:normal;color:#9cf;word-break:break-all}
+.chart .val{font-size:20px;margin:2px 0 6px}
+.chart canvas{width:100%;height:48px;display:block}
+</style></head><body>
+<h1>CTT — server self-metrics</h1>
+<p><span id="status">disconnected</span>
+· prefix: <code id="prefix"></code>
+· <a href="/" style="color:#9cf">dashboards</a>
+· <a href="/live" style="color:#9cf">live feed</a></p>
+<p style="color:#888;font-size:13px">Series arrive via the self-scrape loop
+(<code>-self-scrape</code>); history is queryable through <code>/api/query</code>
+and downsampled by the rollup engine like any other metric.</p>
+<div id="charts"></div>
+<script>
+const PREFIX = __PREFIX__;
+const MAXPTS = 120;
+document.getElementById('prefix').textContent = PREFIX;
+const series = new Map(); // key -> {pts: [{t,v}], el, canvas, val}
+function seriesKey(p) {
+  const tags = Object.entries(p.tags || {}).filter(([k]) => k !== 'src')
+    .map(([k, v]) => k + '=' + v).join(',');
+  return p.metric + (tags ? '{' + tags + '}' : '');
+}
+function ensureChart(key) {
+  let s = series.get(key);
+  if (s) return s;
+  const el = document.createElement('div');
+  el.className = 'chart';
+  const h = document.createElement('h3');
+  h.textContent = key.slice(PREFIX.length + 1) || key;
+  const val = document.createElement('div');
+  val.className = 'val';
+  const canvas = document.createElement('canvas');
+  el.appendChild(h); el.appendChild(val); el.appendChild(canvas);
+  // Keep the grid alphabetical so charts don't jump around on arrival.
+  const charts = document.getElementById('charts');
+  let before = null;
+  for (const [k, other] of [...series.entries()].sort((a, b) => a[0] < b[0] ? -1 : 1)) {
+    if (k > key) { before = other.el; break; }
+  }
+  charts.insertBefore(el, before);
+  s = {pts: [], el, canvas, val};
+  series.set(key, s);
+  return s;
+}
+function draw(s) {
+  const c = s.canvas, ctx = c.getContext('2d');
+  c.width = c.clientWidth; c.height = c.clientHeight;
+  ctx.clearRect(0, 0, c.width, c.height);
+  const pts = s.pts;
+  if (pts.length < 2) return;
+  let min = Infinity, max = -Infinity;
+  for (const p of pts) { if (p.v < min) min = p.v; if (p.v > max) max = p.v; }
+  const span = (max - min) || 1;
+  ctx.strokeStyle = '#6cf'; ctx.lineWidth = 1.5; ctx.beginPath();
+  pts.forEach((p, i) => {
+    const x = i / (pts.length - 1) * (c.width - 2) + 1;
+    const y = c.height - 3 - (p.v - min) / span * (c.height - 6);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+}
+function fmt(v) {
+  if (Math.abs(v) >= 1e9) return (v / 1e9).toFixed(2) + 'G';
+  if (Math.abs(v) >= 1e6) return (v / 1e6).toFixed(2) + 'M';
+  if (Math.abs(v) >= 1e4) return (v / 1e3).toFixed(1) + 'k';
+  return Number.isInteger(v) ? String(v) : v.toFixed(3);
+}
+let es = null;
+function connect() {
+  if (es) es.close();
+  es = new EventSource('/api/stream?metric=' + encodeURIComponent(PREFIX + '.'));
+  const status = document.getElementById('status');
+  es.onopen = () => { status.textContent = 'connected'; status.className = 'ok'; };
+  es.onerror = () => { status.textContent = 'disconnected'; status.className = ''; };
+  es.addEventListener('point', (e) => {
+    const p = JSON.parse(e.data);
+    const s = ensureChart(seriesKey(p));
+    s.pts.push({t: p.timestamp, v: p.value});
+    if (s.pts.length > MAXPTS) s.pts.shift();
+    s.val.textContent = fmt(p.value);
+    draw(s);
+  });
+}
+connect();
+</script></body></html>`
+
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	prefix := s.selfPrefix
+	s.mu.Unlock()
+	if prefix == "" {
+		prefix = "ctt.self"
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	// The prefix is an operator-set flag, but quote it as a JS string
+	// literal anyway rather than trusting its charset.
+	page := strings.Replace(opsPage, "__PREFIX__", jsString(prefix), 1)
+	w.Write([]byte(page))
+}
+
+// jsString renders s as a double-quoted JavaScript string literal,
+// escaping the characters that could break out of it.
+func jsString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '<', '>', '&':
+			// Avoid "</script>" style breakouts inside inline script.
+			b.WriteString(`\u00`)
+			const hex = "0123456789abcdef"
+			b.WriteByte(hex[r>>4])
+			b.WriteByte(hex[r&0xf])
+		case '\n', '\r':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -75,3 +75,37 @@ func BenchmarkRegistryExpose(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkHistogramObserveExemplar(b *testing.B) {
+	h := newHistogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveExemplar(0.0042, "0123456789abcdef")
+	}
+}
+
+func BenchmarkTraceCapture(b *testing.B) {
+	tr := NewTrace("query", "/api/query")
+	sp := tr.StartSpan("parse")
+	sp.End()
+	scan := tr.StartSpan("scan")
+	scan.StartSpan("decode").End()
+	scan.End()
+	tr.Stage("group_reduce").Add(time.Millisecond)
+	defer tr.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Capture() == nil {
+			b.Fatal("nil capture")
+		}
+	}
+}
+
+func BenchmarkRecorderAdd(b *testing.B) {
+	r := NewRecorder(DefaultRecorderSize)
+	c := &TraceCapture{ID: "0123456789abcdef"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add(c)
+	}
+}

@@ -34,8 +34,11 @@ func (f *Inflight) Track(t *Trace) func() {
 	}
 }
 
-// InflightEntry is one live request in a Snapshot.
+// InflightEntry is one live request in a Snapshot. TraceID lets an
+// operator follow a live query into /api/traces/{id} once it
+// completes (and is captured by the flight recorder).
 type InflightEntry struct {
+	TraceID   string  `json:"trace_id"`
 	Name      string  `json:"name"`
 	Detail    string  `json:"detail"`
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -55,6 +58,7 @@ func (f *Inflight) Snapshot() []InflightEntry {
 	out := make([]InflightEntry, 0, len(f.set))
 	for t := range f.set {
 		out = append(out, InflightEntry{
+			TraceID:   t.ID(),
 			Name:      t.Name(),
 			Detail:    t.Detail(),
 			ElapsedMS: float64(t.Elapsed().Microseconds()) / 1000,

@@ -55,13 +55,26 @@ var DefBuckets = []float64{
 // Histogram is a fixed-bucket histogram. Observations are lock-free:
 // one atomic add on the bucket counter plus a CAS loop folding the
 // value into the float64 sum. Bucket bounds are immutable after
-// construction.
+// construction. Each bucket additionally holds one exemplar slot — the
+// last traced observation that landed in it, published as an atomic
+// pointer swap — so the OpenMetrics exposition can link a latency
+// bucket to the retained trace that produced it.
 type Histogram struct {
-	name   string // family name, e.g. "ctt_http_request_seconds"
-	labels string // inline label pairs without braces, e.g. `endpoint="query"`
-	bounds []float64
-	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
-	sum    atomic.Uint64   // math.Float64bits of the running sum
+	name      string // family name, e.g. "ctt_http_request_seconds"
+	labels    string // inline label pairs without braces, e.g. `endpoint="query"`
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum       atomic.Uint64   // math.Float64bits of the running sum
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one traced observation attached to a histogram bucket:
+// the observed value, the trace it belongs to, and when it happened.
+// Immutable once published.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 func newHistogram(name, labels string, bounds []float64) *Histogram {
@@ -69,10 +82,11 @@ func newHistogram(name, labels string, bounds []float64) *Histogram {
 		bounds = DefBuckets
 	}
 	return &Histogram{
-		name:   name,
-		labels: labels,
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		name:      name,
+		labels:    labels,
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -82,11 +96,39 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.counts[h.bucket(v)].Add(1)
+	h.addSum(v)
+}
+
+// ObserveExemplar records one value and publishes it as the bucket's
+// exemplar, tagged with the trace it came from. Only traced (sampled
+// or slow) requests take this path — it allocates one Exemplar — so
+// the untraced hot path keeps Observe's zero-alloc cost, and every
+// exemplar in the exposition points at a trace the flight recorder
+// actually retained. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucket(v)
+	h.counts[i].Add(1)
+	h.addSum(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// bucket returns the index of the bucket v falls into.
+func (h *Histogram) bucket(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// addSum folds v into the running float sum with a CAS loop.
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -121,6 +163,7 @@ type histSnapshot struct {
 	bounds       []float64
 	counts       []uint64
 	sum          float64
+	exemplars    []*Exemplar // per bucket; entries may be nil
 }
 
 // snapshot reads the histogram without locking Observe out. Under
@@ -140,6 +183,10 @@ func (h *Histogram) snapshot() histSnapshot {
 		s.counts[i] = h.counts[i].Load()
 	}
 	s.sum = math.Float64frombits(h.sum.Load())
+	s.exemplars = make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		s.exemplars[i] = h.exemplars[i].Load()
+	}
 	return s
 }
 
@@ -207,7 +254,20 @@ func (r *Registry) AddSource(fn func(emit func(name string, v any))) {
 // Expose renders the registry in Prometheus text exposition format.
 // The registry lock is held only to copy the (append-only) entry
 // slices; every value is snapshotted and formatted lock-free.
-func (r *Registry) Expose() []byte {
+func (r *Registry) Expose() []byte { return r.expose(false) }
+
+// ExposeOpenMetrics renders the registry in OpenMetrics flavor: the
+// same families and values, with each histogram bucket carrying its
+// last traced observation as an exemplar —
+//
+//	name_bucket{le="0.25"} 7 # {trace_id="a1b2..."} 0.231 1520879607.789
+//
+// — and the body terminated by the mandatory "# EOF" marker, so
+// Prometheus scraping with exemplar storage enabled can link a
+// latency bucket straight to GET /api/traces/{trace_id}.
+func (r *Registry) ExposeOpenMetrics() []byte { return r.expose(true) }
+
+func (r *Registry) expose(openmetrics bool) []byte {
 	r.mu.RLock()
 	scalars := r.scalars
 	hists := r.hists
@@ -260,7 +320,7 @@ func (r *Registry) Expose() []byte {
 		b = append(b, " histogram\n"...)
 		for j := i; j < len(hvals); j++ {
 			if hvals[j].name == fam {
-				b = appendHistogram(b, &hvals[j])
+				b = appendHistogram(b, &hvals[j], openmetrics)
 			}
 		}
 	}
@@ -272,14 +332,56 @@ func (r *Registry) Expose() []byte {
 			b = append(b, '\n')
 		})
 	}
+	if openmetrics {
+		b = append(b, "# EOF\n"...)
+	}
 	return b
+}
+
+// Each visits every scalar value the registry can express as a number:
+// counters and gauges under their registered names (inline labels
+// included), then each histogram's _count and _sum. It is the
+// machine-readable walk behind the self-scrape loop — the same values
+// /metrics renders as text, delivered as (name, float) pairs with no
+// formatting. Legacy emit-style sources are not visited (their values
+// may be pre-formatted strings).
+func (r *Registry) Each(fn func(name string, v float64)) {
+	r.mu.RLock()
+	scalars := r.scalars
+	hists := r.hists
+	r.mu.RUnlock()
+	for _, e := range scalars {
+		if e.counter != nil {
+			fn(e.name, float64(e.counter.Value()))
+		} else {
+			fn(e.name, e.gauge())
+		}
+	}
+	for _, h := range hists {
+		s := h.snapshot()
+		var n uint64
+		for _, c := range s.counts {
+			n += c
+		}
+		fn(histSeriesName(h.name, "_count", h.labels), float64(n))
+		fn(histSeriesName(h.name, "_sum", h.labels), s.sum)
+	}
+}
+
+// histSeriesName builds "name_suffix" or "name_suffix{labels}".
+func histSeriesName(name, suffix, labels string) string {
+	if labels == "" {
+		return name + suffix
+	}
+	return name + suffix + "{" + labels + "}"
 }
 
 // appendHistogram renders one histogram's _bucket/_sum/_count lines
 // from its snapshot. Bucket counts are cumulative; the +Inf bucket
 // equals _count by construction, so monotonicity holds even against
-// concurrent observations.
-func appendHistogram(b []byte, s *histSnapshot) []byte {
+// concurrent observations. In OpenMetrics mode each bucket holding an
+// exemplar appends it after the count, "# {labels} value timestamp".
+func appendHistogram(b []byte, s *histSnapshot, openmetrics bool) []byte {
 	appendLabeled := func(b []byte, suffix, extra string) []byte {
 		b = append(b, s.name...)
 		b = append(b, suffix...)
@@ -304,6 +406,11 @@ func appendHistogram(b []byte, s *histSnapshot) []byte {
 		b = appendLabeled(b, "_bucket", `le="`+le+`"`)
 		b = append(b, ' ')
 		b = strconv.AppendUint(b, cum, 10)
+		if openmetrics && i < len(s.exemplars) {
+			if ex := s.exemplars[i]; ex != nil {
+				b = appendExemplar(b, ex)
+			}
+		}
 		b = append(b, '\n')
 	}
 	b = appendLabeled(b, "_sum", "")
@@ -314,6 +421,22 @@ func appendHistogram(b []byte, s *histSnapshot) []byte {
 	b = append(b, ' ')
 	b = strconv.AppendUint(b, cum, 10)
 	b = append(b, '\n')
+	return b
+}
+
+// appendExemplar renders one OpenMetrics exemplar suffix:
+//
+//	# {trace_id="<16 hex>"} <value> <unix seconds>
+//
+// The timestamp keeps millisecond precision, which is what the
+// recorder's retention granularity justifies.
+func appendExemplar(b []byte, ex *Exemplar) []byte {
+	b = append(b, ` # {trace_id="`...)
+	b = append(b, ex.TraceID...)
+	b = append(b, `"} `...)
+	b = appendMetricFloat(b, ex.Value)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, float64(ex.Time.UnixMilli())/1000, 'f', 3, 64)
 	return b
 }
 

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestTraceID(t *testing.T) {
+	tr := NewTrace("query", "/api/query")
+	defer tr.Release()
+	id := tr.ID()
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("ID() = %q, want 16 lowercase hex digits", id)
+	}
+	if id != tr.ID() {
+		t.Fatalf("ID not stable: %q then %q", id, tr.ID())
+	}
+	if formatTraceID(0) != "0000000000000000" {
+		t.Fatalf("formatTraceID(0) = %q", formatTraceID(0))
+	}
+	var nilT *Trace
+	if nilT.ID() != "" {
+		t.Fatalf("nil trace ID = %q, want empty", nilT.ID())
+	}
+
+	// Fresh traces (even pooled ones) must get fresh, nonzero IDs.
+	tr2 := NewTrace("query", "/api/query")
+	defer tr2.Release()
+	if tr2.ID() == id {
+		t.Fatalf("two traces share ID %q", id)
+	}
+}
+
+func TestCaptureSnapshotsTrace(t *testing.T) {
+	tr := NewTrace("query", "/api/query?m=co2")
+	tr.SetDetailed(true)
+	parse := tr.StartSpan("parse")
+	parse.End()
+	scan := tr.StartSpan("scan")
+	flush := scan.StartSpan("flush")
+	flush.End()
+	// scan stays open: the capture must mark it open.
+	tr.Stage("member_prime").Add(3 * time.Millisecond)
+	tr.Stage("member_prime").Add(2 * time.Millisecond)
+
+	c := tr.Capture()
+	id := tr.ID()
+	scan.End()
+	tr.Release() // capture must survive the pooled trace's reset
+
+	if c.ID != id {
+		t.Fatalf("capture ID = %q, want %q", c.ID, id)
+	}
+	if c.Name != "query" || c.Detail != "/api/query?m=co2" || !c.Detailed {
+		t.Fatalf("capture header = %+v", c)
+	}
+	if len(c.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(c.Spans), c.Spans)
+	}
+	byName := map[string]CapturedSpan{}
+	for _, sp := range c.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["parse"].Parent != -1 || byName["scan"].Parent != -1 {
+		t.Fatalf("root spans have parents: %+v", c.Spans)
+	}
+	if p := byName["flush"].Parent; c.Spans[p].Name != "scan" {
+		t.Fatalf("flush parent = %q, want scan", c.Spans[p].Name)
+	}
+	if byName["parse"].Open() || byName["flush"].Open() {
+		t.Fatalf("closed spans captured as open: %+v", c.Spans)
+	}
+	if !byName["scan"].Open() {
+		t.Fatalf("open span captured as closed: %+v", byName["scan"])
+	}
+	if d := byName["scan"].Duration(c.Duration.Nanoseconds()); d <= 0 || d > c.Duration {
+		t.Fatalf("open span duration %v outside (0, %v]", d, c.Duration)
+	}
+	if len(c.Stages) != 1 || c.Stages[0].Name != "member_prime" ||
+		c.Stages[0].Duration != 5*time.Millisecond || c.Stages[0].Count != 2 {
+		t.Fatalf("stages = %+v", c.Stages)
+	}
+}
+
+func TestCaptureNil(t *testing.T) {
+	var tr *Trace
+	if c := tr.Capture(); c != nil {
+		t.Fatalf("nil trace capture = %+v", c)
+	}
+}
+
+func TestCaptureCountsDrops(t *testing.T) {
+	tr := NewTrace("query", "")
+	defer tr.Release()
+	for i := 0; i < maxSpans+7; i++ {
+		tr.StartSpan("s").End()
+	}
+	c := tr.Capture()
+	if c.Dropped != 7 {
+		t.Fatalf("capture Dropped = %d, want 7", c.Dropped)
+	}
+	if len(c.Spans) != maxSpans {
+		t.Fatalf("capture kept %d spans, want %d", len(c.Spans), maxSpans)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		c := &TraceCapture{
+			ID:    fmt.Sprintf("%016x", i+1),
+			Start: time.Unix(int64(i), 0),
+		}
+		ids = append(ids, c.ID)
+		r.Add(c)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want ring size 4", got)
+	}
+	// The two oldest were evicted; the four newest are retrievable.
+	for _, id := range ids[:2] {
+		if r.Get(id) != nil {
+			t.Fatalf("evicted trace %s still retained", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Fatalf("recent trace %s not retained", id)
+		}
+	}
+	list := r.List()
+	if len(list) != 4 {
+		t.Fatalf("List returned %d captures, want 4", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Start.After(list[i-1].Start) {
+			t.Fatalf("List not newest-first: %v after %v", list[i].Start, list[i-1].Start)
+		}
+	}
+}
+
+func TestRecorderDefaultsAndNil(t *testing.T) {
+	if r := NewRecorder(0); len(r.slots) != DefaultRecorderSize {
+		t.Fatalf("NewRecorder(0) size = %d, want %d", len(r.slots), DefaultRecorderSize)
+	}
+	var r *Recorder
+	r.Add(&TraceCapture{ID: "x"}) // must not panic
+	if r.Get("x") != nil || r.List() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder is not inert")
+	}
+	nr := NewRecorder(2)
+	nr.Add(nil) // nil captures are dropped, not stored
+	if nr.Len() != 0 {
+		t.Fatalf("nil capture retained: Len = %d", nr.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Add(&TraceCapture{ID: fmt.Sprintf("%016x", i)})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		r.List()
+		r.Get("0000000000000001")
+	}
+	<-done
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d after 1000 adds into ring of 8", got)
+	}
+}

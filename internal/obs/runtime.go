@@ -1,0 +1,121 @@
+package obs
+
+// Runtime self-metrics: gauges over the Go runtime (goroutines, heap,
+// GC) read through runtime/metrics, plus the process-identity gauges
+// every Prometheus target is expected to carry (build info, start
+// time). The collector batches one metrics.Read per scrape — gauges
+// registered from it share a short-lived sample cache, so a registry
+// walk touching six runtime gauges costs one runtime sample, not six.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples is the fixed set of runtime/metrics this collector
+// reads, in slot order.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds", // histogram; surfaced as total pause seconds
+}
+
+// sampleMaxAge bounds how stale the cached runtime sample may be. One
+// registry walk reads several gauges back to back; they all see the
+// same consistent sample, refreshed once.
+const sampleMaxAge = 100 * time.Millisecond
+
+// RuntimeCollector samples the Go runtime and registers the values as
+// gauges on a Registry.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	last    time.Time
+}
+
+// NewRuntimeCollector returns a collector with an empty cache.
+func NewRuntimeCollector() *RuntimeCollector {
+	c := &RuntimeCollector{samples: make([]metrics.Sample, len(runtimeSamples))}
+	for i, name := range runtimeSamples {
+		c.samples[i].Name = name
+	}
+	return c
+}
+
+// Register adds the collector's gauges to the registry:
+//
+//	ctt_go_goroutines             live goroutine count
+//	ctt_go_heap_alloc_bytes       bytes in live + unswept heap objects
+//	ctt_go_mem_total_bytes        total memory mapped by the runtime
+//	ctt_go_gc_cycles_total        completed GC cycles
+//	ctt_go_gc_pause_seconds_total cumulative stop-the-world pause time
+func (c *RuntimeCollector) Register(r *Registry) {
+	r.Gauge("ctt_go_goroutines", func() float64 { return c.value(0) })
+	r.Gauge("ctt_go_heap_alloc_bytes", func() float64 { return c.value(1) })
+	r.Gauge("ctt_go_mem_total_bytes", func() float64 { return c.value(2) })
+	r.Gauge("ctt_go_gc_cycles_total", func() float64 { return c.value(3) })
+	r.Gauge("ctt_go_gc_pause_seconds_total", func() float64 { return c.value(4) })
+}
+
+// value returns slot i of the (refreshed-if-stale) runtime sample as
+// a float64.
+func (c *RuntimeCollector) value(i int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.last) > sampleMaxAge {
+		metrics.Read(c.samples)
+		c.last = now
+	}
+	s := c.samples[i].Value
+	switch s.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Uint64())
+	case metrics.KindFloat64:
+		return s.Float64()
+	case metrics.KindFloat64Histogram:
+		// /gc/pauses is distribution-only; reduce it to a total by
+		// weighting each bucket's count with its lower edge (clamped at
+		// 0 — the first edge is -Inf). A slight undercount, acceptable
+		// for a trend gauge.
+		h := s.Float64Histogram()
+		var total float64
+		for i, n := range h.Counts {
+			edge := h.Buckets[i]
+			if !(edge > 0) {
+				continue
+			}
+			total += edge * float64(n)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// processStart is when this process (strictly: this package) came up —
+// the value behind ctt_process_start_time_seconds.
+var processStart = time.Now()
+
+// RegisterProcessMetrics adds the process-identity gauges:
+//
+//	ctt_build_info{version="...",goversion="..."} 1
+//	ctt_process_start_time_seconds                unix seconds
+//
+// Version comes from debug.ReadBuildInfo (the module version, or
+// "unknown" outside module builds); goversion from runtime.Version().
+func RegisterProcessMetrics(r *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge(fmt.Sprintf(`ctt_build_info{version=%q,goversion=%q}`, version, runtime.Version()),
+		func() float64 { return 1 })
+	r.Gauge("ctt_process_start_time_seconds",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorGauges(t *testing.T) {
+	r := NewRegistry()
+	NewRuntimeCollector().Register(r)
+	vals := map[string]float64{}
+	r.Each(func(name string, v float64) { vals[name] = v })
+
+	if g := vals["ctt_go_goroutines"]; g < 1 {
+		t.Fatalf("ctt_go_goroutines = %v, want >= 1", g)
+	}
+	if h := vals["ctt_go_heap_alloc_bytes"]; h <= 0 {
+		t.Fatalf("ctt_go_heap_alloc_bytes = %v, want > 0", h)
+	}
+	if m := vals["ctt_go_mem_total_bytes"]; m < vals["ctt_go_heap_alloc_bytes"] {
+		t.Fatalf("total %v < heap %v", m, vals["ctt_go_heap_alloc_bytes"])
+	}
+	for _, name := range []string{"ctt_go_gc_cycles_total", "ctt_go_gc_pause_seconds_total"} {
+		v, ok := vals[name]
+		if !ok || v < 0 {
+			t.Fatalf("%s = %v (present=%v), want >= 0", name, v, ok)
+		}
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	body := string(r.Expose())
+	if !strings.Contains(body, `ctt_build_info{version="`) ||
+		!strings.Contains(body, `goversion="go`) {
+		t.Fatalf("build info line missing from exposition:\n%s", body)
+	}
+	var start float64
+	r.Each(func(name string, v float64) {
+		if name == "ctt_process_start_time_seconds" {
+			start = v
+		}
+	})
+	// Any plausible unix time: after 2020, not in the far future.
+	if start < 1.5e9 || start > 4e9 {
+		t.Fatalf("ctt_process_start_time_seconds = %v", start)
+	}
+}

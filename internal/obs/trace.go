@@ -14,6 +14,7 @@ package obs
 
 import (
 	"context"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -73,6 +74,12 @@ type Trace struct {
 	t0       time.Time
 	detailed bool
 
+	// id is a random 64-bit trace identifier, assigned by NewTrace and
+	// stable for the trace's lifetime. It is what /api/inflight rows,
+	// histogram exemplars and the flight recorder use to refer to one
+	// request across surfaces.
+	id uint64
+
 	nspans  atomic.Int32
 	spans   [maxSpans]spanData
 	dropped atomic.Int32
@@ -96,6 +103,7 @@ func NewTrace(name, detail string) *Trace {
 	t.name, t.detail = name, detail
 	t.t0 = time.Now()
 	t.detailed = false
+	t.id = rand.Uint64() | 1 // nonzero, so 0 can mean "no trace"
 	t.cur.Store(-1)
 	return t
 }
@@ -123,6 +131,27 @@ func (t *Trace) Release() {
 	t.dropped.Store(0)
 	t.name, t.detail = "", ""
 	tracePool.Put(t)
+}
+
+// ID renders the trace's random identifier as 16 lowercase hex
+// digits — the form exemplars, the inflight listing and /api/traces
+// all share. Empty for a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return formatTraceID(t.id)
+}
+
+// formatTraceID renders a 64-bit trace id as fixed-width hex.
+func formatTraceID(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
 }
 
 // Name returns the trace's request kind.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -154,5 +155,34 @@ func TestInflightSnapshot(t *testing.T) {
 	untrack()
 	if len(inf.Snapshot()) != 0 {
 		t.Fatal("untrack did not remove the trace")
+	}
+}
+
+// TestRenderTreeGolden pins the RenderTree line format the slow-query
+// log (and anyone grepping it) depends on: open spans carry a trailing
+// "+", overflow renders as a trailing "dropped=N".
+func TestRenderTreeGolden(t *testing.T) {
+	tr := NewTrace("query", "")
+	defer tr.Release()
+	parse := tr.StartSpan("parse")
+	parse.End()
+	scan := tr.StartSpan("scan") // left open on purpose
+
+	tree := tr.RenderTree()
+	if !regexp.MustCompile(`^query [0-9.]+[µmn]?s \{parse [0-9.]+[µmn]?s; scan [0-9.]+[µmn]?s\+\}$`).MatchString(tree) {
+		t.Fatalf("tree %q does not match pinned open-span format", tree)
+	}
+	scan.End()
+	if tree = tr.RenderTree(); strings.Contains(tree, "+") {
+		t.Fatalf("closed span still renders open marker: %q", tree)
+	}
+
+	tr2 := NewTrace("query", "")
+	defer tr2.Release()
+	for i := 0; i < maxSpans+3; i++ {
+		tr2.StartSpan("s").End()
+	}
+	if tree = tr2.RenderTree(); !regexp.MustCompile(` dropped=3$`).MatchString(tree) {
+		t.Fatalf("tree %q does not end with pinned dropped marker", tree)
 	}
 }
