@@ -49,6 +49,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +71,19 @@ var (
 	walDir  = flag.String("wal", "", "enable TSDB persistence in this directory")
 	walSync = flag.Duration("wal-sync-interval", time.Second,
 		"fsync the WAL this often (0 = only on shutdown); group commits buffer between syncs")
+	dataDir = flag.String("data-dir", "",
+		`enable durable block storage in this directory: cold data is flushed
+to immutable block files under <dir>/blocks, the WAL truncates to the
+unflushed tail, and rollup open-window state persists across restarts
+(supersedes -wal; see docs/OPERATIONS.md)`)
+	flushAge = flag.Duration("flush-age", 30*time.Minute,
+		"points older than this (by simulated time) are flushed to block files")
+	flushInterval = flag.Duration("flush-interval", time.Minute,
+		"background flush cadence (negative = disabled)")
+	compactInterval = flag.Duration("compact-interval", 10*time.Minute,
+		"background block-compaction cadence (negative = disabled)")
+	flushLagMax = flag.Duration("flush-lag-max", 0,
+		"flip /healthz to 503 when the last successful flush is older than this wall time (0 = never)")
 	queueSize = flag.Int("queue", 4096, "ingest queue capacity (points)")
 	workers   = flag.Int("workers", 4, "ingest worker goroutines")
 	rateLimit = flag.Float64("rate-limit", 0, "per-client ingest limit in points/sec (0 = off)")
@@ -165,6 +179,17 @@ func main() {
 	}
 	cfg.Start = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC)
 	cfg.WALDir = *walDir
+	if *dataDir != "" {
+		// Durable block storage: core defaults Storage.Now to the
+		// simulated clock, so -flush-age is measured in pilot time.
+		cfg.Storage = &tsdb.Options{
+			Dir:             *dataDir,
+			DurableBlocks:   true,
+			FlushAge:        *flushAge,
+			FlushInterval:   *flushInterval,
+			CompactInterval: *compactInterval,
+		}
+	}
 
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -180,12 +205,19 @@ func main() {
 		if err != nil {
 			fatal(logger, "rollup tiers", err)
 		}
-		eng, err = rollup.New(sys.DB, rollup.Config{
+		rcfg := rollup.Config{
 			Tiers:        tiers,
 			RawRetention: *rawRetention,
 			Grace:        *rollupGrace,
 			Now:          sys.Now, // retention/sealing follow simulated time
-		})
+		}
+		if *dataDir != "" {
+			// Persist the unsealed rollup tail next to the block files,
+			// so a restart resumes open windows instead of flushing
+			// them short.
+			rcfg.StatePath = filepath.Join(*dataDir, "rollup.state")
+		}
+		eng, err = rollup.New(sys.DB, rcfg)
 		if err != nil {
 			fatal(logger, "rollup init", err)
 		}
@@ -215,6 +247,24 @@ func main() {
 		Logger:      logger,
 	})
 	defer gw.Close()
+
+	// Flush-lag health: if the background flusher stalls (disk full,
+	// persistent write errors), /healthz flips to 503 so orchestrators
+	// notice before the WAL grows unbounded. Wall-clock based — the
+	// flusher runs on wall cadence even though cutoffs use pilot time.
+	if *dataDir != "" && *flushLagMax > 0 {
+		gw.AddHealthSource(func(m map[string]any) {
+			st := sys.DB.DiskStats()
+			if st.LastFlush.IsZero() {
+				return // nothing flushed yet this process; not a stall
+			}
+			if lag := time.Since(st.LastFlush); lag > *flushLagMax {
+				m["status"] = "saturated"
+				m["reason"] = fmt.Sprintf("last flush %s ago exceeds -flush-lag-max %s",
+					lag.Round(time.Second), *flushLagMax)
+			}
+		})
+	}
 
 	// Self-scrape: the server's own health gauges become ordinary
 	// series under -self-prefix, so /api/query and the rollup tiers
@@ -332,7 +382,7 @@ func main() {
 	var stepper sync.WaitGroup
 	// Periodic WAL fsync: group commits land in the OS buffer per
 	// batch; this bounds how much a power loss can lose.
-	if *walDir != "" && *walSync > 0 {
+	if (*walDir != "" || *dataDir != "") && *walSync > 0 {
 		stepper.Add(1)
 		go func() {
 			defer stepper.Done()

@@ -36,6 +36,24 @@
 // dashboards — the closest analogue of the paper's deployed CTT
 // cloud.
 //
+// Durability: internal/tsdb is a tiered store. Recent points live in
+// per-series head buffers and in-memory Gorilla blocks; with
+// tsdb.Options{DurableBlocks: true} (ctt-server: -data-dir) a
+// background flusher seals data older than FlushAge into immutable,
+// time-partitioned on-disk block files — per-chunk CRC32C, a
+// CRC-protected tail index, pread-on-demand reads through the same
+// cursor stack queries already use — and truncates the WAL to the
+// unflushed tail via fsynced flush markers, so restart replays
+// seconds of log instead of months. A background compactor merges
+// small adjacent files, applies retention by whole-partition deletes,
+// and finishes interrupted truncations; corrupt files are quarantined
+// (never deleted) with their points recovered from the WAL, and the
+// rollup engine persists its open-window state so the unsealed
+// aggregation tail survives restarts too. docs/FORMAT.md is the
+// normative byte-level spec of all three on-disk formats;
+// docs/ARCHITECTURE.md walks the write/read/flush paths and
+// docs/OPERATIONS.md covers running and tuning the server.
+//
 // Performance, write path: ingest is zero-allocation per point for
 // previously-seen series. A sharded interning registry resolves
 // (metric, tags) to a stable handle (tsdb.Ref: SeriesID, canonical

@@ -302,6 +302,23 @@ func (g *Gateway) initObs() {
 		}
 		return float64(g.db.PointCount()*16) / float64(c)
 	})
+	if g.db.DiskStats().Enabled {
+		reg.Gauge("ctt_disk_bytes", func() float64 { return float64(g.db.DiskStats().Bytes) })
+		reg.Gauge("ctt_disk_block_files", func() float64 { return float64(g.db.DiskStats().Files) })
+		reg.Gauge("ctt_disk_chunks", func() float64 { return float64(g.db.DiskStats().Chunks) })
+		reg.Gauge("ctt_disk_quarantined_total", func() float64 { return float64(g.db.DiskStats().Quarantined) })
+		reg.Gauge("ctt_disk_read_errors_total", func() float64 { return float64(g.db.DiskStats().ReadErrors) })
+		reg.Gauge("ctt_disk_flush_errors_total", func() float64 { return float64(g.db.DiskStats().FlushErrors) })
+		reg.Gauge("ctt_disk_flushes_total", func() float64 { return float64(g.db.DiskStats().Flushes) })
+		reg.Gauge("ctt_disk_compactions_total", func() float64 { return float64(g.db.DiskStats().Compactions) })
+		reg.Gauge("ctt_last_flush_age_seconds", func() float64 {
+			st := g.db.DiskStats()
+			if st.LastFlush.IsZero() {
+				return -1 // no flush yet this process
+			}
+			return time.Since(st.LastFlush).Seconds()
+		})
+	}
 	if g.dp != nil {
 		reg.Gauge("ctt_dataport_sensors", func() float64 { return float64(g.dp.Stats().Sensors) })
 		reg.Gauge("ctt_dataport_gateways", func() float64 { return float64(g.dp.Stats().Gateways) })
@@ -318,6 +335,8 @@ func (g *Gateway) initObs() {
 		WALFsync:    reg.Histogram("ctt_wal_fsync_seconds", "", nil),
 		Insert:      reg.Histogram("ctt_tsdb_insert_seconds", "", nil),
 		Fanout:      reg.Histogram("ctt_tsdb_fanout_seconds", "", nil),
+		Flush:       reg.Histogram("ctt_flush_seconds", "", nil),
+		Compact:     reg.Histogram("ctt_compact_seconds", "", nil),
 	})
 }
 
@@ -513,6 +532,16 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if t, ok := g.db.WALLastSync(); ok {
 		m["wal_last_fsync_age_ms"] = time.Since(t).Milliseconds()
 	}
+	if ds := g.db.DiskStats(); ds.Enabled {
+		m["disk_bytes"] = ds.Bytes
+		m["disk_block_files"] = ds.Files
+		m["disk_quarantined"] = ds.Quarantined
+		m["disk_flush_errors"] = ds.FlushErrors
+		m["wal_truncation_pending"] = ds.WALTruncationPending
+		if !ds.LastFlush.IsZero() {
+			m["last_flush_age_ms"] = time.Since(ds.LastFlush).Milliseconds()
+		}
+	}
 	g.hsMu.Lock()
 	srcs := g.healthSources
 	g.hsMu.Unlock()
@@ -520,6 +549,12 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fn(m)
 	}
 	code := http.StatusOK
+	// A health source may flip the status itself (ctt-server's flush-lag
+	// source does); any non-"ok" status serves 503 so load balancers see
+	// subsystem saturation, not just queue pressure.
+	if s, _ := m["status"].(string); s != "" && s != "ok" {
+		code = http.StatusServiceUnavailable
+	}
 	if capacity > 0 && float64(depth) >= healthSaturation*float64(capacity) {
 		m["status"] = "saturated"
 		m["reason"] = fmt.Sprintf("ingest queue %d/%d is over %.0f%% full", depth, capacity, healthSaturation*100)

@@ -76,6 +76,13 @@ type Config struct {
 	// cutoffs (simulated pilots run on simulated time). Default
 	// time.Now.
 	Now func() time.Time
+	// StatePath, when set, persists the engine's unsealed tail — open
+	// windows, watermarks, sealed horizons — to this file (atomic
+	// tmp+rename, format "CTTRST1\n", see docs/FORMAT.md §4) on every
+	// background tick and on Close, and restores it in New. With it
+	// set, Close keeps open windows open across restarts instead of
+	// force-flushing short windows via FlushAll.
+	StatePath string
 }
 
 // stats computed for every sealed window, in storage order.
@@ -118,6 +125,7 @@ type Engine struct {
 	fallbacks atomic.Uint64 // per-series downsamples that fell back to raw
 	retained  atomic.Uint64 // points removed by retention
 	retErrs   atomic.Uint64 // background retention/compaction passes that failed
+	stateErrs atomic.Uint64 // state-file saves/loads that failed (state discarded)
 
 	// obsHist, when installed, times each observeBatch call — the
 	// rollup fold is on the store's observer fan-out path, so this is
@@ -220,6 +228,14 @@ func New(db *tsdb.DB, cfg Config) (*Engine, error) {
 	for i := range e.shards {
 		e.shards[i].series = make(map[tsdb.SeriesID]*seriesState)
 	}
+	if cfg.StatePath != "" {
+		// Restore the unsealed tail before subscribing to writes: a
+		// corrupt or tier-mismatched state file is discarded (the
+		// engine starts empty, counted on stateErrs), never fatal.
+		if _, err := e.loadState(); err != nil {
+			e.stateErrs.Add(1)
+		}
+	}
 	e.removeObs = db.AddBatchObserver(e.observeBatch)
 	db.SetRollupPlanner(e)
 	if cfg.FlushEvery > 0 {
@@ -236,7 +252,18 @@ func (e *Engine) Close() error {
 		close(e.stop)
 		e.wg.Wait()
 		e.removeObs()
-		e.FlushAll()
+		if e.cfg.StatePath != "" {
+			// Persist the unsealed tail instead of force-flushing it:
+			// the next New restores these windows and they seal at
+			// their natural boundaries. Only if the save fails do we
+			// fall back to FlushAll so the data reaches the store.
+			if err := e.SaveState(); err != nil {
+				e.stateErrs.Add(1)
+				e.FlushAll()
+			}
+		} else {
+			e.FlushAll()
+		}
 		e.db.SetRollupPlanner(nil)
 	})
 	return nil
@@ -253,6 +280,11 @@ func (e *Engine) loop() {
 		case <-ticker.C:
 			now := e.cfg.Now()
 			e.Flush(now)
+			if e.cfg.StatePath != "" {
+				if err := e.SaveState(); err != nil {
+					e.stateErrs.Add(1)
+				}
+			}
 			if _, err := e.ApplyRetention(now); err != nil {
 				// A corrupt block or a failed WAL compaction; nothing
 				// the loop can do but keep serving — count it so the
@@ -549,6 +581,7 @@ type Stats struct {
 	QueryFallbacks   uint64
 	RetentionDeleted uint64
 	RetentionErrors  uint64
+	StateErrors      uint64
 	Tiers            []TierStat
 }
 
@@ -564,6 +597,7 @@ func (e *Engine) Stats() Stats {
 		QueryFallbacks:   e.fallbacks.Load(),
 		RetentionDeleted: e.retained.Load(),
 		RetentionErrors:  e.retErrs.Load(),
+		StateErrors:      e.stateErrs.Load(),
 	}
 	for i := range e.tiers {
 		st.Tiers = append(st.Tiers, TierStat{
@@ -599,6 +633,7 @@ func (e *Engine) EmitMetrics(emit func(name string, v any)) {
 	emit("ctt_rollup_query_fallbacks_total", st.QueryFallbacks)
 	emit("ctt_rollup_retention_deleted_total", st.RetentionDeleted)
 	emit("ctt_rollup_retention_errors_total", st.RetentionErrors)
+	emit("ctt_rollup_state_errors_total", st.StateErrors)
 	for _, t := range st.Tiers {
 		emit(fmt.Sprintf("ctt_rollup_open_windows{tier=%q}", t.Name), t.OpenWindows)
 		emit(fmt.Sprintf("ctt_rollup_lag_ms{tier=%q}", t.Name), t.LagMS)

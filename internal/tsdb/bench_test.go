@@ -306,3 +306,69 @@ func BenchmarkWALReplay(b *testing.B) {
 		db2.Close()
 	}
 }
+
+// BenchmarkFlush measures one full flush pass: extract cold blocks
+// from every shard, write + fsync the block file, append the WAL
+// marker, publish, and truncate the WAL. 10k points over 12 series.
+func BenchmarkFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := OpenOptions(Options{
+			Dir: b.TempDir(), DurableBlocks: true,
+			FlushInterval: -1, CompactInterval: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range benchPoints(10000) {
+			db.Put(p)
+		}
+		b.StartTimer()
+		stats, err := db.flushBefore(maxTS, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Points != 10000 {
+			b.Fatalf("flushed %d points, want 10000", stats.Points)
+		}
+		b.StopTimer()
+		db.Close()
+	}
+}
+
+// BenchmarkDiskScan measures a cold group query served entirely from
+// on-disk chunks: pread + CRC verify + Gorilla decode through the
+// streaming cursor path, 10k points over 12 series.
+func BenchmarkDiskScan(b *testing.B) {
+	db, err := OpenOptions(Options{
+		Dir: b.TempDir(), DurableBlocks: true,
+		FlushInterval: -1, CompactInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for _, p := range benchPoints(10000) {
+		db.Put(p)
+	}
+	if _, err := db.flushBefore(maxTS, true); err != nil {
+		b.Fatal(err)
+	}
+	if n := db.PointCount(); n != 10000 {
+		b.Fatalf("PointCount = %d", n)
+	}
+	q := Query{
+		Metric: "air.co2", Tags: map[string]string{"city": "trondheim"},
+		Start: baseTS, End: baseTS + int64(10000)*300000, Aggregator: AggAvg,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 || len(res[0].Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

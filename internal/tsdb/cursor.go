@@ -142,16 +142,71 @@ func (t *timedSource) next() (Point, bool, error) {
 	return p, ok, err
 }
 
+// diskSource streams the in-range points of a run of time-ordered,
+// non-overlapping on-disk chunks: each chunk's payload is pread and
+// CRC-verified when the cursor reaches it, into a buffer reused
+// across chunks, then decoded point-at-a-time like an in-memory
+// block.
+type diskSource struct {
+	chunks     []*diskChunk
+	ci         int
+	cur        blockCursor
+	open       bool
+	start, end int64
+	buf        []byte
+	ds         *diskStore
+}
+
+func (d *diskSource) next() (Point, bool, error) {
+	for {
+		if !d.open {
+			if d.ci >= len(d.chunks) {
+				return Point{}, false, nil
+			}
+			c := d.chunks[d.ci]
+			d.ci++
+			payload, err := c.payload(&d.buf)
+			if err != nil {
+				d.ds.readErrs.Add(1)
+				return Point{}, false, err
+			}
+			d.cur.reset(payload, c.n)
+			d.open = true
+		}
+		p, ok, err := d.cur.next()
+		if err != nil {
+			return Point{}, false, err
+		}
+		if !ok {
+			d.open = false
+			continue
+		}
+		if p.Timestamp > d.end {
+			// Chunks are ordered and non-overlapping: done.
+			return Point{}, false, nil
+		}
+		if p.Timestamp < d.start {
+			continue
+		}
+		return p, true, nil
+	}
+}
+
 // seriesSource builds a cursor over one series' points within
-// [start, end], merging sealed blocks with the head buffer. The shard
-// lock is taken only to snapshot the block list and copy the in-range
-// slice of the head; decoding runs lock-free. The returned estimate
-// is an upper bound on the number of points the source can yield.
-// With a detailed trace, the block and head legs are wrapped in
-// per-point timers (block_decode / head_scan stages); a nil or
-// undetailed trace adds nothing to the chain.
+// [start, end], merging on-disk chunks, sealed blocks and the head
+// buffer (oldest layer wins timestamp ties). The shard lock is taken
+// only to snapshot the block list, copy the in-range slice of the
+// head, and gather the disk chunk set — one critical section, so a
+// concurrent flush (which moves data between the layers atomically
+// per shard) can never make a point visible twice or not at all.
+// Decoding runs lock-free. The returned estimate is an upper bound on
+// the number of points the source can yield. With a detailed trace,
+// the legs are wrapped in per-point timers (disk_read / block_decode
+// / head_scan stages); a nil or undetailed trace adds nothing to the
+// chain.
 func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64, tr *obs.Trace) (pointSource, int, error) {
 	detailed := tr.Detailed()
+	var dchunks []*diskChunk
 	sh.mu.RLock()
 	blocks := s.blocks
 	// head is sorted: copy just the in-range subrange.
@@ -160,6 +215,9 @@ func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64, tr *obs.Tr
 	var head []Point
 	if lo < hi {
 		head = append(head, s.head[lo:hi]...)
+	}
+	if db.disk != nil && s.ref != nil {
+		dchunks = db.disk.chunksFor(s.ref.id, start, end)
 	}
 	sh.mu.RUnlock()
 
@@ -180,11 +238,7 @@ func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64, tr *obs.Tr
 	var blockSrc pointSource
 	switch {
 	case len(inRange) == 0:
-		var src pointSource = &sliceSource{pts: head}
-		if detailed {
-			src = &timedSource{src: src, st: tr.Stage("head_scan")}
-		}
-		return src, est, nil
+		blockSrc = nil
 	case ordered:
 		blockSrc = &blockSource{blocks: inRange, start: start, end: end}
 	default:
@@ -205,17 +259,71 @@ func (db *DB) seriesSource(s *memSeries, sh *shard, start, end int64, tr *obs.Tr
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Timestamp < pts[j].Timestamp })
 		blockSrc = &sliceSource{pts: pts}
 	}
-	if detailed {
+	if blockSrc != nil && detailed {
 		blockSrc = &timedSource{src: blockSrc, st: tr.Stage("block_decode")}
 	}
-	if len(head) == 0 {
-		return blockSrc, est, nil
+
+	var diskSrc pointSource
+	if len(dchunks) > 0 {
+		dOrdered := true
+		for i, c := range dchunks {
+			est += c.n
+			if i > 0 && c.minTS < dchunks[i-1].maxTS {
+				dOrdered = false
+			}
+		}
+		if dOrdered {
+			diskSrc = &diskSource{chunks: dchunks, start: start, end: end, ds: db.disk}
+		} else {
+			// Overlapping chunks (out-of-order ingest flushed across
+			// passes): materialize and sort once.
+			var pts []Point
+			var buf []byte
+			for _, c := range dchunks {
+				payload, err := c.payload(&buf)
+				if err != nil {
+					db.disk.readErrs.Add(1)
+					return nil, 0, err
+				}
+				dec, err := decodeBlock(payload, c.n)
+				if err != nil {
+					return nil, 0, err
+				}
+				for _, p := range dec {
+					if p.Timestamp >= start && p.Timestamp <= end {
+						pts = append(pts, p)
+					}
+				}
+			}
+			sort.Slice(pts, func(i, j int) bool { return pts[i].Timestamp < pts[j].Timestamp })
+			diskSrc = &sliceSource{pts: pts}
+		}
+		if detailed {
+			diskSrc = &timedSource{src: diskSrc, st: tr.Stage("disk_read")}
+		}
 	}
-	var headSrc pointSource = &sliceSource{pts: head}
-	if detailed {
-		headSrc = &timedSource{src: headSrc, st: tr.Stage("head_scan")}
+
+	var headSrc pointSource
+	if len(head) > 0 || (blockSrc == nil && diskSrc == nil) {
+		headSrc = &sliceSource{pts: head}
+		if detailed {
+			headSrc = &timedSource{src: headSrc, st: tr.Stage("head_scan")}
+		}
 	}
-	return &mergeSource{a: blockSrc, b: headSrc}, est, nil
+
+	// Merge: disk (oldest) under memory blocks under head, ties going
+	// to the older layer.
+	src := diskSrc
+	for _, layer := range []pointSource{blockSrc, headSrc} {
+		switch {
+		case layer == nil:
+		case src == nil:
+			src = layer
+		default:
+			src = &mergeSource{a: src, b: layer}
+		}
+	}
+	return src, est, nil
 }
 
 // downsampleSource folds a raw source into fixed epoch-aligned

@@ -31,6 +31,11 @@ type Instrumentation struct {
 	// Fanout covers the observer fan-out (rollup, stream hub, cache
 	// invalidation) inside AppendRefs.
 	Fanout *obs.Histogram
+	// Flush covers one durable-block flush pass (extract + write +
+	// marker + publish, excluding the WAL truncation that follows).
+	Flush *obs.Histogram
+	// Compact covers one block compaction pass that merged files.
+	Compact *obs.Histogram
 }
 
 // SetInstrumentation installs (or, with nil, removes) the store's

@@ -19,6 +19,18 @@ func (db *DB) DeleteBefore(cutoffMS int64) (int, error) {
 // schedule, each rollup.<res>.* namespace on its own.
 func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
 	removed := 0
+	// Disk layer first: whole expired files are deleted, partially
+	// expired files rewritten (chunk-granular — a chunk straddling the
+	// cutoff survives whole until it wholly expires). Doing disk first
+	// lets the in-memory pass below decide series removal against the
+	// post-deletion disk state.
+	if db.disk != nil {
+		n, err := db.disk.deleteBefore(cutoffMS, match)
+		removed += n
+		if err != nil {
+			return removed, err
+		}
+	}
 	// Refs of fully-removed series: marked dead under the shard lock
 	// (writers re-intern on sight), dropped from the registry after —
 	// the registry and shard locks are never nested.
@@ -80,7 +92,8 @@ func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags m
 				}
 			}
 			s.head = head
-			if len(s.blocks) == 0 && len(s.head) == 0 {
+			if len(s.blocks) == 0 && len(s.head) == 0 &&
+				(db.disk == nil || s.ref == nil || !db.disk.hasChunks(s.ref.id)) {
 				delete(sh.series, key)
 				db.idx.removeSeries(s.metric, s.tags)
 				if s.ref != nil {

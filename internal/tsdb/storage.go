@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,84 @@ type DB struct {
 	// instr, when installed, receives per-stage ingest timings (see
 	// instrument.go). Nil costs one atomic load on the batch path.
 	instr atomic.Pointer[Instrumentation]
+
+	// opts are the resolved open options; disk is the durable block
+	// layer (nil when running WAL-only or fully in memory).
+	opts Options
+	disk *diskStore
+
+	// markersPending is set when a flush has appended a WAL marker but
+	// the follow-up WAL truncation has not succeeded yet; the
+	// compactor must not invalidate the marker's file references until
+	// it clears.
+	markersPending atomic.Bool
+
+	// loopStop/loopWG manage the background flush+compact goroutine.
+	loopStop chan struct{}
+	loopWG   sync.WaitGroup
+}
+
+// Options configures OpenOptions. The zero value of every field picks
+// a sensible default; a zero Dir disables persistence entirely.
+type Options struct {
+	// Dir is the data directory: the WAL lives at Dir/tsdb.wal and
+	// (with DurableBlocks) block files under Dir/blocks. Empty
+	// disables persistence.
+	Dir string
+
+	// DurableBlocks enables the on-disk block layer: a background
+	// flusher seals cold data into block files and truncates the WAL.
+	DurableBlocks bool
+
+	// FlushAge is how old a point must be before a flush pass moves it
+	// to disk (default 30m). Young data stays in memory so the flusher
+	// never races active head churn.
+	FlushAge time.Duration
+
+	// FlushInterval is the background flush cadence (default 1m);
+	// negative disables the background loop (FlushBlocks/CompactBlocks
+	// remain callable).
+	FlushInterval time.Duration
+
+	// CompactInterval is the background compaction cadence (default
+	// 10m).
+	CompactInterval time.Duration
+
+	// CompactMaxBytes bounds a compaction run's merged output size
+	// (default 8 MiB).
+	CompactMaxBytes int64
+
+	// Partition is the time width of one block file partition (default
+	// 24h); files never span partitions.
+	Partition time.Duration
+
+	// Now supplies the clock flush cutoffs are computed against
+	// (default time.Now). Deployments replaying historic data inject
+	// their simulated clock here.
+	Now func() time.Time
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.FlushAge <= 0 {
+		o.FlushAge = 30 * time.Minute
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = time.Minute
+	}
+	if o.CompactInterval == 0 {
+		o.CompactInterval = 10 * time.Minute
+	}
+	if o.CompactMaxBytes <= 0 {
+		o.CompactMaxBytes = 8 << 20
+	}
+	if o.Partition <= 0 {
+		o.Partition = 24 * time.Hour
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
 }
 
 const (
@@ -73,45 +152,80 @@ type sealedBlock struct {
 
 // Open creates a DB. If dir is non-empty, a write-ahead log in that
 // directory is replayed (recovering prior writes) and every subsequent
-// write is appended to it.
+// write is appended to it. Durable block storage is off; see
+// OpenOptions.
 func Open(dir string) (*DB, error) {
-	db := &DB{}
+	return OpenOptions(Options{Dir: dir})
+}
+
+// OpenOptions creates a DB per opts: block files (when enabled) are
+// loaded first so WAL flush markers can validate against them, then
+// the WAL replays whatever the block layer doesn't already hold.
+func OpenOptions(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	db := &DB{opts: opts}
 	db.idx.init()
 	db.reg.init()
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*memSeries)
 	}
-	if dir != "" {
-		w, err := openWAL(dir)
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if opts.DurableBlocks {
+		ds, err := db.openDiskStore(filepath.Join(opts.Dir, "blocks"))
 		if err != nil {
 			return nil, err
 		}
-		legacy, err := db.replayWAL(w)
-		if err != nil {
+		ds.partMS = opts.Partition.Milliseconds()
+		ds.maxMergeBytes = opts.CompactMaxBytes
+		db.disk = ds
+	}
+	w, err := openWAL(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := db.replayWAL(w)
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	db.wal = w
+	if legacy {
+		// The file was in the old one-record-per-point format:
+		// rewrite it as a compacted current-format log so appends
+		// can group-commit against the series dictionary.
+		if err := db.CompactWAL(); err != nil {
 			w.close()
+			db.wal = nil
 			return nil, err
 		}
-		db.wal = w
-		if legacy {
-			// The file was in the old one-record-per-point format:
-			// rewrite it as a compacted current-format log so appends
-			// can group-commit against the series dictionary.
-			if err := db.CompactWAL(); err != nil {
-				w.close()
-				db.wal = nil
-				return nil, err
-			}
-		}
+	}
+	if db.disk != nil && opts.FlushInterval > 0 {
+		db.loopStop = make(chan struct{})
+		db.loopWG.Add(1)
+		go db.flushLoop(db.loopStop)
 	}
 	return db, nil
 }
 
-// Close flushes and closes the WAL (if any).
+// Close stops the background flusher, flushes and closes the WAL, and
+// closes block file handles. It does not force a final flush: the WAL
+// holds everything unflushed, so restart recovery is exact.
 func (db *DB) Close() error {
-	if db.wal != nil {
-		return db.wal.close()
+	if db.loopStop != nil {
+		close(db.loopStop)
+		db.loopWG.Wait()
+		db.loopStop = nil
 	}
-	return nil
+	var err error
+	if db.wal != nil {
+		err = db.wal.close()
+	}
+	if db.disk != nil {
+		db.disk.close()
+	}
+	return err
 }
 
 // Sync forces WAL contents to stable storage.
@@ -250,9 +364,13 @@ func (db *DB) SeriesCount() int {
 	return n
 }
 
-// PointCount returns the total number of stored points.
+// PointCount returns the total number of stored points, including
+// points flushed to disk.
 func (db *DB) PointCount() int {
 	n := 0
+	if db.disk != nil {
+		n += db.disk.pointCount()
+	}
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()

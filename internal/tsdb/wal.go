@@ -32,6 +32,7 @@ import (
 //	series (1):  fileID(4) | metric(str) | nTags(2) | (key(str) value(str))*
 //	points (2):  count(2) | count × ( fileID(4) | ts(8) | value(8) )
 //	block  (3):  fileID(4) | minTS(8) | maxTS(8) | n(4) | dataLen(4) | data
+//	flush  (4):  cutoffMS(8) | nFiles(2) | fileName(str)*
 //
 // str is a 16-bit length prefix + bytes. fileIDs are local to one log
 // file session: every series is (re-)announced by a series record
@@ -40,6 +41,14 @@ import (
 // compaction (CompactWAL): a retention pass rewrites the log from the
 // store's state — sealed blocks verbatim, heads as points — so the
 // file tracks the data instead of growing forever.
+//
+// flush records are the durable-block commit markers: a flush pass
+// appends one (fsynced) after writing its block files but before
+// renaming them into place. At replay a marker is honored only if
+// every named block file loaded cleanly; an honored marker suppresses
+// points before its cutoff in all earlier records — they live in the
+// block files now — while an unhonored one (crash before rename,
+// quarantined file) is inert and the full log replays.
 //
 // Files written before this format (no magic; one
 // metric+tags+ts+value record per point) are detected and replayed,
@@ -81,6 +90,7 @@ const (
 	walRecSeries = 1
 	walRecPoints = 2
 	walRecBlock  = 3
+	walRecFlush  = 4
 
 	// maxWALPointsPerRecord chunks huge batches so the 16-bit count
 	// always fits with slack.
@@ -142,31 +152,101 @@ func (db *DB) replayWAL(l *wal) (legacy bool, err error) {
 	}
 }
 
-// replayV2Locked replays a current-format file. Caller holds l.mu and
-// has consumed the magic header.
+// replayV2Locked replays a current-format file in two passes. Pass 1
+// frames every intact record and collects the flush markers that will
+// be honored (all named block files loaded). Pass 2 replays with a
+// running suppression horizon: a record earlier in the log than an
+// honored marker drops its points below that marker's cutoff —
+// they're already in the block files — so "replay since last flush"
+// falls out of full-file replay. Caller holds l.mu and has consumed
+// the magic header.
 func (db *DB) replayV2Locked(l *wal) error {
+	// Pass 1: framing + marker collection.
+	type flushMarker struct {
+		start  int64 // record start offset
+		cutoff int64
+	}
+	var markers []flushMarker
+	framedEnd := int64(len(walMagic))
+	{
+		r := bufio.NewReaderSize(l.f, 64<<10)
+		var header [8]byte
+		off := framedEnd
+	frame:
+		for {
+			if _, err := io.ReadFull(r, header[:]); err != nil {
+				break // clean EOF or torn header
+			}
+			crc := binary.LittleEndian.Uint32(header[0:4])
+			n := binary.LittleEndian.Uint32(header[4:8])
+			if n == 0 || n > 16<<20 {
+				break // implausible length: treat as torn
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(r, payload); err != nil {
+				break
+			}
+			if crc32.ChecksumIEEE(payload) != crc {
+				break
+			}
+			switch payload[0] {
+			case walRecSeries, walRecPoints, walRecBlock:
+			case walRecFlush:
+				cutoff, files, ok := parseFlushMarker(payload[1:])
+				if !ok {
+					break frame
+				}
+				honor := db.disk != nil && len(files) > 0
+				for _, name := range files {
+					if honor && !db.disk.hasFile(name) {
+						honor = false
+					}
+				}
+				if honor {
+					markers = append(markers, flushMarker{start: off, cutoff: cutoff})
+				}
+			default:
+				break frame // unknown record type: stop cleanly
+			}
+			off += int64(8 + n)
+		}
+		framedEnd = off
+	}
+	// suffix[i] = max cutoff over markers[i:] — the horizon for a
+	// record that precedes marker i.
+	suffix := make([]int64, len(markers)+1)
+	suffix[len(markers)] = math.MinInt64
+	for i := len(markers) - 1; i >= 0; i-- {
+		suffix[i] = markers[i].cutoff
+		if suffix[i+1] > suffix[i] {
+			suffix[i] = suffix[i+1]
+		}
+	}
+
+	// Pass 2: replay.
+	if _, err := l.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return err
+	}
 	r := bufio.NewReaderSize(l.f, 64<<10)
 	validEnd := int64(len(walMagic))
 	refs := map[uint32]*Ref{}
 	var maxFid uint32
 	var header [8]byte
+	mi := 0
 scan:
-	for {
+	for validEnd < framedEnd {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
-			break // clean EOF or torn header
+			break
 		}
-		crc := binary.LittleEndian.Uint32(header[0:4])
 		n := binary.LittleEndian.Uint32(header[4:8])
-		if n == 0 || n > 16<<20 {
-			break // implausible length: treat as torn
-		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			break
 		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			break
+		for mi < len(markers) && markers[mi].start <= validEnd {
+			mi++
 		}
+		horizon := suffix[mi]
 		switch payload[0] {
 		case walRecSeries:
 			fid, ref, err := db.applySeriesRecord(payload[1:])
@@ -178,15 +258,15 @@ scan:
 				maxFid = fid
 			}
 		case walRecPoints:
-			if !db.applyPointsRecord(payload[1:], refs) {
+			if !db.applyPointsRecord(payload[1:], refs, horizon) {
 				break scan
 			}
 		case walRecBlock:
-			if !db.applyBlockRecord(payload[1:], refs) {
+			if !db.applyBlockRecord(payload[1:], refs, horizon) {
 				break scan
 			}
-		default:
-			break scan // unknown record type: stop cleanly
+		case walRecFlush:
+			// Framing and honor decisions happened in pass 1.
 		}
 		validEnd += int64(8 + n)
 	}
@@ -203,6 +283,10 @@ scan:
 	// never collide within one file.
 	l.fileIDs = make(map[SeriesID]uint32)
 	l.nextFileID = maxFid + 1
+	// Surviving honored markers mean flushes whose WAL truncation
+	// never landed: the compactor retries truncation before touching
+	// the files those markers reference.
+	db.markersPending.Store(len(markers) > 0)
 	return nil
 }
 
@@ -239,11 +323,12 @@ func (db *DB) applySeriesRecord(p []byte) (uint32, *Ref, error) {
 	return fid, ref, nil
 }
 
-// applyPointsRecord inserts every point of a points record; false
-// means the record is corrupt (including a fileID with no preceding
-// series record) and replay must stop. Records are validated in full
-// before any point is applied.
-func (db *DB) applyPointsRecord(p []byte, refs map[uint32]*Ref) bool {
+// applyPointsRecord inserts every point of a points record at or past
+// the suppression horizon (points below it already live in flushed
+// block files); false means the record is corrupt (including a fileID
+// with no preceding series record) and replay must stop. Records are
+// validated in full before any point is applied.
+func (db *DB) applyPointsRecord(p []byte, refs map[uint32]*Ref, horizon int64) bool {
 	if len(p) < 2 {
 		return false
 	}
@@ -258,10 +343,14 @@ func (db *DB) applyPointsRecord(p []byte, refs map[uint32]*Ref) bool {
 	}
 	for i := 0; i < count; i++ {
 		rec := p[2+i*20:]
+		ts := int64(binary.LittleEndian.Uint64(rec[4:]))
+		if ts < horizon {
+			continue
+		}
 		db.insertRef(RefPoint{
 			Ref: refs[binary.LittleEndian.Uint32(rec)],
 			Point: Point{
-				Timestamp: int64(binary.LittleEndian.Uint64(rec[4:])),
+				Timestamp: ts,
 				Value:     math.Float64frombits(binary.LittleEndian.Uint64(rec[12:])),
 			},
 		})
@@ -269,9 +358,10 @@ func (db *DB) applyPointsRecord(p []byte, refs map[uint32]*Ref) bool {
 	return true
 }
 
-// applyBlockRecord restores one sealed block verbatim (written by
-// compaction); false means corrupt.
-func (db *DB) applyBlockRecord(p []byte, refs map[uint32]*Ref) bool {
+// applyBlockRecord restores one sealed block (written by compaction):
+// verbatim when wholly past the suppression horizon, trimmed when it
+// straddles, skipped when wholly below; false means corrupt.
+func (db *DB) applyBlockRecord(p []byte, refs map[uint32]*Ref, horizon int64) bool {
 	if len(p) < 4+8+8+4+4 {
 		return false
 	}
@@ -285,6 +375,21 @@ func (db *DB) applyBlockRecord(p []byte, refs map[uint32]*Ref) bool {
 	dataLen := int(binary.LittleEndian.Uint32(p[24:]))
 	if n <= 0 || len(p) != 28+dataLen {
 		return false
+	}
+	if maxTS < horizon {
+		return true // wholly flushed: the block files hold it
+	}
+	if minTS < horizon {
+		pts, err := decodeBlock(p[28:], n)
+		if err != nil {
+			return false
+		}
+		for _, pt := range pts {
+			if pt.Timestamp >= horizon {
+				db.insertRef(RefPoint{Ref: ref, Point: pt})
+			}
+		}
+		return true
 	}
 	data := make([]byte, dataLen)
 	copy(data, p[28:])
@@ -426,6 +531,67 @@ func (l *wal) encodePointsRecordLocked(buf []byte, pts []RefPoint) []byte {
 	return finishWALRecord(buf, off)
 }
 
+// appendFlushMarker durably logs a flush commit marker (see the
+// format comment): written and fsynced after the flush's block files
+// are fsynced as temporaries but before they are renamed into place.
+func (l *wal) appendFlushMarker(cutoffMS int64, files []string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return l.broken
+	}
+	buf, off := beginWALRecord(l.scratch[:0])
+	buf = append(buf, walRecFlush)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cutoffMS))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(files)))
+	for _, name := range files {
+		buf = appendWALString(buf, name)
+	}
+	buf = finishWALRecord(buf, off)
+	_, err := l.w.Write(buf)
+	l.size.Add(int64(len(buf)))
+	if cap(buf) <= maxWALScratch {
+		l.scratch = buf[:0]
+	} else {
+		l.scratch = nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.lastSync.Store(time.Now().UnixNano())
+	return nil
+}
+
+// parseFlushMarker decodes a flush record payload (past the type
+// byte); ok is false on any structural mismatch.
+func parseFlushMarker(p []byte) (cutoffMS int64, files []string, ok bool) {
+	if len(p) < 10 {
+		return 0, nil, false
+	}
+	cutoffMS = int64(binary.LittleEndian.Uint64(p))
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	off := 10
+	files = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, noff, err := readWALString(p, off)
+		if err != nil {
+			return 0, nil, false
+		}
+		files = append(files, s)
+		off = noff
+	}
+	if off != len(p) {
+		return 0, nil, false
+	}
+	return cutoffMS, files, true
+}
+
 func encodeBlockRecord(buf []byte, fid uint32, b sealedBlock) []byte {
 	buf, off := beginWALRecord(buf)
 	buf = append(buf, walRecBlock)
@@ -452,7 +618,13 @@ func (db *DB) CompactWAL() error {
 	// below can never miss a logged-but-not-yet-inserted point.
 	db.walGate.Lock()
 	defer db.walGate.Unlock()
-	return db.wal.compact(db)
+	if err := db.wal.compact(db); err != nil {
+		return err
+	}
+	// The rewritten log holds no flush markers (flushed points are
+	// simply absent), so any pending truncation is now complete.
+	db.markersPending.Store(false)
+	return nil
 }
 
 func (l *wal) compact(db *DB) error {
