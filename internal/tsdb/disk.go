@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -28,13 +27,21 @@ import (
 const (
 	blockFileSuffix = ".blk"
 	quarantineDir   = "quarantine"
+
+	// retiredFileGrace is how long a superseded block file's handle
+	// stays open after the file is unlinked, so in-flight readers still
+	// holding its chunks keep working. Handles past the grace are
+	// force-closed by the next structural pass; a reader that somehow
+	// outlives it gets a read error (counted), not corrupt data.
+	retiredFileGrace = time.Minute
 )
 
 // blockFile is one live on-disk block file. The handle stays open for
 // pread for the file's lifetime; when the file is superseded
-// (compaction, retention rewrite) it is unlinked but the handle is
-// closed only by GC finalizer, so in-flight readers still holding its
-// chunks keep working.
+// (compaction, retention rewrite) it is unlinked and the handle parks
+// on the retired list until retiredFileGrace passes (see
+// sweepRetired), so in-flight readers still holding its chunks keep
+// working without fds accumulating unboundedly.
 type blockFile struct {
 	name         string
 	path         string
@@ -95,6 +102,11 @@ type diskStore struct {
 	bySeries map[SeriesID][]*diskChunk
 	bytes    int64
 	nChunks  int
+
+	// retired holds unlinked files whose handles stay open for
+	// in-flight readers; sweepRetired closes them after the grace.
+	// Guarded by mu.
+	retired []retiredFile
 
 	// nextSeq is the next file sequence number; guarded by opMu (only
 	// structural operations mint names).
@@ -396,13 +408,42 @@ func (ds *diskStore) addFileLocked(bf *blockFile) {
 	ds.bytes += bf.size
 }
 
-// removeFileLocked unlinks a superseded file. The handle is closed by
-// finalizer once no reader's chunk can reach it. Caller holds ds.mu.
+// retiredFile is one unlinked block file awaiting handle close.
+type retiredFile struct {
+	bf *blockFile
+	at time.Time
+}
+
+// removeFileLocked unlinks a superseded file and parks its handle on
+// the retired list; sweepRetired closes it after the grace, bounding
+// open fds under compaction/retention churn without yanking the file
+// out from under an in-flight reader. Caller holds ds.mu.
 func (ds *diskStore) removeFileLocked(bf *blockFile) {
 	delete(ds.files, bf.name)
 	ds.bytes -= bf.size
-	runtime.SetFinalizer(bf, func(b *blockFile) { b.f.Close() })
+	ds.retired = append(ds.retired, retiredFile{bf: bf, at: time.Now()})
 	os.Remove(bf.path)
+}
+
+// sweepRetired closes retired handles older than grace (all of them
+// when grace is negative). Called by every structural pass and by
+// close, so retired fds are bounded by churn within one grace window.
+func (ds *diskStore) sweepRetired(grace time.Duration) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	keep := ds.retired[:0]
+	for _, r := range ds.retired {
+		if grace >= 0 && time.Since(r.at) < grace {
+			keep = append(keep, r)
+			continue
+		}
+		r.bf.f.Close()
+	}
+	// Zero the tail so dropped entries don't pin their blockFiles.
+	for i := len(keep); i < len(ds.retired); i++ {
+		ds.retired[i] = retiredFile{}
+	}
+	ds.retired = keep
 }
 
 // hasFile reports whether a named block file is loaded — WAL replay
@@ -413,8 +454,54 @@ func (ds *diskStore) hasFile(name string) bool {
 	return ds.files[name] != nil
 }
 
-// close closes every live file handle.
+// noteReplayMarker is called once per flush marker found during WAL
+// replay, honored or not. It advances nextSeq past every named file
+// so a later flush can never mint a name an old marker (left by an
+// aborted or crashed pass) still references — a stale marker naming a
+// future file would wrongly suppress replay after the next crash. For
+// a marker that is NOT honored it also deletes any named file that
+// does exist: the marker still being in the log means no truncation
+// ran after it, so the WAL holds every point such a file does, and
+// loading both (e.g. after a crash mid-rename left only some of the
+// pass's files durable) would serve every flushed point twice.
+func (ds *diskStore) noteReplayMarker(files []string, honored bool) {
+	for _, name := range files {
+		if _, seq, ok := parseBlockFileName(name); ok && seq >= ds.nextSeq {
+			ds.nextSeq = seq + 1
+		}
+	}
+	if honored {
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for _, name := range files {
+		bf := ds.files[name]
+		if bf == nil {
+			continue
+		}
+		drop := make(map[*diskChunk]bool)
+		for _, cs := range ds.bySeries {
+			for _, c := range cs {
+				if c.file == bf {
+					drop[c] = true
+				}
+			}
+		}
+		for id := range ds.bySeries {
+			ds.replaceChunksLocked(id, drop, nil)
+		}
+		ds.nChunks -= len(drop)
+		delete(ds.files, name)
+		ds.bytes -= bf.size
+		bf.f.Close()
+		os.Remove(bf.path)
+	}
+}
+
+// close closes every live and retired file handle.
 func (ds *diskStore) close() {
+	ds.sweepRetired(-1)
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	for _, bf := range ds.files {
@@ -433,16 +520,34 @@ func fsyncDir(dir string) error {
 	return d.Sync()
 }
 
-// deleteBefore drops expired chunks from disk: a file whose every
-// chunk is both matched and wholly before the cutoff is deleted; a
-// partially expired file is rewritten without the expired chunks.
-// Chunks straddling the cutoff are kept whole (disk retention is
-// chunk-granular; the in-memory pass is point-exact). Returns points
-// removed.
-func (ds *diskStore) deleteBefore(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
+// diskDeleteBefore applies disk retention under opMu. Like
+// CompactBlocks, it first retries a pending WAL truncation: deleting
+// or rewriting a file a pending flush marker names would make the
+// marker unhonorable at the next replay, which would re-insert every
+// pre-cutoff WAL point that also survives in the rewritten files —
+// duplicating data and resurrecting what retention deleted. If the
+// retry fails the pass is skipped; the expired chunks age out later.
+func (db *DB) diskDeleteBefore(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
+	ds := db.disk
 	ds.opMu.Lock()
 	defer ds.opMu.Unlock()
+	ds.sweepRetired(retiredFileGrace)
+	if db.markersPending.Load() {
+		if err := db.compactWALLocked(); err != nil {
+			ds.compactErrs.Add(1)
+			return 0, fmt.Errorf("tsdb: retry wal truncate: %w", err)
+		}
+	}
+	return ds.deleteBeforeLocked(cutoffMS, match)
+}
 
+// deleteBeforeLocked drops expired chunks from disk: a file whose
+// every chunk is both matched and wholly before the cutoff is
+// deleted; a partially expired file is rewritten without the expired
+// chunks. Chunks straddling the cutoff are kept whole (disk retention
+// is chunk-granular; the in-memory pass is point-exact). Returns
+// points removed. Caller holds opMu with no truncation pending.
+func (ds *diskStore) deleteBeforeLocked(cutoffMS int64, match func(metric string, tags map[string]string) bool) (int, error) {
 	// Snapshot chunk→file assignment. No pending chunks can exist
 	// here: flush holds opMu across staging and publication.
 	byFile := make(map[*blockFile][]*diskChunk)

@@ -619,3 +619,158 @@ func TestFlushWithSimulatedClock(t *testing.T) {
 	}
 	assertSeries(t, queryAll(t, db, "m.clock", "n1"), 600)
 }
+
+func TestNegativeCompactIntervalNoPanic(t *testing.T) {
+	// -compact-interval documents "negative = disabled"; the background
+	// loop must use a disabled timer, not hand the negative duration to
+	// time.NewTicker (which panics and takes the process down).
+	opts := diskOpts(t.TempDir())
+	opts.FlushInterval = 5 * time.Millisecond
+	opts.CompactInterval = -1
+	db, err := OpenOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDiskSeries(t, db, "m.negint", "n1", 10)
+	time.Sleep(30 * time.Millisecond) // let flush ticks fire
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionRetriesPendingTruncation(t *testing.T) {
+	// Retention must not delete or rewrite files a pending flush
+	// marker names: it first retries the WAL truncation (like
+	// CompactBlocks) so the marker leaves the log before any of its
+	// file references are invalidated.
+	dir := t.TempDir()
+	db := mustOpenDisk(t, dir)
+	fillDiskSeries(t, db, "m.retpend", "n1", 600)
+	// Flush without truncation: marker pending, WAL still full.
+	if _, err := db.flushBefore(baseTS+300*60000, false); err != nil {
+		t.Fatal(err)
+	}
+	if !db.DiskStats().WALTruncationPending {
+		t.Fatal("expected pending truncation")
+	}
+	// Cutoff inside the flushed range: drops whole chunks and rewrites
+	// the partially expired file.
+	cutoff := baseTS + 290*60000
+	if _, err := db.DeleteBefore(cutoff); err != nil {
+		t.Fatal(err)
+	}
+	if db.DiskStats().WALTruncationPending {
+		t.Fatal("retention should have completed the pending truncation first")
+	}
+	db.Close()
+
+	// Restart: no marker references a rewritten/deleted file, so the
+	// retained range must come back exactly once. Disk retention is
+	// chunk-granular: the flushed chunk [256..299] straddles the
+	// cutoff and survives whole, so minute 256 is the retained floor —
+	// anything before it would be resurrection via a refused marker.
+	db2 := mustOpenDisk(t, dir)
+	defer db2.Close()
+	pts := queryAll(t, db2, "m.retpend", "n1")
+	floor := baseTS + 256*60000
+	for i, p := range pts {
+		if p.Timestamp < floor {
+			t.Fatalf("point %d resurrected from the retention-deleted chunk", p.Timestamp)
+		}
+		if i > 0 && p.Timestamp <= pts[i-1].Timestamp {
+			t.Fatalf("duplicate point at %d", p.Timestamp)
+		}
+	}
+	if len(pts) != 344 || db2.PointCount() != 344 {
+		t.Fatalf("got %d points, PointCount %d, want 344 (duplicates or loss)", len(pts), db2.PointCount())
+	}
+}
+
+func TestInertMarkerDropsPartialFiles(t *testing.T) {
+	// A crash can leave only some of a flush pass's renames durable
+	// (marker fsynced, directory fsync lost). The marker is then inert
+	// and the full WAL replays — so the named files that did survive
+	// must be dropped at open, or every point they hold would be
+	// served twice.
+	dir := t.TempDir()
+	opts := diskOpts(dir)
+	opts.Partition = time.Hour // minute-spaced points => multiple files per flush
+	db, err := OpenOptions(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDiskSeries(t, db, "m.inert", "n1", 600)
+	if _, err := db.flushBefore(baseTS+300*60000, false); err != nil {
+		t.Fatal(err)
+	}
+	files := blockFilesIn(t, dir)
+	if len(files) < 2 {
+		t.Fatalf("want >=2 block files for a partial-survival crash, got %d", len(files))
+	}
+	db.Close()
+	// Simulate one rename lost in the crash.
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenDisk(t, dir)
+	defer db2.Close()
+	assertSeries(t, queryAll(t, db2, "m.inert", "n1"), 600)
+	if db2.PointCount() != 600 {
+		t.Fatalf("PointCount = %d, want 600 (inert marker's files duplicated)", db2.PointCount())
+	}
+	if got := blockFilesIn(t, dir); len(got) != 0 {
+		t.Fatalf("inert marker's surviving files not dropped: %v", got)
+	}
+	// The marker's sequence numbers stay reserved, so a later flush can
+	// never mint a name the stale marker still references.
+	var maxSeq uint64
+	for _, f := range files {
+		if _, seq, ok := parseBlockFileName(filepath.Base(f)); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if db2.disk.nextSeq <= maxSeq {
+		t.Fatalf("nextSeq %d not reserved past marker's max seq %d", db2.disk.nextSeq, maxSeq)
+	}
+}
+
+func TestConcurrentFlushRetentionCompactWAL(t *testing.T) {
+	// Lock-order smoke test (run under -race): ingest, flush passes,
+	// WAL compaction and retention all running concurrently must not
+	// deadlock or tear the log. CompactWAL serializes against the
+	// structural ops via opMu.
+	db := mustOpenDisk(t, t.TempDir())
+	defer db.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Put(pt("m.conc", "n1", i, float64(i))); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := db.flushBefore(baseTS+int64(100+i*20)*60000, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CompactWAL(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.DeleteBefore(baseTS + int64(i)*60000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+}

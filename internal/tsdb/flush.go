@@ -5,23 +5,30 @@ package tsdb
 // merged into larger partitions (compaction), and every flush drives
 // WAL truncation so restart replays only the unflushed tail.
 //
-// Flush protocol (crash-safe at every step boundary):
+// Flush protocol (crash-safe at every step boundary; steps 1–2 run
+// with the WAL gate closed to writers):
 //
 //  1. Under each shard lock, cold data (sealed blocks and head points
 //     wholly before the cutoff) is extracted from memory and staged in
 //     the disk chunk registry as pending in-memory chunks — one
 //     critical section per shard, so a concurrent reader sees each
 //     point exactly once, in memory or staged, never both or neither.
-//  2. The staged chunks are written to temporary block files and
-//     fsynced.
-//  3. A flush marker naming the files is appended to the WAL and
+//  2. Output files are planned (named, not written) and a flush
+//     marker naming them is appended to the WAL and fsynced. Because
+//     writers hold the gate's read side across their append+insert
+//     pair, every point below the cutoff that precedes the marker in
+//     the log is in the staged set, and everything logged after the
+//     gate reopens lands past the marker — so the marker's replay
+//     suppression can never drop an unflushed point.
+//  3. The staged chunks are written to temporary block files and
 //     fsynced. A marker is honored at replay only if every named file
-//     loaded cleanly, so a crash before step 4 makes it inert.
+//     loaded cleanly, so a crash before step 4 completes keeps it
+//     inert and the full log replays.
 //  4. The files are renamed into place and the directory fsynced.
 //  5. The pending chunks are republished as file-backed chunks.
 //  6. The WAL is compacted (truncated): flushed points leave the log.
 //     A crash before this step replays the full log; the marker from
-//     step 3 suppresses the points the files already hold.
+//     step 2 suppresses the points the files already hold.
 
 import (
 	"errors"
@@ -64,10 +71,19 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 	}
 	ds.opMu.Lock()
 	defer ds.opMu.Unlock()
+	ds.sweepRetired(retiredFileGrace)
 	t0 := time.Now()
 
+	// Close the WAL gate over extraction and the marker append (steps
+	// 1–2 of the protocol comment above). Without the gate, a late
+	// out-of-order point ingested mid-pass could land in the log
+	// before the marker with a timestamp below the cutoff while being
+	// in no block file; a crash before truncation would then silently
+	// drop it at replay.
+	db.walGate.Lock()
 	staged := db.extractCold(cutoffMS)
 	if len(staged) == 0 {
+		db.walGate.Unlock()
 		ds.lastFlush.Store(time.Now().UnixNano())
 		return FlushStats{}, nil
 	}
@@ -77,24 +93,24 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 		ds.flushErrs.Add(1)
 		return FlushStats{}, err
 	}
-
-	outs, err := ds.writeStagedFiles(staged)
-	if err != nil {
-		return abort(err)
-	}
-	names := make([]string, len(outs))
-	for i, o := range outs {
-		names[i] = o.bf.name
-	}
+	outs := ds.planStagedFiles(staged)
 	if db.wal != nil {
+		names := make([]string, len(outs))
+		for i, o := range outs {
+			names[i] = o.bf.name
+		}
 		if err := db.wal.appendFlushMarker(cutoffMS, names); err != nil {
-			for _, o := range outs {
-				o.bf.f.Close()
-				os.Remove(o.bf.path + ".tmp")
-			}
+			db.walGate.Unlock()
 			return abort(fmt.Errorf("tsdb: flush marker: %w", err))
 		}
 		db.markersPending.Store(true)
+	}
+	db.walGate.Unlock()
+
+	if err := ds.writePlannedFiles(outs); err != nil {
+		// The marker already names these files; they will never appear,
+		// so it stays inert and the next truncation scrubs it.
+		return abort(err)
 	}
 	for _, o := range outs {
 		if err := os.Rename(o.bf.path+".tmp", o.bf.path); err != nil {
@@ -147,7 +163,7 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 		return stats, fmt.Errorf("tsdb: flush dir fsync: %w", dirSyncErr)
 	}
 	if truncate && db.wal != nil {
-		if err := db.CompactWAL(); err != nil {
+		if err := db.compactWALLocked(); err != nil {
 			// The flush itself landed; the log just kept its old tail.
 			// markersPending stays set and the next pass retries.
 			ds.flushErrs.Add(1)
@@ -271,19 +287,21 @@ func (db *DB) restoreStaged(staged []*diskChunk) {
 	}
 }
 
-// flushOutput is one block file produced by a flush pass, before and
-// after rename.
+// flushOutput is one block file produced by a flush pass, tracked
+// from planning (name and bounds only) through write and rename.
 type flushOutput struct {
 	bf     *blockFile
 	chunks []*diskChunk // staged chunks, in file order
-	pos    []chunkPos
+	pos    []chunkPos   // filled by writePlannedFiles
 }
 
-// writeStagedFiles groups staged chunks by time partition and writes
-// one temporary block file per partition (fsynced, not yet renamed:
-// bf.path is the final path, the bytes live at bf.path+".tmp").
+// planStagedFiles groups staged chunks by time partition and plans
+// one block file per partition — name, sequence, bounds — without
+// touching disk, so the flush marker can name the files (under the
+// closed WAL gate) before any file I/O starts. Sequence numbers are
+// consumed even if the pass later aborts; names are never reused.
 // Caller holds opMu.
-func (ds *diskStore) writeStagedFiles(staged []*diskChunk) ([]flushOutput, error) {
+func (ds *diskStore) planStagedFiles(staged []*diskChunk) []flushOutput {
 	// opts live on the DB; partition duration is threaded via ds.part.
 	byPart := make(map[int64][]*diskChunk)
 	for _, c := range staged {
@@ -296,13 +314,6 @@ func (ds *diskStore) writeStagedFiles(staged []*diskChunk) ([]flushOutput, error
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
 	var outs []flushOutput
-	fail := func(err error) ([]flushOutput, error) {
-		for _, o := range outs {
-			o.bf.f.Close()
-			os.Remove(o.bf.path + ".tmp")
-		}
-		return nil, err
-	}
 	for _, p := range parts {
 		chunks := byPart[p]
 		sort.Slice(chunks, func(i, j int) bool {
@@ -314,11 +325,6 @@ func (ds *diskStore) writeStagedFiles(staged []*diskChunk) ([]flushOutput, error
 		seq := ds.nextSeq
 		ds.nextSeq++
 		name := blockFileName(p, seq)
-		path := filepath.Join(ds.dir, name)
-		f, size, pos, err := writeBlockChunks(path+".tmp", chunks)
-		if err != nil {
-			return fail(err)
-		}
 		var minTS, maxTS int64
 		for i, c := range chunks {
 			if i == 0 || c.minTS < minTS {
@@ -329,13 +335,33 @@ func (ds *diskStore) writeStagedFiles(staged []*diskChunk) ([]flushOutput, error
 			}
 		}
 		outs = append(outs, flushOutput{
-			bf: &blockFile{name: name, path: path, f: f, size: size,
+			bf: &blockFile{name: name, path: filepath.Join(ds.dir, name),
 				minTS: minTS, maxTS: maxTS, part: p, seq: seq},
 			chunks: chunks,
-			pos:    pos,
 		})
 	}
-	return outs, nil
+	return outs
+}
+
+// writePlannedFiles writes each planned file's bytes to its temporary
+// path (fsynced, not yet renamed: bf.path is the final path, the
+// bytes live at bf.path+".tmp") and fills in the handle, size and
+// chunk positions. On error every temporary written so far is
+// removed. Caller holds opMu.
+func (ds *diskStore) writePlannedFiles(outs []flushOutput) error {
+	for i := range outs {
+		o := &outs[i]
+		f, size, pos, err := writeBlockChunks(o.bf.path+".tmp", o.chunks)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				outs[j].bf.f.Close()
+				os.Remove(outs[j].bf.path + ".tmp")
+			}
+			return err
+		}
+		o.bf.f, o.bf.size, o.pos = f, size, pos
+	}
+	return nil
 }
 
 // CompactBlocks merges runs of small block files into larger ones
@@ -349,8 +375,9 @@ func (db *DB) CompactBlocks() (merged int, err error) {
 	}
 	ds.opMu.Lock()
 	defer ds.opMu.Unlock()
+	ds.sweepRetired(retiredFileGrace)
 	if db.markersPending.Load() {
-		if err := db.CompactWAL(); err != nil {
+		if err := db.compactWALLocked(); err != nil {
 			ds.compactErrs.Add(1)
 			return 0, fmt.Errorf("tsdb: retry wal truncate: %w", err)
 		}
@@ -458,19 +485,29 @@ func (ds *diskStore) mergeRun(run []*blockFile) error {
 // compactions; stopped by Close.
 func (db *DB) flushLoop(stop <-chan struct{}) {
 	defer db.loopWG.Done()
-	flushT := time.NewTicker(db.opts.FlushInterval)
-	defer flushT.Stop()
-	compactT := time.NewTicker(db.opts.CompactInterval)
-	defer compactT.Stop()
+	// A non-positive interval disables that timer: time.NewTicker
+	// panics on it, and the flags document negative as "disabled". A
+	// nil channel blocks forever in the select.
+	var flushC, compactC <-chan time.Time
+	if db.opts.FlushInterval > 0 {
+		t := time.NewTicker(db.opts.FlushInterval)
+		defer t.Stop()
+		flushC = t.C
+	}
+	if db.opts.CompactInterval > 0 {
+		t := time.NewTicker(db.opts.CompactInterval)
+		defer t.Stop()
+		compactC = t.C
+	}
 	for {
 		select {
 		case <-stop:
 			return
-		case <-flushT.C:
+		case <-flushC:
 			// Errors are counted in DiskStats.FlushErrors and surfaced
 			// through /metrics; the loop keeps going.
 			_, _ = db.FlushBlocks()
-		case <-compactT.C:
+		case <-compactC:
 			_, _ = db.CompactBlocks()
 		}
 	}

@@ -25,7 +25,7 @@ func (db *DB) DeleteBeforeWhere(cutoffMS int64, match func(metric string, tags m
 	// lets the in-memory pass below decide series removal against the
 	// post-deletion disk state.
 	if db.disk != nil {
-		n, err := db.disk.deleteBefore(cutoffMS, match)
+		n, err := db.diskDeleteBefore(cutoffMS, match)
 		removed += n
 		if err != nil {
 			return removed, err

@@ -43,12 +43,13 @@ import (
 // file tracks the data instead of growing forever.
 //
 // flush records are the durable-block commit markers: a flush pass
-// appends one (fsynced) after writing its block files but before
-// renaming them into place. At replay a marker is honored only if
-// every named block file loaded cleanly; an honored marker suppresses
-// points before its cutoff in all earlier records — they live in the
-// block files now — while an unhonored one (crash before rename,
-// quarantined file) is inert and the full log replays.
+// appends one (fsynced) naming the block files it is about to write,
+// before any file I/O, while the WAL gate is closed to writers. At
+// replay a marker is honored only if every named block file loaded
+// cleanly; an honored marker suppresses points before its cutoff in
+// all earlier records — they live in the block files now — while an
+// unhonored one (crash before the renames landed, quarantined file)
+// is inert and the full log replays.
 //
 // Files written before this format (no magic; one
 // metric+tags+ts+value record per point) are detected and replayed,
@@ -166,7 +167,15 @@ func (db *DB) replayV2Locked(l *wal) error {
 		start  int64 // record start offset
 		cutoff int64
 	}
-	var markers []flushMarker
+	var markers []flushMarker // honored markers only
+	// markerRefs keeps every marker's file list, honored or not, so
+	// the disk layer can reserve their sequence numbers and clean up
+	// after inert ones (see noteReplayMarker).
+	type markerRef struct {
+		files   []string
+		honored bool
+	}
+	var markerRefs []markerRef
 	framedEnd := int64(len(walMagic))
 	{
 		r := bufio.NewReaderSize(l.f, 64<<10)
@@ -205,12 +214,18 @@ func (db *DB) replayV2Locked(l *wal) error {
 				if honor {
 					markers = append(markers, flushMarker{start: off, cutoff: cutoff})
 				}
+				markerRefs = append(markerRefs, markerRef{files: files, honored: honor})
 			default:
 				break frame // unknown record type: stop cleanly
 			}
 			off += int64(8 + n)
 		}
 		framedEnd = off
+	}
+	if db.disk != nil {
+		for _, m := range markerRefs {
+			db.disk.noteReplayMarker(m.files, m.honored)
+		}
 	}
 	// suffix[i] = max cutoff over markers[i:] — the horizon for a
 	// record that precedes marker i.
@@ -532,8 +547,9 @@ func (l *wal) encodePointsRecordLocked(buf []byte, pts []RefPoint) []byte {
 }
 
 // appendFlushMarker durably logs a flush commit marker (see the
-// format comment): written and fsynced after the flush's block files
-// are fsynced as temporaries but before they are renamed into place.
+// format comment): written and fsynced before the named block files
+// exist, under the closed WAL gate, so no point record below the
+// cutoff can land ahead of the marker without being staged.
 func (l *wal) appendFlushMarker(cutoffMS int64, files []string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -610,7 +626,27 @@ func encodeBlockRecord(buf []byte, fid uint32, b sealedBlock) []byte {
 // passes call this so deleted points leave the file instead of
 // accumulating; opening a legacy-format file triggers it once to
 // migrate. A no-op without a WAL.
+//
+// With the durable block layer enabled the rewrite serializes against
+// flush/compaction/retention via opMu: a rewrite landing mid-flush
+// would snapshot a state where extracted points are neither in memory
+// nor published as block files, dropping them from the log while the
+// pass could still abort or crash.
 func (db *DB) CompactWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	if ds := db.disk; ds != nil {
+		ds.opMu.Lock()
+		defer ds.opMu.Unlock()
+	}
+	return db.compactWALLocked()
+}
+
+// compactWALLocked is CompactWAL's body. Callers must hold opMu when
+// the disk layer is enabled (flush, compaction and retention already
+// do; they call this directly to stay reentrant-safe).
+func (db *DB) compactWALLocked() error {
 	if db.wal == nil {
 		return nil
 	}
