@@ -42,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -109,6 +110,9 @@ unflushed tail, and rollup open-window state persists across restarts
 		"retain the last N slow/sampled request traces for /api/traces (0 = default 256, negative = off)")
 	pprofAddr = flag.String("pprof-addr", "",
 		`serve net/http/pprof on this separate ops address ("" = disabled)`)
+
+	shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
+		"deadline for graceful HTTP shutdown on exit before remaining connections are force-closed")
 
 	selfScrape = flag.Duration("self-scrape", 15*time.Second,
 		"write the server's own /metrics gauges into the store this often (0 = off)")
@@ -295,8 +299,9 @@ func main() {
 
 	// Telnet-style line-protocol ingest feeding the gateway's bounded
 	// queue — same backpressure as HTTP.
+	var lp *lineproto.Server
 	if *telnetAddr != "" {
-		lp := lineproto.New(gw, lineproto.Config{APIKey: *apiKey})
+		lp = lineproto.New(gw, lineproto.Config{APIKey: *apiKey})
 		lpAddr, err := lp.Start(*telnetAddr)
 		if err != nil {
 			fatal(logger, "line-protocol listener", err)
@@ -318,11 +323,22 @@ func main() {
 		ops.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		ops.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		ops.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// A real http.Server (not http.ListenAndServe) so the ops
+		// listener gets timeouts and is closed on exit like the
+		// data-plane one. No WriteTimeout: profile captures stream for
+		// -seconds long.
+		opsSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           ops,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, ops); err != nil {
+			if err := opsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Error("pprof listener", "err", err)
 			}
 		}()
+		defer opsSrv.Close()
 		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
@@ -368,7 +384,15 @@ func main() {
 	// Serve failures are signalled back to main rather than
 	// log.Fatal'd in the goroutine: os.Exit would skip the deferred
 	// closes and drop the buffered WAL tail.
-	srv := &http.Server{Addr: *addr, Handler: root}
+	// No WriteTimeout: /api/stream holds SSE responses open for the
+	// life of the subscriber. Slow-loris headers and abandoned
+	// keep-alives are still bounded.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           root,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -434,5 +458,26 @@ func main() {
 	// Join the stepper before the deferred closes tear down the WAL
 	// and dataport an in-flight Step may still be writing to.
 	stepper.Wait()
-	srv.Close()
+
+	// Bounded graceful shutdown: let in-flight requests finish, up to
+	// -shutdown-timeout. SSE streams and telnet sessions never finish
+	// on their own, so the gateway (whose Close tears down the stream
+	// hub) and the line-protocol listener close concurrently; past the
+	// deadline whatever remains is force-closed. The deferred closes
+	// above then find everything already shut and no-op.
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	closersDone := make(chan struct{})
+	go func() {
+		defer close(closersDone)
+		gw.Close()
+		if lp != nil {
+			lp.Close()
+		}
+	}()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Warn("graceful shutdown incomplete; force-closing", "err", err)
+		srv.Close()
+	}
+	<-closersDone
 }

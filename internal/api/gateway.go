@@ -43,6 +43,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -204,6 +205,7 @@ type Gateway struct {
 	queryReqs   atomic.Uint64
 	queryErrs   atomic.Uint64
 	authFails   atomic.Uint64 // requests refused: missing/wrong API key
+	panics      atomic.Uint64 // handler panics recovered by the middleware
 
 	rate ewmaRate
 
@@ -278,6 +280,19 @@ func (g *Gateway) initObs() {
 	reg.Gauge("ctt_query_requests_total", func() float64 { return float64(g.queryReqs.Load()) })
 	reg.Gauge("ctt_query_errors_total", func() float64 { return float64(g.queryErrs.Load()) })
 	reg.Gauge("ctt_auth_failures_total", func() float64 { return float64(g.authFails.Load()) })
+	reg.Gauge("ctt_panics_total", func() float64 { return float64(g.panics.Load()) })
+	reg.Gauge("ctt_loop_panics_total", func() float64 { return float64(obs.LoopPanics()) })
+	reg.Gauge("ctt_loop_restarts_total", func() float64 { return float64(obs.LoopRestarts()) })
+	reg.Gauge("ctt_degraded", func() float64 {
+		if g.db.Degraded() != nil {
+			return 1
+		}
+		return 0
+	})
+	reg.Gauge(`ctt_storage_errors_total{op="wal_append"}`, func() float64 { return float64(g.db.StorageErrors().WALAppend) })
+	reg.Gauge(`ctt_storage_errors_total{op="wal_fsync"}`, func() float64 { return float64(g.db.StorageErrors().WALFsync) })
+	reg.Gauge(`ctt_storage_errors_total{op="flush"}`, func() float64 { return float64(g.db.StorageErrors().Flush) })
+	reg.Gauge(`ctt_storage_errors_total{op="compact"}`, func() float64 { return float64(g.db.StorageErrors().Compact) })
 	reg.Gauge("ctt_query_cache_hits_total", func() float64 { h, _, _ := g.cache.stats(); return float64(h) })
 	reg.Gauge("ctt_query_cache_misses_total", func() float64 { _, m, _ := g.cache.stats(); return float64(m) })
 	reg.Gauge("ctt_query_cache_invalidations_total", func() float64 { _, _, inv := g.cache.stats(); return float64(inv) })
@@ -378,7 +393,69 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/traces/", g.requireKey(g.handleTraces))
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/healthz", g.handleHealthz)
-	return mux
+	return g.withRecover(mux)
+}
+
+// recoverWriter tracks whether the handler already wrote to the
+// response, so the recover middleware knows whether a clean 500 is
+// still possible or the stream must be torn down instead.
+type recoverWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoverWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoverWriter) Write(p []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(p)
+}
+
+// Flush passes through so SSE streaming keeps working behind the
+// middleware.
+func (rw *recoverWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		rw.wrote = true
+		f.Flush()
+	}
+}
+
+// withRecover contains handler panics per request: one poisoned
+// request must not kill the whole server, and a half-written response
+// must not be completed as if it were healthy. If nothing has been
+// written yet the client gets a clean 500; mid-stream the connection
+// is aborted (via http.ErrAbortHandler) so the client sees a torn
+// transfer, never a silently truncated body. http.ErrAbortHandler
+// itself passes through uncounted — it is the standard way handlers
+// abort deliberately.
+func (g *Gateway) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &recoverWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && err == http.ErrAbortHandler {
+				panic(rec)
+			}
+			g.panics.Add(1)
+			g.cfg.Logger.Error("handler panic",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", rec, "stack", string(debug.Stack()))
+			if !rw.wrote {
+				httpError(rw, http.StatusInternalServerError, "internal server error")
+				return
+			}
+			// Response already underway: abort the connection so the
+			// client cannot mistake the truncated body for a complete one.
+			panic(http.ErrAbortHandler)
+		}()
+		next.ServeHTTP(rw, r)
+	})
 }
 
 // requireKey gates a data endpoint behind Config.APIKey. With no key
@@ -420,7 +497,14 @@ func (g *Gateway) Start(addr string) (net.Addr, error) {
 		return nil, fmt.Errorf("api: %w", err)
 	}
 	g.ln = ln
-	g.srv = &http.Server{Handler: g.Handler()}
+	// No WriteTimeout: /api/stream holds SSE connections open
+	// indefinitely. Header-read and idle timeouts still bound
+	// slow-loris and abandoned keep-alive connections.
+	g.srv = &http.Server{
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go g.srv.Serve(ln)
 	return ln.Addr(), nil
 }
@@ -559,6 +643,23 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		m["status"] = "saturated"
 		m["reason"] = fmt.Sprintf("ingest queue %d/%d is over %.0f%% full", depth, capacity, healthSaturation*100)
 		code = http.StatusServiceUnavailable
+	}
+	retryAfter := "1"
+	// Degraded wins over saturation: the store has stopped accepting
+	// writes until an operator intervenes, which matters more to a load
+	// balancer than transient queue pressure — and warrants a longer
+	// back-off.
+	if derr := g.db.Degraded(); derr != nil {
+		m["status"] = "degraded"
+		m["degraded_error"] = derr.Error()
+		if since, ok := g.db.DegradedSince(); ok {
+			m["degraded_for_ms"] = time.Since(since).Milliseconds()
+		}
+		code = http.StatusServiceUnavailable
+		retryAfter = "30"
+	}
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfter)
 	}
 	writeJSON(w, code, m)
 }

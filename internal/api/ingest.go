@@ -257,6 +257,15 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusTooManyRequests, "ingest queue full")
 				return
 			}
+			if errors.Is(err, tsdb.ErrDegraded) {
+				// Sticky until an operator restarts over a healthy
+				// disk, so invite a much later retry than queue
+				// pressure would.
+				w.Header().Set("Retry-After", "30")
+				httpError(w, http.StatusServiceUnavailable, "store degraded, writes disabled: %v", err)
+				return
+			}
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -494,6 +503,12 @@ func (g *Gateway) EnqueueRefs(rps []tsdb.RefPoint) error {
 	defer g.qmu.Unlock()
 	if g.closed {
 		return ErrClosed
+	}
+	// Fail fast while degraded: queueing points the store is certain
+	// to reject just delays the 503 by one queue traversal and burns
+	// worker time on batches that cannot be stored.
+	if err := g.db.Degraded(); err != nil {
+		return err
 	}
 	// Producers all hold qmu and consumers only free space, so the
 	// capacity check cannot be invalidated before the sends below.

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -85,20 +86,25 @@ func NewSelfScraper(g *Gateway, cfg SelfScrapeConfig) *SelfScraper {
 	return s
 }
 
-// Start launches the scrape loop. Close stops it.
+// Start launches the scrape loop, supervised so a panic inside a
+// scrape (a misbehaving gauge callback) restarts the loop instead of
+// silently ending self-telemetry for the process lifetime. Close
+// stops it.
 func (s *SelfScraper) Start() {
 	go func() {
 		defer close(s.done)
-		ticker := time.NewTicker(s.cfg.Interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-s.stop:
-				return
-			case <-ticker.C:
-				s.ScrapeOnce()
+		obs.Supervised("selfscrape", s.g.cfg.Logger, s.stop, func() {
+			ticker := time.NewTicker(s.cfg.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-ticker.C:
+					s.ScrapeOnce()
+				}
 			}
-		}
+		})
 	}()
 }
 

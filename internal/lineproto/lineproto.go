@@ -134,6 +134,7 @@ type Server struct {
 	points     atomic.Uint64 // points accepted into the queue
 	malformed  atomic.Uint64 // lines rejected by the parser/validator
 	dropped    atomic.Uint64 // parsed points refused by the sink
+	degraded   atomic.Uint64 // of those, dropped because the store is degraded
 	timeouts   atomic.Uint64 // connections closed by the read deadline
 	authFails  atomic.Uint64 // puts refused or auth attempts rejected: bad/missing key
 
@@ -464,9 +465,15 @@ func (s *Server) flush(conn net.Conn, st *connState) {
 	}
 	if err != nil {
 		s.dropped.Add(uint64(n))
-		if errors.Is(err, api.ErrQueueFull) {
+		switch {
+		case errors.Is(err, api.ErrQueueFull):
 			s.reply(conn, "err: ingest queue full, %d points dropped; slow down", n)
-		} else {
+		case errors.Is(err, tsdb.ErrDegraded):
+			// Degraded is sticky until a restart: tell the peer to go
+			// away rather than invite an immediate retry.
+			s.degraded.Add(uint64(n))
+			s.reply(conn, "err: store degraded, writes disabled, %d points dropped; retry much later", n)
+		default:
 			s.reply(conn, "err: %v", err)
 		}
 	} else {
@@ -541,8 +548,11 @@ type Stats struct {
 	Points      uint64
 	Malformed   uint64
 	Dropped     uint64
-	Timeouts    uint64
-	AuthFails   uint64
+	// DegradedDropped counts the subset of Dropped refused because the
+	// store entered degraded read-only mode.
+	DegradedDropped uint64
+	Timeouts        uint64
+	AuthFails       uint64
 	// PointsPerSecond is the exponentially-weighted ingest rate.
 	PointsPerSecond float64
 }
@@ -556,6 +566,7 @@ func (s *Server) Stats() Stats {
 		Points:          s.points.Load(),
 		Malformed:       s.malformed.Load(),
 		Dropped:         s.dropped.Load(),
+		DegradedDropped: s.degraded.Load(),
 		Timeouts:        s.timeouts.Load(),
 		AuthFails:       s.authFails.Load(),
 		PointsPerSecond: s.rate.value(time.Now()),
@@ -572,6 +583,7 @@ func (s *Server) EmitMetrics(emit func(name string, v any)) {
 	emit("ctt_lineproto_points_total", st.Points)
 	emit("ctt_lineproto_malformed_total", st.Malformed)
 	emit("ctt_lineproto_dropped_total", st.Dropped)
+	emit("ctt_lineproto_degraded_dropped_total", st.DegradedDropped)
 	emit("ctt_lineproto_read_timeouts_total", st.Timeouts)
 	emit("ctt_lineproto_auth_failures_total", st.AuthFails)
 	emit("ctt_lineproto_rate_points_per_second", fmt.Sprintf("%.3f", st.PointsPerSecond))

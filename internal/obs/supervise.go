@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"log/slog"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Supervision for long-lived background loops (flusher, rollup tick,
+// self-scraper): a panic inside the loop body must not silently kill
+// the loop for the rest of the process lifetime. Supervised recovers,
+// logs the stack, counts, and restarts the body with capped
+// exponential backoff. These are package-level counters (exposed as
+// ctt_loop_panics_total / ctt_loop_restarts_total) because loops live
+// in several packages and a single pair of numbers is what an operator
+// alerts on.
+
+const (
+	superviseBackoffBase = 100 * time.Millisecond
+	superviseBackoffMax  = 5 * time.Second
+)
+
+var (
+	loopPanics   atomic.Uint64
+	loopRestarts atomic.Uint64
+)
+
+// LoopPanics reports the total number of panics recovered from
+// supervised background loops.
+func LoopPanics() uint64 { return loopPanics.Load() }
+
+// LoopRestarts reports the total number of supervised-loop restarts.
+func LoopRestarts() uint64 { return loopRestarts.Load() }
+
+// Supervised runs body, recovering from panics and restarting it with
+// capped exponential backoff until either body returns normally or
+// stop closes. A nil logger falls back to slog.Default(). Consecutive
+// panics double the restart delay up to superviseBackoffMax; the
+// intact runs in between do not reset it (a loop that panics once per
+// tick would otherwise hammer at the base delay forever).
+func Supervised(name string, logger *slog.Logger, stop <-chan struct{}, body func()) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	backoff := superviseBackoffBase
+	for {
+		panicked := runRecovered(name, logger, body)
+		if !panicked {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		loopRestarts.Add(1)
+		logger.Warn("supervised loop restarting", "loop", name, "backoff", backoff)
+		if backoff *= 2; backoff > superviseBackoffMax {
+			backoff = superviseBackoffMax
+		}
+	}
+}
+
+// runRecovered executes body once, converting a panic into a counted,
+// logged, recovered event.
+func runRecovered(name string, logger *slog.Logger, body func()) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			loopPanics.Add(1)
+			logger.Error("supervised loop panic",
+				"loop", name, "panic", r, "stack", string(debug.Stack()))
+		}
+	}()
+	body()
+	return false
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestSupervisedRestartsAfterPanic(t *testing.T) {
+	basePanics, baseRestarts := LoopPanics(), LoopRestarts()
+	stop := make(chan struct{})
+	var runs atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Supervised("test-loop", quietLogger(), stop, func() {
+			if runs.Add(1) <= 3 {
+				panic("boom")
+			}
+			// Fourth run: return normally, ending supervision.
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervised loop did not settle")
+	}
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("body ran %d times, want 4 (3 panics + 1 clean)", got)
+	}
+	if got := LoopPanics() - basePanics; got != 3 {
+		t.Fatalf("LoopPanics advanced by %d, want 3", got)
+	}
+	if got := LoopRestarts() - baseRestarts; got != 3 {
+		t.Fatalf("LoopRestarts advanced by %d, want 3", got)
+	}
+}
+
+func TestSupervisedStopsOnStopAfterPanic(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop) // already stopped: one panicked run, no restart
+	var runs atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Supervised("test-stop", quietLogger(), stop, func() {
+			runs.Add(1)
+			panic("boom")
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("supervised loop ignored stop")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("body ran %d times after stop, want 1", got)
+	}
+}
+
+func TestSupervisedCleanReturn(t *testing.T) {
+	stop := make(chan struct{})
+	ran := false
+	Supervised("test-clean", quietLogger(), stop, func() { ran = true })
+	if !ran {
+		t.Fatal("body never ran")
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/tsdb"
+	"repro/internal/tsdb/fsio"
 )
 
 // MetricPrefix namespaces every derived series the engine writes.
@@ -83,6 +84,9 @@ type Config struct {
 	// set, Close keeps open windows open across restarts instead of
 	// force-flushing short windows via FlushAll.
 	StatePath string
+	// FS is the filesystem the state file is written through (default
+	// fsio.OS); tests inject faults here.
+	FS fsio.FS
 }
 
 // stats computed for every sealed window, in storage order.
@@ -106,6 +110,7 @@ const engineShards = 16
 type Engine struct {
 	db    *tsdb.DB
 	cfg   Config
+	fs    fsio.FS
 	tiers []tierSpec
 
 	shards [engineShards]engineShard
@@ -201,7 +206,10 @@ func New(db *tsdb.DB, cfg Config) (*Engine, error) {
 	if cfg.FlushEvery == 0 {
 		cfg.FlushEvery = 10 * time.Second
 	}
-	e := &Engine{db: db, cfg: cfg, stop: make(chan struct{})}
+	if cfg.FS == nil {
+		cfg.FS = fsio.OS
+	}
+	e := &Engine{db: db, cfg: cfg, fs: cfg.FS, stop: make(chan struct{})}
 	seen := map[int64]bool{}
 	for _, t := range cfg.Tiers {
 		if t.Resolution < time.Second {
@@ -271,6 +279,12 @@ func (e *Engine) Close() error {
 
 func (e *Engine) loop() {
 	defer e.wg.Done()
+	// Supervised: a panic in a seal/retention tick must not silently
+	// end continuous aggregation for the process lifetime.
+	obs.Supervised("rollup", nil, e.stop, e.loopBody)
+}
+
+func (e *Engine) loopBody() {
 	ticker := time.NewTicker(e.cfg.FlushEvery)
 	defer ticker.Stop()
 	for {

@@ -163,34 +163,31 @@ func (e *Engine) SaveState() error {
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, stateCRCTable))
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := e.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		e.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		e.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		e.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := e.fs.Rename(tmp, path); err != nil {
+		e.fs.Remove(tmp)
 		return err
 	}
 	// Rename durability: fsync the directory so the new name survives
 	// a crash. Best-effort — some filesystems reject directory fsync.
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+	_ = e.fs.SyncDir(filepath.Dir(path))
 	return nil
 }
 
@@ -201,7 +198,7 @@ func (e *Engine) SaveState() error {
 // or tier-mismatched file is discarded (zero restored, error
 // describing why — callers may log it, the engine still starts).
 func (e *Engine) loadState() (int, error) {
-	raw, err := os.ReadFile(e.cfg.StatePath)
+	raw, err := e.fs.ReadFile(e.cfg.StatePath)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil

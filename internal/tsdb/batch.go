@@ -81,6 +81,12 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 	if len(rps) == 0 {
 		return res
 	}
+	if st := db.degraded.Load(); st != nil {
+		for i := range rps {
+			res.Errors = append(res.Errors, PointError{Index: i, Err: st.err})
+		}
+		return res
+	}
 	// Stage-relay timing (wal append → insert → fan-out) when
 	// instrumentation is installed; one atomic load otherwise.
 	ins := db.instr.Load()
@@ -97,6 +103,7 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 		}
 		if err != nil {
 			db.walGate.RUnlock()
+			db.noteWALAppendError(err)
 			// Group commit is all-or-nothing: an append error means the
 			// batch is not durable, so nothing is stored.
 			err = fmt.Errorf("tsdb: wal append: %w", err)
@@ -107,6 +114,7 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 		}
 		db.insertRefBatch(rps)
 		db.walGate.RUnlock()
+		db.noteWALAppendOK()
 	} else {
 		db.insertRefBatch(rps)
 	}

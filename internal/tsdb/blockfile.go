@@ -30,7 +30,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+
+	"repro/internal/tsdb/fsio"
 )
 
 const (
@@ -69,14 +70,14 @@ type chunkPos struct {
 // with the input slice. Payloads are pulled through diskChunk.payload,
 // so inputs may be pending (in-memory) or file-backed (compaction).
 // On error the partial file is removed.
-func writeBlockChunks(path string, chunks []*diskChunk) (f *os.File, size int64, pos []chunkPos, err error) {
-	f, err = os.Create(path)
+func writeBlockChunks(fs fsio.FS, path string, chunks []*diskChunk) (f fsio.File, size int64, pos []chunkPos, err error) {
+	f, err = fs.Create(path)
 	if err != nil {
 		return nil, 0, nil, fmt.Errorf("tsdb: block create: %w", err)
 	}
-	fail := func(err error) (*os.File, int64, []chunkPos, error) {
+	fail := func(err error) (fsio.File, int64, []chunkPos, error) {
 		f.Close()
-		os.Remove(path)
+		fs.Remove(path)
 		return nil, 0, nil, err
 	}
 
@@ -193,7 +194,7 @@ type parsedBlock struct {
 // bit-flipped file to quarantine before any query can touch it.
 // Payloads are also re-verified on every query-time pread (bit rot
 // after open).
-func verifyChunkPayloads(f *os.File, pb *parsedBlock) error {
+func verifyChunkPayloads(f fsio.File, pb *parsedBlock) error {
 	var buf []byte
 	for i := range pb.chunks {
 		c := &pb.chunks[i]
@@ -217,7 +218,7 @@ func verifyChunkPayloads(f *os.File, pb *parsedBlock) error {
 // openDiskStore runs verifyChunkPayloads separately, and query-time
 // preads re-verify. Any framing failure returns an error; the caller
 // quarantines the file.
-func parseBlockFile(f *os.File) (*parsedBlock, error) {
+func parseBlockFile(f fsio.File) (*parsedBlock, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

@@ -15,13 +15,14 @@ package tsdb
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tsdb/fsio"
 )
 
 const (
@@ -45,7 +46,7 @@ const (
 type blockFile struct {
 	name         string
 	path         string
-	f            *os.File
+	f            fsio.File
 	size         int64
 	minTS, maxTS int64
 	part         int64 // partition start (ms)
@@ -92,6 +93,7 @@ func (c *diskChunk) payload(bufp *[]byte) ([]byte, error) {
 
 type diskStore struct {
 	dir string
+	fs  fsio.FS
 
 	// opMu serializes the structural operations — flush, compaction,
 	// retention — against each other. Readers never take it.
@@ -173,16 +175,18 @@ type chunkKey struct {
 // file lost if truncation hadn't run. Files are loaded newest-first
 // so crash leftovers dedup in favor of the compacted copy.
 func (db *DB) openDiskStore(dir string) (*diskStore, error) {
-	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+	fs := db.opts.FS
+	if err := fs.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: block dir: %w", err)
 	}
 	ds := &diskStore{
 		dir:      dir,
+		fs:       fs,
 		files:    make(map[string]*blockFile),
 		bySeries: make(map[SeriesID][]*diskChunk),
 		nextSeq:  1,
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: block dir: %w", err)
 	}
@@ -199,7 +203,7 @@ func (db *DB) openDiskStore(dir string) (*diskStore, error) {
 		if strings.HasSuffix(name, ".tmp") {
 			// Unfinished write from a crashed flush or compaction: the
 			// WAL (or the inputs) still hold everything in it.
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 			continue
 		}
 		part, seq, ok := parseBlockFileName(name)
@@ -207,7 +211,7 @@ func (db *DB) openDiskStore(dir string) (*diskStore, error) {
 			continue // foreign file: leave it alone
 		}
 		path := filepath.Join(dir, name)
-		f, err := os.Open(path)
+		f, err := fs.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("tsdb: block open %s: %w", name, err)
 		}
@@ -269,7 +273,7 @@ func (db *DB) openDiskStore(dir string) (*diskStore, error) {
 			// Every chunk was a duplicate of a newer file: this is a
 			// compaction input whose deletion the crash interrupted.
 			ld.bf.f.Close()
-			os.Remove(ld.bf.path)
+			fs.Remove(ld.bf.path)
 			continue
 		}
 		ds.files[ld.bf.name] = ld.bf
@@ -291,7 +295,7 @@ func (db *DB) openDiskStore(dir string) (*diskStore, error) {
 // quarantine moves a failed file aside (never deletes it) and counts.
 func (ds *diskStore) quarantine(path string) {
 	dst := filepath.Join(ds.dir, quarantineDir, filepath.Base(path))
-	if err := os.Rename(path, dst); err != nil {
+	if err := ds.fs.Rename(path, dst); err != nil {
 		// Last resort: leave it in place; it will fail parse again next
 		// open and stay counted.
 		ds.quarantined.Add(1)
@@ -422,7 +426,7 @@ func (ds *diskStore) removeFileLocked(bf *blockFile) {
 	delete(ds.files, bf.name)
 	ds.bytes -= bf.size
 	ds.retired = append(ds.retired, retiredFile{bf: bf, at: time.Now()})
-	os.Remove(bf.path)
+	ds.fs.Remove(bf.path)
 }
 
 // sweepRetired closes retired handles older than grace (all of them
@@ -495,7 +499,7 @@ func (ds *diskStore) noteReplayMarker(files []string, honored bool) {
 		delete(ds.files, name)
 		ds.bytes -= bf.size
 		bf.f.Close()
-		os.Remove(bf.path)
+		ds.fs.Remove(bf.path)
 	}
 }
 
@@ -507,17 +511,6 @@ func (ds *diskStore) close() {
 	for _, bf := range ds.files {
 		bf.f.Close()
 	}
-}
-
-// fsyncDir flushes a directory entry (the rename making a block file
-// visible) to stable storage.
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // diskDeleteBefore applies disk retention under opMu. Like
@@ -632,16 +625,16 @@ func (ds *diskStore) rewriteFile(part int64, chunks []*diskChunk) (*blockFile, m
 	name := blockFileName(part, seq)
 	path := filepath.Join(ds.dir, name)
 	tmp := path + ".tmp"
-	f, size, pos, err := writeBlockChunks(tmp, sorted)
+	f, size, pos, err := writeBlockChunks(ds.fs, tmp, sorted)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := ds.fs.Rename(tmp, path); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		ds.fs.Remove(tmp)
 		return nil, nil, fmt.Errorf("tsdb: block rename: %w", err)
 	}
-	if err := fsyncDir(ds.dir); err != nil {
+	if err := ds.fs.SyncDir(ds.dir); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("tsdb: block dir fsync: %w", err)
 	}

@@ -33,7 +33,6 @@ package tsdb
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -58,8 +57,13 @@ func (db *DB) FlushBlocks() (FlushStats, error) {
 	if db.disk == nil {
 		return FlushStats{}, ErrDiskDisabled
 	}
+	if err := db.Degraded(); err != nil {
+		return FlushStats{}, err
+	}
 	cutoff := db.opts.Now().Add(-db.opts.FlushAge).UnixMilli()
-	return db.flushBefore(cutoff, true)
+	st, err := db.flushBefore(cutoff, true)
+	db.noteFlushResult(err)
+	return st, err
 }
 
 // flushBefore is the flush pass body; truncate=false is the test seam
@@ -101,6 +105,13 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 		}
 		if err := db.wal.appendFlushMarker(cutoffMS, names); err != nil {
 			db.walGate.Unlock()
+			if errors.Is(err, errWALFsync) {
+				// The fsync itself was rejected: the kernel may have
+				// dropped the dirty WAL pages, so acked-but-unsynced data
+				// can no longer be trusted to be durable. No retry helps;
+				// degrade immediately.
+				db.degrade(err)
+			}
 			return abort(fmt.Errorf("tsdb: flush marker: %w", err))
 		}
 		db.markersPending.Store(true)
@@ -113,13 +124,13 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 		return abort(err)
 	}
 	for _, o := range outs {
-		if err := os.Rename(o.bf.path+".tmp", o.bf.path); err != nil {
+		if err := ds.fs.Rename(o.bf.path+".tmp", o.bf.path); err != nil {
 			// The marker is durable but names files that never appeared:
 			// replay ignores it and recovers everything from the WAL.
 			for _, o2 := range outs {
 				o2.bf.f.Close()
-				os.Remove(o2.bf.path + ".tmp")
-				os.Remove(o2.bf.path)
+				ds.fs.Remove(o2.bf.path + ".tmp")
+				ds.fs.Remove(o2.bf.path)
 			}
 			return abort(fmt.Errorf("tsdb: flush rename: %w", err))
 		}
@@ -127,7 +138,7 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 	// Directory fsync makes the renames crash-durable. On failure the
 	// files are still live (publish below), but WAL truncation is
 	// skipped so a crash that loses the renames loses nothing.
-	dirSyncErr := fsyncDir(ds.dir)
+	dirSyncErr := ds.fs.SyncDir(ds.dir)
 
 	var stats FlushStats
 	ds.mu.Lock()
@@ -351,11 +362,11 @@ func (ds *diskStore) planStagedFiles(staged []*diskChunk) []flushOutput {
 func (ds *diskStore) writePlannedFiles(outs []flushOutput) error {
 	for i := range outs {
 		o := &outs[i]
-		f, size, pos, err := writeBlockChunks(o.bf.path+".tmp", o.chunks)
+		f, size, pos, err := writeBlockChunks(ds.fs, o.bf.path+".tmp", o.chunks)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				outs[j].bf.f.Close()
-				os.Remove(outs[j].bf.path + ".tmp")
+				ds.fs.Remove(outs[j].bf.path + ".tmp")
 			}
 			return err
 		}
@@ -373,6 +384,10 @@ func (db *DB) CompactBlocks() (merged int, err error) {
 	if ds == nil {
 		return 0, ErrDiskDisabled
 	}
+	if err := db.Degraded(); err != nil {
+		return 0, err
+	}
+	defer func() { db.noteCompactResult(err) }()
 	ds.opMu.Lock()
 	defer ds.opMu.Unlock()
 	ds.sweepRetired(retiredFileGrace)
@@ -482,9 +497,9 @@ func (ds *diskStore) mergeRun(run []*blockFile) error {
 }
 
 // flushLoop is the background goroutine driving periodic flushes and
-// compactions; stopped by Close.
+// compactions; stopped by Close. The caller (OpenOptions) wraps it in
+// obs.Supervised and owns the WaitGroup accounting.
 func (db *DB) flushLoop(stop <-chan struct{}) {
-	defer db.loopWG.Done()
 	// A non-positive interval disables that timer: time.NewTicker
 	// panics on it, and the flags document negative as "disabled". A
 	// nil channel blocks forever in the select.
@@ -505,10 +520,17 @@ func (db *DB) flushLoop(stop <-chan struct{}) {
 			return
 		case <-flushC:
 			// Errors are counted in DiskStats.FlushErrors and surfaced
-			// through /metrics; the loop keeps going.
-			_, _ = db.FlushBlocks()
+			// through /metrics; transient failures are retried in place
+			// with capped backoff before the store degrades.
+			db.retryStructural(stop, func() error {
+				_, err := db.FlushBlocks()
+				return err
+			})
 		case <-compactC:
-			_, _ = db.CompactBlocks()
+			db.retryStructural(stop, func() error {
+				_, err := db.CompactBlocks()
+				return err
+			})
 		}
 	}
 }

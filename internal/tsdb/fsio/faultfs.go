@@ -1,0 +1,302 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Op identifies one kind of filesystem operation as seen through the
+// FS/File interfaces. Fault plans match on it to target, say, "the
+// third Sync" or "any Write to a .tmp file".
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpOpenFile
+	OpCreate
+	OpRename
+	OpRemove
+	OpMkdirAll
+	OpReadDir
+	OpReadFile
+	OpSyncDir
+	OpRead
+	OpReadAt
+	OpSeek
+	OpStat
+	OpWrite
+	OpSync
+	OpTruncate
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpOpenFile: "openfile", OpCreate: "create",
+	OpRename: "rename", OpRemove: "remove", OpMkdirAll: "mkdirall",
+	OpReadDir: "readdir", OpReadFile: "readfile", OpSyncDir: "syncdir",
+	OpRead: "read", OpReadAt: "readat", OpSeek: "seek", OpStat: "stat",
+	OpWrite: "write", OpSync: "sync", OpTruncate: "truncate",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "unknown"
+}
+
+// Mutating reports whether the operation changes durable state. After
+// a simulated crash only mutating operations are blocked; reads keep
+// working against whatever reached the backing store before the crash.
+func (op Op) Mutating() bool {
+	switch op {
+	case OpOpenFile, OpCreate, OpRename, OpRemove, OpMkdirAll, OpSyncDir, OpWrite, OpSync, OpTruncate:
+		return true
+	}
+	return false
+}
+
+// ErrCrashed is returned by every mutating operation once a Fault with
+// Crash set has fired (or Crash was called). It models the machine
+// losing power: nothing written after this point reaches the disk, and
+// — critically for the durability invariants — nothing is silently
+// acknowledged either, so a caller can never mistake a post-crash
+// write for a durable one.
+var ErrCrashed = errors.New("fsio: simulated crash")
+
+// Fault describes what to inject at one operation.
+type Fault struct {
+	// Err is the error returned to the caller. Required unless Crash
+	// is set (then it defaults to ErrCrashed).
+	Err error
+	// Partial applies to Write only: the first half of the buffer
+	// reaches the backing file before the error is returned, modeling
+	// a short write that tears a record.
+	Partial bool
+	// Crash flips the filesystem into the crashed state: this and all
+	// subsequent mutating operations fail with ErrCrashed.
+	Crash bool
+}
+
+// Plan decides, for each operation, whether to inject a fault. It is
+// invoked under the FaultFS mutex with a monotonically increasing
+// operation number n (1-based, counting every operation, matching or
+// not), so plan closures may keep private state without locking.
+// Returning nil lets the operation through to the backing FS.
+type Plan func(op Op, path string, n int64) *Fault
+
+// FaultFS wraps a backing FS and injects faults according to a Plan.
+// The zero state (no plan) passes every operation through, so a test
+// can open a store cleanly and only then arm the schedule with
+// SetPlan. Close is never failed or blocked — even after a crash —
+// so file descriptors cannot leak across thousands of schedules.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	plan    Plan
+	ops     int64
+	crashed bool
+}
+
+// NewFaultFS wraps inner (typically OS over a test TempDir).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// SetPlan arms (or, with nil, disarms) the fault schedule.
+func (f *FaultFS) SetPlan(p Plan) {
+	f.mu.Lock()
+	f.plan = p
+	f.mu.Unlock()
+}
+
+// Ops returns the number of operations observed so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Crash flips the filesystem into the crashed state directly, without
+// waiting for a plan-scheduled fault.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// fault counts the operation and returns the fault to inject, or nil.
+func (f *FaultFS) fault(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.crashed && op.Mutating() {
+		return &Fault{Err: ErrCrashed}
+	}
+	if f.plan == nil {
+		return nil
+	}
+	flt := f.plan(op, path, f.ops)
+	if flt == nil {
+		return nil
+	}
+	if flt.Crash {
+		f.crashed = true
+		if flt.Err == nil {
+			flt.Err = ErrCrashed
+		}
+	}
+	return flt
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flt := f.fault(OpOpenFile, name); flt != nil {
+		return nil, flt.Err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: inner}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if flt := f.fault(OpCreate, name); flt != nil {
+		return nil, flt.Err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: inner}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if flt := f.fault(OpOpen, name); flt != nil {
+		return nil, flt.Err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, f: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if flt := f.fault(OpRename, newpath); flt != nil {
+		return flt.Err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if flt := f.fault(OpRemove, name); flt != nil {
+		return flt.Err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if flt := f.fault(OpMkdirAll, path); flt != nil {
+		return flt.Err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if flt := f.fault(OpReadDir, name); flt != nil {
+		return nil, flt.Err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if flt := f.fault(OpReadFile, name); flt != nil {
+		return nil, flt.Err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if flt := f.fault(OpSyncDir, dir); flt != nil {
+		return flt.Err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads file-level operations back through the parent
+// FaultFS so one plan sees the interleaved global operation stream.
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	f    File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if flt := ff.fs.fault(OpRead, ff.path); flt != nil {
+		return 0, flt.Err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if flt := ff.fs.fault(OpReadAt, ff.path); flt != nil {
+		return 0, flt.Err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if flt := ff.fs.fault(OpSeek, ff.path); flt != nil {
+		return 0, flt.Err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) {
+	if flt := ff.fs.fault(OpStat, ff.path); flt != nil {
+		return nil, flt.Err
+	}
+	return ff.f.Stat()
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if flt := ff.fs.fault(OpWrite, ff.path); flt != nil {
+		if flt.Partial && len(p) > 1 {
+			n, err := ff.f.Write(p[:len(p)/2])
+			if err == nil {
+				err = flt.Err
+			}
+			return n, err
+		}
+		return 0, flt.Err
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if flt := ff.fs.fault(OpSync, ff.path); flt != nil {
+		return flt.Err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if flt := ff.fs.fault(OpTruncate, ff.path); flt != nil {
+		return flt.Err
+	}
+	return ff.f.Truncate(size)
+}
+
+// Close always reaches the backing file so descriptors are released
+// no matter what the schedule did; crash state does not apply (a real
+// crash releases descriptors too).
+func (ff *faultFile) Close() error { return ff.f.Close() }

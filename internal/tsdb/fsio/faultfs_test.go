@@ -1,0 +1,180 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestFaultFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(dir, "a.txt")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, want hello", b)
+	}
+	if ffs.Ops() == 0 {
+		t.Fatal("op counter did not advance")
+	}
+}
+
+func TestFaultFSNthOpError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(dir, "b.txt")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Fail exactly the second write.
+	writes := 0
+	ffs.SetPlan(func(op Op, p string, n int64) *Fault {
+		if op != OpWrite {
+			return nil
+		}
+		writes++
+		if writes == 2 {
+			return &Fault{Err: syscall.EIO}
+		}
+		return nil
+	})
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("second write err = %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+}
+
+func TestFaultFSPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(dir, "c.txt")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetPlan(func(op Op, p string, n int64) *Fault {
+		if op == OpWrite {
+			return &Fault{Err: syscall.ENOSPC, Partial: true}
+		}
+		return nil
+	})
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write err = %v, want ENOSPC", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write wrote %d bytes, want 4", n)
+	}
+	ffs.SetPlan(nil)
+	f.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abcd" {
+		t.Fatalf("on-disk content %q, want the first half only", b)
+	}
+}
+
+func TestFaultFSCrash(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	path := filepath.Join(dir, "d.txt")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.Crash()
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() = false after Crash()")
+	}
+	// Every mutating op on the crashed filesystem errors loudly —
+	// never a silent success the durability invariants would miss.
+	if _, err := f.Write([]byte("after")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync err = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "e.txt")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v, want ErrCrashed", err)
+	}
+	if err := ffs.Rename(path, path+".new"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v, want ErrCrashed", err)
+	}
+	// Close still reaches the real file: no fd leaks in torture loops.
+	if err := f.Close(); err != nil {
+		t.Fatalf("post-crash close: %v", err)
+	}
+	// Reads keep working: the "disk" still holds what made it down.
+	b, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if string(b) != "before" {
+		t.Fatalf("post-crash content %q, want %q", b, "before")
+	}
+}
+
+func TestFaultFSCrashViaPlan(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.SetPlan(func(op Op, p string, n int64) *Fault {
+		if op == OpCreate && strings.HasSuffix(p, ".blk") {
+			return &Fault{Err: syscall.EIO, Crash: true}
+		}
+		return nil
+	})
+	if _, err := ffs.Create(filepath.Join(dir, "x.blk")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("create err = %v, want EIO", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("plan Crash did not arm crashed state")
+	}
+}
+
+func TestOpMutating(t *testing.T) {
+	muts := []Op{OpOpenFile, OpCreate, OpRename, OpRemove, OpMkdirAll, OpSyncDir, OpWrite, OpSync, OpTruncate}
+	for _, op := range muts {
+		if !op.Mutating() {
+			t.Errorf("%v.Mutating() = false, want true", op)
+		}
+	}
+	reads := []Op{OpOpen, OpReadDir, OpReadFile, OpRead, OpReadAt, OpSeek, OpStat}
+	for _, op := range reads {
+		if op.Mutating() {
+			t.Errorf("%v.Mutating() = true, want false", op)
+		}
+	}
+}

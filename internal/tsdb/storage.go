@@ -8,6 +8,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tsdb/fsio"
 )
 
 // DB is the time-series store. It shards series across a fixed set of
@@ -56,6 +59,17 @@ type DB struct {
 	// it clears.
 	markersPending atomic.Bool
 
+	// degraded is the sticky read-only state (see degrade.go); nil
+	// while healthy. The *Fails counters track consecutive failures
+	// toward the degrade thresholds, the *Errs counters are cumulative
+	// totals for /metrics.
+	degraded       atomic.Pointer[degradedState]
+	walAppendFails atomic.Uint32
+	flushFails     atomic.Uint32
+	compactFails   atomic.Uint32
+	walAppendErrs  atomic.Uint64
+	walFsyncErrs   atomic.Uint64
+
 	// loopStop/loopWG manage the background flush+compact goroutine.
 	loopStop chan struct{}
 	loopWG   sync.WaitGroup
@@ -99,6 +113,11 @@ type Options struct {
 	// (default time.Now). Deployments replaying historic data inject
 	// their simulated clock here.
 	Now func() time.Time
+
+	// FS is the filesystem the WAL and block layer run on (default
+	// fsio.OS, the real one). Tests substitute a fault-injecting
+	// implementation here.
+	FS fsio.FS
 }
 
 // withDefaults resolves zero fields.
@@ -120,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.FS == nil {
+		o.FS = fsio.OS
 	}
 	return o
 }
@@ -181,7 +203,7 @@ func OpenOptions(opts Options) (*DB, error) {
 		ds.maxMergeBytes = opts.CompactMaxBytes
 		db.disk = ds
 	}
-	w, err := openWAL(opts.Dir)
+	w, err := openWAL(opts.Dir, opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +226,15 @@ func OpenOptions(opts Options) (*DB, error) {
 	if db.disk != nil && opts.FlushInterval > 0 {
 		db.loopStop = make(chan struct{})
 		db.loopWG.Add(1)
-		go db.flushLoop(db.loopStop)
+		// Supervised: a panic in a flush or compaction pass is logged
+		// and the loop restarted with backoff instead of silently
+		// losing background flushing for the process lifetime.
+		go func() {
+			defer db.loopWG.Done()
+			obs.Supervised("tsdb-flush", nil, db.loopStop, func() {
+				db.flushLoop(db.loopStop)
+			})
+		}()
 	}
 	return db, nil
 }
@@ -228,18 +258,29 @@ func (db *DB) Close() error {
 	return err
 }
 
-// Sync forces WAL contents to stable storage.
+// Sync forces WAL contents to stable storage. Any failure degrades
+// the store immediately: after a rejected fsync the page cache can no
+// longer be trusted to match the disk, so retrying (and acking) writes
+// would risk silent loss.
 func (db *DB) Sync() error {
 	if db.wal == nil {
 		return nil
 	}
-	ins := db.instr.Load()
-	if ins == nil {
-		return db.wal.sync()
+	if err := db.Degraded(); err != nil {
+		return err
 	}
-	t0 := time.Now()
-	err := db.wal.sync()
-	ins.WALFsync.ObserveSince(t0)
+	var err error
+	if ins := db.instr.Load(); ins != nil {
+		t0 := time.Now()
+		err = db.wal.sync()
+		ins.WALFsync.ObserveSince(t0)
+	} else {
+		err = db.wal.sync()
+	}
+	if err != nil {
+		db.walFsyncErrs.Add(1)
+		db.degrade(fmt.Errorf("wal sync: %w", err))
+	}
 	return err
 }
 
@@ -269,15 +310,20 @@ func (db *DB) Put(dp DataPoint) error {
 // per-point resolution cost. The timestamp must be in range (callers
 // resolving through Intern at a network edge validate there).
 func (db *DB) PutRef(rp RefPoint) error {
+	if st := db.degraded.Load(); st != nil {
+		return st.err
+	}
 	if db.wal != nil {
 		db.walGate.RLock()
 		err := db.wal.appendOne(rp)
 		if err != nil {
 			db.walGate.RUnlock()
+			db.noteWALAppendError(err)
 			return fmt.Errorf("tsdb: wal append: %w", err)
 		}
 		db.insertRef(rp)
 		db.walGate.RUnlock()
+		db.noteWALAppendOK()
 	} else {
 		db.insertRef(rp)
 	}

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tsdb/fsio"
 )
 
 // wal is a single-file append-only write-ahead log. Records are
@@ -56,7 +58,8 @@ import (
 // then rewritten in the current format on open.
 type wal struct {
 	mu   sync.Mutex
-	f    *os.File
+	fs   fsio.FS
+	f    fsio.File
 	w    *bufio.Writer
 	path string
 
@@ -103,16 +106,24 @@ const (
 
 var errWALCorrupt = errors.New("tsdb: wal record corrupt")
 
-func openWAL(dir string) (*wal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// errWALFsync classifies a failed WAL fsync (as opposed to a failed
+// buffered write). After a rejected fsync the kernel may drop the
+// dirty pages while the process-side page cache still reads back
+// clean, so no retry can be trusted — callers degrade immediately on
+// errors.Is(err, errWALFsync).
+var errWALFsync = errors.New("tsdb: wal fsync failed")
+
+func openWAL(dir string, fs fsio.FS) (*wal, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: wal dir: %w", err)
 	}
 	path := filepath.Join(dir, walFileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: wal open: %w", err)
 	}
 	l := &wal{
+		fs:         fs,
 		f:          f,
 		w:          bufio.NewWriterSize(f, 64<<10),
 		path:       path,
@@ -578,7 +589,7 @@ func (l *wal) appendFlushMarker(cutoffMS int64, files []string) error {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errWALFsync, err)
 	}
 	l.lastSync.Store(time.Now().UnixNano())
 	return nil
@@ -675,13 +686,13 @@ func (l *wal) compact(db *DB) error {
 		return err
 	}
 	tmpPath := l.path + ".tmp"
-	tf, err := os.Create(tmpPath)
+	tf, err := l.fs.Create(tmpPath)
 	if err != nil {
 		return fmt.Errorf("tsdb: wal compact: %w", err)
 	}
 	fail := func(err error) error {
 		tf.Close()
-		os.Remove(tmpPath)
+		l.fs.Remove(tmpPath)
 		return fmt.Errorf("tsdb: wal compact: %w", err)
 	}
 	w := bufio.NewWriterSize(tf, 1<<20)
@@ -730,12 +741,12 @@ func (l *wal) compact(db *DB) error {
 	if err := tf.Close(); err != nil {
 		return fail(err)
 	}
-	if err := os.Rename(tmpPath, l.path); err != nil {
-		os.Remove(tmpPath)
+	if err := l.fs.Rename(tmpPath, l.path); err != nil {
+		l.fs.Remove(tmpPath)
 		return fmt.Errorf("tsdb: wal compact: %w", err)
 	}
 	old := l.f
-	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
 	if err != nil {
 		// The rename landed but the reopen failed: the compacted log
 		// on disk is complete, but this handle now points at the
@@ -802,7 +813,7 @@ func (l *wal) sync() error {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", errWALFsync, err)
 	}
 	l.lastSync.Store(time.Now().UnixNano())
 	return nil
