@@ -59,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dashboard"
 	"repro/internal/lineproto"
+	"repro/internal/repl"
 	"repro/internal/rollup"
 	"repro/internal/tsdb"
 )
@@ -114,6 +115,17 @@ unflushed tail, and rollup open-window state persists across restarts
 	shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second,
 		"deadline for graceful HTTP shutdown on exit before remaining connections are force-closed")
 
+	replicaOf = flag.String("replica-of", "",
+		`run as a read-only replica of the primary at this -repl-listen
+address: bootstrap its snapshot into -data-dir, apply its live WAL
+stream, serve reads, refuse writes with 503 (requires -data-dir; see
+docs/OPERATIONS.md "Running a replica")`)
+	replListen = flag.String("repl-listen", "",
+		`serve WAL-streaming replication to followers on this address
+("" = disabled); followers authenticate with -api-key when one is set`)
+	replLagMax = flag.Duration("repl-lag-max", 0,
+		"on a replica, flip /healthz to 503 when replication lag exceeds this (0 = never)")
+
 	selfScrape = flag.Duration("self-scrape", 15*time.Second,
 		"write the server's own /metrics gauges into the store this often (0 = off)")
 	selfPrefix = flag.String("self-prefix", "ctt.self",
@@ -164,6 +176,34 @@ func parseTiers(spec string) ([]rollup.Tier, error) {
 	return tiers, nil
 }
 
+// validateFlags rejects conflicting flag combinations with one-line
+// actionable errors before any state is touched. flag.Visit
+// distinguishes an explicit -telnet from the default, so a plain
+// "-replica-of host" run just disables the write listener instead of
+// erroring on the default value.
+func validateFlags() error {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-replica-of requires -data-dir: the replica bootstraps the primary's snapshot there")
+		}
+		if explicit["telnet"] && *telnetAddr != "" {
+			return fmt.Errorf(`-replica-of runs read-only: drop -telnet or pass -telnet "" (writes belong on the primary at %s)`, *replicaOf)
+		}
+		if *replListen != "" {
+			return fmt.Errorf("-replica-of cannot be combined with -repl-listen: chained replication is not supported, point every follower at the primary")
+		}
+		if explicit["wal"] && *walDir != "" {
+			return fmt.Errorf("-replica-of uses -data-dir durable storage; -wal is not supported on a replica")
+		}
+	}
+	if *replListen != "" && *dataDir == "" && *walDir == "" {
+		return fmt.Errorf("-repl-listen requires persistence: set -data-dir (or -wal) so there is a WAL to stream")
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
 	logger, err := newLogger()
@@ -172,6 +212,14 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
+	if err := validateFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *replicaOf != "" {
+		runReplica(logger)
+		return
+	}
 	var cfg core.Config
 	switch *city {
 	case "trondheim":
@@ -312,6 +360,33 @@ func main() {
 		logger.Info("line protocol listening", "addr", lpAddr.String(),
 			"try", fmt.Sprintf("echo \"put ctt.co2 $(date +%%s) 415 sensor=cli\" | nc %s",
 				strings.ReplaceAll(lpAddr.String(), ":", " ")))
+	}
+
+	// WAL-streaming replication: followers bootstrap a snapshot and
+	// tail the log over this listener (docs/OPERATIONS.md "Running a
+	// replica"). Auth shares -api-key with the data plane.
+	var replSrv *repl.Server
+	if *replListen != "" {
+		replSrv = repl.NewServer(repl.ServerConfig{
+			DB:        sys.DB,
+			Logger:    logger,
+			Authorize: gw.CheckAPIKey,
+			Aux:       []string{"rollup.state"},
+		})
+		if err := replSrv.Start(*replListen); err != nil {
+			fatal(logger, "replication listener", err)
+		}
+		defer replSrv.Close()
+		reg := gw.Registry()
+		reg.Gauge("ctt_repl_connected", func() float64 { return float64(replSrv.Stats().Connected) })
+		reg.Gauge("ctt_repl_epoch", func() float64 { return float64(sys.DB.ReplEpoch()) })
+		reg.Gauge("ctt_repl_bytes_total", func() float64 { return float64(replSrv.Stats().BytesOut) })
+		reg.Gauge("ctt_repl_snapshots_total", func() float64 { return float64(replSrv.Stats().Snapshots) })
+		gw.AddHealthSource(func(m map[string]any) {
+			m["repl_followers"] = replSrv.Stats().Connected
+			m["repl_epoch"] = sys.DB.ReplEpoch()
+		})
+		logger.Info("replication listening", "addr", replSrv.Addr().String())
 	}
 
 	// Opt-in pprof on its own listener, so profiling never shares a
@@ -470,6 +545,11 @@ func main() {
 	closersDone := make(chan struct{})
 	go func() {
 		defer close(closersDone)
+		if replSrv != nil {
+			// Followers get a shutdown frame and their connections are
+			// force-closed; they reconnect to whoever serves next.
+			replSrv.Close()
+		}
 		gw.Close()
 		if lp != nil {
 			lp.Close()

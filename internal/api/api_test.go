@@ -585,12 +585,12 @@ func TestParseTime(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newQueryCache(2)
-	c.put("a", []byte("1"), 0, 0, nil)
-	c.put("b", []byte("2"), 0, 0, nil)
+	c.put("a", []byte("1"), 0, 0, nil, nil)
+	c.put("b", []byte("2"), 0, 0, nil, nil)
 	if _, ok := c.get("a"); !ok { // refresh a
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("3"), 0, 0, nil) // evicts b
+	c.put("c", []byte("3"), 0, 0, nil, nil) // evicts b
 	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}
@@ -606,14 +606,14 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheByteBounds(t *testing.T) {
 	c := newQueryCache(1000)
 	// Oversized bodies are never cached.
-	c.put("huge", make([]byte, maxCacheBody+1), 0, 0, nil)
+	c.put("huge", make([]byte, maxCacheBody+1), 0, 0, nil, nil)
 	if _, ok := c.get("huge"); ok {
 		t.Error("oversized body was cached")
 	}
 	// Total bytes stay under maxCacheBytes: 100 entries of ~1 MiB
 	// exceed 64 MiB, so early ones must be evicted.
 	for i := 0; i < 100; i++ {
-		c.put(fmt.Sprintf("k%03d", i), make([]byte, maxCacheBody), 0, 0, nil)
+		c.put(fmt.Sprintf("k%03d", i), make([]byte, maxCacheBody), 0, 0, nil, nil)
 	}
 	if c.bytes > maxCacheBytes {
 		t.Errorf("cache holds %d bytes, cap %d", c.bytes, maxCacheBytes)
@@ -623,6 +623,44 @@ func TestCacheByteBounds(t *testing.T) {
 	}
 	if _, ok := c.get("k099"); !ok {
 		t.Error("newest entry missing")
+	}
+}
+
+// TestCacheFillPoisoning pins the look-aside race fix: a write that
+// lands between a query's store read and its cache insert must keep
+// the (now stale) body out of the cache — otherwise, with no later
+// write to invalidate it, the stale entry would be served forever.
+func TestCacheFillPoisoning(t *testing.T) {
+	c := newQueryCache(10)
+
+	// Write inside the fill's range while the "scan" is in flight:
+	// the body read before that write must not be inserted.
+	f := c.beginFill(100, 200, []string{"m.a"})
+	c.invalidate("m.a", 150)
+	c.put("k1", []byte("stale"), 100, 200, []string{"m.a"}, f)
+	if _, ok := c.get("k1"); ok {
+		t.Error("poisoned fill was cached")
+	}
+
+	// A write outside the range, or to another metric, is harmless.
+	f = c.beginFill(100, 200, []string{"m.a"})
+	c.invalidate("m.a", 300)
+	c.invalidate("m.b", 150)
+	c.put("k2", []byte("fresh"), 100, 200, []string{"m.a"}, f)
+	if _, ok := c.get("k2"); !ok {
+		t.Error("unpoisoned fill was not cached")
+	}
+
+	// Abandoned fills deregister; endFill after put is a no-op, and
+	// the registry drains back to empty either way.
+	f = c.beginFill(100, 200, []string{"m.a"})
+	c.endFill(f)
+	c.endFill(f)
+	if n := c.fillCount.Load(); n != 0 {
+		t.Errorf("fillCount = %d after drain, want 0", n)
+	}
+	if len(c.fills) != 0 {
+		t.Errorf("fills registry not empty: %v", c.fills)
 	}
 }
 

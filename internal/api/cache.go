@@ -31,13 +31,33 @@ type queryCache struct {
 	// byMetric indexes live entries by each metric they cover, so
 	// per-point invalidation only scans entries that could match.
 	byMetric map[string]map[*list.Element]struct{}
+	// fills tracks in-flight cache fills by metric. A query registers
+	// its metrics and range here before it reads the store; a write
+	// landing inside that range poisons the fill, and a poisoned fill
+	// is discarded instead of inserted. Without this, a look-aside
+	// race goes permanent: the store read happens before a write
+	// commits, the write's invalidation finds no entry to drop, the
+	// stale body is inserted after — and if no further write touches
+	// that metric, every later query hits the stale entry forever.
+	fills map[string]map[*cacheFill]struct{}
 	// count mirrors len(entries) so invalidate — called for every
 	// stored point — skips the mutex entirely while the cache is
-	// empty (the common state during bulk ingest).
+	// empty (the common state during bulk ingest). fillCount does the
+	// same for in-flight fills.
 	count       atomic.Int64
+	fillCount   atomic.Int64
 	hits        atomic.Uint64
 	misses      atomic.Uint64
 	invalidated atomic.Uint64
+}
+
+// cacheFill is one in-flight fill registration. All fields are
+// guarded by queryCache.mu after construction.
+type cacheFill struct {
+	start, end int64
+	metrics    []string
+	poisoned   bool
+	done       bool
 }
 
 type cacheEntry struct {
@@ -57,7 +77,59 @@ func newQueryCache(capacity int) *queryCache {
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
 		byMetric: make(map[string]map[*list.Element]struct{}),
+		fills:    make(map[string]map[*cacheFill]struct{}),
 	}
+}
+
+// beginFill registers an intent to cache a result covering metrics
+// over [start, end] (ms). Call before the first store read; pass the
+// token to put, and endFill it on every other exit path. Returns nil
+// when caching is disabled.
+func (c *queryCache) beginFill(start, end int64, metrics []string) *cacheFill {
+	if c.cap <= 0 {
+		return nil
+	}
+	f := &cacheFill{start: start, end: end, metrics: metrics}
+	c.mu.Lock()
+	for _, m := range metrics {
+		set, ok := c.fills[m]
+		if !ok {
+			set = make(map[*cacheFill]struct{})
+			c.fills[m] = set
+		}
+		set[f] = struct{}{}
+	}
+	c.fillCount.Add(1)
+	c.mu.Unlock()
+	return f
+}
+
+// endFill deregisters a fill without inserting anything (the abandon
+// path). Safe on nil and after put already consumed the token.
+func (c *queryCache) endFill(f *cacheFill) {
+	if f == nil {
+		return
+	}
+	c.mu.Lock()
+	c.dropFill(f)
+	c.mu.Unlock()
+}
+
+// dropFill deregisters f once. Caller holds c.mu.
+func (c *queryCache) dropFill(f *cacheFill) {
+	if f.done {
+		return
+	}
+	f.done = true
+	for _, m := range f.metrics {
+		if set, ok := c.fills[m]; ok {
+			delete(set, f)
+			if len(set) == 0 {
+				delete(c.fills, m)
+			}
+		}
+	}
+	c.fillCount.Add(-1)
 }
 
 func (c *queryCache) get(key string) ([]byte, bool) {
@@ -76,12 +148,22 @@ func (c *queryCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-func (c *queryCache) put(key string, body []byte, start, end int64, metrics []string) {
-	if c.cap <= 0 || len(body) > maxCacheBody {
+// put inserts a result body, consuming the fill token from beginFill.
+// The poison check and the insert happen under one lock hold, so an
+// invalidation can never land between them.
+func (c *queryCache) put(key string, body []byte, start, end int64, metrics []string, f *cacheFill) {
+	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	clean := f == nil || !f.poisoned
+	if f != nil {
+		c.dropFill(f)
+	}
+	if !clean || len(body) > maxCacheBody {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.bytes += len(body) - len(e.body)
@@ -103,13 +185,20 @@ func (c *queryCache) put(key string, body []byte, start, end int64, metrics []st
 }
 
 // invalidate drops every entry whose query covered metric at time
-// tsMS. Called from the store's write observer for each stored point.
+// tsMS, and poisons every in-flight fill it would have dropped had it
+// already been inserted. Called from the store's write observer for
+// each stored point.
 func (c *queryCache) invalidate(metric string, tsMS int64) {
-	if c.cap <= 0 || c.count.Load() == 0 {
+	if c.cap <= 0 || (c.count.Load() == 0 && c.fillCount.Load() == 0) {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for f := range c.fills[metric] {
+		if f.start <= tsMS && tsMS <= f.end {
+			f.poisoned = true
+		}
+	}
 	set, ok := c.byMetric[metric]
 	if !ok {
 		return

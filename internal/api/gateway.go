@@ -190,6 +190,10 @@ type Gateway struct {
 	enqSeq int64
 	deqSeq atomic.Int64
 
+	// role tracks replica mode (read-only + primary address + the
+	// promotion hook behind /api/promote).
+	role roleState
+
 	// healthSources contribute subsystem detail (rollup watermark lag)
 	// to /healthz without the gateway importing those packages.
 	hsMu          sync.Mutex
@@ -388,6 +392,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/api/query", g.requireKey(g.handleQuery))
 	mux.HandleFunc("/api/suggest", g.requireKey(g.handleSuggest))
 	mux.HandleFunc("/api/stream", g.requireKey(g.handleStream))
+	mux.HandleFunc("/api/promote", g.requireKey(g.handlePromote))
 	mux.HandleFunc("/api/inflight", g.requireKey(g.handleInflight))
 	mux.HandleFunc("/api/traces", g.requireKey(g.handleTraces))
 	mux.HandleFunc("/api/traces/", g.requireKey(g.handleTraces))
@@ -612,6 +617,12 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ingest_queue_depth":    depth,
 		"ingest_queue_capacity": capacity,
 		"wal_bytes":             g.db.WALBytes(),
+	}
+	if ro, primary := g.ReadOnly(); ro {
+		m["role"] = "replica"
+		m["primary"] = primary
+	} else {
+		m["role"] = "primary"
 	}
 	if t, ok := g.db.WALLastSync(); ok {
 		m["wal_last_fsync_age_ms"] = time.Since(t).Milliseconds()

@@ -156,6 +156,9 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if g.rejectReadOnly(w) {
+		return
+	}
 	g.putReqs.Add(1)
 	tr := obs.NewTrace("put", r.URL.Path)
 	untrack := g.inflight.Track(tr)

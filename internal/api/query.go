@@ -206,6 +206,17 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// bytes for the cache, and — if the store fails mid-scan, after a
 	// 200 is already on the wire — ends the stream with an explicit
 	// truncation marker instead of a silently short result.
+	//
+	// Register the fill before the first store read: a write landing
+	// in this range while we scan poisons the token, and put discards
+	// a poisoned body instead of caching a result the write's own
+	// invalidation could no longer reach.
+	metrics := make([]string, 0, len(subs))
+	for _, sq := range subs {
+		metrics = append(metrics, sq.Metric)
+	}
+	fill := g.cache.beginFill(start, end, metrics)
+	defer g.cache.endFill(fill)
 	scan := tr.StartSpan("scan")
 	serialize := tr.Stage("serialize")
 	enc := newStreamEncoder(w, r, "miss")
@@ -239,11 +250,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, cacheable := enc.finish(nil)
 	sp.End()
 	if cacheable {
-		metrics := make([]string, 0, len(subs))
-		for _, sq := range subs {
-			metrics = append(metrics, sq.Metric)
-		}
-		g.cache.put(key, body, start, end, metrics)
+		g.cache.put(key, body, start, end, metrics, fill)
 	}
 }
 

@@ -1,0 +1,93 @@
+package api
+
+// Replica role support: a gateway serving a replication follower
+// accepts the full read surface but refuses writes with 503 plus the
+// primary's address, and exposes POST /api/promote to flip the node
+// into a writable primary (the promotion mechanics — stopping the
+// stream, fencing the epoch — live in the hook ctt-server installs).
+
+import (
+	"net/http"
+	"sync"
+)
+
+type roleState struct {
+	mu        sync.Mutex
+	readOnly  bool
+	primary   string
+	promote   func() (uint64, error)
+	promoting sync.Mutex
+}
+
+// SetReplica flips the gateway read-only: writes are refused with 503
+// naming primary, and promote becomes the POST /api/promote action
+// (expected to stop replication, fence a new epoch, and return it).
+func (g *Gateway) SetReplica(primary string, promote func() (uint64, error)) {
+	g.role.mu.Lock()
+	g.role.readOnly = true
+	g.role.primary = primary
+	g.role.promote = promote
+	g.role.mu.Unlock()
+}
+
+// SetWritable clears replica mode (after promotion).
+func (g *Gateway) SetWritable() {
+	g.role.mu.Lock()
+	g.role.readOnly = false
+	g.role.promote = nil
+	g.role.mu.Unlock()
+}
+
+// ReadOnly reports replica mode and the primary's address.
+func (g *Gateway) ReadOnly() (bool, string) {
+	g.role.mu.Lock()
+	defer g.role.mu.Unlock()
+	return g.role.readOnly, g.role.primary
+}
+
+// rejectReadOnly writes the 503 write-refusal when the gateway is a
+// replica; it reports whether the request was handled.
+func (g *Gateway) rejectReadOnly(w http.ResponseWriter) bool {
+	ro, primary := g.ReadOnly()
+	if !ro {
+		return false
+	}
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":   "replica is read-only",
+		"primary": primary,
+	})
+	return true
+}
+
+// handlePromote implements POST /api/promote (admin-keyed via
+// requireKey): flip a follower into a writable primary. Idempotent on
+// an already-writable node.
+func (g *Gateway) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// One promotion at a time; losers observe the flipped role.
+	g.role.promoting.Lock()
+	defer g.role.promoting.Unlock()
+	g.role.mu.Lock()
+	ro, promote := g.role.readOnly, g.role.promote
+	g.role.mu.Unlock()
+	if !ro {
+		writeJSON(w, http.StatusOK, map[string]any{"role": "primary", "promoted": false})
+		return
+	}
+	if promote == nil {
+		httpError(w, http.StatusInternalServerError, "no promotion hook installed")
+		return
+	}
+	epoch, err := promote()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "promotion failed: %v", err)
+		return
+	}
+	g.SetWritable()
+	g.cfg.Logger.Info("promoted to primary", "epoch", epoch)
+	writeJSON(w, http.StatusOK, map[string]any{"role": "primary", "promoted": true, "epoch": epoch})
+}

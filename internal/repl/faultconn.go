@@ -1,0 +1,120 @@
+package repl
+
+// FaultConn is the network-link twin of fsio.FaultFS: a net.Conn
+// wrapper that injects plan-driven faults — connection resets,
+// partial writes, stalls — at chosen operation numbers, so the
+// seeded-schedule torture methodology from the disk layer extends to
+// the replication link.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnOp identifies one kind of connection operation.
+type ConnOp uint8
+
+const (
+	ConnRead ConnOp = iota
+	ConnWrite
+)
+
+func (op ConnOp) String() string {
+	if op == ConnRead {
+		return "read"
+	}
+	return "write"
+}
+
+// ErrConnReset is the error injected by a Reset fault.
+var ErrConnReset = errors.New("repl: injected connection reset")
+
+// ConnFault describes what to inject at one operation.
+type ConnFault struct {
+	// Err is the error returned to the caller; defaults to
+	// ErrConnReset when Reset is set.
+	Err error
+	// Reset closes the underlying connection first, so the peer
+	// observes the failure too.
+	Reset bool
+	// Partial applies to Write: the first half of the buffer reaches
+	// the peer before the error, modeling a torn frame mid-flight.
+	Partial bool
+	// Stall sleeps before attempting the operation, modeling a hung
+	// link (the peer's deadlines decide what happens next).
+	Stall time.Duration
+}
+
+// ConnPlan decides, for each operation, whether to inject a fault. It
+// runs under the FaultConn mutex with a 1-based operation number
+// counting every Read and Write, so plan closures may keep private
+// state without locking. Returning nil lets the operation through.
+type ConnPlan func(op ConnOp, n int64) *ConnFault
+
+// FaultConn wraps a net.Conn and injects faults per its plan. The
+// zero plan passes everything through.
+type FaultConn struct {
+	net.Conn
+
+	mu   sync.Mutex
+	plan ConnPlan
+	ops  int64
+}
+
+// NewFaultConn wraps inner with the given plan (nil = passthrough).
+func NewFaultConn(inner net.Conn, plan ConnPlan) *FaultConn {
+	return &FaultConn{Conn: inner, plan: plan}
+}
+
+func (c *FaultConn) next(op ConnOp) *ConnFault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.plan == nil {
+		return nil
+	}
+	return c.plan(op, c.ops)
+}
+
+func (c *FaultConn) fire(f *ConnFault) error {
+	if f.Stall > 0 {
+		time.Sleep(f.Stall)
+	}
+	if f.Reset {
+		c.Conn.Close()
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Reset {
+		return ErrConnReset
+	}
+	return nil
+}
+
+func (c *FaultConn) Read(p []byte) (int, error) {
+	if f := c.next(ConnRead); f != nil {
+		if err := c.fire(f); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *FaultConn) Write(p []byte) (int, error) {
+	if f := c.next(ConnWrite); f != nil {
+		if f.Partial && len(p) > 1 {
+			n, _ := c.Conn.Write(p[:len(p)/2])
+			if err := c.fire(f); err != nil {
+				return n, err
+			}
+			return n, ErrConnReset
+		}
+		if err := c.fire(f); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,379 @@
+package repl
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+var testBase = time.Date(2017, time.March, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+
+func openStore(t *testing.T, dir string) *tsdb.DB {
+	t.Helper()
+	db, err := tsdb.OpenOptions(tsdb.Options{
+		Dir: dir, DurableBlocks: true,
+		FlushInterval: -1, CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func put(t *testing.T, db *tsdb.DB, metric, sensor string, i int) {
+	t.Helper()
+	err := db.Put(tsdb.DataPoint{
+		Metric: metric,
+		Tags:   map[string]string{"sensor": sensor},
+		Point:  tsdb.Point{Timestamp: testBase + int64(i)*60000, Value: float64(i)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startPrimary(t *testing.T, db *tsdb.DB, key string) *Server {
+	t.Helper()
+	srv := NewServer(ServerConfig{
+		DB:        db,
+		Heartbeat: 50 * time.Millisecond,
+		Authorize: func(k string) bool { return key == "" || k == key },
+		Aux:       []string{"rollup.state"},
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// replica bundles a follower node's moving parts for tests.
+type replica struct {
+	dir string
+	db  *tsdb.DB
+	fol *Follower
+}
+
+// startReplica bootstraps dir from the primary and starts the apply
+// loop. dial, when non-nil, replaces the network dialer (fault tests).
+func startReplica(t *testing.T, dir, primary, key string, dial DialFunc) *replica {
+	t.Helper()
+	boot, err := Bootstrap(BootstrapConfig{Dir: dir, Primary: primary, Key: key, Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openStore(t, dir)
+	if boot.Snapshot {
+		if err := db.CommitReplPos(boot.Pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fol := NewFollower(FollowerConfig{
+		DB: db, Primary: primary, Key: key, Dial: dial,
+		Heartbeat:  50 * time.Millisecond,
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+	})
+	fol.Start(boot)
+	return &replica{dir: dir, db: db, fol: fol}
+}
+
+func (r *replica) close() {
+	r.fol.Close()
+	r.db.Close()
+}
+
+// waitParity polls until the replica holds the same points as the
+// primary (or the deadline passes).
+func waitParity(t *testing.T, p, r *tsdb.DB, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if p.PointCount() == r.PointCount() && p.SeriesCount() == r.SeriesCount() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no parity after %v: primary %d pts/%d series, replica %d pts/%d series",
+				timeout, p.PointCount(), p.SeriesCount(), r.PointCount(), r.SeriesCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertSeriesEqual compares one series' exact point set on both nodes.
+func assertSeriesEqual(t *testing.T, p, r *tsdb.DB, metric, sensor string) {
+	t.Helper()
+	tags := map[string]string{"sensor": sensor}
+	want, err := p.SeriesWindowExact(metric, tags, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.SeriesWindowExact(metric, tags, 0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s{sensor=%s}: replica has %d points, primary %d", metric, sensor, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s{sensor=%s}[%d]: replica %+v != primary %+v", metric, sensor, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotBootstrapAndCatchUp(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	for i := 0; i < 400; i++ {
+		put(t, pdb, "m.cpu", "a", i)
+		put(t, pdb, "m.mem", "b", i)
+	}
+	// Seal part of the history into block files so the snapshot ships
+	// blocks + WAL, not just a log.
+	if _, err := pdb.FlushBlocks(); err != nil {
+		t.Fatal(err)
+	}
+	srv := startPrimary(t, pdb, "sekrit")
+
+	rep := startReplica(t, t.TempDir(), srv.Addr().String(), "sekrit", nil)
+	defer rep.close()
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	assertSeriesEqual(t, pdb, rep.db, "m.cpu", "a")
+	assertSeriesEqual(t, pdb, rep.db, "m.mem", "b")
+
+	// Live writes keep flowing.
+	for i := 400; i < 500; i++ {
+		put(t, pdb, "m.cpu", "a", i)
+	}
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	assertSeriesEqual(t, pdb, rep.db, "m.cpu", "a")
+	if !rep.fol.Stats().Connected {
+		t.Fatal("follower should report connected")
+	}
+	if lag := rep.fol.Stats().LagSeconds; lag < 0 || lag > 10 {
+		t.Fatalf("implausible lag %v", lag)
+	}
+}
+
+func TestBadKeyRefused(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	srv := startPrimary(t, pdb, "sekrit")
+	_, err := Bootstrap(BootstrapConfig{Dir: t.TempDir(), Primary: srv.Addr().String(), Key: "wrong"})
+	if err == nil {
+		t.Fatal("bootstrap with a bad key should fail")
+	}
+}
+
+func TestReconnectResumesWithoutDuplicates(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	for i := 0; i < 50; i++ {
+		put(t, pdb, "m.rc", "a", i)
+	}
+	srv := startPrimary(t, pdb, "")
+
+	// A dialer that remembers the live conn so the test can cut it.
+	var mu sync.Mutex
+	var last net.Conn
+	dial := func(addr string) (net.Conn, error) {
+		c, err := defaultDial(addr)
+		if err == nil {
+			mu.Lock()
+			last = c
+			mu.Unlock()
+		}
+		return c, err
+	}
+	rep := startReplica(t, t.TempDir(), srv.Addr().String(), "", dial)
+	defer rep.close()
+	waitParity(t, pdb, rep.db, 5*time.Second)
+
+	// Cut the link mid-stream, keep writing, and verify the follower
+	// reconnects, resumes from its durable position, and applies each
+	// record exactly once.
+	mu.Lock()
+	last.Close()
+	mu.Unlock()
+	for i := 50; i < 150; i++ {
+		put(t, pdb, "m.rc", "a", i)
+	}
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	assertSeriesEqual(t, pdb, rep.db, "m.rc", "a")
+}
+
+func TestFollowerRestartResumes(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	for i := 0; i < 80; i++ {
+		put(t, pdb, "m.restart", "a", i)
+	}
+	srv := startPrimary(t, pdb, "")
+
+	dir := t.TempDir()
+	rep := startReplica(t, dir, srv.Addr().String(), "", nil)
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	rep.close() // clean shutdown: position is durable
+
+	for i := 80; i < 160; i++ {
+		put(t, pdb, "m.restart", "a", i)
+	}
+
+	// Restart: this must resume, not re-snapshot.
+	boot, err := Bootstrap(BootstrapConfig{Dir: dir, Primary: srv.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.Snapshot {
+		t.Fatal("restart with a durable position must resume, not re-seed")
+	}
+	db2 := openStore(t, dir)
+	fol2 := NewFollower(FollowerConfig{
+		DB: db2, Primary: srv.Addr().String(),
+		Heartbeat: 50 * time.Millisecond, MinBackoff: 5 * time.Millisecond,
+	})
+	fol2.Start(boot)
+	defer func() { fol2.Close(); db2.Close() }()
+	waitParity(t, pdb, db2, 5*time.Second)
+	assertSeriesEqual(t, pdb, db2, "m.restart", "a")
+}
+
+func TestOfflineStartWithDeadPrimary(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	for i := 0; i < 30; i++ {
+		put(t, pdb, "m.off", "a", i)
+	}
+	srv := startPrimary(t, pdb, "")
+	dir := t.TempDir()
+	rep := startReplica(t, dir, srv.Addr().String(), "", nil)
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	rep.close()
+	srv.Close()
+	pdb.Close()
+
+	// Primary gone: a resumable replica still starts and serves its
+	// stale state; a fresh directory cannot.
+	boot, err := Bootstrap(BootstrapConfig{Dir: dir, Primary: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatalf("offline bootstrap of a resumable dir: %v", err)
+	}
+	if !boot.Offline || boot.Snapshot {
+		t.Fatalf("boot = %+v, want offline resume", boot)
+	}
+	db2 := openStore(t, dir)
+	defer db2.Close()
+	pts, err := db2.SeriesWindowExact("m.off", map[string]string{"sensor": "a"}, 0, 1<<62)
+	if err != nil || len(pts) != 30 {
+		t.Fatalf("stale reads: %d points, err %v; want 30", len(pts), err)
+	}
+	if _, err := Bootstrap(BootstrapConfig{Dir: t.TempDir(), Primary: "127.0.0.1:1"}); err == nil {
+		t.Fatal("fresh dir with a dead primary must fail bootstrap")
+	}
+}
+
+func TestPromotionFencesOldPrimary(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	pdb := openStore(t, pdir)
+	for i := 0; i < 60; i++ {
+		put(t, pdb, "m.promo", "a", i)
+	}
+	srv := startPrimary(t, pdb, "")
+	rep := startReplica(t, rdir, srv.Addr().String(), "", nil)
+	waitParity(t, pdb, rep.db, 5*time.Second)
+
+	// Promote: replication stops, the epoch fences, writes land.
+	epoch, err := rep.fol.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", epoch)
+	}
+	put(t, rep.db, "m.promo", "a", 60)
+	if rep.db.ReplEpoch() != 2 {
+		t.Fatalf("ReplEpoch = %d after promotion", rep.db.ReplEpoch())
+	}
+
+	// The old primary refuses a client from the newer era...
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	pos, _ := rep.db.ReplPosition()
+	_, _, err = handshakeConn(conn, pos)
+	if !IsFenced(err) {
+		t.Fatalf("old primary handshake = %v, want fenced", err)
+	}
+
+	// ...and rejoining the new primary re-seeds the old one: its epoch
+	// is stale, so resume is refused in favor of a snapshot.
+	rep.fol.Close()
+	psrv2 := NewServer(ServerConfig{DB: rep.db, Heartbeat: 50 * time.Millisecond})
+	if err := psrv2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer psrv2.Close()
+	srv.Close()
+	pdb.Close()
+	boot, err := Bootstrap(BootstrapConfig{Dir: pdir, Primary: psrv2.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boot.Snapshot {
+		t.Fatal("stale old primary must be re-seeded by snapshot, not resumed")
+	}
+	if boot.Pos.Epoch != 2 {
+		t.Fatalf("re-seeded epoch = %d, want 2", boot.Pos.Epoch)
+	}
+	rep.db.Close()
+}
+
+// handshakeConn performs a raw client handshake claiming pos.
+func handshakeConn(conn net.Conn, pos tsdb.ReplPos) (uint64, byte, error) {
+	return handshake(conn, bufio.NewReader(conn), 2*time.Second, "", pos, true)
+}
+
+func TestWipeValidation(t *testing.T) {
+	for _, name := range []string{"../evil", "a/b", `a\b`, "..", ""} {
+		if validSnapName(name) {
+			t.Fatalf("validSnapName(%q) = true", name)
+		}
+	}
+	if !validSnapName("blk-000123.ctt") {
+		t.Fatal("plain file name rejected")
+	}
+}
+
+func TestGenerationSwitchMidStream(t *testing.T) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	for i := 0; i < 40; i++ {
+		put(t, pdb, "m.gen", "a", i)
+	}
+	srv := startPrimary(t, pdb, "")
+	rep := startReplica(t, t.TempDir(), srv.Addr().String(), "", nil)
+	defer rep.close()
+	waitParity(t, pdb, rep.db, 5*time.Second)
+
+	// A WAL rewrite on the primary remaps the caught-up lease; the
+	// follower must cross the generation boundary and keep applying.
+	if err := pdb.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 120; i++ {
+		put(t, pdb, "m.gen", "a", i)
+		if i == 80 {
+			if err := pdb.CompactWAL(); err != nil {
+				t.Logf("second compact: %v", err) // deferred is fine
+			}
+		}
+	}
+	waitParity(t, pdb, rep.db, 5*time.Second)
+	assertSeriesEqual(t, pdb, rep.db, "m.gen", "a")
+}

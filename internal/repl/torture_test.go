@@ -1,0 +1,195 @@
+package repl
+
+// Link-fault torture: a primary ingesting continuously while the
+// replication link fails on a seeded schedule — resets, partial
+// writes, stalls — interleaved with WAL rewrites on the primary and a
+// full follower restart. The invariants, per seed:
+//
+//  1. Once the link heals, the follower reaches exact parity: every
+//     series' point set is byte-identical to the primary's (so no
+//     acknowledged point is missing after any number of reconnects).
+//  2. No record is applied twice (a duplicate would surface as extra
+//     points in the exact per-series comparison).
+//  3. Follower restarts mid-run resume from the durable position and
+//     never fail fatally.
+//
+// CTT_REPL_TORTURE overrides the seed count; -short caps the depth.
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// tortureSeeds reports how many seeded schedules to run.
+func tortureSeeds(t *testing.T) int {
+	if v := os.Getenv("CTT_REPL_TORTURE"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CTT_REPL_TORTURE=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+// faultDialer wraps every dialed conn in a FaultConn driven by one
+// seeded rng shared across connections (each conn has its own op
+// counter, the schedule decisions share the stream).
+type faultDialer struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	healed  bool
+	resets  int
+	partial int
+	stalls  int
+}
+
+func (fd *faultDialer) plan(op ConnOp, n int64) *ConnFault {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.healed || n < 4 { // let every session at least handshake
+		return nil
+	}
+	switch fd.rng.Intn(40) {
+	case 0:
+		fd.resets++
+		return &ConnFault{Reset: true}
+	case 1:
+		if op == ConnWrite {
+			fd.partial++
+			return &ConnFault{Partial: true, Reset: true}
+		}
+		fd.resets++
+		return &ConnFault{Reset: true}
+	case 2:
+		fd.stalls++
+		return &ConnFault{Stall: 30 * time.Millisecond}
+	}
+	return nil
+}
+
+func (fd *faultDialer) dial(addr string) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewFaultConn(c, fd.plan), nil
+}
+
+func (fd *faultDialer) heal() {
+	fd.mu.Lock()
+	fd.healed = true
+	fd.mu.Unlock()
+}
+
+func TestTortureLinkFaults(t *testing.T) {
+	seeds := tortureSeeds(t)
+	batches := 120
+	if testing.Short() {
+		batches = 40
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(strconv.Itoa(seed), func(t *testing.T) {
+			runTortureSeed(t, int64(seed), batches)
+		})
+	}
+}
+
+// spawnReplica boots a follower over a (possibly faulty) link,
+// retrying the bootstrap like a supervisor loop would.
+func spawnReplica(t *testing.T, rdir, primary string, dial DialFunc) *replica {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		boot, err := Bootstrap(BootstrapConfig{Dir: rdir, Primary: primary, Dial: dial, Timeout: 2 * time.Second})
+		if err != nil {
+			if attempt > 50 {
+				t.Fatalf("bootstrap never succeeded: %v", err)
+			}
+			continue
+		}
+		db := openStore(t, rdir)
+		if boot.Snapshot {
+			if err := db.CommitReplPos(boot.Pos); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fol := NewFollower(FollowerConfig{
+			DB: db, Primary: primary, Dial: dial,
+			Heartbeat: 50 * time.Millisecond, MinBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		})
+		fol.Start(boot)
+		return &replica{dir: rdir, db: db, fol: fol}
+	}
+}
+
+func runTortureSeed(t *testing.T, seed int64, batches int) {
+	pdb := openStore(t, t.TempDir())
+	defer pdb.Close()
+	srv := startPrimary(t, pdb, "")
+	fd := &faultDialer{rng: rand.New(rand.NewSource(seed))}
+
+	rdir := t.TempDir()
+	rep := spawnReplica(t, rdir, srv.Addr().String(), fd.dial)
+
+	sensors := []string{"s0", "s1", "s2"}
+	n := 0
+	restartAt := batches / 2
+	for b := 0; b < batches; b++ {
+		for _, s := range sensors {
+			put(t, pdb, "m.torture", s, n)
+		}
+		n++
+		switch {
+		case b%17 == 13:
+			// WAL rewrite under fire: must defer or remap, never lose
+			// bytes a follower hasn't streamed.
+			if err := pdb.CompactWAL(); err != nil && err != tsdb.ErrTruncateDeferred {
+				t.Fatalf("compact under faults: %v", err)
+			}
+		case b%23 == 7:
+			if err := pdb.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b == restartAt {
+			// Full follower restart mid-run: durable position resume.
+			rep.close()
+			rep = spawnReplica(t, rdir, srv.Addr().String(), fd.dial)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Heal the link and require exact convergence. A primary WAL
+	// rewrite that outran a disconnected follower demands a snapshot
+	// re-sync, which is terminal for the process (healthz flags it);
+	// model the orchestrator restart that answers it.
+	fd.heal()
+	deadline := time.Now().Add(30 * time.Second)
+	for pdb.PointCount() != rep.db.PointCount() || pdb.SeriesCount() != rep.db.SeriesCount() {
+		if rep.fol.Stats().ResyncRequired {
+			rep.close()
+			rep = spawnReplica(t, rdir, srv.Addr().String(), fd.dial)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no parity: primary %d pts, replica %d pts (resync=%v)",
+				pdb.PointCount(), rep.db.PointCount(), rep.fol.Stats().ResyncRequired)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer rep.close()
+	for _, s := range sensors {
+		assertSeriesEqual(t, pdb, rep.db, "m.torture", s)
+	}
+	t.Logf("seed %d: %d resets, %d partial writes, %d stalls", seed, fd.resets, fd.partial, fd.stalls)
+}

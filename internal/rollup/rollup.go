@@ -30,6 +30,7 @@
 package rollup
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -564,8 +565,9 @@ func (e *Engine) ApplyRetention(now time.Time) (int, error) {
 	if total > 0 {
 		// Rewrite the WAL from the post-retention state (a no-op
 		// without persistence) so the log tracks the live data instead
-		// of growing forever.
-		if err := e.db.CompactWAL(); err != nil {
+		// of growing forever. A deferred truncation (live replication
+		// reader behind) is benign: the next pass retries.
+		if err := e.db.CompactWAL(); err != nil && !errors.Is(err, tsdb.ErrTruncateDeferred) {
 			return total, err
 		}
 	}

@@ -77,6 +77,13 @@ func (db *DB) appendBatch(dps []DataPoint, validate bool) BatchResult {
 // announced to observers in a single batch call. Timestamps must
 // already be validated. Error indexes refer to positions in rps.
 func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
+	return db.appendRefsPos(rps, nil)
+}
+
+// appendRefsPos is AppendRefs' body; a non-nil pos (the replication
+// apply path, see AppendRefsAt) rides in the same WAL write as the
+// batch.
+func (db *DB) appendRefsPos(rps []RefPoint, pos *ReplPos) BatchResult {
 	var res BatchResult
 	if len(rps) == 0 {
 		return res
@@ -97,7 +104,7 @@ func (db *DB) AppendRefs(rps []RefPoint) BatchResult {
 	}
 	if db.wal != nil {
 		db.walGate.RLock()
-		err := db.wal.appendRefs(rps)
+		err := db.wal.appendRefs(rps, pos)
 		if ins != nil {
 			relay(ins.WALAppend, &mark)
 		}

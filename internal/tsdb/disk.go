@@ -14,6 +14,7 @@ package tsdb
 // never inside them.
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -527,6 +528,11 @@ func (db *DB) diskDeleteBefore(cutoffMS int64, match func(metric string, tags ma
 	ds.sweepRetired(retiredFileGrace)
 	if db.markersPending.Load() {
 		if err := db.compactWALLocked(); err != nil {
+			if errors.Is(err, ErrTruncateDeferred) {
+				// Benign: a replication reader is behind; the expired
+				// chunks age out on a later pass.
+				return 0, nil
+			}
 			ds.compactErrs.Add(1)
 			return 0, fmt.Errorf("tsdb: retry wal truncate: %w", err)
 		}

@@ -175,6 +175,13 @@ func (db *DB) flushBefore(cutoffMS int64, truncate bool) (FlushStats, error) {
 	}
 	if truncate && db.wal != nil {
 		if err := db.compactWALLocked(); err != nil {
+			if errors.Is(err, ErrTruncateDeferred) {
+				// A live replication reader hasn't streamed the tail
+				// yet: not an error — the flush landed, markersPending
+				// stays set, and the next pass retries truncation once
+				// the reader catches up (or its lease is revoked).
+				return stats, nil
+			}
 			// The flush itself landed; the log just kept its old tail.
 			// markersPending stays set and the next pass retries.
 			ds.flushErrs.Add(1)
@@ -393,6 +400,12 @@ func (db *DB) CompactBlocks() (merged int, err error) {
 	ds.sweepRetired(retiredFileGrace)
 	if db.markersPending.Load() {
 		if err := db.compactWALLocked(); err != nil {
+			if errors.Is(err, ErrTruncateDeferred) {
+				// Benign: a replication reader is behind. Merging is
+				// skipped while markers are pending so their file
+				// references stay valid; the next pass retries.
+				return 0, nil
+			}
 			ds.compactErrs.Add(1)
 			return 0, fmt.Errorf("tsdb: retry wal truncate: %w", err)
 		}

@@ -53,6 +53,10 @@ type DB struct {
 	opts Options
 	disk *diskStore
 
+	// replPos is the last committed replication position (see repl.go);
+	// nil on a node that never applied a replicated record.
+	replPos atomic.Pointer[ReplPos]
+
 	// markersPending is set when a flush has appended a WAL marker but
 	// the follow-up WAL truncation has not succeeded yet; the
 	// compactor must not invalidate the marker's file references until

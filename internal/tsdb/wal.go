@@ -35,6 +35,8 @@ import (
 //	points (2):  count(2) | count × ( fileID(4) | ts(8) | value(8) )
 //	block  (3):  fileID(4) | minTS(8) | maxTS(8) | n(4) | dataLen(4) | data
 //	flush  (4):  cutoffMS(8) | nFiles(2) | fileName(str)*
+//	replpos(5):  gen(8) | off(8) | epoch(8) | flags(1)
+//	gen    (6):  gen(8)
 //
 // str is a 16-bit length prefix + bytes. fileIDs are local to one log
 // file session: every series is (re-)announced by a series record
@@ -43,6 +45,17 @@ import (
 // compaction (CompactWAL): a retention pass rewrites the log from the
 // store's state — sealed blocks verbatim, heads as points — so the
 // file tracks the data instead of growing forever.
+//
+// replpos records are written by a replica: each applied upstream
+// batch is followed (in the same buffered write) by the upstream
+// position it covers, so the durable resume offset can never run
+// ahead of or behind the data it acknowledges. At replay the file is
+// truncated back to the end of the last replpos record — trailing
+// records not covered by a position are dropped and re-fetched from
+// the primary — unless that record carries the detached flag
+// (promotion), in which case the node owns its tail. gen records open
+// every compacted file and persist the generation counter tailers
+// fence their offsets with.
 //
 // flush records are the durable-block commit markers: a flush pass
 // appends one (fsynced) naming the block files it is about to write,
@@ -85,16 +98,44 @@ type wal struct {
 	// lastSync is the wall-clock UnixNano of the last successful fsync
 	// (the open time before any) — /healthz reports its age.
 	lastSync atomic.Int64
+
+	// gen identifies the current file generation for external tailers
+	// (replication sessions): compaction rewrites the file and bumps
+	// it, persisting the new value in a leading gen record so offsets
+	// from an older file body can never be mistaken for offsets into
+	// the rewritten one across a restart. Guarded by mu.
+	gen uint64
+
+	// genHist remembers recently closed generations (their final size
+	// and the successor's base) so a tailer that was exactly caught up
+	// when the log was rewritten can resume without a snapshot.
+	// In-memory only; a restart empties it. Guarded by mu.
+	genHist []walGenSpan
+
+	// leases are the live registered tailers. Truncation defers (or
+	// revokes, past a byte budget) rather than rewriting bytes a lease
+	// has not streamed. Guarded by mu.
+	leases []*WALReader
+}
+
+// walGenSpan records one closed generation: the file size when
+// compaction retired it and the compacted successor's base offset.
+type walGenSpan struct {
+	gen      uint64
+	eof      int64
+	nextBase int64
 }
 
 const (
 	walFileName = "tsdb.wal"
 	walMagic    = "CTTWAL2\n"
 
-	walRecSeries = 1
-	walRecPoints = 2
-	walRecBlock  = 3
-	walRecFlush  = 4
+	walRecSeries  = 1
+	walRecPoints  = 2
+	walRecBlock   = 3
+	walRecFlush   = 4
+	walRecReplPos = 5
+	walRecGen     = 6
 
 	// maxWALPointsPerRecord chunks huge batches so the 16-bit count
 	// always fits with slack.
@@ -129,6 +170,7 @@ func openWAL(dir string, fs fsio.FS) (*wal, error) {
 		path:       path,
 		fileIDs:    make(map[SeriesID]uint32),
 		nextFileID: 1,
+		gen:        1,
 	}
 	// Fsync age counts from open until the first explicit sync.
 	l.lastSync.Store(time.Now().UnixNano())
@@ -183,10 +225,14 @@ func (db *DB) replayV2Locked(l *wal) error {
 	// the disk layer can reserve their sequence numbers and clean up
 	// after inert ones (see noteReplayMarker).
 	type markerRef struct {
+		start   int64
 		files   []string
 		honored bool
 	}
 	var markerRefs []markerRef
+	fileGen := uint64(1)
+	var lastPos *ReplPos
+	var lastPosEnd int64
 	framedEnd := int64(len(walMagic))
 	{
 		r := bufio.NewReaderSize(l.f, 64<<10)
@@ -225,13 +271,50 @@ func (db *DB) replayV2Locked(l *wal) error {
 				if honor {
 					markers = append(markers, flushMarker{start: off, cutoff: cutoff})
 				}
-				markerRefs = append(markerRefs, markerRef{files: files, honored: honor})
+				markerRefs = append(markerRefs, markerRef{start: off, files: files, honored: honor})
+			case walRecReplPos:
+				pos, ok := parseReplPosRecord(payload[1:])
+				if !ok {
+					break frame
+				}
+				lastPos = &pos
+				lastPosEnd = off + int64(8+n)
+			case walRecGen:
+				g, ok := parseGenRecord(payload[1:])
+				if !ok {
+					break frame
+				}
+				fileGen = g
 			default:
 				break frame // unknown record type: stop cleanly
 			}
 			off += int64(8 + n)
 		}
 		framedEnd = off
+	}
+	// A replica's log is only trusted up to the end of its last
+	// position record: trailing records are data the resume offset does
+	// not acknowledge, so they are dropped here and re-fetched from the
+	// primary (applying them AND resuming past-position would duplicate
+	// them; resuming at-position would, too). A detached position
+	// (promotion) means the node owns everything after it.
+	if lastPos != nil && !lastPos.Detached && lastPosEnd < framedEnd {
+		framedEnd = lastPosEnd
+		// Markers past the cut are no longer part of the log: treat
+		// them as inert so their block files are cleaned up rather than
+		// suppressing points the truncated log must now replay.
+		kept := markers[:0]
+		for _, m := range markers {
+			if m.start < framedEnd {
+				kept = append(kept, m)
+			}
+		}
+		markers = kept
+		for i := range markerRefs {
+			if markerRefs[i].start >= framedEnd {
+				markerRefs[i].honored = false
+			}
+		}
 	}
 	if db.disk != nil {
 		for _, m := range markerRefs {
@@ -257,6 +340,7 @@ func (db *DB) replayV2Locked(l *wal) error {
 	validEnd := int64(len(walMagic))
 	refs := map[uint32]*Ref{}
 	var maxFid uint32
+	var replayedPos *ReplPos
 	var header [8]byte
 	mi := 0
 scan:
@@ -293,6 +377,16 @@ scan:
 			}
 		case walRecFlush:
 			// Framing and honor decisions happened in pass 1.
+		case walRecReplPos:
+			// Only a position the replay actually covered counts as the
+			// durable resume offset (pass 2 can stop early on a corrupt
+			// apply).
+			if pos, ok := parseReplPosRecord(payload[1:]); ok {
+				p := pos
+				replayedPos = &p
+			}
+		case walRecGen:
+			// Parsed in pass 1 (fileGen).
 		}
 		validEnd += int64(8 + n)
 	}
@@ -304,6 +398,10 @@ scan:
 	}
 	l.w.Reset(l.f)
 	l.size.Store(validEnd)
+	l.gen = fileGen
+	if replayedPos != nil {
+		db.replPos.Store(replayedPos)
+	}
 	// A fresh session re-announces every series it touches: fileIDs
 	// starts empty and new ids start past everything replayed, so ids
 	// never collide within one file.
@@ -477,14 +575,17 @@ func (db *DB) replayLegacyLocked(l *wal) error {
 // caller's stack.
 func (l *wal) appendOne(rp RefPoint) error {
 	one := [1]RefPoint{rp}
-	return l.appendRefs(one[:])
+	return l.appendRefs(one[:], nil)
 }
 
 // appendRefs group-commits a batch: dictionary records for any series
 // this file has not announced yet, then packed points records, built
 // in the reused scratch buffer and handed to the OS with a single
-// buffered write under a single lock acquisition.
-func (l *wal) appendRefs(pts []RefPoint) error {
+// buffered write under a single lock acquisition. A non-nil pos
+// (replica apply path) rides in the same write as a replpos record,
+// so the durable resume offset and the data it covers are one
+// atomic-at-replay unit.
+func (l *wal) appendRefs(pts []RefPoint, pos *ReplPos) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -506,12 +607,18 @@ func (l *wal) appendRefs(pts []RefPoint) error {
 		}
 		buf = l.encodePointsRecordLocked(buf, pts[start:end])
 	}
+	if pos != nil {
+		buf = encodeReplPosRecord(buf, *pos)
+	}
 	_, err := l.w.Write(buf)
 	l.size.Add(int64(len(buf)))
 	if cap(buf) <= maxWALScratch {
 		l.scratch = buf[:0]
 	} else {
 		l.scratch = nil
+	}
+	if err == nil {
+		l.notifyLeasesLocked()
 	}
 	return err
 }
@@ -592,6 +699,7 @@ func (l *wal) appendFlushMarker(cutoffMS int64, files []string) error {
 		return fmt.Errorf("%w: %v", errWALFsync, err)
 	}
 	l.lastSync.Store(time.Now().UnixNano())
+	l.notifyLeasesLocked()
 	return nil
 }
 
@@ -674,9 +782,53 @@ func (db *DB) compactWALLocked() error {
 	return nil
 }
 
+// walLeaseDrainWait bounds how long a rewrite waits for live tailers
+// to stream the frozen tail before deferring. Writers are gated for
+// the duration, so this is also an ingest-stall bound.
+const walLeaseDrainWait = 500 * time.Millisecond
+
 func (l *wal) compact(db *DB) error {
-	l.mu.Lock()
+	// Truncation must never drop bytes a connected follower has not
+	// streamed. The caller holds the write side of walGate, so no new
+	// appends can land: wait briefly for live tailers to drain the
+	// frozen tail (revoking any lease past its byte budget — that
+	// follower falls back to a snapshot re-sync), and defer the rewrite
+	// if one is still behind.
+	deadline := time.Now().Add(walLeaseDrainWait)
+	for {
+		l.mu.Lock()
+		behind := false
+		size := l.size.Load()
+		for _, r := range l.leases {
+			if r.lost != nil {
+				continue
+			}
+			lag := size - r.off
+			if lag <= 0 {
+				continue
+			}
+			if r.maxLag > 0 && lag > r.maxLag {
+				r.revokeLocked()
+				continue
+			}
+			behind = true
+		}
+		if !behind {
+			break // l.mu stays held for the rewrite below
+		}
+		l.mu.Unlock()
+		if time.Now().After(deadline) {
+			return ErrTruncateDeferred
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	defer l.mu.Unlock()
+	return l.compactLocked(db)
+}
+
+// compactLocked is compact's body; caller holds l.mu with every live
+// lease exactly at EOF.
+func (l *wal) compactLocked(db *DB) error {
 	if l.broken != nil {
 		return l.broken
 	}
@@ -685,6 +837,7 @@ func (l *wal) compact(db *DB) error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	oldEOF := l.size.Load()
 	tmpPath := l.path + ".tmp"
 	tf, err := l.fs.Create(tmpPath)
 	if err != nil {
@@ -700,9 +853,20 @@ func (l *wal) compact(db *DB) error {
 		return fail(err)
 	}
 	size := int64(len(walMagic))
+	var buf []byte
+	// The rewritten file opens with its generation (the bumped counter)
+	// and, on a replica, the current upstream position — both must
+	// survive the rewrite and the next restart.
+	buf = encodeGenRecord(buf[:0], l.gen+1)
+	if rp := db.replPos.Load(); rp != nil {
+		buf = encodeReplPosRecord(buf, *rp)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fail(err)
+	}
+	size += int64(len(buf))
 	fileIDs := make(map[SeriesID]uint32)
 	next := uint32(1)
-	var buf []byte
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
@@ -753,11 +917,13 @@ func (l *wal) compact(db *DB) error {
 		// renamed-over inode — anything appended to it would silently
 		// vanish. Poison the log so every later append fails loudly.
 		l.broken = fmt.Errorf("tsdb: wal compact reopen: %w", err)
+		l.revokeAllLeasesLocked()
 		return l.broken
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		l.broken = fmt.Errorf("tsdb: wal compact seek: %w", err)
+		l.revokeAllLeasesLocked()
 		return l.broken
 	}
 	old.Close()
@@ -765,6 +931,24 @@ func (l *wal) compact(db *DB) error {
 	l.w.Reset(f)
 	l.fileIDs = fileIDs
 	l.nextFileID = next
+	// Retire the old generation: remember its final shape so a
+	// caught-up-but-disconnected tailer can still resume, and move
+	// every live lease (all exactly at the old EOF — compact waited) to
+	// the head of the new file. The session re-sends the dictionary
+	// before any further data, since the rewritten file re-announced
+	// every series under fresh fileIDs.
+	l.genHist = append(l.genHist, walGenSpan{gen: l.gen, eof: oldEOF, nextBase: size})
+	if len(l.genHist) > maxWALGenHist {
+		l.genHist = l.genHist[len(l.genHist)-maxWALGenHist:]
+	}
+	l.gen++
+	for _, r := range l.leases {
+		if r.lost != nil {
+			continue
+		}
+		r.remap = &walRemap{gen: l.gen, base: size}
+		r.signal()
+	}
 	l.size.Store(size)
 	return nil
 }
